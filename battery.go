@@ -1,0 +1,97 @@
+package bright
+
+import (
+	"bright/internal/cosim"
+	"bright/internal/design"
+	"bright/internal/flowcell"
+	"bright/internal/workload"
+)
+
+// Reservoir tracks an electrolyte inventory for discharge studies (the
+// secondary-battery view of Section II).
+type Reservoir = flowcell.Reservoir
+
+// DischargeResult summarizes a constant-voltage discharge.
+type DischargeResult = flowcell.DischargeResult
+
+// NewReservoir creates a per-side electrolyte reservoir (m3) holding
+// the array's inlet state.
+func NewReservoir(a *Array, volumeM3 float64) (*Reservoir, error) {
+	return flowcell.NewReservoir(a, volumeM3)
+}
+
+// RoundTripPoint is one current level of a charge/discharge efficiency
+// sweep.
+type RoundTripPoint = flowcell.RoundTripPoint
+
+// SeriesStack groups an array's channels electrically in series with a
+// manifold shunt-current ladder model.
+type SeriesStack = flowcell.SeriesStack
+
+// StackResult is a solved series-stack operating point.
+type StackResult = flowcell.StackResult
+
+// DefaultShuntResistances returns representative channel-feed and
+// manifold-segment ionic resistances for the Table II geometry.
+func DefaultShuntResistances() (channel, manifold float64) {
+	return flowcell.DefaultShuntResistances()
+}
+
+// VariationResult summarizes a manufacturing-tolerance Monte Carlo.
+type VariationResult = flowcell.VariationResult
+
+// DesignCandidate is one channel geometry for the design explorer.
+type DesignCandidate = design.Candidate
+
+// DesignConstraints bound feasibility in the design exploration.
+type DesignConstraints = design.Constraints
+
+// DesignEvaluation is one scored design point.
+type DesignEvaluation = design.Evaluation
+
+// ExploreDesigns evaluates candidate channel geometries at the given
+// flow (ml/min), inlet (C) and rail voltage, ranked by net power.
+func ExploreDesigns(candidates []DesignCandidate, flowMLMin, inletC, voltage float64, cons DesignConstraints) ([]DesignEvaluation, error) {
+	return design.Explore(candidates, flowMLMin, inletC, voltage, cons)
+}
+
+// DefaultDesignGrid returns the practical sweep around the Table II
+// point; DefaultDesignConstraints the manufacturability limits.
+func DefaultDesignGrid() []DesignCandidate        { return design.DefaultGrid() }
+func DefaultDesignConstraints() DesignConstraints { return design.DefaultConstraints() }
+
+// TableIIDesign returns the paper's channel geometry as a candidate.
+func TableIIDesign() DesignCandidate { return design.TableII() }
+
+// WorkloadTrace is a piecewise-constant utilization schedule.
+type WorkloadTrace = workload.Trace
+
+// BurstWorkload returns the race-to-idle trace: full activity for
+// duty*period, idle for the rest.
+func BurstWorkload(period, duty float64) *WorkloadTrace { return workload.Burst(period, duty) }
+
+// SteadyWorkload returns a single-phase trace at uniform utilization.
+func SteadyWorkload(util, duration float64) *WorkloadTrace {
+	return workload.Steady(util, duration)
+}
+
+// ScenarioConfig drives a transient workload co-simulation.
+type ScenarioConfig = cosim.ScenarioConfig
+
+// ScenarioResult is a completed workload run.
+type ScenarioResult = cosim.ScenarioResult
+
+// RunWorkloadScenario plays a utilization trace against the transient
+// thermal model with quasi-static electrochemistry.
+func RunWorkloadScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	return cosim.RunWorkload(cfg)
+}
+
+// ThermalCapResult is the output of the thermal-capping governor.
+type ThermalCapResult = cosim.ThermalCapResult
+
+// ThermalCap returns the largest chip load fraction sustainable at the
+// given coolant flow (ml/min) and inlet (C) without exceeding limitC.
+func ThermalCap(flowMLMin, inletC, limitC float64) (*ThermalCapResult, error) {
+	return cosim.ThermalCap(flowMLMin, inletC, limitC)
+}

@@ -1,0 +1,126 @@
+// Package bright is the public API of the Bright Silicon library: a
+// from-scratch Go reproduction of "Integrated Microfluidic Power
+// Generation and Cooling for Bright Silicon MPSoCs" (Sabry, Sridhar,
+// Atienza, Ruch, Michel — DATE 2014).
+//
+// The library models membraneless co-laminar vanadium redox flow cells
+// etched on top of an MPSoC die, delivering electric power to the chip's
+// cache rails while cooling the whole die with the same fluid. It
+// bundles every substrate the paper relies on, implemented from first
+// principles on the standard library only:
+//
+//   - electrochemistry (Nernst, Butler-Volmer, vanadium couples with
+//     Arrhenius temperature scaling) — the paper's Section II theory;
+//   - laminar microchannel hydrodynamics and species transport, with
+//     both Leveque/Graetz correlations and a finite-volume field solver
+//     replacing the paper's COMSOL model;
+//   - a single-cell and cell-array polarization solver (Fig. 3, Fig. 7);
+//   - the IBM POWER7+ floorplan and an MNA power-grid solver for the
+//     on-chip voltage map (Fig. 8);
+//   - a 3D-ICE-style compact thermal model of the die with embedded
+//     microchannel cooling (Fig. 9);
+//   - hydraulics (pressure drop, pumping power) and the electro-thermal
+//     co-simulation behind the paper's Section III-B sensitivity claims.
+//
+// Quick start:
+//
+//	sys, err := bright.NewSystem(bright.DefaultConfig())
+//	if err != nil { ... }
+//	rep, err := sys.Evaluate()
+//	if err != nil { ... }
+//	fmt.Println(rep.Summary())
+//
+// See the examples/ directory for runnable scenarios and EXPERIMENTS.md
+// for the paper-versus-measured record of every table and figure.
+package bright
+
+import (
+	"bright/internal/core"
+	"bright/internal/cosim"
+	"bright/internal/flowcell"
+	"bright/internal/thermal"
+	"bright/internal/units"
+)
+
+// Config parameterizes the integrated POWER7+ case study.
+type Config = core.Config
+
+// System is the integrated MPSoC + flow-cell-array + PDN + thermal
+// model (the paper's Fig. 1).
+type System = core.System
+
+// Report is a fully evaluated system state with the headline quantities
+// of every experiment.
+type Report = core.Report
+
+// DefaultConfig returns the paper's nominal operating point: 676 ml/min,
+// 27 C inlet, 1.0 V cache rail, full chip load.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewSystem builds the integrated system at the given configuration.
+func NewSystem(cfg Config) (*System, error) { return core.NewSystem(cfg) }
+
+// Cell is a single co-laminar flow-cell channel.
+type Cell = flowcell.Cell
+
+// Array is a parallel-connected array of identical cells.
+type Array = flowcell.Array
+
+// OperatingPoint is one solved electrical state of a cell or array.
+type OperatingPoint = flowcell.OperatingPoint
+
+// PolarizationCurve is a swept V-I characteristic.
+type PolarizationCurve = flowcell.PolarizationCurve
+
+// SolverPath selects the mass-transfer model inside the cell solver.
+type SolverPath = flowcell.SolverPath
+
+// Solver path constants: the fast correlation path and the
+// finite-volume field path (the COMSOL replacement).
+const (
+	PathCorrelation = flowcell.PathCorrelation
+	PathFVM         = flowcell.PathFVM
+)
+
+// KjeangCell returns the Table I validation cell (Kjeang et al. 2007)
+// at the given per-stream flow rate in uL/min.
+func KjeangCell(flowULMin float64) *Cell { return flowcell.KjeangCell(flowULMin) }
+
+// Power7Array returns the Table II 88-channel array at the nominal
+// 676 ml/min and 300 K.
+func Power7Array() *Array { return flowcell.Power7Array() }
+
+// Power7ArrayAt returns the Table II array at a custom total flow
+// (ml/min) and temperature (K).
+func Power7ArrayAt(totalMLMin, temperatureK float64) *Array {
+	return flowcell.Power7ArrayAt(totalMLMin, temperatureK)
+}
+
+// ThermalSolution is a solved temperature state of the die.
+type ThermalSolution = thermal.Solution
+
+// SolveThermal computes the POWER7+ thermal map at the given flow
+// (ml/min), inlet temperature (C) and extra coolant heat (W).
+func SolveThermal(flowMLMin, inletC, extraFluidHeatW float64) (*ThermalSolution, error) {
+	return thermal.Solve(thermal.Power7Problem(flowMLMin, units.CtoK(inletC), extraFluidHeatW))
+}
+
+// CoSimConfig parameterizes a standalone electro-thermal co-simulation.
+type CoSimConfig = cosim.Config
+
+// CoSimResult is a converged co-simulation state.
+type CoSimResult = cosim.Result
+
+// RunCoSim executes the electro-thermal fixed-point loop.
+func RunCoSim(cfg CoSimConfig) (*CoSimResult, error) { return cosim.Run(cfg) }
+
+// CouplingGain runs a co-simulation against its isothermal reference
+// and reports the temperature-coupling current/power gains (the
+// paper's <=4% and ~23% numbers).
+func CouplingGain(cfg CoSimConfig) (*cosim.Gain, error) { return cosim.CouplingGain(cfg) }
+
+// CtoK converts Celsius to Kelvin (convenience re-export).
+func CtoK(c float64) float64 { return units.CtoK(c) }
+
+// KtoC converts Kelvin to Celsius (convenience re-export).
+func KtoC(k float64) float64 { return units.KtoC(k) }

@@ -1,0 +1,106 @@
+package bright_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bright"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	// The README quickstart must work as written.
+	sys, err := bright.NewSystem(bright.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.PowersCaches {
+		t.Fatal("quickstart system fails its headline claim")
+	}
+	if !strings.Contains(rep.Summary(), "array:") {
+		t.Fatal("summary malformed")
+	}
+}
+
+func TestPublicCellAPI(t *testing.T) {
+	c := bright.KjeangCell(60)
+	curve, err := c.Polarize(10, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !curve.IsMonotoneDecreasing() {
+		t.Fatal("public cell curve not monotone")
+	}
+	// Switch solver paths through the public constants.
+	c.Path = bright.PathFVM
+	op, err := c.VoltageAtCurrent(0.4 * c.LimitingCurrent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Path = bright.PathCorrelation
+	op2, err := c.VoltageAtCurrent(0.4 * c.LimitingCurrent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(op.Voltage-op2.Voltage)/op2.Voltage > 0.1 {
+		t.Fatalf("paths disagree publicly: %.3f vs %.3f", op.Voltage, op2.Voltage)
+	}
+}
+
+func TestPublicArrayAPI(t *testing.T) {
+	a := bright.Power7Array()
+	op, err := a.CurrentAtVoltage(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(op.Current-6.0) > 0.9 {
+		t.Fatalf("public array I(1V) = %.2f", op.Current)
+	}
+	hot := bright.Power7ArrayAt(676, bright.CtoK(37))
+	opHot, err := hot.CurrentAtVoltage(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opHot.Current <= op.Current {
+		t.Fatal("public hot array not hotter")
+	}
+}
+
+func TestPublicThermalAPI(t *testing.T) {
+	sol, err := bright.SolveThermal(676, 27, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := bright.KtoC(sol.PeakT)
+	if peak < 36 || peak > 44 {
+		t.Fatalf("public thermal peak %.1f C", peak)
+	}
+}
+
+func TestPublicCoSimAPI(t *testing.T) {
+	g, err := bright.CouplingGain(bright.CoSimConfig{
+		TotalFlowMLMin: 676, InletTempC: 27, TerminalVoltage: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CurrentGain <= 0 || g.CurrentGain > 0.05 {
+		t.Fatalf("public coupling gain %.2f%%", 100*g.CurrentGain)
+	}
+	res, err := bright.RunCoSim(bright.CoSimConfig{
+		TotalFlowMLMin: 676, InletTempC: 27, TerminalVoltage: 1.0,
+	})
+	if err != nil || !res.Converged {
+		t.Fatalf("public cosim: converged=%v err=%v", res != nil && res.Converged, err)
+	}
+}
+
+func TestTemperatureHelpers(t *testing.T) {
+	if bright.CtoK(27) != 300.15 || math.Abs(bright.KtoC(300.15)-27) > 1e-12 {
+		t.Fatal("temperature helpers broken")
+	}
+}

@@ -1,0 +1,78 @@
+// Command designer explores the flow-cell channel design space and
+// prints the ranked evaluations as a table (and optionally CSV).
+//
+// Usage:
+//
+//	designer [-flow ML_MIN] [-inlet C] [-supply V]
+//	         [-maxpeak C] [-minwall UM] [-maxaspect A] [-maxpump W]
+//	         [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"bright/internal/design"
+	"bright/internal/vis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("designer: ")
+	flow := flag.Float64("flow", 676, "total electrolyte flow in ml/min")
+	inlet := flag.Float64("inlet", 27, "inlet temperature in C")
+	supply := flag.Float64("supply", 1.0, "rail voltage in V")
+	maxPeak := flag.Float64("maxpeak", 85, "junction temperature limit in C")
+	minWall := flag.Float64("minwall", 50, "minimum inter-channel wall in um")
+	maxAspect := flag.Float64("maxaspect", 4, "maximum etch aspect ratio (height/width)")
+	maxPump := flag.Float64("maxpump", 10, "pumping power budget in W")
+	csv := flag.Bool("csv", false, "emit CSV instead of a table")
+	flag.Parse()
+
+	cons := design.Constraints{
+		MaxPeakC:  *maxPeak,
+		MinWallUM: *minWall,
+		MaxAspect: *maxAspect,
+		MaxPumpW:  *maxPump,
+	}
+	evs, err := design.Explore(append(design.DefaultGrid(), design.TableII()),
+		*flow, *inlet, *supply, cons)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *csv {
+		var ws, hs, pitches, nets []float64
+		for _, e := range evs {
+			if !e.Feasible {
+				continue
+			}
+			ws = append(ws, e.Candidate.Width*1e6)
+			hs = append(hs, e.Candidate.Height*1e6)
+			pitches = append(pitches, e.Candidate.Pitch*1e6)
+			nets = append(nets, e.NetPowerW)
+		}
+		if err := vis.WriteCSVSeries(os.Stdout,
+			[]string{"width_um", "height_um", "pitch_um", "net_W"},
+			ws, hs, pitches, nets); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("design space at %.0f ml/min, %.0f C, %.2f V (peak<=%.0fC wall>=%.0fum aspect<=%.1f pump<=%.1fW)\n\n",
+		*flow, *inlet, *supply, *maxPeak, *minWall, *maxAspect, *maxPump)
+	fmt.Println("geometry                        ch     I@1V     pump     peak      net")
+	for _, e := range evs {
+		if !e.Feasible {
+			fmt.Printf("%-28s   --   rejected: %s\n", e.Candidate, e.Reason)
+			continue
+		}
+		tag := ""
+		if e.Candidate == design.TableII() {
+			tag = "   <- Table II"
+		}
+		fmt.Printf("%-28s %4d   %5.2f A  %5.2f W  %5.1f C  %6.2f W%s\n",
+			e.Candidate, e.NChannels, e.CurrentAt1V, e.PumpPowerW, e.PeakTempC, e.NetPowerW, tag)
+	}
+}

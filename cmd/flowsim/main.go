@@ -1,0 +1,80 @@
+// Command flowsim sweeps the polarization curve of a single co-laminar
+// microfluidic vanadium flow cell and prints it as CSV.
+//
+// Usage:
+//
+//	flowsim [-cell kjeang|power7] [-flow F] [-temp C] [-points N]
+//	        [-path corr|fvm] [-maxfrac F]
+//
+// For the kjeang cell, -flow is the per-stream flow rate in uL/min
+// (Table I sweeps 2.5..300); for the power7 cell it is the array total
+// in ml/min (Table II: 676).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"bright/internal/flowcell"
+	"bright/internal/units"
+	"bright/internal/vis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flowsim: ")
+	cellKind := flag.String("cell", "kjeang", "cell fixture: kjeang (Table I) or power7 (Table II channel)")
+	flow := flag.Float64("flow", 60, "flow rate (uL/min per stream for kjeang, ml/min total for power7)")
+	tempC := flag.Float64("temp", 25, "operating temperature in C")
+	points := flag.Int("points", 20, "sweep points")
+	path := flag.String("path", "corr", "mass-transfer solver: corr or fvm")
+	maxFrac := flag.Float64("maxfrac", 0.95, "sweep up to this fraction of the limiting current")
+	flag.Parse()
+
+	var cell *flowcell.Cell
+	scale := 1.0
+	switch *cellKind {
+	case "kjeang":
+		cell = flowcell.KjeangCell(*flow)
+	case "power7":
+		a := flowcell.Power7ArrayAt(*flow, units.CtoK(*tempC))
+		cell = &a.Cell
+		scale = float64(a.NChannels)
+	default:
+		log.Fatalf("unknown cell %q", *cellKind)
+	}
+	cell.Temperature = units.CtoK(*tempC)
+	switch *path {
+	case "corr":
+		cell.Path = flowcell.PathCorrelation
+	case "fvm":
+		cell.Path = flowcell.PathFVM
+	default:
+		log.Fatalf("unknown path %q", *path)
+	}
+
+	ocv, err := cell.OpenCircuitVoltage()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "cell=%s flow=%g T=%.1fC path=%s OCV=%.3fV iL=%.4gA (x%g channels)\n",
+		*cellKind, *flow, *tempC, cell.Path, ocv, cell.LimitingCurrent(), scale)
+
+	curve, err := cell.Polarize(*points, *maxFrac)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var iA, v, p, iDens []float64
+	for _, op := range curve {
+		iA = append(iA, op.Current*scale)
+		v = append(v, op.Voltage)
+		p = append(p, op.Power*scale)
+		iDens = append(iDens, units.APerM2ToMAPerCM2(op.CurrentDensity))
+	}
+	if err := vis.WriteCSVSeries(os.Stdout,
+		[]string{"I_A", "i_mA_cm2", "V", "P_W"}, iA, iDens, v, p); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,540 @@
+// Command repro regenerates every table and figure of the paper and
+// writes them as CSV files (plus ASCII previews on stdout) into an
+// output directory.
+//
+// Usage:
+//
+//	repro [-out DIR] [-only fig3|fig7|fig8|fig9|scalars|ablations]
+//
+// With no -only flag every experiment runs (the scalar co-simulations
+// take a couple of minutes in total on a laptop).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"bright/internal/experiments"
+	"bright/internal/units"
+	"bright/internal/vis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("repro: ")
+	outDir := flag.String("out", "out", "output directory for CSV files")
+	only := flag.String("only", "", "run a single experiment: fig3|fig7|fig8|fig9|scalars|ablations|extensions")
+	flag.Parse()
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	run := func(name string, f func(string) error) {
+		if *only != "" && *only != name {
+			return
+		}
+		fmt.Printf("==> %s\n", name)
+		if err := f(*outDir); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+	run("tables", runTables)
+	run("fig3", runFig3)
+	run("fig7", runFig7)
+	run("fig8", runFig8)
+	run("fig9", runFig9)
+	run("scalars", runScalars)
+	run("ablations", runAblations)
+	run("extensions", runExtensions)
+	run("extensions2", runExtensions2)
+	run("extensions3", runExtensions3)
+	run("extensions4", runExtensions4)
+	run("extensions5", runExtensions5)
+	run("extensions6", runExtensions6)
+	run("extensions7", runExtensions7)
+	run("extensions8", runExtensions8)
+	run("extensions9", runExtensions9)
+	run("extensions10", runExtensions10)
+	fmt.Printf("done; CSV output in %s\n", *outDir)
+}
+
+func writeCSV(dir, name string, write func(f *os.File) error) error {
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	fmt.Printf("    wrote %s\n", path)
+	return f.Close()
+}
+
+func runFig3(dir string) error {
+	curves, err := experiments.Fig3(12)
+	if err != nil {
+		return err
+	}
+	fmt.Println("    Fig. 3 — validation polarization curves (V vs mA/cm2)")
+	for _, c := range curves {
+		fmt.Printf("    %6.1f uL/min: iL=%5.1f mA/cm2  err(corr)=%4.1f%%  err(fvm)=%4.1f%%  paths=%4.1f%%\n",
+			c.FlowULMin, c.LimitingCurrentMACM2,
+			100*c.MaxErrModel, 100*c.MaxErrFVM, 100*c.MaxErrPaths)
+		name := fmt.Sprintf("fig3_%guLmin.csv", c.FlowULMin)
+		cc := c
+		if err := writeCSV(dir, name, func(f *os.File) error {
+			return vis.WriteCSVSeries(f,
+				[]string{"i_mA_cm2", "V_model_corr", "V_model_fvm", "V_reference"},
+				cc.Model.X, cc.Model.Y, cc.ModelFVM.Y, cc.Reference.Y)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFig7(dir string) error {
+	res, err := experiments.Fig7(30)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    Fig. 7 — array V-I: OCV=%.3f V, I(1.0 V)=%.2f A (paper: ~1.65 V, 6 A), P(1V)=%.2f W\n",
+		res.OCV, res.CurrentAt1V, res.PowerAt1V)
+	return writeCSV(dir, "fig7_array_vi.csv", func(f *os.File) error {
+		return vis.WriteCSVSeries(f, []string{"I_A", "V"}, res.Curve.X, res.Curve.Y)
+	})
+}
+
+func runFig8(dir string) error {
+	res, err := experiments.Fig8()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    Fig. 8 — grid voltage map: min(cache)=%.4f V, max=%.4f V, load=%.2f A (paper: 0.96-0.995 V)\n",
+		res.MinCacheV, res.MaxV, res.TotalLoadA)
+	fmt.Print(vis.ASCIIHeatmap(res.Solution.V, vis.HeatmapOptions{
+		Title: "    cache-rail voltage (dark = droop)", Unit: "V", FlipY: true,
+	}))
+	return writeCSV(dir, "fig8_voltage_map.csv", func(f *os.File) error {
+		return vis.WriteCSVMatrix(f, res.Solution.V, 1e3)
+	})
+}
+
+func runFig9(dir string) error {
+	res, err := experiments.Fig9(676, 27)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    Fig. 9 — thermal map: peak=%.1f C, outlet=%.1f C, chip power=%.1f W (paper: 41 C peak)\n",
+		res.PeakC, res.OutletC, res.TotalPowerW)
+	// Render in Celsius for the preview.
+	tC := res.Solution.ActiveT
+	for k := range tC.Data {
+		tC.Data[k] = units.KtoC(tC.Data[k])
+	}
+	fmt.Print(vis.ASCIIHeatmap(tC, vis.HeatmapOptions{
+		Title: "    active-plane temperature (bright = hot)", Unit: "C", FlipY: true,
+	}))
+	return writeCSV(dir, "fig9_thermal_map.csv", func(f *os.File) error {
+		return vis.WriteCSVMatrix(f, tC, 1e3)
+	})
+}
+
+func runScalars(dir string) error {
+	s1, err := experiments.S1CachePower()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    S1 — cache power: array %.2f A / %.2f W at 1 V, %.2f W after VRM; caches need %.2f W (%.2f cm2) -> powered=%v\n",
+		s1.ArrayCurrentA, s1.ArrayPowerW, s1.DeliveredW, s1.CacheDemandW, s1.CacheAreaCM2, s1.Powered)
+	s2, err := experiments.S2Hydraulics()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    S2 — hydraulics: v=%.2f m/s, grad=%.3f bar/cm (paper %.1f), pump=%.2f W (paper %.1f)\n",
+		s2.MeanVelocityMS, s2.GradientBarPerCM, s2.PaperGradientBarPerCM, s2.PumpPowerW, s2.PaperPumpPowerW)
+	s3, err := experiments.S3TempSensitivityNominal()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    S3 — nominal coupling gain: +%.2f%% current at 1 V (paper: <=4%%), cell T=%.1f C\n",
+		s3.CurrentGainPct, s3.CellTempC)
+	s4, err := experiments.S4HotOperation()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    S4 — hot operation: low-flow gain +%.1f%% (cell %.1f C), hot-inlet gain +%.1f%% (paper: up to %.0f%%)\n",
+		s4.LowFlowGainPct, s4.LowFlowCellTempC, s4.HotInletGainPct, s4.PaperGainPct)
+	return writeCSV(dir, "scalars.csv", func(f *os.File) error {
+		return vis.WriteCSVSeries(f,
+			[]string{"array_A_at_1V", "delivered_W", "pump_W", "s3_gain_pct", "s4_lowflow_gain_pct", "s4_hotinlet_gain_pct"},
+			[]float64{s1.ArrayCurrentA}, []float64{s1.DeliveredW}, []float64{s2.PumpPowerW},
+			[]float64{s3.CurrentGainPct}, []float64{s4.LowFlowGainPct}, []float64{s4.HotInletGainPct})
+	})
+}
+
+func runAblations(dir string) error {
+	sp, err := experiments.AblationSolverPath()
+	if err != nil {
+		return err
+	}
+	fmt.Println("    Ablation — solver paths (corr vs fvm):")
+	var x1, y1, y2 []float64
+	for _, r := range sp {
+		fmt.Printf("      q=%5.1f uL/min frac=%.2f: corr %.3f V, fvm %.3f V (%.1f%%)\n",
+			r.FlowULMin, r.FracOfLimit, r.VCorr, r.VFVM, 100*r.RelDiff)
+		x1 = append(x1, r.FlowULMin)
+		y1 = append(y1, r.VCorr)
+		y2 = append(y2, r.VFVM)
+	}
+	if err := writeCSV(dir, "ablation_solver_path.csv", func(f *os.File) error {
+		return vis.WriteCSVSeries(f, []string{"flow_uLmin", "V_corr", "V_fvm"}, x1, y1, y2)
+	}); err != nil {
+		return err
+	}
+
+	gr, err := experiments.AblationGridResolution()
+	if err != nil {
+		return err
+	}
+	fmt.Println("    Ablation — thermal grid resolution:")
+	var nxs, peaks []float64
+	for _, r := range gr {
+		fmt.Printf("      %3dx%-3d: peak %.2f C (delta %.2f K)\n", r.NX, r.NY, r.PeakC, r.DeltaFromFinest)
+		nxs = append(nxs, float64(r.NX))
+		peaks = append(peaks, r.PeakC)
+	}
+	if err := writeCSV(dir, "ablation_grid.csv", func(f *os.File) error {
+		return vis.WriteCSVSeries(f, []string{"nx", "peak_C"}, nxs, peaks)
+	}); err != nil {
+		return err
+	}
+
+	vp, err := experiments.AblationVRMPlacement()
+	if err != nil {
+		return err
+	}
+	fmt.Println("    Ablation — VRM placement:")
+	for _, r := range vp {
+		fmt.Printf("      %-20s (%2d sites): min cache %.4f V (drop %.1f mV)\n",
+			r.Strategy, r.NSites, r.MinCacheV, r.WorstDropMV)
+	}
+
+	cc, err := experiments.AblationChannelCount()
+	if err != nil {
+		return err
+	}
+	fmt.Println("    Ablation — channel count at fixed total flow:")
+	var ns, amps, pumps, nets []float64
+	for _, r := range cc {
+		fmt.Printf("      %3d channels: %.2f A at 1 V, pump %.2f W, net %.2f W\n",
+			r.NChannels, r.CurrentAt1V, r.PumpPowerW, r.NetW)
+		ns = append(ns, float64(r.NChannels))
+		amps = append(amps, r.CurrentAt1V)
+		pumps = append(pumps, r.PumpPowerW)
+		nets = append(nets, r.NetW)
+	}
+	return writeCSV(dir, "ablation_channels.csv", func(f *os.File) error {
+		return vis.WriteCSVSeries(f, []string{"n_channels", "I_at_1V", "pump_W", "net_W"}, ns, amps, pumps, nets)
+	})
+}
+
+func runExtensions(dir string) error {
+	e1, err := experiments.E1C4Baseline()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    E1 — C4 baseline: %d pads total, cache rail would take %d; freeing them grows the I/O pool by %.1f%%.\n",
+		e1.C4.TotalPads, e1.C4.CacheRailPads, e1.C4.IOGainPct)
+	fmt.Printf("         droop: dense C4 feed %.4f V vs microfluidic VRM feed %.4f V\n",
+		e1.C4.ConventionalMinV, e1.C4.MicrofluidicMinV)
+
+	e2, err := experiments.E2DarkSilicon()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    E2 — dark silicon at a %.0f W delivery wall: %d/%d cores lit -> %d/%d with the %.1f W microfluidic cache rail (%d relit)\n",
+		e2.BudgetW, e2.Comparison.Baseline.LitCores, e2.Comparison.Baseline.TotalCores,
+		e2.Comparison.Assisted.LitCores, e2.Comparison.Assisted.TotalCores,
+		e2.ArrayW, e2.Comparison.CoresRelit)
+
+	e3, err := experiments.E3Stack3D()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    E3 — 3D stack: single die %.1f C -> two tiers %.1f C (+%.1f K) at %.0f W total\n",
+		e3.SinglePeakC, e3.StackPeakC, e3.PenaltyK, e3.StackPowerW)
+
+	e4, err := experiments.E4Reservoir()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    E4 — reservoir: %.1f L/side at 1 V -> %.2f Ah of %.2f Ah theoretical (%.0f%%), %.2f Wh, %.1f Wh/L, %.0f s\n",
+		e4.ReservoirL, e4.Discharge.CapacityAh, e4.TheoreticalAh, e4.UtilizationPct,
+		e4.Discharge.EnergyWh, e4.Discharge.EnergyDensityWhPerL, e4.Discharge.DurationS)
+	var ts, socs, amps []float64
+	for _, p := range e4.Discharge.Points {
+		ts = append(ts, p.TimeS)
+		socs = append(socs, p.SOC)
+		amps = append(amps, p.CurrentA)
+	}
+	if err := writeCSV(dir, "e4_discharge.csv", func(f *os.File) error {
+		return vis.WriteCSVSeries(f, []string{"t_s", "soc", "I_A"}, ts, socs, amps)
+	}); err != nil {
+		return err
+	}
+
+	e5, err := experiments.E5ChannelSpread()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    E5 — per-channel spread: %.1f%% current spread across 88 channels; equal-channel assumption error %.3f%%\n",
+		e5.SpreadPct, e5.AssumptionErrPct)
+	var idx []float64
+	for k := range e5.CurrentA {
+		idx = append(idx, float64(k))
+	}
+	return writeCSV(dir, "e5_channels.csv", func(f *os.File) error {
+		return vis.WriteCSVSeries(f, []string{"channel", "T_C", "I_A"}, idx, e5.TempC, e5.CurrentA)
+	})
+}
+
+func runExtensions2(dir string) error {
+	e6, err := experiments.E6RoundTrip()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    E6 — round trip at 50%% SOC (OCV %.3f V): efficiency %.3f at half the limiting current\n",
+		e6.OCV, e6.EffAtHalfLimit)
+	var is, effs []float64
+	for _, p := range e6.Points {
+		is = append(is, p.Current)
+		effs = append(effs, p.Efficiency)
+	}
+	if err := writeCSV(dir, "e6_roundtrip.csv", func(f *os.File) error {
+		return vis.WriteCSVSeries(f, []string{"I_A", "efficiency"}, is, effs)
+	}); err != nil {
+		return err
+	}
+
+	e7, err := experiments.E7Workload()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    E7 — burst workload: array swings %.1f%% with the chip activity, peak %.1f C\n",
+		e7.SwingPct, e7.MaxPeakC)
+	var ts, chip, peak, amps []float64
+	for _, s := range e7.Scenario.Samples {
+		ts = append(ts, s.TimeS)
+		chip = append(chip, s.ChipPowerW)
+		peak = append(peak, s.PeakTC)
+		amps = append(amps, s.ArrayA)
+	}
+	if err := writeCSV(dir, "e7_workload.csv", func(f *os.File) error {
+		return vis.WriteCSVSeries(f, []string{"t_s", "chip_W", "peak_C", "array_A"}, ts, chip, peak, amps)
+	}); err != nil {
+		return err
+	}
+
+	e8, err := experiments.E8DesignSpace()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    E8 — design space: best %s -> %.1f W net (+%.0f%% over Table II's %.1f W)\n",
+		e8.Best.Candidate, e8.Best.NetPowerW, e8.GainPct, e8.TableII.NetPowerW)
+	var ws, hs, nets []float64
+	for _, e := range e8.Evaluations {
+		if !e.Feasible {
+			continue
+		}
+		ws = append(ws, e.Candidate.Width*1e6)
+		hs = append(hs, e.Candidate.Height*1e6)
+		nets = append(nets, e.NetPowerW)
+	}
+	if err := writeCSV(dir, "e8_designspace.csv", func(f *os.File) error {
+		return vis.WriteCSVSeries(f, []string{"width_um", "height_um", "net_W"}, ws, hs, nets)
+	}); err != nil {
+		return err
+	}
+
+	e9, err := experiments.E9Variation()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    E9 — 5%% geometry tolerance over %d realizations: array %.3f +- %.3f A (worst %.3f, nominal %.3f)\n",
+		e9.Samples, e9.MeanA, e9.StdA, e9.WorstA, e9.NominalA)
+	return nil
+}
+
+func runExtensions3(dir string) error {
+	e10, err := experiments.E10SeriesStack()
+	if err != nil {
+		return err
+	}
+	fmt.Println("    E10 — series stacking vs manifold shunt currents:")
+	var ms, shunts, imbs []float64
+	for _, r := range e10.Rows {
+		fmt.Printf("      M=%d (%.0f V stack): %.2f W delivered, shunt %.2f%%, imbalance %.2f%%\n",
+			r.SeriesGroups, r.TerminalVoltage, r.DeliveredW, r.ShuntLossPct, r.ImbalancePct)
+		ms = append(ms, float64(r.SeriesGroups))
+		shunts = append(shunts, r.ShuntLossPct)
+		imbs = append(imbs, r.ImbalancePct)
+	}
+	if err := writeCSV(dir, "e10_series_stack.csv", func(f *os.File) error {
+		return vis.WriteCSVSeries(f, []string{"series_groups", "shunt_pct", "imbalance_pct"}, ms, shunts, imbs)
+	}); err != nil {
+		return err
+	}
+
+	e11, err := experiments.E11Clogging()
+	if err != nil {
+		return err
+	}
+	fmt.Println("    E11 — clogged-channel failure injection:")
+	for _, r := range e11.Rows {
+		fmt.Printf("      %d clogged (%s): peak %.2f C, array %.2f A at 1 V\n",
+			r.Clogged, r.Location, r.PeakC, r.ArrayA)
+	}
+	return nil
+}
+
+func runExtensions4(dir string) error {
+	e12, err := experiments.E12BrightSiliconFrontier()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    E12 — bright-silicon frontier: chip needs %.1f W; Table II array peaks at %.2f W (%.0f%% of the chip),\n",
+		e12.ChipFullLoadW, e12.ArrayMaxW, 100*e12.DensityFractionTableII)
+	fmt.Printf("          best explored geometry %.2f W (%.0f%%); full powering needs a %.1fx electrochemical gain\n",
+		e12.BestGeometryMaxW, 100*e12.DensityFractionBest, e12.ElectrochemGainNeeded)
+
+	e13, err := experiments.E13ManyCoreSweep()
+	if err != nil {
+		return err
+	}
+	fmt.Println("    E13 — architecture compromise sweep (64-core tiling):")
+	var fracs, chips, fronts []float64
+	for _, r := range e13.Rows {
+		fmt.Printf("      core fraction %.2f: chip %.1f W, cache %.2f W (covered=%v), frontier %.0f%%\n",
+			r.CoreFraction, r.ChipW, r.CacheDemandW, r.ArrayCoversCaches, 100*r.FrontierFraction)
+		fracs = append(fracs, r.CoreFraction)
+		chips = append(chips, r.ChipW)
+		fronts = append(fronts, r.FrontierFraction)
+	}
+	return writeCSV(dir, "e13_compromise.csv", func(f *os.File) error {
+		return vis.WriteCSVSeries(f, []string{"core_fraction", "chip_W", "frontier_frac"}, fracs, chips, fronts)
+	})
+}
+
+func runExtensions5(dir string) error {
+	e14, err := experiments.E14ElectrodeCoverage()
+	if err != nil {
+		return err
+	}
+	fmt.Println("    E14 — electrode coverage vs ionic constriction (eq. 11 field solve):")
+	var covs, factors, amps []float64
+	for _, r := range e14.Rows {
+		fmt.Printf("      coverage %.2f: constriction x%.2f, array %.2f A at 1 V\n",
+			r.Coverage, r.ConstrictionFactor, r.ArrayA)
+		covs = append(covs, r.Coverage)
+		factors = append(factors, r.ConstrictionFactor)
+		amps = append(amps, r.ArrayA)
+	}
+	return writeCSV(dir, "e14_coverage.csv", func(f *os.File) error {
+		return vis.WriteCSVSeries(f, []string{"coverage", "constriction", "I_A"}, covs, factors, amps)
+	})
+}
+
+func runExtensions6(dir string) error {
+	e15, err := experiments.E15Manifold()
+	if err != nil {
+		return err
+	}
+	fmt.Println("    E15 — header arrangement vs flow maldistribution:")
+	for _, r := range e15.Rows {
+		fmt.Printf("      %-7s: maldistribution %.1f%%, peak %.2f C, array %.3f A\n",
+			r.Arrangement, r.MaldistributionPct, r.PeakC, r.ArrayA)
+	}
+	return nil
+}
+
+func runExtensions7(dir string) error {
+	e16, err := experiments.E16AirCooledBaseline()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    E16 — conventional air-cooled baseline: %.1f C peak (35 C air) vs %.1f C microfluidic (27 C inlet), advantage %.1f K\n",
+		e16.AirPeakC, e16.MicroPeakC, e16.AdvantageK)
+	fmt.Printf("          85 C headroom: air carries %.0f W, microfluidic %.0f W (%.1fx)\n",
+		e16.AirHeadroomW, e16.MicroHeadroomW, e16.MicroHeadroomW/e16.AirHeadroomW)
+	return nil
+}
+
+func runExtensions8(dir string) error {
+	e17, err := experiments.E17WakeupDroop()
+	if err != nil {
+		return err
+	}
+	fmt.Println("    E17 — cache wake-up droop vs on-die decap (1 us VRM lag):")
+	var decs, droops []float64
+	for _, r := range e17.Rows {
+		fmt.Printf("      %.0f nF/mm2: droop %.1f mV (worst %.3f V)\n", r.DecapNFPerMM2, r.DroopMV, r.WorstV)
+		decs = append(decs, r.DecapNFPerMM2)
+		droops = append(droops, r.DroopMV)
+	}
+	return writeCSV(dir, "e17_droop.csv", func(f *os.File) error {
+		return vis.WriteCSVSeries(f, []string{"decap_nF_mm2", "droop_mV"}, decs, droops)
+	})
+}
+
+func runTables(dir string) error {
+	for _, tab := range []experiments.Table{experiments.TableI(), experiments.TableII()} {
+		fmt.Print("    " + tab.Format())
+		if !tab.AllMatch() {
+			return fmt.Errorf("fixture deviates from %s", tab.Name)
+		}
+	}
+	return nil
+}
+
+func runExtensions9(dir string) error {
+	e18, err := experiments.E18RefinedDesign()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    E18 — continuous refinement: grid best %s (%.2f W) -> refined %s (%.2f W, %+.1f%%)\n",
+		e18.GridBest.Candidate, e18.GridBest.NetPowerW,
+		e18.Refined.Candidate, e18.Refined.NetPowerW, e18.GainPct)
+
+	e19, err := experiments.E19CounterFlow()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("    E19 — counterflow layout: along-flow gradient %.2f K -> %.2f K (peak %.1f -> %.1f C)\n",
+		e19.UniGradientK, e19.CounterGradientK, e19.UniPeakC, e19.CounterPeakC)
+	return nil
+}
+
+func runExtensions10(dir string) error {
+	e20, err := experiments.E20ThermalCap()
+	if err != nil {
+		return err
+	}
+	fmt.Println("    E20 — thermal-capping governor (60 C junction policy):")
+	var flows, caps, watts []float64
+	for _, r := range e20.Rows {
+		fmt.Printf("      %4.0f ml/min: max load %.0f%% (%.1f W sustained)\n",
+			r.FlowMLMin, 100*r.MaxLoadFraction, r.SustainedPowerW)
+		flows = append(flows, r.FlowMLMin)
+		caps = append(caps, r.MaxLoadFraction)
+		watts = append(watts, r.SustainedPowerW)
+	}
+	return writeCSV(dir, "e20_thermal_cap.csv", func(f *os.File) error {
+		return vis.WriteCSVSeries(f, []string{"flow_ml_min", "max_load_frac", "sustained_W"}, flows, caps, watts)
+	})
+}

@@ -1,0 +1,57 @@
+// Hotrun: the Section III-B electro-thermal coupling study. Sweeps the
+// electrolyte flow rate and inlet temperature, running the coupled
+// co-simulation at each point, and shows the paper's counterintuitive
+// result: running the flow cells *hotter* (low flow or warm inlet)
+// increases the generated power — up to ~23% — because the vanadium
+// kinetics and diffusion both accelerate with temperature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bright"
+)
+
+func main() {
+	fmt.Println("electro-thermal coupling study (1.0 V rail, full chip load)")
+	fmt.Println()
+	fmt.Println("flow sweep at 27 C inlet:")
+	fmt.Println("   flow [ml/min]   cell T [C]   I [A]   gain vs isothermal")
+	for _, flow := range []float64{676, 300, 150, 48} {
+		g, err := bright.CouplingGain(bright.CoSimConfig{
+			TotalFlowMLMin:  flow,
+			InletTempC:      27,
+			TerminalVoltage: 1.0,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   %13.0f   %10.1f   %5.2f   %+.1f%%\n",
+			flow, bright.KtoC(g.Coupled.CellTempK), g.Coupled.Operating.Current,
+			100*g.PowerGain)
+	}
+	fmt.Println()
+	fmt.Println("inlet-temperature sweep at 676 ml/min:")
+	fmt.Println("   inlet [C]   cell T [C]   I [A]")
+	var base float64
+	for _, inlet := range []float64{27, 32, 37} {
+		res, err := bright.RunCoSim(bright.CoSimConfig{
+			TotalFlowMLMin:  676,
+			InletTempC:      inlet,
+			TerminalVoltage: 1.0,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if inlet == 27 {
+			base = res.Operating.Power
+		}
+		fmt.Printf("   %9.0f   %10.1f   %5.2f  (%+.1f%% vs 27 C)\n",
+			inlet, bright.KtoC(res.CellTempK), res.Operating.Current,
+			100*(res.Operating.Power/base-1))
+	}
+	fmt.Println()
+	fmt.Println("the paper's claim: 48 ml/min or a 37 C inlet buys up to ~23% more")
+	fmt.Println("power — heat, normally the enemy, works for the power supply here.")
+}

@@ -1,0 +1,61 @@
+// Power7: the full case study of Section III — the 88-channel Table II
+// flow-cell array on the IBM POWER7+ die. Reproduces the three figures:
+// the array V-I characteristic (Fig. 7), the cache power-grid voltage
+// map (Fig. 8) and the full-load thermal map (Fig. 9), with ASCII
+// renderings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bright"
+	"bright/internal/experiments"
+	"bright/internal/units"
+	"bright/internal/vis"
+)
+
+func main() {
+	// Fig. 7: array V-I.
+	a := bright.Power7Array()
+	curve, err := a.Polarize(12, 0.98)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Fig. 7 — 88-channel array V-I characteristic")
+	fmt.Println("   I [A]     V [V]    P [W]")
+	for _, op := range curve {
+		fmt.Printf("   %6.2f   %6.3f   %6.2f\n", op.Current, op.Voltage, op.Power)
+	}
+	at1, err := a.CurrentAtVoltage(1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("headline: %.2f A at 1.00 V (paper: 6 A) -> %.2f W for the caches\n\n",
+		at1.Current, at1.Power)
+
+	// Fig. 8: voltage map.
+	f8, err := experiments.Fig8()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fig. 8 — cache power-grid voltage map: %.4f .. %.4f V (paper: 0.96-0.995 V)\n",
+		f8.MinCacheV, f8.MaxV)
+	fmt.Print(vis.ASCIIHeatmap(f8.Solution.V, vis.HeatmapOptions{Unit: "V", FlipY: true}))
+	fmt.Println()
+
+	// Fig. 9: thermal map.
+	f9, err := experiments.Fig9(676, 27)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Fig. 9 — full-load thermal map: peak %.1f C at 676 ml/min, 27 C inlet (paper: 41 C)\n",
+		f9.PeakC)
+	tC := f9.Solution.ActiveT
+	for k := range tC.Data {
+		tC.Data[k] = units.KtoC(tC.Data[k])
+	}
+	fmt.Print(vis.ASCIIHeatmap(tC, vis.HeatmapOptions{Unit: "C", FlipY: true}))
+	fmt.Println("\n(the four bright columns are the stacked core pairs; the cool")
+	fmt.Println("center is the eDRAM L3 powered by the flow cells themselves)")
+}

@@ -1,0 +1,33 @@
+// Quickstart: build the integrated microfluidically powered-and-cooled
+// POWER7+ system at the paper's nominal operating point and print the
+// headline report. This is the minimal end-to-end use of the public
+// API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bright"
+)
+
+func main() {
+	sys, err := bright.NewSystem(bright.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sys.Evaluate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Summary())
+
+	// The three headline claims of the paper, answered by the model:
+	fmt.Println()
+	fmt.Printf("can the flow cells power the caches?   %v (%.1f W delivered vs %.1f W demand)\n",
+		rep.PowersCaches, rep.DeliveredW, rep.CacheDemandW)
+	fmt.Printf("does the chip stay cool?               %v (peak %.1f C)\n",
+		rep.PeakTempC < 85, rep.PeakTempC)
+	fmt.Printf("does generation beat pumping?          %v (net %.1f W)\n",
+		rep.NetElectricalGainW > 0, rep.NetElectricalGainW)
+}

@@ -1,0 +1,45 @@
+// Validation: reproduce the paper's Fig. 3 — polarization curves of the
+// Kjeang et al. 2007 membraneless vanadium cell at four flow rates —
+// with both solver paths of the library (the fast Leveque-correlation
+// path and the finite-volume field path that replaces COMSOL), and show
+// that the limiting current grows with the cube root of the flow rate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bright"
+)
+
+func main() {
+	fmt.Println("Fig. 3 — Kjeang validation cell, V vs current density")
+	fmt.Println()
+	for _, q := range []float64{2.5, 10, 60, 300} {
+		corr := bright.KjeangCell(q)
+		fvm := bright.KjeangCell(q)
+		fvm.Path = bright.PathFVM
+
+		curve, err := corr.Polarize(8, 0.9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		iL := corr.LimitingCurrent() / corr.GeometricElectrodeArea() * 0.1 // mA/cm2
+		fmt.Printf("flow %5.1f uL/min  (limiting ~%.0f mA/cm2)\n", q, iL)
+		fmt.Println("   i [mA/cm2]   V corr [V]   V fvm [V]")
+		for _, op := range curve {
+			// The FVM path resolves local downstream depletion, so its
+			// limit sits slightly below the averaged correlation limit;
+			// points beyond it are marked transport-limited.
+			fvmV := "  (limited)"
+			if opF, err := fvm.VoltageAtCurrent(op.Current); err == nil {
+				fvmV = fmt.Sprintf("%9.3f", opF.Voltage)
+			}
+			fmt.Printf("   %9.2f   %9.3f   %s\n",
+				op.CurrentDensity*0.1, op.Voltage, fvmV)
+		}
+		fmt.Println()
+	}
+	fmt.Println("note how the curves nest: more flow -> thinner boundary layers ->")
+	fmt.Println("higher limiting current, scaling as Q^(1/3) (Leveque).")
+}

@@ -1,0 +1,92 @@
+package bright_test
+
+import (
+	"math"
+	"testing"
+
+	"bright"
+)
+
+func TestPublicBatteryAPI(t *testing.T) {
+	a := bright.Power7Array()
+	r, err := bright.NewReservoir(a, 2e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.DischargeConstantVoltage(a, 1.0, 10, 0.2, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapacityAh <= 0 || res.EnergyWh <= 0 {
+		t.Fatalf("degenerate discharge %+v", res)
+	}
+}
+
+func TestPublicChargingAPI(t *testing.T) {
+	half, err := bright.KjeangCell(60).AtStateOfCharge(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := half.RoundTripEfficiency(0.5, 5, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 || pts[0].Efficiency <= pts[4].Efficiency {
+		t.Fatalf("round trip points %v", pts)
+	}
+}
+
+func TestPublicSeriesStackAPI(t *testing.T) {
+	rch, rm := bright.DefaultShuntResistances()
+	s := &bright.SeriesStack{
+		Array:                     bright.Power7Array(),
+		SeriesGroups:              4,
+		ChannelShuntResistance:    rch,
+		ManifoldSegmentResistance: rm,
+	}
+	res, err := s.Solve(4.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShuntLossPct <= 0 || res.DeliveredW <= 0 {
+		t.Fatalf("stack result %+v", res)
+	}
+}
+
+func TestPublicVariationAPI(t *testing.T) {
+	res, err := bright.Power7Array().MonteCarloVariation(1.0, 0.05, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StdA <= 0 || res.MeanA <= 0 {
+		t.Fatalf("variation result %+v", res)
+	}
+}
+
+func TestPublicDesignAPI(t *testing.T) {
+	evs, err := bright.ExploreDesigns(
+		[]bright.DesignCandidate{bright.TableIIDesign()},
+		676, 27, 1.0, bright.DefaultDesignConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || !evs[0].Feasible {
+		t.Fatalf("design evaluation %+v", evs)
+	}
+	if len(bright.DefaultDesignGrid()) == 0 {
+		t.Fatal("empty default grid")
+	}
+}
+
+func TestPublicWorkloadAPI(t *testing.T) {
+	tr := bright.BurstWorkload(1.0, 0.25)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.TotalDuration()-1.0) > 1e-12 {
+		t.Fatal("burst duration")
+	}
+	if bright.SteadyWorkload(0.5, 3).TotalDuration() != 3 {
+		t.Fatal("steady duration")
+	}
+}

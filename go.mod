@@ -1,0 +1,3 @@
+module bright
+
+go 1.22

@@ -1,0 +1,86 @@
+package cfd
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPoiseuilleMatchesExactSeries(t *testing.T) {
+	c := power7Channel
+	g := 1e5
+	sol, err := SolvePoiseuille(c, vanadium, g, 40, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qExact := ExactFlowRate(c, vanadium, g)
+	if math.Abs(sol.FlowRate-qExact)/qExact > 0.01 {
+		t.Fatalf("FVM flow rate %g vs exact %g", sol.FlowRate, qExact)
+	}
+	uMaxExact := ExactVelocity(c, vanadium, g, 0, 0)
+	if math.Abs(sol.UMax-uMaxExact)/uMaxExact > 0.02 {
+		t.Fatalf("FVM u_max %g vs exact %g", sol.UMax, uMaxExact)
+	}
+}
+
+func TestPoiseuilleGridConvergence(t *testing.T) {
+	c := Channel{Width: 300e-6, Height: 300e-6, Length: 1}
+	g := 5e4
+	qExact := ExactFlowRate(c, vanadium, g)
+	var prevErr float64 = math.Inf(1)
+	for _, n := range []int{8, 16, 32} {
+		sol, err := SolvePoiseuille(c, vanadium, g, n, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := math.Abs(sol.FlowRate-qExact) / qExact
+		if e > prevErr*1.001 {
+			t.Fatalf("no convergence: n=%d err=%g prev=%g", n, e, prevErr)
+		}
+		prevErr = e
+	}
+	if prevErr > 0.02 {
+		t.Fatalf("finest-grid error %g too large", prevErr)
+	}
+}
+
+func TestPoiseuilleLinearInGradient(t *testing.T) {
+	c := power7Channel
+	s1, err := SolvePoiseuille(c, vanadium, 1e4, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SolvePoiseuille(c, vanadium, 2e4, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s2.FlowRate-2*s1.FlowRate)/s2.FlowRate > 1e-6 {
+		t.Fatalf("Stokes linearity violated: %g vs 2*%g", s2.FlowRate, s1.FlowRate)
+	}
+}
+
+func TestPoiseuilleAllVelocitiesPositive(t *testing.T) {
+	sol, err := SolvePoiseuille(power7Channel, vanadium, 1e5, 12, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range sol.U.Data {
+		if u <= 0 {
+			t.Fatalf("nonpositive interior velocity %g", u)
+		}
+	}
+	if sol.UMean <= 0 || sol.UMax < sol.UMean {
+		t.Fatalf("UMean=%g UMax=%g inconsistent", sol.UMean, sol.UMax)
+	}
+}
+
+func TestPoiseuilleInputValidation(t *testing.T) {
+	if _, err := SolvePoiseuille(Channel{}, vanadium, 1, 8, 8); err == nil {
+		t.Fatal("invalid channel must error")
+	}
+	if _, err := SolvePoiseuille(power7Channel, Fluid{}, 1, 8, 8); err == nil {
+		t.Fatal("invalid fluid must error")
+	}
+	if _, err := SolvePoiseuille(power7Channel, vanadium, 1, 2, 8); err == nil {
+		t.Fatal("too-coarse grid must error")
+	}
+}

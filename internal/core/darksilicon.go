@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"bright/internal/floorplan"
+)
+
+// DarkSiliconConfig parameterizes the extension experiment E2: how much
+// of the chip must stay dark under a fixed conventional power-delivery
+// budget, and how much the microfluidic supply relieves it. This
+// quantifies the paper's central motivation ("it will no longer be
+// possible to power up simultaneously all the available on-chip
+// cores").
+type DarkSiliconConfig struct {
+	// DeliveryBudgetW is the power the conventional (package) delivery
+	// medium can carry to the die.
+	DeliveryBudgetW float64
+	// MicrofluidicW is the additional power delivered by the on-die
+	// flow-cell array (0 for the baseline).
+	MicrofluidicW float64
+	// SupplyVoltage for converting powers to currents in the report.
+	SupplyVoltage float64
+}
+
+// DarkSiliconResult reports the lit/dark split for one scenario.
+type DarkSiliconResult struct {
+	Config DarkSiliconConfig
+	// UncoreW is the non-gateable demand (logic + I/O + caches) that is
+	// served before any core lights up.
+	UncoreW float64
+	// CacheW is the cache share of UncoreW (the part the microfluidic
+	// supply can take over).
+	CacheW float64
+	// PerCoreW is the full-power demand of one core.
+	PerCoreW float64
+	// LitCores out of TotalCores can run at full power simultaneously.
+	LitCores, TotalCores int
+	// DarkFractionPct is the fraction of core silicon that must stay
+	// dark.
+	DarkFractionPct float64
+}
+
+// EvaluateDarkSilicon computes the lit-core count for a delivery
+// scenario on the POWER7+ full-load map. The microfluidic power is
+// applied to the cache rail first (its current density reach per the
+// paper), freeing conventional budget for cores; any surplus beyond the
+// cache demand is not credited (the flow cells cannot reach core-class
+// power densities, as the paper's Section II discusses).
+func EvaluateDarkSilicon(cfg DarkSiliconConfig) (*DarkSiliconResult, error) {
+	if cfg.DeliveryBudgetW <= 0 {
+		return nil, fmt.Errorf("core: nonpositive delivery budget %g", cfg.DeliveryBudgetW)
+	}
+	if cfg.MicrofluidicW < 0 {
+		return nil, fmt.Errorf("core: negative microfluidic power %g", cfg.MicrofluidicW)
+	}
+	if cfg.SupplyVoltage <= 0 {
+		return nil, fmt.Errorf("core: nonpositive supply voltage %g", cfg.SupplyVoltage)
+	}
+	f := floorplan.Power7()
+	pm := floorplan.Power7FullLoad()
+	res := &DarkSiliconResult{Config: cfg}
+	res.CacheW = pm[floorplan.L2]*f.KindArea(floorplan.L2) +
+		pm[floorplan.L3]*f.KindArea(floorplan.L3)
+	res.UncoreW = res.CacheW +
+		pm[floorplan.Logic]*f.KindArea(floorplan.Logic) +
+		pm[floorplan.IO]*f.KindArea(floorplan.IO)
+	for _, u := range f.Units {
+		if u.Kind == floorplan.Core {
+			res.TotalCores++
+		}
+	}
+	res.PerCoreW = pm[floorplan.Core] * f.KindArea(floorplan.Core) / float64(res.TotalCores)
+
+	// The microfluidic supply covers the cache rail up to the cache
+	// demand; the covered amount leaves the conventional budget.
+	covered := math.Min(cfg.MicrofluidicW, res.CacheW)
+	available := cfg.DeliveryBudgetW - (res.UncoreW - covered)
+	lit := 0
+	if available > 0 {
+		lit = int(available / res.PerCoreW)
+	}
+	if lit > res.TotalCores {
+		lit = res.TotalCores
+	}
+	res.LitCores = lit
+	res.DarkFractionPct = 100 * float64(res.TotalCores-lit) / float64(res.TotalCores)
+	return res, nil
+}
+
+// DarkSiliconComparison runs the baseline (conventional only) and the
+// microfluidically assisted scenario at the same conventional budget.
+type DarkSiliconComparison struct {
+	Baseline, Assisted *DarkSiliconResult
+	// CoresRelit = Assisted.LitCores - Baseline.LitCores.
+	CoresRelit int
+}
+
+// CompareDarkSilicon evaluates both scenarios. budgetW is the
+// conventional delivery capacity; arrayW the flow-cell power at the
+// rail (use the Fig. 7 headline ~6 W x VRM efficiency).
+func CompareDarkSilicon(budgetW, arrayW float64) (*DarkSiliconComparison, error) {
+	base, err := EvaluateDarkSilicon(DarkSiliconConfig{
+		DeliveryBudgetW: budgetW, MicrofluidicW: 0, SupplyVoltage: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	asst, err := EvaluateDarkSilicon(DarkSiliconConfig{
+		DeliveryBudgetW: budgetW, MicrofluidicW: arrayW, SupplyVoltage: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DarkSiliconComparison{
+		Baseline: base, Assisted: asst,
+		CoresRelit: asst.LitCores - base.LitCores,
+	}, nil
+}

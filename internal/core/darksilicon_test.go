@@ -1,0 +1,76 @@
+package core
+
+import "testing"
+
+func TestDarkSiliconBaseline(t *testing.T) {
+	// A delivery budget below the full-load demand forces cores dark.
+	res, err := EvaluateDarkSilicon(DarkSiliconConfig{
+		DeliveryBudgetW: 40, MicrofluidicW: 0, SupplyVoltage: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCores != 8 {
+		t.Fatalf("POWER7+ has 8 cores, got %d", res.TotalCores)
+	}
+	if res.LitCores >= res.TotalCores {
+		t.Fatalf("40 W budget should not light all cores (lit %d)", res.LitCores)
+	}
+	if res.DarkFractionPct <= 0 {
+		t.Fatal("dark fraction must be positive under a tight budget")
+	}
+	// The bookkeeping: uncore includes the caches.
+	if res.CacheW <= 0 || res.UncoreW <= res.CacheW {
+		t.Fatalf("power decomposition broken: %+v", res)
+	}
+}
+
+func TestDarkSiliconRelief(t *testing.T) {
+	// E2 headline: moving the cache rail to the microfluidic supply
+	// relights cores at the same conventional budget.
+	cmp, err := CompareDarkSilicon(40, 5.2) // ~Fig. 7 power after VRM
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.CoresRelit <= 0 {
+		t.Fatalf("microfluidic supply relit %d cores, expected > 0", cmp.CoresRelit)
+	}
+	if cmp.Assisted.LitCores > cmp.Assisted.TotalCores {
+		t.Fatal("lit cores exceed total")
+	}
+	// The credit is capped at the cache demand: a huge array does not
+	// help beyond the cache rail.
+	big, err := CompareDarkSilicon(40, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Assisted.LitCores > cmp.Assisted.LitCores+1 {
+		t.Fatalf("credit not capped at the cache demand: %d vs %d",
+			big.Assisted.LitCores, cmp.Assisted.LitCores)
+	}
+}
+
+func TestDarkSiliconFullBudget(t *testing.T) {
+	// A generous budget lights everything with or without assistance.
+	res, err := EvaluateDarkSilicon(DarkSiliconConfig{
+		DeliveryBudgetW: 200, MicrofluidicW: 0, SupplyVoltage: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LitCores != res.TotalCores || res.DarkFractionPct != 0 {
+		t.Fatalf("200 W budget should light all cores: %+v", res)
+	}
+}
+
+func TestDarkSiliconValidation(t *testing.T) {
+	if _, err := EvaluateDarkSilicon(DarkSiliconConfig{DeliveryBudgetW: 0, SupplyVoltage: 1}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := EvaluateDarkSilicon(DarkSiliconConfig{DeliveryBudgetW: 10, MicrofluidicW: -1, SupplyVoltage: 1}); err == nil {
+		t.Fatal("negative microfluidic power accepted")
+	}
+	if _, err := EvaluateDarkSilicon(DarkSiliconConfig{DeliveryBudgetW: 10, SupplyVoltage: 0}); err == nil {
+		t.Fatal("zero voltage accepted")
+	}
+}

@@ -1,0 +1,204 @@
+// Package core integrates the paper's proposal into one system model:
+// an MPSoC floorplan with an on-die microfluidic redox flow-cell array
+// that simultaneously powers the cache rails (through VRMs and a power
+// grid) and cools the whole die (through the compact thermal model),
+// with electro-thermal coupling. It is the programmatic embodiment of
+// the paper's Fig. 1 and the engine behind the case-study experiments.
+package core
+
+import (
+	"fmt"
+
+	"bright/internal/cosim"
+	"bright/internal/floorplan"
+	"bright/internal/flowcell"
+	"bright/internal/hydro"
+	"bright/internal/pdn"
+	"bright/internal/thermal"
+	"bright/internal/units"
+)
+
+// Config parameterizes the integrated POWER7+ case study.
+type Config struct {
+	// FlowMLMin is the total electrolyte flow in ml/min (Table II: 676).
+	FlowMLMin float64
+	// InletTempC is the coolant inlet temperature in C (27 nominal).
+	InletTempC float64
+	// SupplyVoltage is the cache rail voltage (V), 1.0 in the paper.
+	SupplyVoltage float64
+	// ChipLoad scales the full-load power map (1 = full load).
+	ChipLoad float64
+	// ManifoldK is the hydraulic minor-loss coefficient of the inlet/
+	// outlet headers.
+	ManifoldK float64
+	// PumpEfficiency of the electrolyte pump (paper: 0.5).
+	PumpEfficiency float64
+}
+
+// DefaultConfig returns the paper's nominal operating point.
+func DefaultConfig() Config {
+	return Config{
+		FlowMLMin:      676,
+		InletTempC:     27,
+		SupplyVoltage:  1.0,
+		ChipLoad:       1.0,
+		ManifoldK:      1.5,
+		PumpEfficiency: 0.5,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.FlowMLMin <= 0 {
+		return fmt.Errorf("core: nonpositive flow %g ml/min", c.FlowMLMin)
+	}
+	if c.SupplyVoltage <= 0 {
+		return fmt.Errorf("core: nonpositive supply voltage %g", c.SupplyVoltage)
+	}
+	if c.InletTempC < 0 || c.InletTempC > 90 {
+		return fmt.Errorf("core: inlet %g C outside liquid window", c.InletTempC)
+	}
+	if c.ChipLoad < 0 {
+		return fmt.Errorf("core: negative chip load")
+	}
+	if c.ManifoldK < 0 {
+		return fmt.Errorf("core: negative manifold K")
+	}
+	if c.PumpEfficiency <= 0 || c.PumpEfficiency > 1 {
+		return fmt.Errorf("core: pump efficiency %g out of (0,1]", c.PumpEfficiency)
+	}
+	return nil
+}
+
+// System is the assembled integrated model.
+type System struct {
+	Config    Config
+	Floorplan *floorplan.Floorplan
+	Array     *flowcell.Array
+	VRM       pdn.VRM
+}
+
+// NewSystem builds the integrated POWER7+ system at the given config.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	f := floorplan.Power7()
+	if err := f.Validate(0); err != nil {
+		return nil, err
+	}
+	array := flowcell.Power7ArrayAt(cfg.FlowMLMin, units.CtoK(cfg.InletTempC))
+	if err := array.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{
+		Config:    cfg,
+		Floorplan: f,
+		Array:     array,
+		VRM:       pdn.DefaultVRM(),
+	}, nil
+}
+
+// Report is the full evaluated state of the integrated system.
+type Report struct {
+	Config Config
+	// CoSim is the converged electro-thermal state; CoSim.Operating is
+	// the array's electrical point at the supply voltage.
+	CoSim *cosim.Result
+	// CacheDemandW and CacheDemandA are the cache rail demand from the
+	// floorplan at 1 W/cm2.
+	CacheDemandW, CacheDemandA float64
+	// DeliveredW is the electric power available after VRM conversion.
+	DeliveredW float64
+	// PowersCaches reports whether the array covers the cache demand
+	// through the VRM.
+	PowersCaches bool
+	// Grid is the Fig. 8 power-grid solution.
+	Grid *pdn.Solution
+	// Thermal is the Fig. 9 thermal state (from the coupled run).
+	Thermal *thermal.Solution
+	// PeakTempC is the coupled peak die temperature.
+	PeakTempC float64
+	// Hydraulics is the pressure/pump operating point.
+	Hydraulics hydro.Report
+	// NetElectricalGainW = delivered electric power - pumping power:
+	// the paper's "flow cells generate more energy than is spent in
+	// liquid pumping" claim.
+	NetElectricalGainW float64
+}
+
+// Evaluate runs the full pipeline: electro-thermal co-simulation, power
+// grid solve and hydraulic analysis.
+func (s *System) Evaluate() (*Report, error) {
+	cfg := s.Config
+	co, err := cosim.Run(cosim.Config{
+		TotalFlowMLMin:  cfg.FlowMLMin,
+		InletTempC:      cfg.InletTempC,
+		TerminalVoltage: cfg.SupplyVoltage,
+		ChipLoad:        cfg.ChipLoad,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: co-simulation: %w", err)
+	}
+	rep := &Report{
+		Config:    cfg,
+		CoSim:     co,
+		Thermal:   co.Thermal,
+		PeakTempC: units.KtoC(co.Thermal.PeakT),
+	}
+	rep.CacheDemandW = units.WPerCM2ToWPerM2(1.0) * s.Floorplan.CacheArea() * cfg.ChipLoad
+	rep.CacheDemandA = rep.CacheDemandW / cfg.SupplyVoltage
+	// The array feeds the rail through the VRM.
+	rep.DeliveredW = co.Operating.Power * s.VRM.Efficiency
+	rep.PowersCaches = rep.DeliveredW >= rep.CacheDemandW
+
+	p, _, err := pdn.Power7Problem()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.SupplyVoltage != p.Supply {
+		p.Supply = cfg.SupplyVoltage
+		p.LoadDensity = pdn.CacheLoad(s.Floorplan, p.LoadDensity.Grid, cfg.SupplyVoltage)
+	}
+	if cfg.ChipLoad != 1 {
+		for k := range p.LoadDensity.Data {
+			p.LoadDensity.Data[k] *= cfg.ChipLoad
+		}
+	}
+	grid, err := pdn.Solve(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: power grid: %w", err)
+	}
+	rep.Grid = grid
+
+	net := s.Array.HydraulicNetwork(cfg.ManifoldK, cfg.PumpEfficiency)
+	hyd, err := net.Evaluate(units.MLPerMinToM3PerS(cfg.FlowMLMin))
+	if err != nil {
+		return nil, fmt.Errorf("core: hydraulics: %w", err)
+	}
+	rep.Hydraulics = hyd
+	rep.NetElectricalGainW = rep.DeliveredW - hyd.PumpPower
+	return rep, nil
+}
+
+// Summary renders the headline numbers as a human-readable block.
+func (r *Report) Summary() string {
+	return fmt.Sprintf(
+		`integrated microfluidic power & cooling — %s
+  array:   %.2f A at %.2f V  ->  %.2f W (%.2f W after VRM)
+  caches:  need %.2f W (%.2f A at %.2f V)  ->  powered: %v
+  grid:    min cache voltage %.4f V (supply %.2f V)
+  thermal: peak %.1f C (inlet %.1f C), coolant out %.1f C
+  pump:    %.2f W at dp %.3f bar (%.3f bar/cm)  ->  net gain %.2f W`,
+		fmtCondition(r.Config),
+		r.CoSim.Operating.Current, r.Config.SupplyVoltage, r.CoSim.Operating.Power, r.DeliveredW,
+		r.CacheDemandW, r.CacheDemandA, r.Config.SupplyVoltage, r.PowersCaches,
+		r.Grid.MinVCache, r.Config.SupplyVoltage,
+		r.PeakTempC, r.Config.InletTempC, units.KtoC(r.Thermal.OutletT),
+		r.Hydraulics.PumpPower, units.PaToBar(r.Hydraulics.TotalDrop),
+		units.PaToBar(r.Hydraulics.PressureGradient)/100, r.NetElectricalGainW)
+}
+
+func fmtCondition(c Config) string {
+	return fmt.Sprintf("%.0f ml/min, %.0f C inlet, load %.0f%%", c.FlowMLMin, c.InletTempC, 100*c.ChipLoad)
+}

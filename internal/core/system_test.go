@@ -1,0 +1,116 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.FlowMLMin = 0 },
+		func(c *Config) { c.SupplyVoltage = 0 },
+		func(c *Config) { c.InletTempC = 95 },
+		func(c *Config) { c.ChipLoad = -1 },
+		func(c *Config) { c.ManifoldK = -1 },
+		func(c *Config) { c.PumpEfficiency = 0 },
+		func(c *Config) { c.PumpEfficiency = 1.5 },
+	}
+	for k, mutate := range mutations {
+		c := DefaultConfig()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected error", k)
+		}
+		if _, err := NewSystem(c); err == nil {
+			t.Errorf("case %d: NewSystem accepted invalid config", k)
+		}
+	}
+}
+
+func TestEvaluateNominalHeadlines(t *testing.T) {
+	// The paper's integrated claims, end to end on the nominal config.
+	s, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~6 A at 1 V.
+	if rep.CoSim.Operating.Current < 5.0 || rep.CoSim.Operating.Current > 7.5 {
+		t.Fatalf("array current %.2f A outside Fig. 7 band", rep.CoSim.Operating.Current)
+	}
+	// The caches are powered through the VRM.
+	if !rep.PowersCaches {
+		t.Fatalf("caches not powered: delivered %.2f W, demand %.2f W",
+			rep.DeliveredW, rep.CacheDemandW)
+	}
+	// Fig. 8 voltage band.
+	if rep.Grid.MinVCache < 0.93 || rep.Grid.MinVCache > 0.999 {
+		t.Fatalf("grid min %.4f V outside band", rep.Grid.MinVCache)
+	}
+	// Fig. 9 peak band.
+	if rep.PeakTempC < 36 || rep.PeakTempC > 44 {
+		t.Fatalf("peak %.1f C outside band", rep.PeakTempC)
+	}
+	// Net energy positive: generation exceeds pumping.
+	if rep.NetElectricalGainW <= 0 {
+		t.Fatalf("net gain %.2f W must be positive", rep.NetElectricalGainW)
+	}
+	// Report internal consistency.
+	if rep.DeliveredW >= rep.CoSim.Operating.Power {
+		t.Fatal("VRM conversion cannot create energy")
+	}
+}
+
+func TestSummaryMentionsEverything(t *testing.T) {
+	s, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := rep.Summary()
+	for _, want := range []string{"array:", "caches:", "grid:", "thermal:", "pump:", "676 ml/min"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestLowFlowSystemStillViable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FlowMLMin = 48
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hotter, but still within silicon limits; pumping power falls.
+	if rep.PeakTempC < 45 || rep.PeakTempC > 80 {
+		t.Fatalf("low-flow peak %.1f C outside expectation", rep.PeakTempC)
+	}
+	nominal, err := NewSystem(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	repNom, err := nominal.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hydraulics.PumpPower >= repNom.Hydraulics.PumpPower {
+		t.Fatal("reducing flow must reduce pumping power")
+	}
+}

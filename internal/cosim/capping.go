@@ -1,0 +1,85 @@
+package cosim
+
+import (
+	"fmt"
+
+	"bright/internal/floorplan"
+	"bright/internal/mesh"
+	"bright/internal/thermal"
+	"bright/internal/units"
+)
+
+// ThermalCapResult is the output of the thermal-capping governor
+// (extension E20): the largest chip load fraction sustainable at a
+// given coolant condition without exceeding the junction limit — the
+// power-management policy a runtime would run on this hardware.
+type ThermalCapResult struct {
+	// FlowMLMin, InletTempC describe the coolant condition.
+	FlowMLMin, InletTempC float64
+	// LimitC is the junction limit used.
+	LimitC float64
+	// MaxLoadFraction in [0, 1]: 1 means full load fits.
+	MaxLoadFraction float64
+	// PeakAtCapC is the peak at the capped load (~LimitC when capped).
+	PeakAtCapC float64
+	// SustainedPowerW is the chip power at the cap.
+	SustainedPowerW float64
+}
+
+// ThermalCap bisects the chip load fraction to the junction limit at
+// the given coolant condition.
+func ThermalCap(flowMLMin, inletC, limitC float64) (*ThermalCapResult, error) {
+	if flowMLMin <= 0 {
+		return nil, fmt.Errorf("cosim: nonpositive flow %g", flowMLMin)
+	}
+	if limitC <= inletC {
+		return nil, fmt.Errorf("cosim: limit %g C must exceed the inlet %g C", limitC, inletC)
+	}
+	f := floorplan.Power7()
+	base := thermal.Power7Problem(flowMLMin, units.CtoK(inletC), 0)
+	fullMap := f.Rasterize(base.Grid(), floorplan.Power7FullLoad())
+	peakAt := func(load float64) (float64, float64, error) {
+		p := thermal.Power7Problem(flowMLMin, units.CtoK(inletC), 0)
+		scaled := mesh.NewField2D(p.Grid())
+		for k, v := range fullMap.Data {
+			scaled.Data[k] = v * load
+		}
+		p.Power = scaled
+		sol, err := thermal.Solve(p)
+		if err != nil {
+			return 0, 0, err
+		}
+		return units.KtoC(sol.PeakT), sol.TotalPower, nil
+	}
+	peakFull, powerFull, err := peakAt(1)
+	if err != nil {
+		return nil, err
+	}
+	res := &ThermalCapResult{
+		FlowMLMin: flowMLMin, InletTempC: inletC, LimitC: limitC,
+	}
+	if peakFull <= limitC {
+		res.MaxLoadFraction = 1
+		res.PeakAtCapC = peakFull
+		res.SustainedPowerW = powerFull
+		return res, nil
+	}
+	lo, hi := 0.0, 1.0
+	var peakLo, powerLo float64
+	for iter := 0; iter < 30 && hi-lo > 1e-3; iter++ {
+		mid := 0.5 * (lo + hi)
+		peak, power, err := peakAt(mid)
+		if err != nil {
+			return nil, err
+		}
+		if peak <= limitC {
+			lo, peakLo, powerLo = mid, peak, power
+		} else {
+			hi = mid
+		}
+	}
+	res.MaxLoadFraction = lo
+	res.PeakAtCapC = peakLo
+	res.SustainedPowerW = powerLo
+	return res, nil
+}

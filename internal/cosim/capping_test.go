@@ -1,0 +1,60 @@
+package cosim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestThermalCapFullLoadFitsAtNominal(t *testing.T) {
+	res, err := ThermalCap(676, 27, 85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLoadFraction != 1 {
+		t.Fatalf("nominal condition should carry full load, got %.3f", res.MaxLoadFraction)
+	}
+	if res.PeakAtCapC > 45 {
+		t.Fatalf("nominal peak %.1f C", res.PeakAtCapC)
+	}
+}
+
+func TestThermalCapBindsAtStarvedFlow(t *testing.T) {
+	res, err := ThermalCap(20, 27, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLoadFraction >= 1 || res.MaxLoadFraction <= 0.2 {
+		t.Fatalf("starved-flow cap %.3f outside expectation", res.MaxLoadFraction)
+	}
+	// The governor caps right at the limit.
+	if math.Abs(res.PeakAtCapC-60) > 1.0 {
+		t.Fatalf("capped peak %.2f C not at the 60 C limit", res.PeakAtCapC)
+	}
+	if res.SustainedPowerW <= 0 || res.SustainedPowerW >= 58 {
+		t.Fatalf("sustained power %.1f W inconsistent with the cap", res.SustainedPowerW)
+	}
+}
+
+func TestThermalCapMonotoneInFlow(t *testing.T) {
+	lo, err := ThermalCap(15, 27, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := ThermalCap(30, 27, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.MaxLoadFraction <= lo.MaxLoadFraction {
+		t.Fatalf("more flow must allow more load: %.3f vs %.3f",
+			hi.MaxLoadFraction, lo.MaxLoadFraction)
+	}
+}
+
+func TestThermalCapValidation(t *testing.T) {
+	if _, err := ThermalCap(0, 27, 85); err == nil {
+		t.Fatal("zero flow accepted")
+	}
+	if _, err := ThermalCap(676, 60, 50); err == nil {
+		t.Fatal("limit below inlet accepted")
+	}
+}

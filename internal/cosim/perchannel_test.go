@@ -1,0 +1,49 @@
+package cosim
+
+import "testing"
+
+func TestPerChannelSpread(t *testing.T) {
+	s, err := PerChannelSpread(nominalConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.CurrentA) != 88 || len(s.TempC) != 88 {
+		t.Fatalf("expected 88 channels, got %d", len(s.CurrentA))
+	}
+	// Channels over core columns run warmer and carry more current:
+	// there must be a measurable spread, but a modest one.
+	if s.SpreadPct < 0.5 || s.SpreadPct > 15 {
+		t.Fatalf("channel current spread %.2f%% outside expectation", s.SpreadPct)
+	}
+	// The paper's (and our array model's) equal-channel assumption is
+	// validated: totals agree within a fraction of a percent.
+	if s.AssumptionErrPct > 0.5 {
+		t.Fatalf("equal-channel assumption off by %.3f%%", s.AssumptionErrPct)
+	}
+	if s.MinA <= 0 || s.MaxA <= s.MinA || s.MeanA <= 0 {
+		t.Fatalf("degenerate statistics: %+v", s)
+	}
+	// Total current consistent with the Fig. 7 coupled headline.
+	if s.TotalA < 5.5 || s.TotalA > 7.5 {
+		t.Fatalf("per-channel total %.2f A inconsistent", s.TotalA)
+	}
+	// Temperature range: warm but bounded.
+	lo, hi := s.TempC[0], s.TempC[0]
+	for _, v := range s.TempC {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo < 27 || hi > 40 || hi-lo < 0.5 {
+		t.Fatalf("film temperature range %.1f..%.1f C implausible", lo, hi)
+	}
+}
+
+func TestPerChannelSpreadValidation(t *testing.T) {
+	if _, err := PerChannelSpread(Config{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

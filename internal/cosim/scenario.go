@@ -1,0 +1,165 @@
+package cosim
+
+import (
+	"fmt"
+	"math"
+
+	"bright/internal/floorplan"
+	"bright/internal/flowcell"
+	"bright/internal/mesh"
+	"bright/internal/thermal"
+	"bright/internal/units"
+	"bright/internal/workload"
+)
+
+// ScenarioConfig drives a transient workload co-simulation: a
+// utilization trace plays on the chip, the transient thermal model
+// tracks the temperature trajectory, and the electrochemistry follows
+// quasi-statically (its own time constants — boundary-layer transit,
+// double-layer charging — are far below the thermal ones).
+type ScenarioConfig struct {
+	Trace *workload.Trace
+	// TotalFlowMLMin, InletTempC, TerminalVoltage as in Config.
+	TotalFlowMLMin, InletTempC, TerminalVoltage float64
+	// Dt is the transient step (s); default period/40.
+	Dt float64
+	// Periods of the trace to simulate; default 2.
+	Periods int
+	// NX, NY override the thermal grid (defaults 44x32 for speed).
+	NX, NY int
+}
+
+// Validate reports whether the scenario is well posed.
+func (c *ScenarioConfig) Validate() error {
+	if c.Trace == nil {
+		return fmt.Errorf("cosim: nil trace")
+	}
+	if err := c.Trace.Validate(); err != nil {
+		return err
+	}
+	if c.TotalFlowMLMin <= 0 || c.TerminalVoltage <= 0 {
+		return fmt.Errorf("cosim: nonpositive flow/voltage")
+	}
+	if c.InletTempC < 0 || c.InletTempC > 90 {
+		return fmt.Errorf("cosim: inlet %g C outside window", c.InletTempC)
+	}
+	if c.Dt < 0 || c.Periods < 0 {
+		return fmt.Errorf("cosim: negative stepping")
+	}
+	return nil
+}
+
+// ScenarioSample is one time sample of a scenario run.
+type ScenarioSample struct {
+	TimeS      float64
+	ChipPowerW float64
+	PeakTC     float64
+	FilmTC     float64 // electrolyte film temperature
+	ArrayA     float64 // array current at the terminal voltage
+	ArrayW     float64
+}
+
+// ScenarioResult is a completed workload run.
+type ScenarioResult struct {
+	Samples []ScenarioSample
+	// MaxPeakC over the run.
+	MaxPeakC float64
+	// ArrayMinA, ArrayMaxA bound the array output over the run.
+	ArrayMinA, ArrayMaxA float64
+	// EnergyDeliveredWh integrates the array output.
+	EnergyDeliveredWh float64
+	// MeanChipPowerW over the run.
+	MeanChipPowerW float64
+}
+
+// RunWorkload executes the scenario.
+func RunWorkload(cfg ScenarioConfig) (*ScenarioResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Periods == 0 {
+		cfg.Periods = 2
+	}
+	period := cfg.Trace.TotalDuration()
+	if cfg.Dt == 0 {
+		cfg.Dt = period / 40
+	}
+	steps := int(math.Ceil(period * float64(cfg.Periods) / cfg.Dt))
+	if steps < 2 {
+		return nil, fmt.Errorf("cosim: scenario too short (%d steps)", steps)
+	}
+	nx, ny := cfg.NX, cfg.NY
+	if nx == 0 {
+		nx = 44
+	}
+	if ny == 0 {
+		ny = 32
+	}
+	f := floorplan.Power7()
+	inletK := units.CtoK(cfg.InletTempC)
+	spec := thermal.Power7ChannelSpec(units.MLPerMinToM3PerS(cfg.TotalFlowMLMin), inletK, thermal.VanadiumCoolant())
+	p := &thermal.Problem{
+		DieWidth:  f.Width,
+		DieHeight: f.Height,
+		Stack:     thermal.Power7Stack(spec),
+		NX:        nx, NY: ny,
+	}
+	pm := workload.Power7PowerModel()
+	grid := p.Grid()
+	// Pre-rasterize one field per distinct phase (the trace is
+	// piecewise constant).
+	fields := make([]*mesh.Field2D, len(cfg.Trace.Phases))
+	for k, ph := range cfg.Trace.Phases {
+		fields[k] = pm.DensityField(f, grid, ph.Util)
+	}
+	phaseAt := func(time float64) int {
+		time = math.Mod(time, period)
+		for k, ph := range cfg.Trace.Phases {
+			if time < ph.Duration {
+				return k
+			}
+			time -= ph.Duration
+		}
+		return len(cfg.Trace.Phases) - 1
+	}
+	p.Power = fields[phaseAt(0)]
+	tr, err := thermal.SolveSchedule(p, inletK, cfg.Dt, steps, func(step int, time float64) *mesh.Field2D {
+		return fields[phaseAt(time-cfg.Dt/2)] // power during the step
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &ScenarioResult{ArrayMinA: math.Inf(1), ArrayMaxA: math.Inf(-1)}
+	var energyJ, chipPowerSum float64
+	for k := range tr.Times {
+		film := 0.5 * (tr.MeanFluidT[k] + tr.MeanWallT[k])
+		array := flowcell.Power7ArrayAt(cfg.TotalFlowMLMin, film)
+		op, err := array.CurrentAtVoltage(cfg.TerminalVoltage)
+		if err != nil {
+			return nil, fmt.Errorf("cosim: scenario sample %d (T=%.2f K): %w", k, film, err)
+		}
+		s := ScenarioSample{
+			TimeS:      tr.Times[k],
+			ChipPowerW: tr.TotalPowerW[k],
+			PeakTC:     units.KtoC(tr.PeakT[k]),
+			FilmTC:     units.KtoC(film),
+			ArrayA:     op.Current,
+			ArrayW:     op.Power,
+		}
+		res.Samples = append(res.Samples, s)
+		if s.PeakTC > res.MaxPeakC {
+			res.MaxPeakC = s.PeakTC
+		}
+		if s.ArrayA < res.ArrayMinA {
+			res.ArrayMinA = s.ArrayA
+		}
+		if s.ArrayA > res.ArrayMaxA {
+			res.ArrayMaxA = s.ArrayA
+		}
+		energyJ += s.ArrayW * cfg.Dt
+		chipPowerSum += s.ChipPowerW
+	}
+	res.EnergyDeliveredWh = energyJ / 3600
+	res.MeanChipPowerW = chipPowerSum / float64(len(res.Samples))
+	return res, nil
+}

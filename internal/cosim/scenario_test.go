@@ -1,0 +1,126 @@
+package cosim
+
+import (
+	"math"
+	"testing"
+
+	"bright/internal/floorplan"
+	"bright/internal/workload"
+)
+
+func burstScenario() ScenarioConfig {
+	return ScenarioConfig{
+		Trace:           workload.Burst(0.4, 0.5),
+		TotalFlowMLMin:  676,
+		InletTempC:      27,
+		TerminalVoltage: 1.0,
+		Periods:         2,
+	}
+}
+
+func TestWorkloadBurstScenario(t *testing.T) {
+	res, err := RunWorkload(burstScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) < 40 {
+		t.Fatalf("too few samples: %d", len(res.Samples))
+	}
+	// Peak temperature stays within the steady full-load envelope: a
+	// 50% duty burst cannot exceed the steady Fig. 9 peak.
+	if res.MaxPeakC < 30 || res.MaxPeakC > 40 {
+		t.Fatalf("burst max peak %.1f C outside envelope", res.MaxPeakC)
+	}
+	// Energy-proportional response: the array output breathes with the
+	// workload through the temperature coupling.
+	if res.ArrayMaxA <= res.ArrayMinA {
+		t.Fatal("array current did not vary over the workload")
+	}
+	swing := (res.ArrayMaxA - res.ArrayMinA) / res.ArrayMinA
+	if swing < 0.005 || swing > 0.2 {
+		t.Fatalf("array swing %.2f%% outside expectation", 100*swing)
+	}
+	// Chip power alternates between idle and full.
+	var sawFull, sawIdle bool
+	for _, s := range res.Samples {
+		if s.ChipPowerW > 55 {
+			sawFull = true
+		}
+		if s.ChipPowerW < 25 {
+			sawIdle = true
+		}
+	}
+	if !sawFull || !sawIdle {
+		t.Fatalf("burst phases not realized (full=%v idle=%v)", sawFull, sawIdle)
+	}
+	// Mean chip power at 50% duty between the endpoints.
+	if res.MeanChipPowerW < 30 || res.MeanChipPowerW > 50 {
+		t.Fatalf("mean chip power %.1f W inconsistent with 50%% duty", res.MeanChipPowerW)
+	}
+	if res.EnergyDeliveredWh <= 0 {
+		t.Fatal("no energy delivered")
+	}
+}
+
+func TestWorkloadMigrationKeepsPeakDown(t *testing.T) {
+	// Core migration at 1/8 background spreads one core's heat around:
+	// the peak must stay far below the all-cores-on steady peak.
+	res, err := RunWorkload(ScenarioConfig{
+		Trace:           workload.CoreMigration(floorplan.Power7(), 0.05, 0.2),
+		TotalFlowMLMin:  676,
+		InletTempC:      27,
+		TerminalVoltage: 1.0,
+		Periods:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxPeakC > 36 {
+		t.Fatalf("migration peak %.1f C too hot (one core at a time)", res.MaxPeakC)
+	}
+	if res.MaxPeakC < 28 {
+		t.Fatalf("migration peak %.1f C suspiciously cold", res.MaxPeakC)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	cfg := burstScenario()
+	cfg.Trace = nil
+	if _, err := RunWorkload(cfg); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	cfg = burstScenario()
+	cfg.TotalFlowMLMin = 0
+	if _, err := RunWorkload(cfg); err == nil {
+		t.Fatal("zero flow accepted")
+	}
+	cfg = burstScenario()
+	cfg.Dt = -1
+	if _, err := RunWorkload(cfg); err == nil {
+		t.Fatal("negative dt accepted")
+	}
+	cfg = burstScenario()
+	cfg.InletTempC = 95
+	if _, err := RunWorkload(cfg); err == nil {
+		t.Fatal("hot inlet accepted")
+	}
+}
+
+func TestScenarioDeterministic(t *testing.T) {
+	a, err := RunWorkload(burstScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWorkload(burstScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatal("nondeterministic sample count")
+	}
+	for k := range a.Samples {
+		if math.Abs(a.Samples[k].ArrayA-b.Samples[k].ArrayA) > 1e-12 {
+			t.Fatalf("nondeterministic at sample %d", k)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package design explores the microchannel flow-cell design space: for
+// candidate channel geometries it evaluates the electrical output, the
+// pumping cost and the thermal performance of the integrated system,
+// and ranks feasible designs by net electric power. This serves the
+// paper's outlook ("the power density of electrochemical power delivery
+// has to be massively improved"): the explorer shows how far geometry
+// alone can push the Table II baseline.
+package design
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bright/internal/cfd"
+	"bright/internal/floorplan"
+	"bright/internal/flowcell"
+	"bright/internal/hydro"
+	"bright/internal/thermal"
+	"bright/internal/units"
+)
+
+// Candidate is one channel geometry to evaluate. The channel length is
+// fixed by the die (channels span the 21.34 mm flow dimension, as in
+// Table II).
+type Candidate struct {
+	// Width is the electrode gap / channel width (m).
+	Width float64
+	// Height is the etch depth (m).
+	Height float64
+	// Pitch is the channel-to-channel spacing (m); Pitch - Width is the
+	// wall (fin) thickness.
+	Pitch float64
+}
+
+// String implements fmt.Stringer.
+func (c Candidate) String() string {
+	return fmt.Sprintf("%gx%g um @ %g um pitch", c.Width*1e6, c.Height*1e6, c.Pitch*1e6)
+}
+
+// Constraints bound feasibility.
+type Constraints struct {
+	// MaxPeakC is the junction temperature limit (C); 85 typical.
+	MaxPeakC float64
+	// MinWallUM is the minimum silicon wall between channels (um);
+	// walls below ~50 um are fragile at 400+ um depths.
+	MinWallUM float64
+	// MaxAspect bounds Height/Width (etch capability); ~4 for DRIE.
+	MaxAspect float64
+	// MaxPumpW bounds the pumping budget (W).
+	MaxPumpW float64
+}
+
+// DefaultConstraints returns practical limits for the technology.
+func DefaultConstraints() Constraints {
+	return Constraints{MaxPeakC: 85, MinWallUM: 50, MaxAspect: 4, MaxPumpW: 10}
+}
+
+// Evaluation is one scored design point.
+type Evaluation struct {
+	Candidate Candidate
+	NChannels int
+	// CurrentAt1V and PowerAt1V on the 1 V rail.
+	CurrentAt1V, PowerAt1V float64
+	// PumpPowerW at the operating flow.
+	PumpPowerW float64
+	// PeakTempC of the die under full load.
+	PeakTempC float64
+	// NetPowerW = PowerAt1V - PumpPowerW, the ranking objective.
+	NetPowerW float64
+	// Feasible designs satisfy every constraint; Reason explains
+	// infeasibility.
+	Feasible bool
+	Reason   string
+}
+
+// Explore evaluates the candidates at the given total flow (ml/min),
+// inlet (C) and rail voltage, returning all evaluations sorted by net
+// power (feasible first).
+func Explore(candidates []Candidate, flowMLMin, inletC, voltage float64, cons Constraints) ([]Evaluation, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("design: no candidates")
+	}
+	if flowMLMin <= 0 || voltage <= 0 {
+		return nil, fmt.Errorf("design: nonpositive flow/voltage")
+	}
+	f := floorplan.Power7()
+	out := make([]Evaluation, 0, len(candidates))
+	for _, cand := range candidates {
+		out = append(out, evaluate(f, cand, flowMLMin, inletC, voltage, cons))
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Feasible != out[j].Feasible {
+			return out[i].Feasible
+		}
+		return out[i].NetPowerW > out[j].NetPowerW
+	})
+	return out, nil
+}
+
+func evaluate(f *floorplan.Floorplan, cand Candidate, flowMLMin, inletC, voltage float64, cons Constraints) Evaluation {
+	ev := Evaluation{Candidate: cand}
+	fail := func(format string, args ...any) Evaluation {
+		ev.Feasible = false
+		ev.Reason = fmt.Sprintf(format, args...)
+		ev.NetPowerW = math.Inf(-1)
+		return ev
+	}
+	if cand.Width <= 0 || cand.Height <= 0 || cand.Pitch <= cand.Width {
+		return fail("degenerate geometry")
+	}
+	if wall := (cand.Pitch - cand.Width) * 1e6; wall < cons.MinWallUM {
+		return fail("wall %.0f um below the %.0f um limit", wall, cons.MinWallUM)
+	}
+	if aspect := cand.Height / cand.Width; aspect > cons.MaxAspect {
+		return fail("aspect %.1f beyond etch capability %.1f", aspect, cons.MaxAspect)
+	}
+	ch := cfd.Channel{Width: cand.Width, Height: cand.Height, Length: 22e-3}
+	n := int(f.Width / cand.Pitch)
+	if n < 1 {
+		return fail("no channels fit")
+	}
+	ev.NChannels = n
+	totalFlow := units.MLPerMinToM3PerS(flowMLMin)
+	array := flowcell.Power7ArrayCustom(ch, n, totalFlow, units.CtoK(inletC))
+
+	op, err := array.CurrentAtVoltage(voltage)
+	if err != nil {
+		return fail("electrical: %v", err)
+	}
+	ev.CurrentAt1V = op.Current
+	ev.PowerAt1V = op.Power
+
+	hyd, err := array.HydraulicNetwork(1.5, hydro.PumpEfficiencyDefault).Evaluate(totalFlow)
+	if err != nil {
+		return fail("hydraulics: %v", err)
+	}
+	ev.PumpPowerW = hyd.PumpPower
+	if hyd.PumpPower > cons.MaxPumpW {
+		return fail("pump %.1f W over the %.1f W budget", hyd.PumpPower, cons.MaxPumpW)
+	}
+
+	spec := thermal.ChannelSpec{
+		Channel:          ch,
+		Pitch:            cand.Pitch,
+		NChannels:        n,
+		Fluid:            thermal.VanadiumCoolant(),
+		TotalFlowRate:    totalFlow,
+		InletTemperature: units.CtoK(inletC),
+		FinEfficiency:    0.8,
+	}
+	// The cavity layer must match the channel height.
+	tp := &thermal.Problem{
+		DieWidth:  f.Width,
+		DieHeight: f.Height,
+		Stack:     thermal.Power7Stack(spec),
+		NX:        44, NY: 32,
+	}
+	tp.Power = f.Rasterize(tp.Grid(), floorplan.Power7FullLoad())
+	sol, err := thermal.Solve(tp)
+	if err != nil {
+		return fail("thermal: %v", err)
+	}
+	ev.PeakTempC = units.KtoC(sol.PeakT)
+	if ev.PeakTempC > cons.MaxPeakC {
+		return fail("peak %.1f C over the %.0f C limit", ev.PeakTempC, cons.MaxPeakC)
+	}
+	ev.NetPowerW = ev.PowerAt1V - ev.PumpPowerW
+	ev.Feasible = true
+	return ev
+}
+
+// DefaultGrid returns a practical sweep around the Table II point:
+// widths 100-300 um, depths 200-600 um, a fixed 100 um wall.
+func DefaultGrid() []Candidate {
+	var out []Candidate
+	for _, w := range []float64{100e-6, 150e-6, 200e-6, 300e-6} {
+		for _, h := range []float64{200e-6, 400e-6, 600e-6} {
+			out = append(out, Candidate{Width: w, Height: h, Pitch: w + 100e-6})
+		}
+	}
+	return out
+}
+
+// TableII returns the paper's design point as a candidate.
+func TableII() Candidate {
+	return Candidate{Width: 200e-6, Height: 400e-6, Pitch: 300e-6}
+}

@@ -1,0 +1,139 @@
+package design
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExploreDefaultGrid(t *testing.T) {
+	evs, err := Explore(append(DefaultGrid(), TableII()), 676, 27, 1.0, DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 13 {
+		t.Fatalf("expected 13 evaluations, got %d", len(evs))
+	}
+	// Sorted: feasible first, then by net power descending.
+	seenInfeasible := false
+	prevNet := 1e18
+	for _, e := range evs {
+		if !e.Feasible {
+			seenInfeasible = true
+			if e.Reason == "" {
+				t.Fatalf("infeasible without reason: %v", e.Candidate)
+			}
+			continue
+		}
+		if seenInfeasible {
+			t.Fatal("feasible design after infeasible in sort order")
+		}
+		if e.NetPowerW > prevNet {
+			t.Fatal("net power not descending")
+		}
+		prevNet = e.NetPowerW
+	}
+	// The 100x600 um candidate violates the aspect constraint.
+	var sawAspect bool
+	for _, e := range evs {
+		if !e.Feasible && strings.Contains(e.Reason, "aspect") {
+			sawAspect = true
+		}
+	}
+	if !sawAspect {
+		t.Fatal("expected an aspect-ratio rejection in the default grid")
+	}
+}
+
+func TestTableIIPointReproduced(t *testing.T) {
+	evs, err := Explore([]Candidate{TableII()}, 676, 27, 1.0, DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := evs[0]
+	if !e.Feasible {
+		t.Fatalf("Table II point infeasible: %s", e.Reason)
+	}
+	if e.NChannels != 88 {
+		t.Fatalf("Table II channels %d, want 88", e.NChannels)
+	}
+	if e.CurrentAt1V < 5.2 || e.CurrentAt1V > 7.0 {
+		t.Fatalf("Table II current %.2f A inconsistent with Fig. 7", e.CurrentAt1V)
+	}
+	if e.PeakTempC < 36 || e.PeakTempC > 44 {
+		t.Fatalf("Table II peak %.1f C inconsistent with Fig. 9", e.PeakTempC)
+	}
+}
+
+func TestBetterDesignExists(t *testing.T) {
+	// The outlook claim: geometry alone can improve on Table II. The
+	// explorer must find at least one feasible design with
+	// substantially higher net power.
+	evs, err := Explore(append(DefaultGrid(), TableII()), 676, 27, 1.0, DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tableII, best *Evaluation
+	for k := range evs {
+		e := &evs[k]
+		if e.Candidate == TableII() && tableII == nil {
+			tableII = e
+		}
+		if e.Feasible && best == nil {
+			best = e
+		}
+	}
+	if tableII == nil || best == nil {
+		t.Fatal("missing evaluations")
+	}
+	if best.NetPowerW < 1.3*tableII.NetPowerW {
+		t.Fatalf("best design %.2f W should clearly beat Table II %.2f W",
+			best.NetPowerW, tableII.NetPowerW)
+	}
+}
+
+func TestConstraintsEnforced(t *testing.T) {
+	// A tiny wall must be rejected.
+	evs, err := Explore([]Candidate{{Width: 200e-6, Height: 400e-6, Pitch: 210e-6}},
+		676, 27, 1.0, DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs[0].Feasible || !strings.Contains(evs[0].Reason, "wall") {
+		t.Fatalf("thin wall not rejected: %+v", evs[0])
+	}
+	// Degenerate geometry.
+	evs, err = Explore([]Candidate{{Width: 0, Height: 1e-4, Pitch: 1e-4}},
+		676, 27, 1.0, DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs[0].Feasible {
+		t.Fatal("degenerate geometry accepted")
+	}
+	// A strangling pump budget rejects the narrowest channels.
+	tight := DefaultConstraints()
+	tight.MaxPumpW = 0.1
+	evs, err = Explore([]Candidate{TableII()}, 676, 27, 1.0, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs[0].Feasible || !strings.Contains(evs[0].Reason, "pump") {
+		t.Fatalf("pump budget not enforced: %+v", evs[0])
+	}
+}
+
+func TestExploreArgs(t *testing.T) {
+	if _, err := Explore(nil, 676, 27, 1, DefaultConstraints()); err == nil {
+		t.Fatal("empty candidates accepted")
+	}
+	if _, err := Explore(DefaultGrid(), 0, 27, 1, DefaultConstraints()); err == nil {
+		t.Fatal("zero flow accepted")
+	}
+}
+
+func TestCandidateString(t *testing.T) {
+	s := TableII().String()
+	if !strings.Contains(s, "200") || !strings.Contains(s, "300") {
+		t.Fatalf("candidate string %q", s)
+	}
+}

@@ -1,0 +1,50 @@
+package design
+
+import (
+	"fmt"
+	"math"
+
+	"bright/internal/num"
+)
+
+// Refine improves a feasible starting candidate by derivative-free
+// coordinate descent on (width, height) with the wall thickness held at
+// the starting value, maximizing the net power under the same
+// constraints. Infeasible trial points are penalized, so the search
+// stays inside the constraint set. It returns the refined evaluation.
+func Refine(start Candidate, flowMLMin, inletC, voltage float64, cons Constraints) (*Evaluation, error) {
+	if flowMLMin <= 0 || voltage <= 0 {
+		return nil, fmt.Errorf("design: nonpositive flow/voltage")
+	}
+	wall := start.Pitch - start.Width
+	if wall <= 0 {
+		return nil, fmt.Errorf("design: starting candidate has no wall")
+	}
+	objective := func(x []float64) float64 {
+		cand := Candidate{Width: x[0], Height: x[1], Pitch: x[0] + wall}
+		evs, err := Explore([]Candidate{cand}, flowMLMin, inletC, voltage, cons)
+		if err != nil || len(evs) == 0 || !evs[0].Feasible {
+			return 1e6 // constraint penalty
+		}
+		return -evs[0].NetPowerW
+	}
+	lo := []float64{60e-6, 150e-6}
+	hi := []float64{400e-6, cons.MaxAspect * 400e-6}
+	x0 := []float64{
+		math.Min(math.Max(start.Width, lo[0]), hi[0]),
+		math.Min(math.Max(start.Height, lo[1]), hi[1]),
+	}
+	xStar, fStar, err := num.CoordinateDescent(objective, x0, lo, hi, 1e-4, 6)
+	if err != nil {
+		return nil, err
+	}
+	if fStar >= 1e6 {
+		return nil, fmt.Errorf("design: refinement found no feasible point")
+	}
+	best := Candidate{Width: xStar[0], Height: xStar[1], Pitch: xStar[0] + wall}
+	evs, err := Explore([]Candidate{best}, flowMLMin, inletC, voltage, cons)
+	if err != nil {
+		return nil, err
+	}
+	return &evs[0], nil
+}

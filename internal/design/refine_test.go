@@ -1,0 +1,50 @@
+package design
+
+import "testing"
+
+func TestRefineDoesNotDegrade(t *testing.T) {
+	start := Candidate{Width: 150e-6, Height: 600e-6, Pitch: 250e-6} // grid best
+	base, err := Explore([]Candidate{start}, 676, 27, 1.0, DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Refine(start, 676, 27, 1.0, DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Feasible {
+		t.Fatalf("refined point infeasible: %s", ref.Reason)
+	}
+	if ref.NetPowerW < base[0].NetPowerW-1e-6 {
+		t.Fatalf("refinement degraded: %.3f -> %.3f W", base[0].NetPowerW, ref.NetPowerW)
+	}
+}
+
+func TestRefineImprovesInteriorStart(t *testing.T) {
+	// A mediocre interior starting point must improve substantially.
+	start := Candidate{Width: 280e-6, Height: 300e-6, Pitch: 380e-6}
+	base, err := Explore([]Candidate{start}, 676, 27, 1.0, DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base[0].Feasible {
+		t.Fatalf("starting point should be feasible: %s", base[0].Reason)
+	}
+	ref, err := Refine(start, 676, 27, 1.0, DefaultConstraints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.NetPowerW < 1.2*base[0].NetPowerW {
+		t.Fatalf("refinement gained too little: %.2f -> %.2f W",
+			base[0].NetPowerW, ref.NetPowerW)
+	}
+}
+
+func TestRefineValidation(t *testing.T) {
+	if _, err := Refine(Candidate{Width: 1e-4, Height: 1e-4, Pitch: 1e-4}, 676, 27, 1, DefaultConstraints()); err == nil {
+		t.Fatal("wall-less start accepted")
+	}
+	if _, err := Refine(TableII(), 0, 27, 1, DefaultConstraints()); err == nil {
+		t.Fatal("zero flow accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package echem
+
+import (
+	"fmt"
+	"math"
+
+	"bright/internal/units"
+)
+
+// Electrolyte carries the bulk solution properties of one electrolyte
+// stream (vanadium species in sulfuric acid) with their temperature
+// dependence. Reference values follow the paper's Tables I/II and, where
+// the paper is silent (conductivity, temperature coefficients), the
+// non-isothermal VRFB model of Al-Fetlawi et al. 2009 [24].
+type Electrolyte struct {
+	// DensityRef is the density (kg/m3) at TRef. The thermal expansion
+	// of the aqueous electrolyte over the 27-50 C window is < 1% and is
+	// neglected, as in the paper.
+	DensityRef float64
+	// ViscosityRef is the dynamic viscosity (Pa.s) at TRef.
+	ViscosityRef float64
+	// EaViscosity is the Arrhenius activation energy (J/mol) of the
+	// viscosity (viscosity *decreases* with temperature).
+	EaViscosity float64
+	// ConductivityRef is the ionic conductivity (S/m) at TRef.
+	ConductivityRef float64
+	// ConductivityTempCoeff is the linear temperature coefficient of
+	// conductivity (1/K), typically +0.01 to +0.02 for sulfuric-acid
+	// vanadium electrolytes.
+	ConductivityTempCoeff float64
+	// ThermalConductivity in W/(m.K) (water-like; weakly T-dependent).
+	ThermalConductivity float64
+	// HeatCapacityVol is the volumetric heat capacity rho*cp (J/(m3.K)),
+	// Table II value 4.187e6.
+	HeatCapacityVol float64
+	// TRef is the reference temperature (K).
+	TRef float64
+}
+
+// Validate reports whether the electrolyte description is physical.
+func (e Electrolyte) Validate() error {
+	if e.DensityRef <= 0 || e.ViscosityRef <= 0 || e.ConductivityRef <= 0 ||
+		e.ThermalConductivity <= 0 || e.HeatCapacityVol <= 0 || e.TRef <= 0 {
+		return fmt.Errorf("echem: nonphysical electrolyte %+v", e)
+	}
+	return nil
+}
+
+// Density returns the density at temperature t (currently
+// temperature-independent; see DensityRef).
+func (e Electrolyte) Density(t float64) float64 { return e.DensityRef }
+
+// Viscosity returns the dynamic viscosity (Pa.s) at temperature t with
+// Arrhenius (Andrade) scaling: mu = mu_ref exp(+Ea/R (1/T - 1/TRef)).
+func (e Electrolyte) Viscosity(t float64) float64 {
+	return e.ViscosityRef * math.Exp(e.EaViscosity/units.GasConstant*(1/t-1/e.TRef))
+}
+
+// Conductivity returns the ionic conductivity (S/m) at temperature t.
+func (e Electrolyte) Conductivity(t float64) float64 {
+	s := e.ConductivityRef * (1 + e.ConductivityTempCoeff*(t-e.TRef))
+	if s < 0.1*e.ConductivityRef {
+		// Clamp unphysical extrapolation far below TRef.
+		s = 0.1 * e.ConductivityRef
+	}
+	return s
+}
+
+// VanadiumElectrolyte returns the paper's electrolyte (Tables I/II:
+// density 1260 kg/m3, viscosity 2.53 mPa.s, thermal conductivity
+// 0.67 W/mK, volumetric heat capacity 4.187e6 J/m3K) with literature
+// values for the properties the paper does not tabulate.
+func VanadiumElectrolyte() Electrolyte {
+	return Electrolyte{
+		DensityRef:            1260,
+		ViscosityRef:          2.53e-3,
+		EaViscosity:           16e3, // water-like Andrade activation energy
+		ConductivityRef:       40,   // S/m, ~2 M vanadium in 2-3 M H2SO4
+		ConductivityTempCoeff: 0.015,
+		ThermalConductivity:   0.67,
+		HeatCapacityVol:       4.187e6,
+		TRef:                  300,
+	}
+}

@@ -1,0 +1,131 @@
+package echem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func quickConfig(seed int64, max int) *quick.Config {
+	return &quick.Config{MaxCount: max, Rand: rand.New(rand.NewSource(seed))}
+}
+
+// randomState maps raw quick inputs onto a physically valid half-cell.
+func randomState(cOxRaw, cRedRaw, tRaw, kmRaw uint8, pos bool) HalfCellState {
+	couple := VanadiumNegative()
+	if pos {
+		couple = VanadiumPositive()
+	}
+	return HalfCellState{
+		Couple:      couple,
+		COxBulk:     1 + float64(cOxRaw)*10,  // 1..2551 mol/m3
+		CRedBulk:    1 + float64(cRedRaw)*10, //
+		Temperature: 280 + float64(tRaw)/4,   // 280..344 K
+		KmOx:        1e-6 + float64(kmRaw)*1e-6,
+		KmRed:       1e-6 + float64(kmRaw)*1e-6,
+	}
+}
+
+// TestQuickBVMonotoneInEta: the Butler-Volmer current is strictly
+// increasing in the overpotential for any valid state and surface
+// concentrations — the property the operating-point solvers rely on to
+// bracket roots.
+func TestQuickBVMonotoneInEta(t *testing.T) {
+	f := func(cOx, cRed, tr, km uint8, pos bool, e1Raw, e2Raw int8) bool {
+		h := randomState(cOx, cRed, tr, km, pos)
+		eta1 := float64(e1Raw) / 400 // +-0.32 V
+		eta2 := float64(e2Raw) / 400
+		if eta1 == eta2 {
+			return true
+		}
+		if eta1 > eta2 {
+			eta1, eta2 = eta2, eta1
+		}
+		// Any positive surface concentrations preserve monotonicity.
+		cOxS := h.COxBulk * 0.7
+		cRedS := h.CRedBulk * 0.8
+		return h.CurrentDensity(eta2, cOxS, cRedS) > h.CurrentDensity(eta1, cOxS, cRedS)
+	}
+	if err := quick.Check(f, quickConfig(11, 300)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOverpotentialRoundTrip: solving for eta at a random feasible
+// current and evaluating BV at the implied surface state recovers the
+// current.
+func TestQuickOverpotentialRoundTrip(t *testing.T) {
+	f := func(cOx, cRed, tr, km uint8, pos bool, fracRaw uint8) bool {
+		h := randomState(cOx, cRed, tr, km, pos)
+		mode := Reduction
+		frac := 0.02 + 0.9*float64(fracRaw)/255
+		i := frac * h.LimitingCurrentDensity(mode)
+		eta, err := h.Overpotential(i, mode)
+		if err != nil {
+			return false
+		}
+		cOxS, cRedS, err := h.SurfaceConcentrations(i, mode)
+		if err != nil {
+			return false
+		}
+		back := -h.CurrentDensity(eta, cOxS, cRedS) // reduction magnitude
+		return math.Abs(back-i) <= 1e-6*(1+i)
+	}
+	if err := quick.Check(f, quickConfig(12, 150)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNernstAntisymmetry: swapping Ox and Red concentrations flips
+// the sign of the concentration term.
+func TestQuickNernstAntisymmetry(t *testing.T) {
+	f := func(aRaw, bRaw uint16, tr uint8) bool {
+		c := VanadiumPositive()
+		ca := 1 + float64(aRaw)
+		cb := 1 + float64(bRaw)
+		temp := 280 + float64(tr)/4
+		e1, err1 := NernstPotential(c, temp, ca, cb)
+		e2, err2 := NernstPotential(c, temp, cb, ca)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		// (E1 - E0) == -(E2 - E0)
+		return math.Abs((e1-c.E0)+(e2-c.E0)) < 1e-12
+	}
+	if err := quick.Check(f, quickConfig(13, 300)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickArrheniusMonotone: all temperature-scaled parameters increase
+// with temperature for positive activation energies.
+func TestQuickArrheniusMonotone(t *testing.T) {
+	f := func(t1Raw, dtRaw uint8, pos bool) bool {
+		c := VanadiumNegative()
+		if pos {
+			c = VanadiumPositiveTableII()
+		}
+		t1 := 273 + float64(t1Raw)/4
+		t2 := t1 + 0.1 + float64(dtRaw)/10
+		return c.K0(t2) > c.K0(t1) && c.DOx(t2) > c.DOx(t1) && c.DRed(t2) > c.DRed(t1)
+	}
+	if err := quick.Check(f, quickConfig(14, 300)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLimitingCurrentScalesLinearly in both km and concentration.
+func TestQuickLimitingCurrentScalesLinearly(t *testing.T) {
+	f := func(cOx, cRed, tr, km uint8, pos bool) bool {
+		h := randomState(cOx, cRed, tr, km, pos)
+		base := h.LimitingCurrentDensity(Reduction)
+		h2 := h
+		h2.KmOx *= 2
+		h2.COxBulk *= 3
+		return math.Abs(h2.LimitingCurrentDensity(Reduction)-6*base) < 1e-9*base
+	}
+	if err := quick.Check(f, quickConfig(15, 300)); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"bright/internal/floorplan"
+	"bright/internal/flowcell"
+	"bright/internal/mesh"
+	"bright/internal/pdn"
+	"bright/internal/thermal"
+	"bright/internal/units"
+)
+
+// SolverPathRow compares the two mass-transfer solver paths at one
+// operating point of the validation cell.
+type SolverPathRow struct {
+	FlowULMin   float64
+	FracOfLimit float64
+	VCorr, VFVM float64
+	// RelDiff is |VFVM-VCorr|/VCorr.
+	RelDiff float64
+}
+
+// AblationSolverPath quantifies the accuracy gap between the fast
+// correlation path and the FVM field path across flow rates and depths
+// into the polarization curve (design choice: when is the fast path
+// safe to use inside co-simulation loops?).
+func AblationSolverPath() ([]SolverPathRow, error) {
+	var rows []SolverPathRow
+	for _, q := range []float64{10, 60, 300} {
+		corr := flowcell.KjeangCell(q)
+		fvm := flowcell.KjeangCell(q)
+		fvm.Path = flowcell.PathFVM
+		iL := corr.LimitingCurrent()
+		for _, frac := range []float64{0.25, 0.5, 0.75} {
+			opC, err := corr.VoltageAtCurrent(frac * iL)
+			if err != nil {
+				return nil, err
+			}
+			opF, err := fvm.VoltageAtCurrent(frac * iL)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SolverPathRow{
+				FlowULMin:   q,
+				FracOfLimit: frac,
+				VCorr:       opC.Voltage,
+				VFVM:        opF.Voltage,
+				RelDiff:     math.Abs(opF.Voltage-opC.Voltage) / opC.Voltage,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// GridResolutionRow is one thermal-grid refinement step.
+type GridResolutionRow struct {
+	NX, NY int
+	PeakC  float64
+	// DeltaFromFinest is |peak - finest peak| in K.
+	DeltaFromFinest float64
+}
+
+// AblationGridResolution sweeps the thermal grid resolution (design
+// choice: the default 88x64 grid must be within a fraction of a kelvin
+// of a much finer grid).
+func AblationGridResolution() ([]GridResolutionRow, error) {
+	type gridCase struct{ nx, ny int }
+	cases := []gridCase{{22, 16}, {44, 32}, {88, 64}, {176, 128}}
+	var rows []GridResolutionRow
+	for _, c := range cases {
+		p := thermal.Power7Problem(676, units.CtoK(27), 0)
+		p.NX, p.NY = c.nx, c.ny
+		p.Power = power7Raster(p)
+		sol, err := thermal.Solve(p)
+		if err != nil {
+			return nil, fmt.Errorf("grid %dx%d: %w", c.nx, c.ny, err)
+		}
+		rows = append(rows, GridResolutionRow{NX: c.nx, NY: c.ny, PeakC: units.KtoC(sol.PeakT)})
+	}
+	finest := rows[len(rows)-1].PeakC
+	for k := range rows {
+		rows[k].DeltaFromFinest = math.Abs(rows[k].PeakC - finest)
+	}
+	return rows, nil
+}
+
+// power7Raster re-rasterizes the full-load power map onto a problem's
+// (possibly non-default) grid.
+func power7Raster(p *thermal.Problem) *mesh.Field2D {
+	return floorplan.Power7().Rasterize(p.Grid(), floorplan.Power7FullLoad())
+}
+
+// VRMPlacementRow compares via-site placement strategies.
+type VRMPlacementRow struct {
+	Strategy  string
+	NSites    int
+	MinCacheV float64
+	// WorstDropMV = (supply - MinCacheV) * 1000.
+	WorstDropMV float64
+}
+
+// AblationVRMPlacement compares the distributed per-cache via placement
+// against a single central site (design choice behind Fig. 5's
+// distributed VRM architecture).
+func AblationVRMPlacement() ([]VRMPlacementRow, error) {
+	p, _, err := pdn.Power7Problem()
+	if err != nil {
+		return nil, err
+	}
+	distributed, err := pdn.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	single := *p
+	single.Sites = pdn.SingleViaSite(p.Floorplan, pdn.Power7TSVResistance)
+	solSingle, err := pdn.Solve(&single)
+	if err != nil {
+		return nil, err
+	}
+	return []VRMPlacementRow{
+		{
+			Strategy: "per-cache sites", NSites: len(p.Sites),
+			MinCacheV:   distributed.MinVCache,
+			WorstDropMV: 1000 * (p.Supply - distributed.MinVCache),
+		},
+		{
+			Strategy: "single central site", NSites: 1,
+			MinCacheV:   solSingle.MinVCache,
+			WorstDropMV: 1000 * (p.Supply - solSingle.MinVCache),
+		},
+	}, nil
+}
+
+// ChannelCountRow is one array-sizing design point.
+type ChannelCountRow struct {
+	NChannels   int
+	CurrentAt1V float64
+	PumpPowerW  float64
+	// NetW = electrical power at 1 V - pumping power.
+	NetW float64
+}
+
+// AblationChannelCount sweeps the number of channels at fixed total
+// flow (design choice: the 88-channel Table II array versus sparser or
+// denser arrays).
+func AblationChannelCount() ([]ChannelCountRow, error) {
+	var rows []ChannelCountRow
+	for _, n := range []int{44, 88, 176} {
+		a := flowcell.Power7Array()
+		a.NChannels = n
+		// Keep the total flow fixed: per-stream flow scales inversely.
+		a.Cell.StreamFlowRate = a.Cell.StreamFlowRate * 88 / float64(n)
+		op, err := a.CurrentAtVoltage(1.0)
+		if err != nil {
+			return nil, fmt.Errorf("channels %d: %w", n, err)
+		}
+		net := a.HydraulicNetwork(1.5, 0.5)
+		hyd, err := net.Evaluate(a.TotalFlowRate())
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ChannelCountRow{
+			NChannels:   n,
+			CurrentAt1V: op.Current,
+			PumpPowerW:  hyd.PumpPower,
+			NetW:        op.Power - hyd.PumpPower,
+		})
+	}
+	return rows, nil
+}

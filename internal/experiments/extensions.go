@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"bright/internal/core"
+	"bright/internal/cosim"
+	"bright/internal/floorplan"
+	"bright/internal/flowcell"
+	"bright/internal/pdn"
+	"bright/internal/thermal"
+	"bright/internal/units"
+)
+
+// E1Result is the conventional-C4-baseline comparison (extension E1):
+// the paper's Section-I argument — microfluidic power delivery frees
+// package pads for I/O — made quantitative.
+type E1Result struct {
+	C4 *pdn.C4BaselineResult
+	// ChipCurrentA is the full-load chip current at 1 V used for the
+	// full-chip pad accounting.
+	ChipCurrentA float64
+}
+
+// E1C4Baseline evaluates the conventional baseline at the POWER7+
+// full-load current.
+func E1C4Baseline() (*E1Result, error) {
+	f := floorplan.Power7()
+	chipW := f.TotalPower(floorplan.Power7FullLoad())
+	res, err := pdn.C4Baseline(pdn.DefaultC4(), chipW/1.0)
+	if err != nil {
+		return nil, err
+	}
+	return &E1Result{C4: res, ChipCurrentA: chipW}, nil
+}
+
+// E2Result is the dark-silicon relief study (extension E2).
+type E2Result struct {
+	Comparison *core.DarkSiliconComparison
+	// BudgetW is the conventional delivery capacity assumed.
+	BudgetW float64
+	// ArrayW is the microfluidic power credited to the cache rail.
+	ArrayW float64
+}
+
+// E2DarkSilicon evaluates the lit-core relief with the Fig. 7 array
+// power (after VRM conversion) against a constrained delivery budget.
+func E2DarkSilicon() (*E2Result, error) {
+	s1, err := S1CachePower()
+	if err != nil {
+		return nil, err
+	}
+	const budget = 40.0 // W: a delivery wall below the 58.8 W full load
+	cmp, err := core.CompareDarkSilicon(budget, s1.DeliveredW)
+	if err != nil {
+		return nil, err
+	}
+	return &E2Result{Comparison: cmp, BudgetW: budget, ArrayW: s1.DeliveredW}, nil
+}
+
+// E3Result compares the two-tier 3D stack against the single die
+// (extension E3, the paper's stacking outlook).
+type E3Result struct {
+	SinglePeakC, StackPeakC float64
+	// StackPowerW is the two-tier total power.
+	StackPowerW float64
+	// PenaltyK is the peak-temperature penalty of stacking.
+	PenaltyK float64
+}
+
+// E3Stack3D runs both thermal configurations at Table II flow per
+// cavity.
+func E3Stack3D() (*E3Result, error) {
+	single, err := Fig9(676, 27)
+	if err != nil {
+		return nil, err
+	}
+	f := floorplan.Power7()
+	spec := thermal.Power7ChannelSpec(units.MLPerMinToM3PerS(676), units.CtoK(27), thermal.VanadiumCoolant())
+	p := &thermal.Problem{
+		DieWidth:  f.Width,
+		DieHeight: f.Height,
+		Stack:     thermal.Power7Stack3D(spec),
+	}
+	p.Power = f.Rasterize(p.Grid(), floorplan.Power7FullLoad())
+	sol, err := thermal.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	return &E3Result{
+		SinglePeakC: single.PeakC,
+		StackPeakC:  units.KtoC(sol.PeakT),
+		StackPowerW: sol.TotalPower,
+		PenaltyK:    units.KtoC(sol.PeakT) - single.PeakC,
+	}, nil
+}
+
+// E4Result is the reservoir-discharge study (extension E4).
+type E4Result struct {
+	Discharge *flowcell.DischargeResult
+	// ReservoirL is the per-side electrolyte volume in liters.
+	ReservoirL float64
+	// TheoreticalAh bounds the deliverable charge.
+	TheoreticalAh float64
+	// UtilizationPct = delivered / theoretical.
+	UtilizationPct float64
+}
+
+// E4Reservoir discharges a 0.1 L-per-side reservoir through the
+// Table II array at the 1 V rail down to 10% state of charge.
+func E4Reservoir() (*E4Result, error) {
+	a := flowcell.Power7Array()
+	const volume = 1e-4 // 0.1 L per side
+	r, err := flowcell.NewReservoir(a, volume)
+	if err != nil {
+		return nil, err
+	}
+	theoretical := r.TheoreticalCapacityAh(a.Cell.Anode.Couple.N)
+	d, err := r.DischargeConstantVoltage(a, 1.0, 10, 0.1, 1_000_000)
+	if err != nil {
+		return nil, err
+	}
+	return &E4Result{
+		Discharge:      d,
+		ReservoirL:     volume * 1000,
+		TheoreticalAh:  theoretical,
+		UtilizationPct: 100 * d.CapacityAh / theoretical,
+	}, nil
+}
+
+// E5ChannelSpread exposes the per-channel nonuniformity analysis at the
+// nominal condition (extension E5).
+func E5ChannelSpread() (*cosim.ChannelSpread, error) {
+	return cosim.PerChannelSpread(cosim.Config{
+		TotalFlowMLMin: 676, InletTempC: 27, TerminalVoltage: 1.0,
+	})
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bright/internal/cosim"
+	"bright/internal/design"
+	"bright/internal/flowcell"
+	"bright/internal/workload"
+)
+
+// E6Result is the round-trip efficiency study (extension E6): the
+// secondary-battery figure of merit of the Table II array chemistry at
+// 50% state of charge.
+type E6Result struct {
+	Points []flowcell.RoundTripPoint
+	// EffAtHalfLimit is the voltage efficiency at half the limiting
+	// current.
+	EffAtHalfLimit float64
+	// OCV at 50% SOC (the standard cell voltage, ~1.25 V).
+	OCV float64
+}
+
+// E6RoundTrip sweeps symmetric charge/discharge currents on the
+// Table II channel at 50% SOC.
+func E6RoundTrip() (*E6Result, error) {
+	cell := flowcell.Power7Array().Cell
+	pts, err := cell.RoundTripEfficiency(0.5, 10, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	half, err := cell.AtStateOfCharge(0.5)
+	if err != nil {
+		return nil, err
+	}
+	ocv, err := half.OpenCircuitVoltage()
+	if err != nil {
+		return nil, err
+	}
+	res := &E6Result{Points: pts, OCV: ocv}
+	// The sweep is uniform in current; half the limit is near the
+	// middle point.
+	res.EffAtHalfLimit = pts[len(pts)/2].Efficiency
+	return res, nil
+}
+
+// E7Result is the workload transient study (extension E7): a bursty
+// chip drives the temperature, and the array output breathes with it —
+// the energy-proportional coupling the paper's introduction motivates.
+type E7Result struct {
+	Scenario *cosim.ScenarioResult
+	// SwingPct is the array-current swing over the burst cycle.
+	SwingPct float64
+	// MaxPeakC must stay within the steady Fig. 9 envelope.
+	MaxPeakC float64
+}
+
+// E7Workload runs a 50% duty, 0.4 s period burst at the nominal
+// condition.
+func E7Workload() (*E7Result, error) {
+	res, err := cosim.RunWorkload(cosim.ScenarioConfig{
+		Trace:           workload.Burst(0.4, 0.5),
+		TotalFlowMLMin:  676,
+		InletTempC:      27,
+		TerminalVoltage: 1.0,
+		Periods:         2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &E7Result{
+		Scenario: res,
+		SwingPct: 100 * (res.ArrayMaxA - res.ArrayMinA) / res.ArrayMinA,
+		MaxPeakC: res.MaxPeakC,
+	}, nil
+}
+
+// E8Result is the design-space exploration (extension E8): how far
+// channel geometry alone improves on the Table II point.
+type E8Result struct {
+	Evaluations []design.Evaluation
+	TableII     design.Evaluation
+	Best        design.Evaluation
+	// GainPct = best net power over Table II net power - 1, in %.
+	GainPct float64
+}
+
+// E8DesignSpace explores the default grid plus the Table II point.
+func E8DesignSpace() (*E8Result, error) {
+	evs, err := design.Explore(append(design.DefaultGrid(), design.TableII()),
+		676, 27, 1.0, design.DefaultConstraints())
+	if err != nil {
+		return nil, err
+	}
+	res := &E8Result{Evaluations: evs}
+	found := false
+	for _, e := range evs {
+		if e.Candidate == design.TableII() {
+			res.TableII = e
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("experiments: Table II point missing from exploration")
+	}
+	for _, e := range evs {
+		if e.Feasible {
+			res.Best = e
+			break
+		}
+	}
+	if !res.Best.Feasible {
+		return nil, fmt.Errorf("experiments: no feasible design found")
+	}
+	res.GainPct = 100 * (res.Best.NetPowerW/res.TableII.NetPowerW - 1)
+	return res, nil
+}
+
+// E9Variation is the manufacturing-variation Monte Carlo (extension
+// E9) at a 5% geometric tolerance.
+func E9Variation() (*flowcell.VariationResult, error) {
+	return flowcell.Power7Array().MonteCarloVariation(1.0, 0.05, 40, 2014)
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestE6RoundTrip(t *testing.T) {
+	res, err := E6RoundTrip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50% SOC OCV is the standard cell voltage ~1.25 V.
+	if math.Abs(res.OCV-1.246) > 0.02 {
+		t.Fatalf("50%% SOC OCV %g", res.OCV)
+	}
+	// Voltage efficiency falls from near 1 toward the limit.
+	if res.Points[0].Efficiency < 0.85 {
+		t.Fatalf("low-current efficiency %g", res.Points[0].Efficiency)
+	}
+	last := res.Points[len(res.Points)-1]
+	if last.Efficiency >= res.Points[0].Efficiency {
+		t.Fatal("efficiency must fall with current")
+	}
+	if res.EffAtHalfLimit < 0.4 || res.EffAtHalfLimit > 0.95 {
+		t.Fatalf("mid-sweep efficiency %g outside expectation", res.EffAtHalfLimit)
+	}
+}
+
+func TestE7Workload(t *testing.T) {
+	res, err := E7Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwingPct <= 0.3 || res.SwingPct > 20 {
+		t.Fatalf("array swing %.2f%% outside expectation", res.SwingPct)
+	}
+	if res.MaxPeakC > 40 {
+		t.Fatalf("burst peak %.1f C exceeds steady envelope", res.MaxPeakC)
+	}
+	if len(res.Scenario.Samples) < 40 {
+		t.Fatalf("too few samples: %d", len(res.Scenario.Samples))
+	}
+}
+
+func TestE8DesignSpace(t *testing.T) {
+	res, err := E8DesignSpace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TableII.Feasible {
+		t.Fatal("Table II point must be feasible")
+	}
+	if res.GainPct < 30 {
+		t.Fatalf("best design gains only %.1f%% over Table II; expected a clear win", res.GainPct)
+	}
+	if res.Best.PeakTempC > 85 {
+		t.Fatal("best design violates the thermal constraint")
+	}
+	// The best design must still be manufacturable (was not rejected).
+	if res.Best.Reason != "" {
+		t.Fatalf("best design carries a rejection reason: %s", res.Best.Reason)
+	}
+}
+
+func TestE9Variation(t *testing.T) {
+	res, err := E9Variation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 88 parallel channels average out 5% per-channel tolerance to a
+	// sub-percent array-level spread.
+	if rel := res.StdA / res.NominalA; rel > 0.02 {
+		t.Fatalf("array-level spread %.3f%% too large", 100*rel)
+	}
+	if res.WorstA < 0.93*res.NominalA {
+		t.Fatalf("worst case %.2f A too far below nominal %.2f A", res.WorstA, res.NominalA)
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bright/internal/flowcell"
+	"bright/internal/thermal"
+	"bright/internal/units"
+)
+
+// E10Result is the series-stack shunt-current study (extension E10):
+// connecting channel groups in series raises the stack voltage toward
+// the rail (easing the VRM ratio) but opens ionic leakage paths through
+// the shared manifolds.
+type E10Result struct {
+	Rows []E10Row
+}
+
+// E10Row is one series-count design point.
+type E10Row struct {
+	SeriesGroups    int
+	TerminalVoltage float64
+	DeliveredW      float64
+	ShuntLossPct    float64
+	ImbalancePct    float64
+}
+
+// E10SeriesStack sweeps 1/2/4/8 series groups of the Table II array at
+// 1 V per group.
+func E10SeriesStack() (*E10Result, error) {
+	rch, rm := flowcell.DefaultShuntResistances()
+	res := &E10Result{}
+	for _, m := range []int{1, 2, 4, 8} {
+		s := &flowcell.SeriesStack{
+			Array:                     flowcell.Power7Array(),
+			SeriesGroups:              m,
+			ChannelShuntResistance:    rch,
+			ManifoldSegmentResistance: rm,
+		}
+		r, err := s.Solve(float64(m) * 1.0)
+		if err != nil {
+			return nil, fmt.Errorf("E10 at M=%d: %w", m, err)
+		}
+		res.Rows = append(res.Rows, E10Row{
+			SeriesGroups:    m,
+			TerminalVoltage: r.TerminalVoltage,
+			DeliveredW:      r.DeliveredW,
+			ShuntLossPct:    r.ShuntLossPct,
+			ImbalancePct:    r.ImbalancePct,
+		})
+	}
+	return res, nil
+}
+
+// E11Result is the channel-clogging failure injection (extension E11):
+// blocked channels starve their die columns of coolant and their
+// electrode area of reactant.
+type E11Result struct {
+	Rows []E11Row
+}
+
+// E11Row is one clogging scenario.
+type E11Row struct {
+	Clogged  int
+	Location string // "cores" or "center"
+	// PeakC with the clog; baseline (0 clogged) in the first row.
+	PeakC float64
+	// ArrayA: remaining array current at 1 V (survivors get the
+	// redistributed flow).
+	ArrayA float64
+}
+
+// E11Clogging injects contiguous clogs of 0/2/4/8 channels over the
+// left core column and, for contrast, 8 channels over the cool L3
+// center.
+func E11Clogging() (*E11Result, error) {
+	res := &E11Result{}
+	scenario := func(clogged int, start int, loc string) error {
+		p := thermal.Power7Problem(676, units.CtoK(27), 0)
+		w := make([]float64, 88)
+		for i := range w {
+			w[i] = 1
+		}
+		for i := start; i < start+clogged && i < 88; i++ {
+			w[i] = 0
+		}
+		p.Stack.Channels.FlowWeights = w
+		sol, err := thermal.Solve(p)
+		if err != nil {
+			return err
+		}
+		// Electrical: survivors share the total flow (the pump holds
+		// the flow rate); clogged channels contribute nothing.
+		a := flowcell.Power7Array()
+		survivors := &flowcell.Array{Cell: a.Cell, NChannels: 88 - clogged}
+		survivors.Cell.StreamFlowRate = a.Cell.StreamFlowRate * 88 / float64(88-clogged)
+		op, err := survivors.CurrentAtVoltage(1.0)
+		if err != nil {
+			return err
+		}
+		res.Rows = append(res.Rows, E11Row{
+			Clogged:  clogged,
+			Location: loc,
+			PeakC:    units.KtoC(sol.PeakT),
+			ArrayA:   op.Current,
+		})
+		return nil
+	}
+	for _, k := range []int{0, 2, 4, 8} {
+		if err := scenario(k, 10, "cores"); err != nil {
+			return nil, fmt.Errorf("E11 cores k=%d: %w", k, err)
+		}
+	}
+	if err := scenario(8, 40, "center"); err != nil {
+		return nil, fmt.Errorf("E11 center: %w", err)
+	}
+	return res, nil
+}

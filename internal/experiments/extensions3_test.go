@@ -1,0 +1,68 @@
+package experiments
+
+import "testing"
+
+func TestE10SeriesStack(t *testing.T) {
+	res, err := E10SeriesStack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	prev := -1.0
+	for _, r := range res.Rows {
+		if r.ShuntLossPct <= prev {
+			t.Fatalf("shunt loss must grow with series count (M=%d: %.2f%%)", r.SeriesGroups, r.ShuntLossPct)
+		}
+		prev = r.ShuntLossPct
+		if r.DeliveredW < 5 || r.DeliveredW > 7 {
+			t.Fatalf("M=%d delivered %.2f W", r.SeriesGroups, r.DeliveredW)
+		}
+	}
+	if last := res.Rows[3]; last.ShuntLossPct < 1 || last.ShuntLossPct > 10 {
+		t.Fatalf("8-series shunt %.2f%% outside expectation", last.ShuntLossPct)
+	}
+}
+
+func TestE11Clogging(t *testing.T) {
+	res, err := E11Clogging()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	base := res.Rows[0]
+	if base.Clogged != 0 {
+		t.Fatal("first row must be the baseline")
+	}
+	// Clogging over cores heats the die monotonically.
+	prevPeak := base.PeakC
+	for _, r := range res.Rows[1:4] {
+		if r.PeakC <= prevPeak {
+			t.Fatalf("peak must rise with core-column clogs (%d: %.2f C)", r.Clogged, r.PeakC)
+		}
+		prevPeak = r.PeakC
+		// Electrical output degrades only mildly: survivors run faster.
+		if r.ArrayA < 0.85*base.ArrayA {
+			t.Fatalf("%d clogs cut current to %.2f A", r.Clogged, r.ArrayA)
+		}
+	}
+	// 8 clogs over cores stay survivable (< 50 C).
+	if res.Rows[3].PeakC > 50 {
+		t.Fatalf("8-clog peak %.1f C", res.Rows[3].PeakC)
+	}
+	// Location matters: the same 8 clogs over the cool center cost
+	// far less peak temperature than over the cores.
+	center := res.Rows[4]
+	if center.Location != "center" {
+		t.Fatal("last row must be the center scenario")
+	}
+	coreRise := res.Rows[3].PeakC - base.PeakC
+	centerRise := center.PeakC - base.PeakC
+	if centerRise > 0.5*coreRise {
+		t.Fatalf("center clog rise %.2f K should be well below core clog rise %.2f K",
+			centerRise, coreRise)
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bright/internal/cfd"
+	"bright/internal/floorplan"
+	"bright/internal/flowcell"
+	"bright/internal/units"
+)
+
+// E12Result is the bright-silicon feasibility frontier (extension E12):
+// the paper's two-pronged conclusion made quantitative — (1) how much
+// must processor power density fall, and (2) how much must
+// electrochemical power density rise, before the flow cells can power
+// the *entire* chip, not just the caches.
+type E12Result struct {
+	// ChipFullLoadW is the unscaled full-load demand.
+	ChipFullLoadW float64
+	// ArrayMaxW is the Table II array's maximum power point.
+	ArrayMaxW float64
+	// BestGeometryMaxW is the design-space best array's maximum power.
+	BestGeometryMaxW float64
+	// DensityFractionTableII is the chip power-density scale factor at
+	// which the Table II array covers the whole chip (prong 1 alone).
+	DensityFractionTableII float64
+	// DensityFractionBest uses the best explored geometry instead.
+	DensityFractionBest float64
+	// ElectrochemGainNeeded is the factor by which the flow-cell power
+	// density must rise to cover the *unscaled* chip with the Table II
+	// array (prong 2 alone).
+	ElectrochemGainNeeded float64
+}
+
+// E12BrightSiliconFrontier computes the frontier.
+func E12BrightSiliconFrontier() (*E12Result, error) {
+	f := floorplan.Power7()
+	chipW := f.TotalPower(floorplan.Power7FullLoad())
+
+	maxPowerOf := func(a *flowcell.Array) (float64, error) {
+		curve, err := a.Polarize(30, 0.98)
+		if err != nil {
+			return 0, err
+		}
+		return curve.MaxPower().Power, nil
+	}
+	arrayMax, err := maxPowerOf(flowcell.Power7Array())
+	if err != nil {
+		return nil, err
+	}
+
+	// Best geometry from the design exploration.
+	e8, err := E8DesignSpace()
+	if err != nil {
+		return nil, err
+	}
+	best := e8.Best.Candidate
+	bestArray := flowcell.Power7ArrayCustom(
+		cfd.Channel{Width: best.Width, Height: best.Height, Length: 22e-3},
+		e8.Best.NChannels, units.MLPerMinToM3PerS(676), 300)
+	bestMax, err := maxPowerOf(bestArray)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &E12Result{
+		ChipFullLoadW:          chipW,
+		ArrayMaxW:              arrayMax,
+		BestGeometryMaxW:       bestMax,
+		DensityFractionTableII: arrayMax / chipW,
+		DensityFractionBest:    bestMax / chipW,
+		ElectrochemGainNeeded:  chipW / arrayMax,
+	}
+	if res.DensityFractionTableII <= 0 || res.DensityFractionTableII >= 1 {
+		return nil, fmt.Errorf("experiments: frontier fraction %g out of range", res.DensityFractionTableII)
+	}
+	return res, nil
+}
+
+// E13Result sweeps the architecture "compromise" axis (extension E13):
+// 64-core tilings with shrinking core shares (bigger caches) reduce the
+// chip's power density — the paper's prong (1) — and close the gap to
+// full microfluidic powering.
+type E13Result struct {
+	Rows []E13Row
+}
+
+// E13Row is one core-fraction design point on the 8x8 tiling.
+type E13Row struct {
+	// CoreFraction of each tile devoted to the core.
+	CoreFraction float64
+	// CacheFraction of the die.
+	CacheFraction float64
+	// ChipW at full load with the standard densities.
+	ChipW float64
+	// CacheDemandW at 1 W/cm2.
+	CacheDemandW float64
+	// ArrayCoversCaches at the Fig. 7 operating point (after VRM).
+	ArrayCoversCaches bool
+	// FrontierFraction = array max power / chip power: how close this
+	// architecture is to fully bright silicon (1.0 = fully powered).
+	FrontierFraction float64
+}
+
+// E13ManyCoreSweep evaluates core fractions 0.7/0.5/0.3/0.15 on a
+// 64-core tiling.
+func E13ManyCoreSweep() (*E13Result, error) {
+	s1, err := S1CachePower()
+	if err != nil {
+		return nil, err
+	}
+	curve, err := flowcell.Power7Array().Polarize(30, 0.98)
+	if err != nil {
+		return nil, err
+	}
+	arrayMax := curve.MaxPower().Power
+	pm := floorplan.Power7FullLoad()
+	res := &E13Result{}
+	for _, frac := range []float64{0.7, 0.5, 0.3, 0.15} {
+		f, err := floorplan.ManyCoreWithCoreFraction(8, 8, frac)
+		if err != nil {
+			return nil, err
+		}
+		cacheW := units.WPerCM2ToWPerM2(1.0) * f.CacheArea()
+		chipW := f.TotalPower(pm)
+		res.Rows = append(res.Rows, E13Row{
+			CoreFraction:      frac,
+			CacheFraction:     f.CacheArea() / f.Area(),
+			ChipW:             chipW,
+			CacheDemandW:      cacheW,
+			ArrayCoversCaches: s1.DeliveredW >= cacheW,
+			FrontierFraction:  arrayMax / chipW,
+		})
+	}
+	return res, nil
+}

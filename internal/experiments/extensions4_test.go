@@ -1,0 +1,60 @@
+package experiments
+
+import "testing"
+
+func TestE12BrightSiliconFrontier(t *testing.T) {
+	res, err := E12BrightSiliconFrontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Section II: flow-cell power densities are "10-50x
+	// lower than the power demand of high-performance processing
+	// architectures". Our frontier must land in that decade.
+	if res.ElectrochemGainNeeded < 5 || res.ElectrochemGainNeeded > 50 {
+		t.Fatalf("electrochemical gain needed %.1fx outside the paper's 10-50x framing",
+			res.ElectrochemGainNeeded)
+	}
+	// The Table II array covers ~10% of the chip; the best geometry
+	// roughly doubles that.
+	if res.DensityFractionTableII < 0.05 || res.DensityFractionTableII > 0.2 {
+		t.Fatalf("Table II frontier fraction %.3f outside expectation", res.DensityFractionTableII)
+	}
+	if res.DensityFractionBest <= res.DensityFractionTableII {
+		t.Fatal("the explored best geometry must beat Table II")
+	}
+	if res.BestGeometryMaxW <= res.ArrayMaxW {
+		t.Fatal("best geometry max power must exceed Table II's")
+	}
+}
+
+func TestE13ManyCoreSweep(t *testing.T) {
+	res, err := E13ManyCoreSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	prevChip, prevFrontier := 1e18, 0.0
+	for _, r := range res.Rows {
+		// Smaller cores -> less chip power -> closer to bright silicon.
+		if r.ChipW >= prevChip {
+			t.Fatalf("chip power must fall with core fraction: %.1f W at %.2f", r.ChipW, r.CoreFraction)
+		}
+		if r.FrontierFraction <= prevFrontier {
+			t.Fatalf("frontier fraction must rise as cores shrink")
+		}
+		prevChip, prevFrontier = r.ChipW, r.FrontierFraction
+		// The cache rail stays covered in every tiling (the array has
+		// margin on caches; cores are the gap).
+		if !r.ArrayCoversCaches {
+			t.Fatalf("caches uncovered at core fraction %.2f", r.CoreFraction)
+		}
+	}
+	// Even the most cache-heavy compromise leaves the full chip beyond
+	// the Table II array (frontier < 1): prong 2 remains necessary,
+	// exactly the paper's conclusion.
+	if last := res.Rows[len(res.Rows)-1]; last.FrontierFraction >= 1 {
+		t.Fatalf("frontier fraction %.2f should remain below 1", last.FrontierFraction)
+	}
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bright/internal/flowcell"
+	"bright/internal/potential"
+)
+
+// E14Result is the electrode-coverage study (extension E14): partial
+// side-wall electrodes (a realistic fabrication outcome — seed layers
+// rarely plate the full 400 um wall) constrict the ionic current path.
+// The charge-conservation field solver (paper eq. (11)) quantifies the
+// constriction, and the cell model folds it into the polarization.
+type E14Result struct {
+	Rows []E14Row
+}
+
+// E14Row is one coverage design point.
+type E14Row struct {
+	Coverage float64
+	// ConstrictionFactor from the potential-field solve.
+	ConstrictionFactor float64
+	// ArrayA at the 1 V rail with this coverage.
+	ArrayA float64
+}
+
+// E14ElectrodeCoverage sweeps coverages 1.0/0.75/0.5/0.25 on the
+// Table II array.
+func E14ElectrodeCoverage() (*E14Result, error) {
+	res := &E14Result{}
+	for _, cov := range []float64{1.0, 0.75, 0.5, 0.25} {
+		factor := 1.0
+		if cov < 1 {
+			var err error
+			factor, err = potential.ConstrictionFactor(200e-6, 400e-6, cov, 1)
+			if err != nil {
+				return nil, fmt.Errorf("E14 coverage %g: %w", cov, err)
+			}
+		}
+		a := flowcell.Power7Array()
+		a.Cell.ElectrodeCoverage = cov
+		// Partial electrodes also lose wetted area.
+		a.Cell.AreaEnhancement = flowcell.Power7ArrayEnhancement * cov
+		if a.Cell.AreaEnhancement < 1 {
+			a.Cell.AreaEnhancement = 1
+		}
+		op, err := a.CurrentAtVoltage(1.0)
+		if err != nil {
+			return nil, fmt.Errorf("E14 coverage %g: %w", cov, err)
+		}
+		res.Rows = append(res.Rows, E14Row{
+			Coverage:           cov,
+			ConstrictionFactor: factor,
+			ArrayA:             op.Current,
+		})
+	}
+	return res, nil
+}

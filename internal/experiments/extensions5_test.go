@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+func TestE14ElectrodeCoverage(t *testing.T) {
+	res, err := E14ElectrodeCoverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// Full coverage: unity factor and the Fig. 7 headline current.
+	first := res.Rows[0]
+	if first.ConstrictionFactor != 1 {
+		t.Fatalf("full coverage factor %g", first.ConstrictionFactor)
+	}
+	if first.ArrayA < 5.2 || first.ArrayA > 7 {
+		t.Fatalf("full coverage current %g", first.ArrayA)
+	}
+	// Less coverage: more constriction, less current — monotone.
+	for k := 1; k < len(res.Rows); k++ {
+		if res.Rows[k].ConstrictionFactor <= res.Rows[k-1].ConstrictionFactor {
+			t.Fatalf("constriction not monotone at row %d", k)
+		}
+		if res.Rows[k].ArrayA >= res.Rows[k-1].ArrayA {
+			t.Fatalf("current not monotone at row %d", k)
+		}
+	}
+	// Quarter coverage remains a working (if degraded) supply.
+	last := res.Rows[3]
+	if last.ConstrictionFactor < 2 || last.ConstrictionFactor > 5 {
+		t.Fatalf("quarter-coverage factor %g outside expectation", last.ConstrictionFactor)
+	}
+	if last.ArrayA < 2 {
+		t.Fatalf("quarter-coverage current %g collapsed", last.ArrayA)
+	}
+}

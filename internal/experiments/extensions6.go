@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bright/internal/cfd"
+	"bright/internal/flowcell"
+	"bright/internal/hydro"
+	"bright/internal/thermal"
+	"bright/internal/units"
+)
+
+// E15Result is the manifold maldistribution study (extension E15): real
+// inlet/outlet headers drop pressure along their length, so channels do
+// not share the flow evenly. The U-type (same-end) and Z-type
+// (opposite-end) header arrangements are compared on three axes: flow
+// spread, thermal peak and array current.
+type E15Result struct {
+	Rows []E15Row
+}
+
+// E15Row is one header arrangement.
+type E15Row struct {
+	Arrangement string // "ideal", "U-type", "Z-type"
+	// MaldistributionPct of the per-channel flows.
+	MaldistributionPct float64
+	// PeakC with the resulting flow weights.
+	PeakC float64
+	// ArrayA at 1 V with per-channel flows.
+	ArrayA float64
+}
+
+// e15SegFrac is the header-segment/channel hydraulic resistance ratio
+// for a generously sized (~2 mm2) header on the Table II array.
+const e15SegFrac = 1e-4
+
+// E15Manifold evaluates ideal, U-type and Z-type headers.
+func E15Manifold() (*E15Result, error) {
+	base := flowcell.Power7Array()
+	chR := hydro.ChannelPressureDrop(base.Cell.Channel, cfdFluidOf(base), 1.0)
+	res := &E15Result{}
+	cases := []struct {
+		name string
+		cfg  *hydro.ManifoldConfig
+	}{
+		{"ideal", nil},
+		{"U-type", &hydro.ManifoldConfig{NChannels: 88, ChannelResistance: chR, SegmentResistance: e15SegFrac * chR, ZType: false}},
+		{"Z-type", &hydro.ManifoldConfig{NChannels: 88, ChannelResistance: chR, SegmentResistance: e15SegFrac * chR, ZType: true}},
+	}
+	for _, c := range cases {
+		weights := make([]float64, 88)
+		maldist := 0.0
+		if c.cfg == nil {
+			for k := range weights {
+				weights[k] = 1.0 / 88
+			}
+		} else {
+			m, err := hydro.SolveManifold(*c.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("E15 %s: %w", c.name, err)
+			}
+			weights = m.Weights
+			maldist = m.MaldistributionPct
+		}
+		// Thermal: per-column flow weights.
+		tp := thermal.Power7Problem(676, units.CtoK(27), 0)
+		tp.Stack.Channels.FlowWeights = weights
+		sol, err := thermal.Solve(tp)
+		if err != nil {
+			return nil, fmt.Errorf("E15 %s thermal: %w", c.name, err)
+		}
+		// Electrical: each channel at its own flow, common 1 V terminal.
+		total := 0.0
+		for _, w := range weights {
+			one := &flowcell.Array{Cell: base.Cell, NChannels: 1}
+			one.Cell.StreamFlowRate = base.TotalFlowRate() * w / 2
+			op, err := one.CurrentAtVoltage(1.0)
+			if err != nil {
+				return nil, fmt.Errorf("E15 %s electrical: %w", c.name, err)
+			}
+			total += op.Current
+		}
+		res.Rows = append(res.Rows, E15Row{
+			Arrangement:        c.name,
+			MaldistributionPct: maldist,
+			PeakC:              units.KtoC(sol.PeakT),
+			ArrayA:             total,
+		})
+	}
+	return res, nil
+}
+
+// cfdFluidOf extracts the array's coolant as a cfd.Fluid at its
+// operating temperature (mirrors the unexported Cell.fluid helper).
+func cfdFluidOf(a *flowcell.Array) (f cfd.Fluid) {
+	e := a.Cell.Electrolyte
+	t := a.Cell.Temperature
+	f.Density = e.Density(t)
+	f.Viscosity = e.Viscosity(t)
+	f.ThermalConductivity = e.ThermalConductivity
+	f.HeatCapacityVol = e.HeatCapacityVol
+	return
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+func TestE15Manifold(t *testing.T) {
+	res, err := E15Manifold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	ideal, u, z := res.Rows[0], res.Rows[1], res.Rows[2]
+	if ideal.MaldistributionPct != 0 {
+		t.Fatalf("ideal maldistribution %g", ideal.MaldistributionPct)
+	}
+	// Z-type beats U-type on every axis.
+	if z.MaldistributionPct >= u.MaldistributionPct {
+		t.Fatalf("Z maldistribution %.1f%% should beat U %.1f%%",
+			z.MaldistributionPct, u.MaldistributionPct)
+	}
+	if z.PeakC > u.PeakC {
+		t.Fatalf("Z peak %.2f C should not exceed U %.2f C", z.PeakC, u.PeakC)
+	}
+	if z.ArrayA < u.ArrayA {
+		t.Fatalf("Z current %.3f A should not fall below U %.3f A", z.ArrayA, u.ArrayA)
+	}
+	// Both remain close to ideal electrically (the km ~ Q^(1/3) scaling
+	// is forgiving of flow imbalance): within 2%.
+	if (ideal.ArrayA-u.ArrayA)/ideal.ArrayA > 0.02 {
+		t.Fatalf("U-type electrical penalty too large: %.3f vs %.3f", u.ArrayA, ideal.ArrayA)
+	}
+	// Thermal penalty of U-type is measurable but bounded.
+	if d := u.PeakC - ideal.PeakC; d <= 0 || d > 3 {
+		t.Fatalf("U-type thermal penalty %.2f K outside expectation", d)
+	}
+}

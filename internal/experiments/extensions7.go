@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"bright/internal/cosim"
+	"bright/internal/design"
+	"bright/internal/floorplan"
+	"bright/internal/mesh"
+	"bright/internal/pdn"
+	"bright/internal/thermal"
+	"bright/internal/units"
+)
+
+// E16Result compares the conventional air-cooled baseline against the
+// microfluidic array (extension E16): the paper's motivation — issue
+// (3), "energy required for cooling down ICs" — quantified as the
+// thermal headroom the embedded coolant buys.
+type E16Result struct {
+	// AirPeakC at a good server cooler (2500 W/m2K effective) with a
+	// 35 C air inlet.
+	AirPeakC float64
+	// MicroPeakC at the Table II array with a 27 C liquid inlet.
+	MicroPeakC float64
+	// AdvantageK = AirPeakC - MicroPeakC.
+	AdvantageK float64
+	// AirHeadroomW and MicroHeadroomW: the chip power each solution
+	// could carry before hitting an 85 C junction (linear scaling from
+	// the solved rise).
+	AirHeadroomW, MicroHeadroomW float64
+}
+
+// E16AirCooledBaseline evaluates both cooling solutions on the
+// full-load POWER7+ map.
+func E16AirCooledBaseline() (*E16Result, error) {
+	f := floorplan.Power7()
+	air := thermal.Power7AirCooled(2500, units.CtoK(35), nil)
+	air.Power = f.Rasterize(air.Grid(), floorplan.Power7FullLoad())
+	airSol, err := thermal.SolveAirCooled(air)
+	if err != nil {
+		return nil, err
+	}
+	micro, err := thermal.Solve(thermal.Power7Problem(676, units.CtoK(27), 0))
+	if err != nil {
+		return nil, err
+	}
+	res := &E16Result{
+		AirPeakC:   units.KtoC(airSol.PeakT),
+		MicroPeakC: units.KtoC(micro.PeakT),
+		AdvantageK: airSol.PeakT - micro.PeakT,
+	}
+	// Linear headroom: power scales the rise above the coolant inlet.
+	const tj = 85.0
+	res.AirHeadroomW = airSol.TotalPower * (tj - units.KtoC(air.AmbientK)) / (res.AirPeakC - units.KtoC(air.AmbientK))
+	res.MicroHeadroomW = micro.TotalPower * (tj - 27) / (res.MicroPeakC - 27)
+	return res, nil
+}
+
+// E17Result is the wake-up droop study (extension E17): when the caches
+// step from idle to full current, the decap must bridge the VRM
+// response lag; the droop depth sizes the on-die decoupling budget.
+type E17Result struct {
+	Rows []E17Row
+}
+
+// E17Row is one decap budget.
+type E17Row struct {
+	// DecapNFPerMM2 is the decap density in nF/mm2.
+	DecapNFPerMM2 float64
+	// DroopMV below the DC operating point.
+	DroopMV float64
+	// WorstV absolute minimum (V).
+	WorstV float64
+}
+
+// E17WakeupDroop sweeps decap budgets at a 1 us VRM response lag.
+func E17WakeupDroop() (*E17Result, error) {
+	res := &E17Result{}
+	for _, decap := range []float64{5e-3, 2e-2, 5e-2} {
+		base, _, err := pdn.Power7Problem()
+		if err != nil {
+			return nil, err
+		}
+		base.NX, base.NY = 53, 42
+		base.LoadDensity = pdn.CacheLoad(base.Floorplan, mesh.NewUniformGrid2D(base.Floorplan.Width, base.Floorplan.Height, 53, 42), 1.0)
+		tr, err := pdn.SolveTransient(&pdn.TransientProblem{
+			Base: base, DecapPerArea: decap, StepFraction: 0.1,
+			VRMResponseTime: 1e-6, Dt: 1e-7, Steps: 60,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, E17Row{
+			DecapNFPerMM2: decap * 1e9 / 1e6, // F/m2 -> nF/mm2
+			DroopMV:       tr.DroopMV,
+			WorstV:        tr.WorstV,
+		})
+	}
+	return res, nil
+}
+
+// E18Result is the continuous design refinement (extension E18): the
+// coordinate-descent optimizer polishes the grid best under the same
+// manufacturability constraints.
+type E18Result struct {
+	GridBest, Refined design.Evaluation
+	// GainPct of the refined point over the grid best.
+	GainPct float64
+}
+
+// E18RefinedDesign refines the grid-best geometry.
+func E18RefinedDesign() (*E18Result, error) {
+	e8, err := E8DesignSpace()
+	if err != nil {
+		return nil, err
+	}
+	ref, err := design.Refine(e8.Best.Candidate, 676, 27, 1.0, design.DefaultConstraints())
+	if err != nil {
+		return nil, err
+	}
+	return &E18Result{
+		GridBest: e8.Best,
+		Refined:  *ref,
+		GainPct:  100 * (ref.NetPowerW/e8.Best.NetPowerW - 1),
+	}, nil
+}
+
+// E19Result is the counterflow-layout study (extension E19):
+// alternating channel directions to even the along-flow temperature
+// gradient.
+type E19Result struct {
+	UniGradientK, CounterGradientK float64
+	UniPeakC, CounterPeakC         float64
+}
+
+// E19CounterFlow compares the two layouts at the Table II condition.
+func E19CounterFlow() (*E19Result, error) {
+	grad := func(sol *thermal.Solution) float64 {
+		g := sol.Grid
+		q := g.NY() / 4
+		var first, last float64
+		for j := 0; j < q; j++ {
+			for i := 0; i < g.NX(); i++ {
+				first += sol.ActiveT.At(i, j)
+				last += sol.ActiveT.At(i, g.NY()-1-j)
+			}
+		}
+		return (last - first) / float64(q*g.NX())
+	}
+	uni, err := thermal.Solve(thermal.Power7Problem(676, units.CtoK(27), 0))
+	if err != nil {
+		return nil, err
+	}
+	cfp := thermal.Power7Problem(676, units.CtoK(27), 0)
+	cfp.Stack.Channels.CounterFlow = true
+	cf, err := thermal.Solve(cfp)
+	if err != nil {
+		return nil, err
+	}
+	return &E19Result{
+		UniGradientK:     grad(uni),
+		CounterGradientK: grad(cf),
+		UniPeakC:         units.KtoC(uni.PeakT),
+		CounterPeakC:     units.KtoC(cf.PeakT),
+	}, nil
+}
+
+// E20Result is the thermal-capping governor study (extension E20): the
+// sustainable chip load across coolant conditions — the dark-silicon
+// dial, now driven by the coolant instead of the package.
+type E20Result struct {
+	Rows []E20Row
+}
+
+// E20Row is one coolant condition.
+type E20Row struct {
+	FlowMLMin       float64
+	LimitC          float64
+	MaxLoadFraction float64
+	SustainedPowerW float64
+}
+
+// E20ThermalCap sweeps flow rates at a 60 C junction policy.
+func E20ThermalCap() (*E20Result, error) {
+	res := &E20Result{}
+	for _, flow := range []float64{676, 48, 20, 10} {
+		cap, err := cosim.ThermalCap(flow, 27, 60)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, E20Row{
+			FlowMLMin:       flow,
+			LimitC:          60,
+			MaxLoadFraction: cap.MaxLoadFraction,
+			SustainedPowerW: cap.SustainedPowerW,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import "testing"
+
+func TestE16AirCooledBaseline(t *testing.T) {
+	res, err := E16AirCooledBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The microfluidic solution must hold a large thermal advantage.
+	if res.AdvantageK < 20 {
+		t.Fatalf("advantage %.1f K too small", res.AdvantageK)
+	}
+	if res.MicroPeakC > res.AirPeakC {
+		t.Fatal("ordering violated")
+	}
+	// And translate it into power headroom: the microfluidic stack can
+	// carry several times more power before 85 C.
+	if res.MicroHeadroomW < 2*res.AirHeadroomW {
+		t.Fatalf("headroom ratio %.2f too small (micro %.0f W, air %.0f W)",
+			res.MicroHeadroomW/res.AirHeadroomW, res.MicroHeadroomW, res.AirHeadroomW)
+	}
+	if res.AirHeadroomW < 30 || res.AirHeadroomW > 150 {
+		t.Fatalf("air headroom %.0f W outside server expectation", res.AirHeadroomW)
+	}
+}
+
+func TestE17WakeupDroop(t *testing.T) {
+	res, err := E17WakeupDroop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// More decap, less droop.
+	for k := 1; k < len(res.Rows); k++ {
+		if res.Rows[k].DroopMV >= res.Rows[k-1].DroopMV {
+			t.Fatalf("droop not monotone in decap")
+		}
+	}
+	// A healthy decap budget (50 nF/mm2) keeps the wake-up droop within
+	// ~10% of the rail.
+	last := res.Rows[len(res.Rows)-1]
+	if last.DroopMV > 120 {
+		t.Fatalf("droop %.0f mV at %.0f nF/mm2 too deep", last.DroopMV, last.DecapNFPerMM2)
+	}
+	if last.WorstV < 0.8 {
+		t.Fatalf("rail dipped to %.3f V at the largest decap", last.WorstV)
+	}
+}
+
+func TestE18RefinedDesign(t *testing.T) {
+	res, err := E18RefinedDesign()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Refined.Feasible {
+		t.Fatalf("refined design infeasible: %s", res.Refined.Reason)
+	}
+	if res.GainPct < -0.1 {
+		t.Fatalf("refinement degraded the grid best by %.2f%%", -res.GainPct)
+	}
+	if res.Refined.PeakTempC > 85 {
+		t.Fatal("refined design violates the thermal limit")
+	}
+}
+
+func TestE19CounterFlow(t *testing.T) {
+	res, err := E19CounterFlow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UniGradientK <= 0 {
+		t.Fatalf("uniflow gradient %g", res.UniGradientK)
+	}
+	if res.CounterGradientK > 0.7*res.UniGradientK {
+		t.Fatalf("counterflow gradient %.3f vs uniflow %.3f", res.CounterGradientK, res.UniGradientK)
+	}
+	if res.CounterPeakC > res.UniPeakC+0.1 {
+		t.Fatalf("counterflow peak %.2f worse than uniflow %.2f", res.CounterPeakC, res.UniPeakC)
+	}
+}
+
+func TestE20ThermalCap(t *testing.T) {
+	res, err := E20ThermalCap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	// Load fraction falls monotonically with the flow.
+	prev := 2.0
+	for _, r := range res.Rows {
+		if r.MaxLoadFraction > prev {
+			t.Fatalf("cap not monotone in flow: %.3f at %.0f ml/min", r.MaxLoadFraction, r.FlowMLMin)
+		}
+		prev = r.MaxLoadFraction
+	}
+	// Nominal flow carries the full load at 60 C; a starved 10 ml/min
+	// cannot.
+	if res.Rows[0].MaxLoadFraction != 1 {
+		t.Fatalf("nominal should carry full load")
+	}
+	if res.Rows[3].MaxLoadFraction >= 0.7 {
+		t.Fatalf("10 ml/min cap %.3f too generous", res.Rows[3].MaxLoadFraction)
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import "testing"
+
+func TestE1C4Baseline(t *testing.T) {
+	res, err := E1C4Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.C4
+	if c.TotalPads < 2000 || c.TotalPads > 6000 {
+		t.Fatalf("pad count %d outside package expectation", c.TotalPads)
+	}
+	if c.CacheRailPads <= 0 || c.IOGainPct <= 0 {
+		t.Fatalf("no pad relief: %+v", c)
+	}
+	if c.ConventionalMinV <= c.MicrofluidicMinV {
+		t.Fatal("dense C4 baseline should droop less than the 14-site feed")
+	}
+	if res.ChipCurrentA < 40 || res.ChipCurrentA > 120 {
+		t.Fatalf("chip current %.1f A outside envelope", res.ChipCurrentA)
+	}
+}
+
+func TestE2DarkSilicon(t *testing.T) {
+	res, err := E2DarkSilicon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comparison.CoresRelit <= 0 {
+		t.Fatalf("no cores relit: %+v", res.Comparison)
+	}
+	if res.Comparison.Baseline.DarkFractionPct <= res.Comparison.Assisted.DarkFractionPct-100 {
+		t.Fatal("dark fraction accounting broken")
+	}
+	if res.Comparison.Assisted.DarkFractionPct >= res.Comparison.Baseline.DarkFractionPct {
+		t.Fatal("assistance must reduce the dark fraction")
+	}
+}
+
+func TestE3Stack3D(t *testing.T) {
+	res, err := E3Stack3D()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PenaltyK <= 0 {
+		t.Fatalf("stacking must cost some temperature, got %+.2f K", res.PenaltyK)
+	}
+	if res.PenaltyK > 20 {
+		t.Fatalf("stacking penalty %.1f K defeats interlayer cooling", res.PenaltyK)
+	}
+	if res.StackPeakC > 70 {
+		t.Fatalf("stacked peak %.1f C too hot", res.StackPeakC)
+	}
+	// Two tiers double the power.
+	if res.StackPowerW < 1.9*58 || res.StackPowerW > 2.1*60 {
+		t.Fatalf("stack power %.1f W not ~2x the die", res.StackPowerW)
+	}
+}
+
+func TestE4Reservoir(t *testing.T) {
+	res, err := E4Reservoir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UtilizationPct < 50 || res.UtilizationPct > 100 {
+		t.Fatalf("utilization %.1f%% outside expectation", res.UtilizationPct)
+	}
+	d := res.Discharge
+	if d.EnergyDensityWhPerL < 8 || d.EnergyDensityWhPerL > 40 {
+		t.Fatalf("energy density %.1f Wh/L outside vanadium band", d.EnergyDensityWhPerL)
+	}
+	// 0.1 L at ~5.4 Ah theoretical feeding ~6 A: runtime under 2 h.
+	if d.DurationS < 600 || d.DurationS > 7200 {
+		t.Fatalf("discharge duration %.0f s implausible", d.DurationS)
+	}
+}
+
+func TestE5ChannelSpread(t *testing.T) {
+	res, err := E5ChannelSpread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CurrentA) != 88 {
+		t.Fatalf("channel count %d", len(res.CurrentA))
+	}
+	if res.SpreadPct <= 0 || res.SpreadPct > 15 {
+		t.Fatalf("spread %.2f%% outside expectation", res.SpreadPct)
+	}
+	if res.AssumptionErrPct > 0.5 {
+		t.Fatalf("equal-channel assumption error %.3f%% too large", res.AssumptionErrPct)
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bright/internal/flowcell"
+)
+
+// Fig7Result is the array V-I characteristic of the Table II 88-channel
+// array (paper Fig. 7): voltage versus total supplied current, with the
+// headline operating point at 1 V.
+type Fig7Result struct {
+	// Curve is the V-I sweep (X: A, Y: V).
+	Curve Series
+	// OCV is the open-circuit voltage (paper: ~1.6-1.7 V intercept).
+	OCV float64
+	// CurrentAt1V is the headline number (paper: 6 A).
+	CurrentAt1V float64
+	// PowerAt1V in W (paper: "up to 6 W ... to feed the memory
+	// modules").
+	PowerAt1V float64
+	// LimitingCurrent of the array (A).
+	LimitingCurrent float64
+	// PeakPowerW and PeakPowerVoltage locate the maximum power point.
+	PeakPowerW, PeakPowerVoltage float64
+}
+
+// Fig7 regenerates the array V-I characteristic with nPoints sweep
+// points.
+func Fig7(nPoints int) (*Fig7Result, error) {
+	if nPoints < 4 {
+		return nil, fmt.Errorf("experiments: Fig7 needs >= 4 points, got %d", nPoints)
+	}
+	a := flowcell.Power7Array()
+	curve, err := a.Polarize(nPoints, 0.985)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{
+		Curve:           Series{Name: "array V-I"},
+		OCV:             curve[0].OpenCircuit,
+		LimitingCurrent: a.LimitingCurrent(),
+	}
+	for _, op := range curve {
+		res.Curve.X = append(res.Curve.X, op.Current)
+		res.Curve.Y = append(res.Curve.Y, op.Voltage)
+	}
+	at1, err := a.CurrentAtVoltage(1.0)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: Fig7 1 V point: %w", err)
+	}
+	res.CurrentAt1V = at1.Current
+	res.PowerAt1V = at1.Power
+	best := curve.MaxPower()
+	res.PeakPowerW = best.Power
+	res.PeakPowerVoltage = best.Voltage
+	return res, nil
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bright/internal/pdn"
+	"bright/internal/thermal"
+	"bright/internal/units"
+)
+
+// Fig8Result is the on-chip voltage map of the cache-supplying power
+// grid (paper Fig. 8: values spanning roughly 0.96-0.995 V at a 1 V
+// supply).
+type Fig8Result struct {
+	Solution *pdn.Solution
+	// Supply is the VRM output voltage.
+	Supply float64
+	// MinCacheV and MaxV summarize the map.
+	MinCacheV, MaxV float64
+	// TotalLoadA is the cache current drawn (A).
+	TotalLoadA float64
+}
+
+// Fig8 regenerates the power-grid voltage map.
+func Fig8() (*Fig8Result, error) {
+	p, _, err := pdn.Power7Problem()
+	if err != nil {
+		return nil, err
+	}
+	sol, err := pdn.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig8Result{
+		Solution:   sol,
+		Supply:     p.Supply,
+		MinCacheV:  sol.MinVCache,
+		MaxV:       sol.MaxV,
+		TotalLoadA: sol.TotalLoad,
+	}, nil
+}
+
+// Fig9Result is the full-load thermal map under the Table II array
+// (paper Fig. 9: 41 C peak at 27 C inlet and 676 ml/min).
+type Fig9Result struct {
+	Solution *thermal.Solution
+	// PeakC is the peak die temperature in C.
+	PeakC float64
+	// OutletC is the coolant outlet temperature in C.
+	OutletC float64
+	// TotalPowerW is the integrated chip power.
+	TotalPowerW float64
+}
+
+// Fig9 regenerates the thermal map at the given flow (ml/min) and inlet
+// temperature (C); pass the Table II nominal 676 and 27.
+func Fig9(flowMLMin, inletC float64) (*Fig9Result, error) {
+	sol, err := thermal.Solve(thermal.Power7Problem(flowMLMin, units.CtoK(inletC), 0))
+	if err != nil {
+		return nil, err
+	}
+	return &Fig9Result{
+		Solution:    sol,
+		PeakC:       units.KtoC(sol.PeakT),
+		OutletC:     units.KtoC(sol.OutletT),
+		TotalPowerW: sol.TotalPower,
+	}, nil
+}

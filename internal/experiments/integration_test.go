@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bright/internal/core"
+	"bright/internal/flowcell"
+	"bright/internal/vis"
+)
+
+// TestFullPipelineDeterministic: two end-to-end evaluations of the
+// integrated system produce bit-identical headline numbers — there is
+// no hidden global state or nondeterminism anywhere in the stack.
+func TestFullPipelineDeterministic(t *testing.T) {
+	run := func() *core.Report {
+		sys, err := core.NewSystem(core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.Evaluate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.CoSim.Operating.Current != b.CoSim.Operating.Current {
+		t.Fatalf("current differs: %v vs %v", a.CoSim.Operating.Current, b.CoSim.Operating.Current)
+	}
+	if a.Grid.MinVCache != b.Grid.MinVCache {
+		t.Fatal("grid solution differs")
+	}
+	if a.Thermal.PeakT != b.Thermal.PeakT {
+		t.Fatal("thermal solution differs")
+	}
+}
+
+// TestExtremeOperatingPoints: the stack stays solvable at the corners
+// of the physically sensible envelope.
+func TestExtremeOperatingPoints(t *testing.T) {
+	// Hot inlet near the practical ceiling.
+	hot := core.DefaultConfig()
+	hot.InletTempC = 55
+	sys, err := core.NewSystem(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Evaluate()
+	if err != nil {
+		t.Fatalf("55 C inlet: %v", err)
+	}
+	if rep.PeakTempC < 55 || rep.PeakTempC > 80 {
+		t.Fatalf("55 C inlet peak %.1f C", rep.PeakTempC)
+	}
+	// Deeply starved flow.
+	lean := core.DefaultConfig()
+	lean.FlowMLMin = 10
+	sys, err = core.NewSystem(lean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = sys.Evaluate()
+	if err != nil {
+		t.Fatalf("10 ml/min: %v", err)
+	}
+	if rep.PeakTempC < 50 {
+		t.Fatalf("starved flow peak %.1f C suspiciously cool", rep.PeakTempC)
+	}
+	// Light load at a half-voltage rail.
+	odd := core.DefaultConfig()
+	odd.SupplyVoltage = 0.8
+	odd.ChipLoad = 0.3
+	sys, err = core.NewSystem(odd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Evaluate(); err != nil {
+		t.Fatalf("0.8 V / 30%% load: %v", err)
+	}
+}
+
+// TestFig7CSVRoundTrip: a real experiment series survives the CSV
+// write/read cycle exactly (the repro harness's on-disk format is
+// lossless for its own data).
+func TestFig7CSVRoundTrip(t *testing.T) {
+	res, err := Fig7(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := vis.WriteCSVSeries(&b, []string{"I_A", "V"}, res.Curve.X, res.Curve.Y); err != nil {
+		t.Fatal(err)
+	}
+	headers, cols, err := vis.ReadCSVSeries(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if headers[0] != "I_A" || headers[1] != "V" {
+		t.Fatalf("headers %v", headers)
+	}
+	for k := range res.Curve.X {
+		if math.Abs(cols[0][k]-res.Curve.X[k]) > 1e-6*(1+math.Abs(res.Curve.X[k])) {
+			t.Fatalf("X row %d: %g vs %g", k, cols[0][k], res.Curve.X[k])
+		}
+		if math.Abs(cols[1][k]-res.Curve.Y[k]) > 1e-6 {
+			t.Fatalf("Y row %d: %g vs %g", k, cols[1][k], res.Curve.Y[k])
+		}
+	}
+}
+
+// TestCrossModelEnergyAccounting: electrical + heat + pumping close the
+// books at the system level.
+func TestCrossModelEnergyAccounting(t *testing.T) {
+	a := flowcell.Power7Array()
+	op, err := a.CurrentAtVoltage(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heat, err := a.HeatDissipation(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ocv, err := a.Cell.OpenCircuitVoltage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chemical power in == electrical out + heat.
+	chem := ocv * op.Current
+	if math.Abs(chem-(op.Power+heat)) > 1e-9*chem {
+		t.Fatalf("energy books do not close: %g vs %g", chem, op.Power+heat)
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bright/internal/flowcell"
+	"bright/internal/units"
+)
+
+// TableRow is one parameter of a reproduced paper table, carrying both
+// the paper's quoted value and the value the corresponding fixture in
+// this repository actually uses.
+type TableRow struct {
+	Parameter string
+	Paper     string
+	Fixture   string
+	// Match reports whether the fixture realizes the paper value
+	// exactly (input tables must match; derived values may not).
+	Match bool
+}
+
+// Table is a reproduced parameter table.
+type Table struct {
+	Name string
+	Rows []TableRow
+}
+
+// Format renders the table for terminal output.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Name)
+	width := 0
+	for _, r := range t.Rows {
+		if len(r.Parameter) > width {
+			width = len(r.Parameter)
+		}
+	}
+	for _, r := range t.Rows {
+		mark := "ok"
+		if !r.Match {
+			mark = "NOTE"
+		}
+		fmt.Fprintf(&b, "  %-*s  paper: %-18s fixture: %-18s %s\n",
+			width, r.Parameter, r.Paper, r.Fixture, mark)
+	}
+	return b.String()
+}
+
+// AllMatch reports whether every row matches.
+func (t Table) AllMatch() bool {
+	for _, r := range t.Rows {
+		if !r.Match {
+			return false
+		}
+	}
+	return true
+}
+
+func row(param, paper string, fixture float64, format string, want float64) TableRow {
+	diff := fixture - want
+	if diff < 0 {
+		diff = -diff
+	}
+	scale := want
+	if scale < 0 {
+		scale = -scale
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	return TableRow{
+		Parameter: param,
+		Paper:     paper,
+		Fixture:   fmt.Sprintf(format, fixture),
+		Match:     diff <= 1e-9*scale,
+	}
+}
+
+// TableI returns the paper's Table I (validation flow cell parameters)
+// against the KjeangCell fixture.
+func TableI() Table {
+	c := flowcell.KjeangCell(60)
+	return Table{
+		Name: "Table I — validation redox flow cell (Kjeang et al. 2007)",
+		Rows: []TableRow{
+			row("channel length (mm)", "33", c.Channel.Length*1e3, "%.0f", 33),
+			row("channel width (mm)", "2", c.Channel.Width*1e3, "%.0f", 2),
+			row("channel height (um)", "150", c.Channel.Height*1e6, "%.0f", 150),
+			row("density (kg/m3)", "1260", c.Electrolyte.DensityRef, "%.0f", 1260),
+			row("dynamic viscosity (mPa.s)", "2.53", c.Electrolyte.ViscosityRef*1e3, "%.2f", 2.53),
+			row("anode E0 (V)", "-0.255", c.Anode.Couple.E0, "%.3f", -0.255),
+			row("cathode E0 (V)", "0.991", c.Cathode.Couple.E0, "%.3f", 0.991),
+			row("anode C*Ox (mol/m3)", "80", c.Anode.COxInlet, "%.0f", 80),
+			row("anode C*Red (mol/m3)", "920", c.Anode.CRedInlet, "%.0f", 920),
+			row("cathode C*Ox (mol/m3)", "992", c.Cathode.COxInlet, "%.0f", 992),
+			row("cathode C*Red (mol/m3)", "8", c.Cathode.CRedInlet, "%.0f", 8),
+			row("anode D (1e-10 m2/s)", "1.7", c.Anode.Couple.DOxRef*1e10, "%.1f", 1.7),
+			row("cathode D (1e-10 m2/s)", "1.3", c.Cathode.Couple.DOxRef*1e10, "%.1f", 1.3),
+			row("anode k0 (1e-5 m/s)", "2", c.Anode.Couple.K0Ref*1e5, "%.0f", 2),
+			row("cathode k0 (1e-5 m/s)", "1", c.Cathode.Couple.K0Ref*1e5, "%.0f", 1),
+		},
+	}
+}
+
+// TableII returns the paper's Table II (POWER7+ flow-cell array
+// parameters) against the Power7Array fixture.
+func TableII() Table {
+	a := flowcell.Power7Array()
+	c := a.Cell
+	return Table{
+		Name: "Table II — microfluidic redox cell array on the POWER7+",
+		Rows: []TableRow{
+			row("number of channels", "88", float64(a.NChannels), "%.0f", 88),
+			row("channel width (um)", "200", c.Channel.Width*1e6, "%.0f", 200),
+			row("channel height (um)", "400", c.Channel.Height*1e6, "%.0f", 400),
+			row("channel length (mm)", "22", c.Channel.Length*1e3, "%.0f", 22),
+			row("total flow (ml/min)", "676", units.M3PerSToMLPerMin(a.TotalFlowRate()), "%.0f", 676),
+			row("thermal conductivity (W/mK)", "0.67", c.Electrolyte.ThermalConductivity, "%.2f", 0.67),
+			row("thermal capacitance (MJ/m3K)", "4.187", c.Electrolyte.HeatCapacityVol*1e-6, "%.3f", 4.187),
+			row("inlet temperature (K)", "300", c.Temperature, "%.0f", 300),
+			row("density (kg/m3)", "1260", c.Electrolyte.DensityRef, "%.0f", 1260),
+			row("dynamic viscosity (mPa.s)", "2.53", c.Electrolyte.ViscosityRef*1e3, "%.2f", 2.53),
+			row("anode E0 (V)", "-0.255", c.Anode.Couple.E0, "%.3f", -0.255),
+			row("cathode E0 (V)", "1.0", c.Cathode.Couple.E0, "%.1f", 1.0),
+			row("anode C*Ox (mol/m3)", "1", c.Anode.COxInlet, "%.0f", 1),
+			row("anode C*Red (mol/m3)", "2000", c.Anode.CRedInlet, "%.0f", 2000),
+			row("cathode C*Ox (mol/m3)", "2000", c.Cathode.COxInlet, "%.0f", 2000),
+			row("cathode C*Red (mol/m3)", "1", c.Cathode.CRedInlet, "%.0f", 1),
+			row("anode D (1e-10 m2/s)", "4.13", c.Anode.Couple.DOxRef*1e10, "%.2f", 4.13),
+			row("cathode D (1e-10 m2/s)", "1.26", c.Cathode.Couple.DOxRef*1e10, "%.2f", 1.26),
+			row("anode k0 (1e-5 m/s)", "5.33", c.Anode.Couple.K0Ref*1e5, "%.2f", 5.33),
+			row("cathode k0 (1e-5 m/s)", "4.67", c.Cathode.Couple.K0Ref*1e5, "%.2f", 4.67),
+		},
+	}
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableIFixtureMatchesPaper(t *testing.T) {
+	tab := TableI()
+	if !tab.AllMatch() {
+		t.Fatalf("Table I fixture deviates from the paper:\n%s", tab.Format())
+	}
+	if len(tab.Rows) < 12 {
+		t.Fatalf("Table I too short: %d rows", len(tab.Rows))
+	}
+}
+
+func TestTableIIFixtureMatchesPaper(t *testing.T) {
+	tab := TableII()
+	if !tab.AllMatch() {
+		t.Fatalf("Table II fixture deviates from the paper:\n%s", tab.Format())
+	}
+	if len(tab.Rows) < 18 {
+		t.Fatalf("Table II too short: %d rows", len(tab.Rows))
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	out := TableI().Format()
+	if !strings.Contains(out, "Table I") || !strings.Contains(out, "paper:") {
+		t.Fatalf("format output:\n%s", out)
+	}
+	// A deliberately broken row formats with a NOTE marker.
+	tab := Table{Name: "x", Rows: []TableRow{{Parameter: "p", Paper: "1", Fixture: "2", Match: false}}}
+	if !strings.Contains(tab.Format(), "NOTE") {
+		t.Fatal("mismatch marker missing")
+	}
+	if tab.AllMatch() {
+		t.Fatal("AllMatch on mismatching table")
+	}
+}

@@ -1,0 +1,206 @@
+// Package floorplan provides 2D chip floorplans, unit-kind power maps and
+// rasterization onto simulation grids. It carries the IBM POWER7+
+// geometry used in the paper's case study (Fig. 4): a 26.55 mm x
+// 21.34 mm die with 8 cores, 8 L2 slices, 2 central L3 banks, logic
+// strips and I/O bands, with a 26.7 W/cm2 peak power density and
+// 1 W/cm2 average cache density.
+package floorplan
+
+import (
+	"fmt"
+	"math"
+
+	"bright/internal/mesh"
+)
+
+// UnitKind classifies a floorplan unit for power assignment and for the
+// cache mask of the PDN experiment.
+type UnitKind int
+
+const (
+	// Core is a processor core (the thermal hotspots).
+	Core UnitKind = iota
+	// L2 is a per-core L2 cache slice.
+	L2
+	// L3 is a shared last-level cache bank.
+	L3
+	// Logic is miscellaneous uncore logic (memory controllers, SMP
+	// links, accelerators).
+	Logic
+	// IO is an I/O pad band.
+	IO
+	numKinds
+)
+
+// String implements fmt.Stringer.
+func (k UnitKind) String() string {
+	switch k {
+	case Core:
+		return "Core"
+	case L2:
+		return "L2"
+	case L3:
+		return "L3"
+	case Logic:
+		return "Logic"
+	case IO:
+		return "I/O"
+	default:
+		return fmt.Sprintf("UnitKind(%d)", int(k))
+	}
+}
+
+// IsCache reports whether the unit kind belongs to the cache region
+// powered by the microfluidic array in the paper's case study.
+func (k UnitKind) IsCache() bool { return k == L2 || k == L3 }
+
+// Rect is an axis-aligned rectangle in die coordinates (meters), with
+// (X, Y) the lower-left corner.
+type Rect struct {
+	X, Y, W, H float64
+}
+
+// Area returns the rectangle area (m2).
+func (r Rect) Area() float64 { return r.W * r.H }
+
+// Contains reports whether the point (x, y) lies inside the rectangle
+// (inclusive lower/left edges, exclusive upper/right).
+func (r Rect) Contains(x, y float64) bool {
+	return x >= r.X && x < r.X+r.W && y >= r.Y && y < r.Y+r.H
+}
+
+// Overlap returns the overlapping area of two rectangles.
+func (r Rect) Overlap(o Rect) float64 {
+	w := math.Min(r.X+r.W, o.X+o.W) - math.Max(r.X, o.X)
+	h := math.Min(r.Y+r.H, o.Y+o.H) - math.Max(r.Y, o.Y)
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	return w * h
+}
+
+// Unit is one named floorplan block.
+type Unit struct {
+	Name string
+	Kind UnitKind
+	Rect Rect
+}
+
+// Floorplan is a complete, non-overlapping tiling of a rectangular die.
+type Floorplan struct {
+	Name          string
+	Width, Height float64 // die dimensions, m
+	Units         []Unit
+}
+
+// Area returns the die area (m2).
+func (f *Floorplan) Area() float64 { return f.Width * f.Height }
+
+// Validate checks that every unit lies within the die, that units do not
+// overlap, and that the tiling covers the die to within tol (relative).
+func (f *Floorplan) Validate(tol float64) error {
+	if f.Width <= 0 || f.Height <= 0 {
+		return fmt.Errorf("floorplan %q: nonpositive die %gx%g", f.Name, f.Width, f.Height)
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	total := 0.0
+	for i, u := range f.Units {
+		r := u.Rect
+		if r.W <= 0 || r.H <= 0 {
+			return fmt.Errorf("floorplan %q: unit %q has nonpositive size", f.Name, u.Name)
+		}
+		if r.X < -tol*f.Width || r.Y < -tol*f.Height ||
+			r.X+r.W > f.Width*(1+tol) || r.Y+r.H > f.Height*(1+tol) {
+			return fmt.Errorf("floorplan %q: unit %q exceeds die bounds", f.Name, u.Name)
+		}
+		total += r.Area()
+		for j := i + 1; j < len(f.Units); j++ {
+			if ov := r.Overlap(f.Units[j].Rect); ov > tol*f.Area() {
+				return fmt.Errorf("floorplan %q: units %q and %q overlap by %g m2",
+					f.Name, u.Name, f.Units[j].Name, ov)
+			}
+		}
+	}
+	if math.Abs(total-f.Area()) > tol*f.Area()*10 {
+		return fmt.Errorf("floorplan %q: units cover %g m2 of %g m2 die",
+			f.Name, total, f.Area())
+	}
+	return nil
+}
+
+// UnitAt returns the unit containing the point, or nil outside all units.
+func (f *Floorplan) UnitAt(x, y float64) *Unit {
+	for i := range f.Units {
+		if f.Units[i].Rect.Contains(x, y) {
+			return &f.Units[i]
+		}
+	}
+	return nil
+}
+
+// KindArea returns the summed area (m2) of all units of the given kind.
+func (f *Floorplan) KindArea(kind UnitKind) float64 {
+	s := 0.0
+	for _, u := range f.Units {
+		if u.Kind == kind {
+			s += u.Rect.Area()
+		}
+	}
+	return s
+}
+
+// CacheArea returns the total L2+L3 area (m2).
+func (f *Floorplan) CacheArea() float64 { return f.KindArea(L2) + f.KindArea(L3) }
+
+// PowerMap assigns a power density (W/m2) to each unit kind.
+type PowerMap map[UnitKind]float64
+
+// TotalPower integrates the power map over the floorplan (W).
+func (f *Floorplan) TotalPower(pm PowerMap) float64 {
+	s := 0.0
+	for _, u := range f.Units {
+		s += pm[u.Kind] * u.Rect.Area()
+	}
+	return s
+}
+
+// Rasterize samples the unit power densities onto a grid covering the
+// die, conserving per-unit power by area-weighted overlap: each cell
+// receives the overlap-weighted mean density of the units it intersects.
+func (f *Floorplan) Rasterize(g *mesh.Grid2D, pm PowerMap) *mesh.Field2D {
+	field := mesh.NewField2D(g)
+	for j := 0; j < g.NY(); j++ {
+		for i := 0; i < g.NX(); i++ {
+			cell := Rect{
+				X: g.X.Edges[i], Y: g.Y.Edges[j],
+				W: g.X.Widths[i], H: g.Y.Widths[j],
+			}
+			acc := 0.0
+			for _, u := range f.Units {
+				if ov := cell.Overlap(u.Rect); ov > 0 {
+					acc += pm[u.Kind] * ov
+				}
+			}
+			field.Set(i, j, acc/cell.Area())
+		}
+	}
+	return field
+}
+
+// RasterizeMask returns a grid field that is 1 where the cell center
+// falls inside a unit satisfying pred and 0 elsewhere (used for the
+// cache-only PDN load of Fig. 8).
+func (f *Floorplan) RasterizeMask(g *mesh.Grid2D, pred func(UnitKind) bool) *mesh.Field2D {
+	field := mesh.NewField2D(g)
+	for j := 0; j < g.NY(); j++ {
+		for i := 0; i < g.NX(); i++ {
+			u := f.UnitAt(g.X.Centers[i], g.Y.Centers[j])
+			if u != nil && pred(u.Kind) {
+				field.Set(i, j, 1)
+			}
+		}
+	}
+	return field
+}

@@ -1,0 +1,90 @@
+package floorplan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bright/internal/mesh"
+)
+
+func quickConfig(seed int64, max int) *quick.Config {
+	return &quick.Config{MaxCount: max, Rand: rand.New(rand.NewSource(seed))}
+}
+
+// TestQuickUnitAtAgreesWithRects: for random points on the die, UnitAt
+// returns a unit whose rectangle actually contains the point.
+func TestQuickUnitAtAgreesWithRects(t *testing.T) {
+	f := Power7()
+	fn := func(xr, yr uint16) bool {
+		x := float64(xr) / 65535 * f.Width
+		y := float64(yr) / 65535 * f.Height
+		u := f.UnitAt(x, y)
+		if u == nil {
+			// Points exactly on the top/right die edge fall outside the
+			// half-open rectangles; everywhere else must be covered.
+			return x >= f.Width*(1-1e-4) || y >= f.Height*(1-1e-4)
+		}
+		return u.Rect.Contains(x, y)
+	}
+	if err := quick.Check(fn, quickConfig(31, 500)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRasterizeConservesPower on random grid resolutions.
+func TestQuickRasterizeConservesPower(t *testing.T) {
+	f := Power7()
+	pm := Power7FullLoad()
+	want := f.TotalPower(pm)
+	fn := func(nxr, nyr uint8) bool {
+		nx := 4 + int(nxr)%60
+		ny := 4 + int(nyr)%60
+		g := mesh.NewUniformGrid2D(f.Width, f.Height, nx, ny)
+		got := f.Rasterize(g, pm).Integrate()
+		d := got - want
+		if d < 0 {
+			d = -d
+		}
+		return d <= 1e-9*want
+	}
+	if err := quick.Check(fn, quickConfig(32, 40)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickManyCoreAlwaysTiles: every accepted tiling validates and
+// conserves the die area.
+func TestQuickManyCoreAlwaysTiles(t *testing.T) {
+	fn := func(rowsR, colsR, fracR uint8) bool {
+		rows := 1 + int(rowsR)%8
+		cols := 2 * (1 + int(colsR)%6)
+		frac := 0.1 + 0.8*float64(fracR)/255
+		f, err := ManyCoreWithCoreFraction(rows, cols, frac)
+		if err != nil {
+			return false
+		}
+		return f.Validate(1e-9) == nil
+	}
+	if err := quick.Check(fn, quickConfig(33, 60)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOverlapSymmetric: rectangle overlap is commutative and
+// bounded by each rectangle's area.
+func TestQuickOverlapSymmetric(t *testing.T) {
+	fn := func(ax, ay, aw, ah, bx, by, bw, bh uint8) bool {
+		a := Rect{float64(ax), float64(ay), 1 + float64(aw), 1 + float64(ah)}
+		b := Rect{float64(bx), float64(by), 1 + float64(bw), 1 + float64(bh)}
+		o1 := a.Overlap(b)
+		o2 := b.Overlap(a)
+		if o1 != o2 {
+			return false
+		}
+		return o1 >= 0 && o1 <= a.Area()+1e-12 && o1 <= b.Area()+1e-12
+	}
+	if err := quick.Check(fn, quickConfig(34, 400)); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+package flowcell
+
+import (
+	"math"
+	"testing"
+
+	"bright/internal/units"
+)
+
+func TestPower7ArrayHeadline(t *testing.T) {
+	// Paper Fig. 7: "at a supply voltage of 1 V, the proposed
+	// microfluidic flow cell array can provide a current of 6 A".
+	a := Power7Array()
+	op, err := a.CurrentAtVoltage(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(op.Current-6.0) > 0.9 {
+		t.Fatalf("I(1.0 V) = %.2f A, paper says 6 A (+-15%%)", op.Current)
+	}
+	// That is >= the 5 A the caches need and >= 6 W of power
+	// (the paper's "up to 6 W" claim).
+	if op.Power < 5.0 {
+		t.Fatalf("array power %.2f W below cache demand", op.Power)
+	}
+}
+
+func TestPower7ArrayOCV(t *testing.T) {
+	// Fig. 7 voltage intercept ~1.6-1.7 V.
+	a := Power7Array()
+	curve, err := a.Polarize(5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve[0].Voltage < 1.55 || curve[0].Voltage > 1.75 {
+		t.Fatalf("array OCV %.3f outside Fig. 7 intercept band", curve[0].Voltage)
+	}
+}
+
+func TestArrayScalesChannelCount(t *testing.T) {
+	// Doubling channels at fixed per-channel flow doubles current at
+	// any voltage.
+	base := Power7Array()
+	double := &Array{Cell: base.Cell, NChannels: 176}
+	op1, err := base.CurrentAtVoltage(1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op2, err := double.CurrentAtVoltage(1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, op2.Current, 2*op1.Current, 1e-6, "current scales with channels")
+	approx(t, op2.Power, 2*op1.Power, 1e-6, "power scales with channels")
+}
+
+func TestArrayVoltageAtCurrentMatchesCell(t *testing.T) {
+	a := Power7Array()
+	op, err := a.VoltageAtCurrent(4.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellOp, err := a.Cell.VoltageAtCurrent(4.4 / 88)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, op.Voltage, cellOp.Voltage, 1e-12, "array voltage == cell voltage")
+	approx(t, op.Current, 4.4, 1e-12, "array current preserved")
+}
+
+func TestArrayPolarizeMonotone(t *testing.T) {
+	a := Power7Array()
+	curve, err := a.Polarize(25, 0.97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !curve.IsMonotoneDecreasing() {
+		t.Fatal("array V-I not monotone")
+	}
+	// The limiting current must comfortably exceed the 5-6 A demand.
+	if lim := a.LimitingCurrent(); lim < 6.0 {
+		t.Fatalf("array limiting current %.2f A below demand", lim)
+	}
+}
+
+func TestArrayHydraulics(t *testing.T) {
+	// Section III-B: pumping power at Table II flow with a 50% pump.
+	a := Power7Array()
+	net := a.HydraulicNetwork(1.5, 0.5)
+	rep, err := net.Evaluate(a.TotalFlowRate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Our self-consistent laminar hydraulics give ~0.4-1.5 W (the paper
+	// quotes 4.4 W from a 1.5 bar/cm gradient that is not reproducible
+	// from its own Table II geometry; see EXPERIMENTS.md).
+	if rep.PumpPower <= 0 || rep.PumpPower > 5 {
+		t.Fatalf("pump power %.2f W outside plausible range", rep.PumpPower)
+	}
+	// The net energy balance of the paper's claim: generation (~6 W)
+	// must exceed pumping.
+	op, err := a.CurrentAtVoltage(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Power <= rep.PumpPower {
+		t.Fatalf("generated %.2f W must exceed pumping %.2f W", op.Power, rep.PumpPower)
+	}
+}
+
+func TestArrayHeat(t *testing.T) {
+	a := Power7Array()
+	op, err := a.CurrentAtVoltage(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := a.HeatDissipation(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heat = I*(OCV-V) ~ 6*(1.648-1.0) ~ 3.9 W.
+	approx(t, q, op.Current*(1.648-1.0), 0.05, "array heat")
+}
+
+func TestArrayValidate(t *testing.T) {
+	a := Power7Array()
+	a.NChannels = 0
+	if err := a.Validate(); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+	if _, err := a.CurrentAtVoltage(1); err == nil {
+		t.Fatal("invalid array solved")
+	}
+	if _, err := a.VoltageAtCurrent(1); err == nil {
+		t.Fatal("invalid array solved")
+	}
+	if _, err := a.Polarize(5, 0.9); err == nil {
+		t.Fatal("invalid array polarized")
+	}
+}
+
+func TestHotterArrayMakesMorePower(t *testing.T) {
+	// Section III-B: raising the inlet to 37 C increases generated
+	// power at fixed potential (quantified in the cosim package; here
+	// we assert the direction at array level).
+	cold := Power7ArrayAt(676, units.CtoK(27))
+	hot := Power7ArrayAt(676, units.CtoK(37))
+	opCold, err := cold.CurrentAtVoltage(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opHot, err := hot.CurrentAtVoltage(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opHot.Current <= opCold.Current {
+		t.Fatalf("hot inlet must raise current: %.2f vs %.2f", opHot.Current, opCold.Current)
+	}
+}
+
+func TestLowFlowArrayStillPowersCaches(t *testing.T) {
+	// The 48 ml/min low-flow case of Section III-B must still be a
+	// solvable operating regime.
+	low := Power7ArrayAt(48, 300)
+	if lim := low.LimitingCurrent(); lim < 2 {
+		t.Fatalf("48 ml/min limiting current %.2f A unexpectedly low", lim)
+	}
+}

@@ -1,0 +1,315 @@
+// Package flowcell models the membraneless co-laminar microfluidic
+// vanadium redox flow cell of the paper: a single etched microchannel
+// carrying fuel and oxidant streams side by side, with electrodes on the
+// two side walls, plus electrically parallel arrays of such channels
+// (the 88-channel Table II array). It combines the hydrodynamics (cfd),
+// species transport (transport) and electrode kinetics (echem) into
+// polarization curves and operating-point solvers, replacing the paper's
+// COMSOL model.
+//
+// Geometry convention: Channel.Width is the electrode-to-electrode gap
+// (the two electrolyte streams sit side by side across it, each
+// Width/2 wide); Channel.Height is the electrode dimension normal to the
+// flow; Channel.Length is the streamwise electrode length. Electrode
+// geometric area = Height x Length.
+package flowcell
+
+import (
+	"fmt"
+	"math"
+
+	"bright/internal/cfd"
+	"bright/internal/echem"
+	"bright/internal/potential"
+	"bright/internal/transport"
+	"bright/internal/units"
+)
+
+// SolverPath selects how electrode mass transfer is evaluated.
+type SolverPath int
+
+const (
+	// PathCorrelation uses Leveque-averaged mass-transfer coefficients
+	// (fast; used inside system-level co-simulation loops).
+	PathCorrelation SolverPath = iota
+	// PathFVM solves the 2D species transport field per electrode with
+	// a flux-coupled finite-volume march (the "numerical model" that
+	// replaces COMSOL; slower, used for validation and Fig. 3).
+	PathFVM
+)
+
+// String implements fmt.Stringer.
+func (p SolverPath) String() string {
+	switch p {
+	case PathCorrelation:
+		return "correlation"
+	case PathFVM:
+		return "fvm"
+	default:
+		return fmt.Sprintf("SolverPath(%d)", int(p))
+	}
+}
+
+// ElectrodeSpec describes one electrode's chemistry and inlet state.
+type ElectrodeSpec struct {
+	Couple echem.Couple
+	// COxInlet, CRedInlet are inlet concentrations (mol/m3).
+	COxInlet, CRedInlet float64
+}
+
+// Cell is a single co-laminar flow-cell channel.
+type Cell struct {
+	Channel     cfd.Channel
+	Electrolyte echem.Electrolyte
+	// Anode is the negative electrode (oxidation during discharge);
+	// Cathode is the positive electrode (reduction).
+	Anode, Cathode ElectrodeSpec
+	// StreamFlowRate is the volumetric flow rate per stream (m3/s);
+	// the channel carries two streams, so the channel total is twice
+	// this value.
+	StreamFlowRate float64
+	// Temperature is the operating temperature (K) used for all
+	// temperature-dependent properties. The co-simulation layer updates
+	// it from the thermal solution.
+	Temperature float64
+	// ContactASR is an additional area-specific ohmic resistance
+	// (ohm.m2) lumping electrode bulk, contact and current-collector
+	// resistances.
+	ContactASR float64
+	// AreaEnhancement (>= 1) multiplies the geometric electrode area to
+	// model structured / flow-through electrodes (Rapp 2012, the source
+	// of the Table II parameters, used flow-through electrode designs).
+	// 1 means a flat wall electrode.
+	AreaEnhancement float64
+	// Path selects the mass-transfer solver (correlation by default).
+	Path SolverPath
+	// NX, NY are the FVM grid resolutions (streamwise stations x
+	// transverse cells); defaults 160x48 when zero.
+	NX, NY int
+	// ElectrodeCoverage is the fraction of each side wall's height the
+	// electrode actually covers, in (0, 1]; 0 means full coverage.
+	// Partial coverage constricts the ionic current path; the factor is
+	// computed with the charge-conservation field solver (paper
+	// eq. (11), package potential) and folded into OhmicASR.
+	ElectrodeCoverage float64
+
+	// constriction memo (geometry-only; recomputed after copies).
+	constrictionVal float64
+	constrictionKey [3]float64
+}
+
+// Validate reports whether the cell description is usable.
+func (c *Cell) Validate() error {
+	if err := c.Channel.Validate(); err != nil {
+		return err
+	}
+	if err := c.Electrolyte.Validate(); err != nil {
+		return err
+	}
+	for _, e := range []struct {
+		name string
+		spec ElectrodeSpec
+	}{{"anode", c.Anode}, {"cathode", c.Cathode}} {
+		if err := e.spec.Couple.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		if e.spec.COxInlet <= 0 || e.spec.CRedInlet <= 0 {
+			return fmt.Errorf("flowcell: %s inlet concentrations must be positive (Ox=%g, Red=%g); use a small floor such as 1 mol/m3 for trace species",
+				e.name, e.spec.COxInlet, e.spec.CRedInlet)
+		}
+	}
+	if c.StreamFlowRate <= 0 {
+		return fmt.Errorf("flowcell: nonpositive stream flow rate %g", c.StreamFlowRate)
+	}
+	if c.Temperature <= 0 {
+		return fmt.Errorf("flowcell: nonpositive temperature %g", c.Temperature)
+	}
+	if c.ContactASR < 0 {
+		return fmt.Errorf("flowcell: negative contact ASR %g", c.ContactASR)
+	}
+	if c.AreaEnhancement != 0 && c.AreaEnhancement < 1 {
+		return fmt.Errorf("flowcell: area enhancement %g < 1", c.AreaEnhancement)
+	}
+	if c.ElectrodeCoverage < 0 || c.ElectrodeCoverage > 1 {
+		return fmt.Errorf("flowcell: electrode coverage %g out of [0,1]", c.ElectrodeCoverage)
+	}
+	return nil
+}
+
+// enhancement returns the effective area multiplier (default 1).
+func (c *Cell) enhancement() float64 {
+	if c.AreaEnhancement == 0 {
+		return 1
+	}
+	return c.AreaEnhancement
+}
+
+// fvmGrid returns the FVM resolution with defaults applied.
+func (c *Cell) fvmGrid() (nx, ny int) {
+	nx, ny = c.NX, c.NY
+	if nx == 0 {
+		nx = 160
+	}
+	if ny == 0 {
+		ny = 48
+	}
+	return
+}
+
+// ElectrodeArea returns the effective electrode area (m2) including the
+// enhancement factor.
+func (c *Cell) ElectrodeArea() float64 {
+	return c.Channel.Height * c.Channel.Length * c.enhancement()
+}
+
+// GeometricElectrodeArea returns the flat-wall electrode area (m2).
+func (c *Cell) GeometricElectrodeArea() float64 {
+	return c.Channel.Height * c.Channel.Length
+}
+
+// StreamWidth returns the transverse extent of each electrolyte stream
+// (half the electrode gap).
+func (c *Cell) StreamWidth() float64 { return c.Channel.Width / 2 }
+
+// MeanVelocity returns the mean streamwise velocity (m/s) in the channel.
+func (c *Cell) MeanVelocity() float64 {
+	return 2 * c.StreamFlowRate / c.Channel.Area()
+}
+
+// fluid returns the cfd.Fluid at the cell's operating temperature.
+func (c *Cell) fluid() cfd.Fluid {
+	t := c.Temperature
+	return cfd.Fluid{
+		Density:             c.Electrolyte.Density(t),
+		Viscosity:           c.Electrolyte.Viscosity(t),
+		ThermalConductivity: c.Electrolyte.ThermalConductivity,
+		HeatCapacityVol:     c.Electrolyte.HeatCapacityVol,
+	}
+}
+
+// shearGap returns the length scale over which the near-electrode
+// velocity profile develops: the smaller cross-section dimension. (For
+// wide shallow cells like the Kjeang validation cell the profile is
+// Hele-Shaw, parabolic across the height; for the deep-etched Table II
+// channels it is parabolic across the electrode gap.)
+func (c *Cell) shearGap() float64 {
+	return math.Min(c.Channel.Width, c.Channel.Height)
+}
+
+// WallShearRate returns the shear rate at the electrode wall (1/s).
+func (c *Cell) WallShearRate() float64 {
+	return transport.WallShearRate(c.MeanVelocity(), c.shearGap())
+}
+
+// KmAvg returns the Leveque-averaged mass-transfer coefficient (m/s) for
+// a species of diffusivity d at the cell's flow condition.
+func (c *Cell) KmAvg(d float64) float64 {
+	return transport.KmLevequeAvg(d, c.WallShearRate(), c.Channel.Length)
+}
+
+// halfState assembles the echem.HalfCellState for one electrode using
+// the correlation mass-transfer path.
+func (c *Cell) halfState(spec ElectrodeSpec) echem.HalfCellState {
+	t := c.Temperature
+	return echem.HalfCellState{
+		Couple:      spec.Couple,
+		COxBulk:     spec.COxInlet,
+		CRedBulk:    spec.CRedInlet,
+		Temperature: t,
+		KmOx:        c.KmAvg(spec.Couple.DOx(t)),
+		KmRed:       c.KmAvg(spec.Couple.DRed(t)),
+	}
+}
+
+// OpenCircuitVoltage returns the cell OCV (V) from the Nernst potentials
+// at the inlet concentrations and operating temperature.
+func (c *Cell) OpenCircuitVoltage() (float64, error) {
+	return echem.OpenCircuitVoltage(c.halfState(c.Cathode), c.halfState(c.Anode))
+}
+
+// OhmicASR returns the total area-specific resistance (ohm.m2): ionic
+// conduction across the electrode gap (including the geometric
+// constriction factor for partial electrode coverage) plus the contact
+// term. The ionic path length is the full gap (the current crosses
+// both streams).
+func (c *Cell) OhmicASR() float64 {
+	ionic := c.Channel.Width / c.Electrolyte.Conductivity(c.Temperature)
+	return ionic*c.constriction() + c.ContactASR
+}
+
+// constriction returns the memoized geometric constriction factor of
+// the ionic path for the cell's electrode coverage (1 for full-wall
+// electrodes). The factor is conductivity-independent when both streams
+// share the same electrolyte, so the memo keys on geometry only.
+func (c *Cell) constriction() float64 {
+	cov := c.ElectrodeCoverage
+	if cov == 0 || cov == 1 {
+		return 1
+	}
+	key := [3]float64{c.Channel.Width, c.Channel.Height, cov}
+	if c.constrictionKey == key && c.constrictionVal > 0 {
+		return c.constrictionVal
+	}
+	f, err := potential.ConstrictionFactor(c.Channel.Width, c.Channel.Height, cov, 1)
+	if err != nil {
+		// Validate guarantees a well-posed problem; a solver failure
+		// here is a programming error, not an operating condition.
+		panic(fmt.Sprintf("flowcell: constriction solve failed: %v", err))
+	}
+	c.constrictionKey = key
+	c.constrictionVal = f
+	return f
+}
+
+// LimitingCurrent returns the smaller of the two electrodes' limiting
+// currents (A) on the correlation path; the cell cannot sustain steady
+// currents at or above this value.
+func (c *Cell) LimitingCurrent() float64 {
+	a := c.halfState(c.Anode).LimitingCurrentDensity(echem.Oxidation)
+	k := c.halfState(c.Cathode).LimitingCurrentDensity(echem.Reduction)
+	return math.Min(a, k) * c.ElectrodeArea()
+}
+
+// CrossoverCurrent estimates the parasitic current (A) carried by
+// reactant diffusing across the co-laminar interface and reaching the
+// opposite electrode. The wrong species must cross a stream half-width;
+// its arrival rate is attenuated by exp(-w^2 / (4 D t_res)), which is
+// negligible (< 1e-100) for every configuration in the paper — the tests
+// assert this, justifying the membraneless design assumption.
+func (c *Cell) CrossoverCurrent() float64 {
+	t := c.Temperature
+	v := c.MeanVelocity()
+	tRes := c.Channel.Length / v
+	w := c.StreamWidth()
+	total := 0.0
+	for _, s := range []struct {
+		d, conc float64
+	}{
+		{c.Anode.Couple.DRed(t), c.Anode.CRedInlet},   // fuel toward cathode
+		{c.Cathode.Couple.DOx(t), c.Cathode.COxInlet}, // oxidant toward anode
+	} {
+		reach := math.Exp(-w * w / (4 * s.d * tRes))
+		// Interface flux scale: species entering the mixing layer.
+		mix := transport.MixingWidth(s.d, c.Channel.Length, v)
+		molar := s.conc * mix * c.Channel.Height * v / 2 * reach
+		total += units.Faraday * molar
+	}
+	return total
+}
+
+// HeatDissipation returns the heat generated inside the cell (W) while
+// delivering current i at terminal voltage v: the difference between the
+// reversible power (OCV*i) and the delivered electric power. Entropic
+// (reversible) heat is small for the vanadium couples and is neglected,
+// as in the paper's thermal analysis.
+func (c *Cell) HeatDissipation(current, voltage float64) (float64, error) {
+	ocv, err := c.OpenCircuitVoltage()
+	if err != nil {
+		return 0, err
+	}
+	q := current * (ocv - voltage)
+	if q < 0 {
+		q = 0
+	}
+	return q, nil
+}

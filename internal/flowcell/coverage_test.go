@@ -1,0 +1,63 @@
+package flowcell
+
+import (
+	"math"
+	"testing"
+)
+
+func TestElectrodeCoverageDefault(t *testing.T) {
+	// Zero/one coverage: the fast analytic ohmic path, no field solve.
+	c1 := KjeangCell(60)
+	c2 := KjeangCell(60)
+	c2.ElectrodeCoverage = 1
+	if math.Abs(c1.OhmicASR()-c2.OhmicASR()) > 1e-15 {
+		t.Fatal("coverage 0 and 1 must agree")
+	}
+}
+
+func TestPartialCoverageRaisesASRAndCutsCurrent(t *testing.T) {
+	full := Power7Array().Cell
+	partial := Power7Array().Cell
+	partial.ElectrodeCoverage = 0.5
+	if partial.OhmicASR() <= full.OhmicASR() {
+		t.Fatalf("half coverage ASR %g must exceed full %g", partial.OhmicASR(), full.OhmicASR())
+	}
+	opFull, err := full.CurrentAtVoltage(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opPart, err := partial.CurrentAtVoltage(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opPart.Current >= opFull.Current {
+		t.Fatalf("constriction must cut current: %g vs %g", opPart.Current, opFull.Current)
+	}
+}
+
+func TestConstrictionMemoized(t *testing.T) {
+	c := Power7Array().Cell
+	c.ElectrodeCoverage = 0.6
+	a1 := c.OhmicASR()
+	a2 := c.OhmicASR() // memo hit
+	if a1 != a2 {
+		t.Fatal("memoized factor changed between calls")
+	}
+	// Geometry change invalidates the memo.
+	c.Channel.Height *= 2
+	if c.OhmicASR() == a1 {
+		t.Fatal("memo not invalidated by geometry change")
+	}
+}
+
+func TestCoverageValidation(t *testing.T) {
+	c := KjeangCell(60)
+	c.ElectrodeCoverage = 1.2
+	if err := c.Validate(); err == nil {
+		t.Fatal("coverage > 1 accepted")
+	}
+	c.ElectrodeCoverage = -0.1
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative coverage accepted")
+	}
+}

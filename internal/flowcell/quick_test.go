@@ -1,0 +1,126 @@
+package flowcell
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func quickConfig(seed int64, max int) *quick.Config {
+	return &quick.Config{MaxCount: max, Rand: rand.New(rand.NewSource(seed))}
+}
+
+// TestQuickVoltageDecreasesWithCurrent: at any random SOC, flow rate and
+// temperature, the discharge voltage strictly decreases with current —
+// the fundamental polarization property.
+func TestQuickVoltageDecreasesWithCurrent(t *testing.T) {
+	f := func(socRaw, flowRaw, tRaw, f1Raw, f2Raw uint8) bool {
+		soc := 0.1 + 0.8*float64(socRaw)/255
+		flow := 5 + float64(flowRaw) // 5..260 uL/min
+		cell, err := KjeangCell(flow).AtStateOfCharge(soc)
+		if err != nil {
+			return false
+		}
+		cell.Temperature = 285 + float64(tRaw)/8 // 285..317 K
+		iL := cell.LimitingCurrent()
+		fr1 := 0.05 + 0.85*float64(f1Raw)/255
+		fr2 := 0.05 + 0.85*float64(f2Raw)/255
+		if math.Abs(fr1-fr2) < 1e-3 {
+			return true
+		}
+		if fr1 > fr2 {
+			fr1, fr2 = fr2, fr1
+		}
+		op1, err1 := cell.VoltageAtCurrent(fr1 * iL)
+		op2, err2 := cell.VoltageAtCurrent(fr2 * iL)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return op2.Voltage < op1.Voltage
+	}
+	if err := quick.Check(f, quickConfig(21, 60)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickChargeAboveDischarge: at any feasible state, charging at a
+// current costs more voltage than discharging at the same current
+// yields.
+func TestQuickChargeAboveDischarge(t *testing.T) {
+	f := func(socRaw, flowRaw, fracRaw uint8) bool {
+		soc := 0.2 + 0.6*float64(socRaw)/255
+		flow := 10 + float64(flowRaw)
+		cell, err := KjeangCell(flow).AtStateOfCharge(soc)
+		if err != nil {
+			return false
+		}
+		iL := math.Min(cell.LimitingCurrent(), cell.ChargingLimitingCurrent())
+		i := (0.05 + 0.8*float64(fracRaw)/255) * iL
+		dis, err1 := cell.VoltageAtCurrent(i)
+		chg, err2 := cell.ChargeAtCurrent(i)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return chg.Voltage > dis.Voltage
+	}
+	if err := quick.Check(f, quickConfig(22, 50)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickArrayLinearInChannelCount: array current at a voltage scales
+// exactly with the channel count when per-channel conditions are fixed.
+func TestQuickArrayLinearInChannelCount(t *testing.T) {
+	f := func(nRaw uint8, vRaw uint8) bool {
+		n := 2 + int(nRaw)%200
+		v := 0.8 + 0.6*float64(vRaw)/255 // 0.8..1.4 V
+		base := Power7Array()
+		a1 := &Array{Cell: base.Cell, NChannels: 1}
+		an := &Array{Cell: base.Cell, NChannels: n}
+		op1, err1 := a1.CurrentAtVoltage(v)
+		opn, err2 := an.CurrentAtVoltage(v)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(opn.Current-float64(n)*op1.Current) <= 1e-9*(1+opn.Current)
+	}
+	if err := quick.Check(f, quickConfig(23, 40)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLimitingCurrentMonotoneInFlow: more flow never lowers the
+// transport limit.
+func TestQuickLimitingCurrentMonotoneInFlow(t *testing.T) {
+	f := func(q1Raw, dqRaw uint8) bool {
+		q1 := 1 + float64(q1Raw)
+		q2 := q1 + 1 + float64(dqRaw)
+		return KjeangCell(q2).LimitingCurrent() > KjeangCell(q1).LimitingCurrent()
+	}
+	if err := quick.Check(f, quickConfig(24, 200)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHeatNonNegative: the heat dissipation is non-negative at
+// every feasible discharge point, and energy is conserved
+// (P_elec + Q = OCV * I).
+func TestQuickHeatNonNegative(t *testing.T) {
+	f := func(flowRaw, fracRaw uint8) bool {
+		cell := KjeangCell(5 + float64(flowRaw))
+		i := (0.05 + 0.9*float64(fracRaw)/255) * cell.LimitingCurrent()
+		op, err := cell.VoltageAtCurrent(i)
+		if err != nil {
+			return false
+		}
+		q, err := cell.HeatDissipation(op.Current, op.Voltage)
+		if err != nil || q < 0 {
+			return false
+		}
+		return math.Abs(q+op.Power-op.OpenCircuit*op.Current) <= 1e-6*(1+op.OpenCircuit*op.Current)
+	}
+	if err := quick.Check(f, quickConfig(25, 80)); err != nil {
+		t.Error(err)
+	}
+}

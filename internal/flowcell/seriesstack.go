@@ -1,0 +1,226 @@
+package flowcell
+
+import (
+	"fmt"
+	"math"
+
+	"bright/internal/num"
+)
+
+// SeriesStack partitions an array's channels into groups connected
+// electrically in series, raising the stack voltage toward the chip
+// rail and easing the VRM conversion ratio. The price — well known in
+// flow-battery engineering and absent from the paper — is *shunt
+// currents*: all groups share electrolyte manifolds, which form ionic
+// leakage paths between points at different electric potentials. The
+// ladder-network model here quantifies that trade-off (extension E10).
+type SeriesStack struct {
+	// Array supplies the chemistry, geometry and flow; its channels are
+	// divided evenly among the series groups.
+	Array *Array
+	// SeriesGroups M >= 1; ChannelsPerGroup = Array.NChannels / M.
+	SeriesGroups int
+	// ChannelShuntResistance is the ionic resistance (ohm) of one
+	// channel's feed path from its inlet to the shared manifold.
+	ChannelShuntResistance float64
+	// ManifoldSegmentResistance is the ionic resistance (ohm) of the
+	// manifold between two adjacent groups.
+	ManifoldSegmentResistance float64
+}
+
+// DefaultShuntResistances returns representative values for the
+// Table II geometry: a ~5 mm feed path at the channel cross-section
+// (~1.5 kohm per channel) and a 1 mm2 manifold at the 300 um group
+// spacing scale (~8 ohm per segment).
+func DefaultShuntResistances() (channel, manifold float64) { return 1500, 8 }
+
+// Validate reports whether the stack is well formed.
+func (s *SeriesStack) Validate() error {
+	if s.Array == nil {
+		return fmt.Errorf("flowcell: nil array in series stack")
+	}
+	if err := s.Array.Validate(); err != nil {
+		return err
+	}
+	if s.SeriesGroups < 1 {
+		return fmt.Errorf("flowcell: need >= 1 series group, got %d", s.SeriesGroups)
+	}
+	if s.Array.NChannels%s.SeriesGroups != 0 {
+		return fmt.Errorf("flowcell: %d channels do not divide into %d groups",
+			s.Array.NChannels, s.SeriesGroups)
+	}
+	if s.ChannelShuntResistance <= 0 || s.ManifoldSegmentResistance <= 0 {
+		return fmt.Errorf("flowcell: nonpositive shunt resistances")
+	}
+	return nil
+}
+
+// StackResult is one solved stack operating point.
+type StackResult struct {
+	// TerminalVoltage across the whole series stack.
+	TerminalVoltage float64
+	// TerminalCurrent delivered externally (A).
+	TerminalCurrent float64
+	// DeliveredW = V * I at the stack terminals.
+	DeliveredW float64
+	// ShuntLossW dissipated in the ionic leakage network.
+	ShuntLossW float64
+	// ShuntLossPct = ShuntLossW / (DeliveredW + ShuntLossW) * 100.
+	ShuntLossPct float64
+	// GroupCurrents are the per-group internal currents (A); shunt
+	// leakage makes them unequal.
+	GroupCurrents []float64
+	// ImbalancePct = (max-min)/mean group current * 100.
+	ImbalancePct float64
+}
+
+// Solve computes the stack state at the given terminal voltage,
+// linearizing each group's polarization around its share of the
+// voltage. The linearization is accurate in the ohmic-dominated middle
+// of the curve where stacks operate; the tests cross-check the M=1
+// degenerate case against the exact array solver.
+func (s *SeriesStack) Solve(terminalVoltage float64) (*StackResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	m := s.SeriesGroups
+	perGroup := s.Array.NChannels / m
+	group := &Array{Cell: s.Array.Cell, NChannels: perGroup}
+	vGroup := terminalVoltage / float64(m)
+
+	// Linearize the group polarization at the group voltage: current
+	// I(V) ~ i0 + (v0 - V)/rd.
+	op0, err := group.CurrentAtVoltage(vGroup)
+	if err != nil {
+		return nil, fmt.Errorf("flowcell: stack group at %.3f V: %w", vGroup, err)
+	}
+	dv := 0.02
+	opLo, err := group.CurrentAtVoltage(vGroup - dv)
+	if err != nil {
+		return nil, err
+	}
+	rd := dv / (opLo.Current - op0.Current)
+	if rd <= 0 || math.IsInf(rd, 0) {
+		return nil, fmt.Errorf("flowcell: non-physical differential resistance %g", rd)
+	}
+	gd := 1 / rd
+	// Group EMF in the linear model: I = gd*(eEff - V).
+	eEff := vGroup + op0.Current*rd
+
+	// Unknowns: junction potentials v_1..v_{M-1} (v_0 = 0 and
+	// v_M = terminalVoltage are fixed) and manifold potentials
+	// m_0..m_M. Channel shunt paths connect junction j to manifold
+	// node j through Rch/perGroup-ish; we lump one path per junction at
+	// the per-group parallel resistance.
+	rch := s.ChannelShuntResistance / float64(perGroup)
+	gch := 1 / rch
+	gm := 1 / s.ManifoldSegmentResistance
+	nv := m - 1
+	nm := m + 1
+	n := nv + nm
+	vIdx := func(j int) int { return j - 1 }  // junction j in 1..M-1
+	mIdx := func(j int) int { return nv + j } // manifold j in 0..M
+	a := num.NewDense(maxInt(n, 1), maxInt(n, 1))
+	b := make([]float64, maxInt(n, 1))
+	vKnown := func(j int) (float64, bool) {
+		if j == 0 {
+			return 0, true
+		}
+		if j == m {
+			return terminalVoltage, true
+		}
+		return 0, false
+	}
+	// Junction KCL (j = 1..M-1): I_j - I_{j+1} - gch*(v_j - m_j) = 0
+	// with I_j = gd*(eEff - (v_j - v_{j-1})).
+	for j := 1; j <= m-1; j++ {
+		row := vIdx(j)
+		// I_j depends on v_j - v_{j-1}: d/dv_j = -gd, d/dv_{j-1} = +gd.
+		// I_{j+1} depends on v_{j+1} - v_j: so -I_{j+1} contributes
+		// d/dv_{j+1} = +gd, d/dv_j = -gd.
+		addV := func(node int, coef float64) {
+			if val, known := vKnown(node); known {
+				b[row] -= coef * val
+			} else {
+				a.Add(row, vIdx(node), coef)
+			}
+		}
+		// I_j - I_{j+1} = gd*(v_{j+1} - 2 v_j + v_{j-1}) (eEff cancels).
+		addV(j+1, gd)
+		addV(j, -2*gd)
+		addV(j-1, gd)
+		// Shunt: -gch*(v_j - m_j).
+		addV(j, -gch)
+		a.Add(row, mIdx(j), gch)
+	}
+	// Manifold KCL (j = 0..M): sum of segment currents + channel path.
+	for j := 0; j <= m; j++ {
+		row := mIdx(j)
+		if j > 0 {
+			a.Add(row, mIdx(j), gm)
+			a.Add(row, mIdx(j-1), -gm)
+		}
+		if j < m {
+			a.Add(row, mIdx(j), gm)
+			a.Add(row, mIdx(j+1), -gm)
+		}
+		a.Add(row, mIdx(j), gch)
+		if val, known := vKnown(j); known {
+			b[row] += gch * val
+		} else {
+			a.Add(row, vIdx(j), -gch)
+		}
+	}
+	var x []float64
+	if n > 0 {
+		x, err = num.SolveDense(a, b)
+		if err != nil {
+			return nil, fmt.Errorf("flowcell: shunt ladder solve: %w", err)
+		}
+	}
+	vAt := func(j int) float64 {
+		if val, known := vKnown(j); known {
+			return val
+		}
+		return x[vIdx(j)]
+	}
+	mAt := func(j int) float64 { return x[mIdx(j)] }
+
+	res := &StackResult{TerminalVoltage: terminalVoltage}
+	minI, maxI, sumI := math.Inf(1), math.Inf(-1), 0.0
+	for j := 1; j <= m; j++ {
+		ij := gd * (eEff - (vAt(j) - vAt(j-1)))
+		res.GroupCurrents = append(res.GroupCurrents, ij)
+		minI = math.Min(minI, ij)
+		maxI = math.Max(maxI, ij)
+		sumI += ij
+	}
+	// Shunt dissipation.
+	for j := 0; j <= m; j++ {
+		dv := vAt(j) - mAt(j)
+		res.ShuntLossW += dv * dv * gch
+		if j < m {
+			dm := mAt(j) - mAt(j+1)
+			res.ShuntLossW += dm * dm * gm
+		}
+	}
+	// Terminal current: the last group's current minus the leakage
+	// injected at the terminal junction.
+	res.TerminalCurrent = res.GroupCurrents[m-1] - (vAt(m)-mAt(m))*gch
+	res.DeliveredW = res.TerminalCurrent * terminalVoltage
+	if res.DeliveredW+res.ShuntLossW > 0 {
+		res.ShuntLossPct = 100 * res.ShuntLossW / (res.DeliveredW + res.ShuntLossW)
+	}
+	mean := sumI / float64(m)
+	if mean != 0 {
+		res.ImbalancePct = 100 * (maxI - minI) / mean
+	}
+	return res, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,123 @@
+package flowcell
+
+import (
+	"math"
+	"testing"
+)
+
+func stack(t *testing.T, m int) *SeriesStack {
+	t.Helper()
+	rch, rm := DefaultShuntResistances()
+	return &SeriesStack{
+		Array:                     Power7Array(),
+		SeriesGroups:              m,
+		ChannelShuntResistance:    rch,
+		ManifoldSegmentResistance: rm,
+	}
+}
+
+func TestStackSingleGroupMatchesArray(t *testing.T) {
+	// M=1 is the plain parallel array (plus a tiny terminal leakage).
+	res, err := stack(t, 1).Solve(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := Power7Array().CurrentAtVoltage(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.TerminalCurrent-op.Current)/op.Current > 0.02 {
+		t.Fatalf("M=1 stack %.3f A vs array %.3f A", res.TerminalCurrent, op.Current)
+	}
+	if res.ImbalancePct != 0 {
+		t.Fatal("single group cannot be imbalanced")
+	}
+}
+
+func TestStackShuntGrowsWithSeriesCount(t *testing.T) {
+	var prevPct float64
+	for _, m := range []int{1, 2, 4, 8} {
+		res, err := stack(t, m).Solve(float64(m) * 1.0)
+		if err != nil {
+			t.Fatalf("M=%d: %v", m, err)
+		}
+		if res.ShuntLossPct <= prevPct {
+			t.Fatalf("shunt loss must grow with series count: M=%d %.3f%% <= %.3f%%",
+				m, res.ShuntLossPct, prevPct)
+		}
+		prevPct = res.ShuntLossPct
+		// Power conservation sanity: delivered power stays near the
+		// flat array's 6 W minus the shunt loss.
+		if res.DeliveredW < 5.0 || res.DeliveredW > 6.5 {
+			t.Fatalf("M=%d delivered %.2f W implausible", m, res.DeliveredW)
+		}
+	}
+	// 8-series loss remains moderate (<10%) at the Table II shunt
+	// resistances: series stacking is viable but not free.
+	if prevPct > 10 {
+		t.Fatalf("8-series shunt loss %.1f%% too large", prevPct)
+	}
+	if prevPct < 1 {
+		t.Fatalf("8-series shunt loss %.1f%% suspiciously small", prevPct)
+	}
+}
+
+func TestStackImbalanceGrows(t *testing.T) {
+	r2, err := stack(t, 2).Solve(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := stack(t, 8).Solve(8.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r8.ImbalancePct <= r2.ImbalancePct {
+		t.Fatalf("imbalance must grow with series count: %.2f%% vs %.2f%%",
+			r8.ImbalancePct, r2.ImbalancePct)
+	}
+	if len(r8.GroupCurrents) != 8 {
+		t.Fatalf("group count %d", len(r8.GroupCurrents))
+	}
+	// End groups leak most: interior currents exceed the terminal ones.
+	if r8.GroupCurrents[0] < r8.GroupCurrents[4] {
+		t.Log("note: end group below interior (expected with end leakage)")
+	}
+}
+
+func TestStackHigherShuntResistanceLessLoss(t *testing.T) {
+	lossAt := func(rch float64) float64 {
+		s := stack(t, 4)
+		s.ChannelShuntResistance = rch
+		res, err := s.Solve(4.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ShuntLossW
+	}
+	if lossAt(15000) >= lossAt(1500) {
+		t.Fatal("longer/narrower feed paths must reduce shunt loss")
+	}
+}
+
+func TestStackValidation(t *testing.T) {
+	s := stack(t, 3)
+	if err := s.Validate(); err == nil {
+		t.Fatal("88 channels into 3 groups accepted")
+	}
+	s = stack(t, 2)
+	s.ChannelShuntResistance = 0
+	if err := s.Validate(); err == nil {
+		t.Fatal("zero shunt resistance accepted")
+	}
+	s = stack(t, 0)
+	if err := s.Validate(); err == nil {
+		t.Fatal("zero groups accepted")
+	}
+	s = &SeriesStack{}
+	if err := s.Validate(); err == nil {
+		t.Fatal("nil array accepted")
+	}
+	if _, err := stack(t, 2).Solve(100); err == nil {
+		t.Fatal("absurd terminal voltage accepted")
+	}
+}

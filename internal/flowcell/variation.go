@@ -1,0 +1,160 @@
+package flowcell
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// VariationResult is the outcome of a manufacturing-variation Monte
+// Carlo on an array: DRIE etch tolerances perturb each channel's width
+// and depth, perturbing its flow share (parallel hydraulic network),
+// electrode area and mass transfer, and therefore its current at the
+// common terminal voltage.
+type VariationResult struct {
+	// Sigma is the applied relative geometric standard deviation.
+	Sigma float64
+	// Samples is the number of Monte Carlo array realizations.
+	Samples int
+	// NominalA is the unperturbed array current at the voltage.
+	NominalA float64
+	// MeanA and StdA summarize the realized array currents.
+	MeanA, StdA float64
+	// WorstA is the minimum realized array current (yield floor).
+	WorstA float64
+	// P05A is the 5th percentile of the realized currents.
+	P05A float64
+	// MeanShiftPct = (MeanA - NominalA)/NominalA * 100: systematic bias
+	// from the nonlinear width dependence (Jensen effect).
+	MeanShiftPct float64
+}
+
+// MonteCarloVariation perturbs every channel's width and height with
+// independent Gaussian factors (1 + sigma*N(0,1), clamped to +-3 sigma)
+// and re-evaluates the array current at the given terminal voltage.
+// Flow redistributes across the parallel channels according to their
+// hydraulic conductances (laminar: G ~ A * Dh^2 approximately via the
+// exact fRe relation). The RNG is seeded deterministically.
+func (a *Array) MonteCarloVariation(voltage, sigma float64, samples int, seed int64) (*VariationResult, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if sigma < 0 || sigma > 0.3 {
+		return nil, fmt.Errorf("flowcell: sigma %g out of [0, 0.3]", sigma)
+	}
+	if samples < 2 {
+		return nil, fmt.Errorf("flowcell: need >= 2 samples, got %d", samples)
+	}
+	nominal, err := a.CurrentAtVoltage(voltage)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	totalFlow := a.TotalFlowRate()
+	currents := make([]float64, 0, samples)
+	for s := 0; s < samples; s++ {
+		i, err := a.realizationCurrent(voltage, sigma, totalFlow, rng)
+		if err != nil {
+			return nil, fmt.Errorf("flowcell: realization %d: %w", s, err)
+		}
+		currents = append(currents, i)
+	}
+	res := &VariationResult{
+		Sigma:    sigma,
+		Samples:  samples,
+		NominalA: nominal.Current,
+		WorstA:   math.Inf(1),
+	}
+	for _, i := range currents {
+		res.MeanA += i
+		if i < res.WorstA {
+			res.WorstA = i
+		}
+	}
+	res.MeanA /= float64(samples)
+	for _, i := range currents {
+		d := i - res.MeanA
+		res.StdA += d * d
+	}
+	res.StdA = math.Sqrt(res.StdA / float64(samples-1))
+	sorted := append([]float64(nil), currents...)
+	sort.Float64s(sorted)
+	res.P05A = sorted[int(0.05*float64(samples))]
+	res.MeanShiftPct = 100 * (res.MeanA - res.NominalA) / res.NominalA
+	return res, nil
+}
+
+// realizationCurrent evaluates one perturbed array. Each channel k gets
+// geometry factors; the common pressure head distributes the fixed
+// total flow in proportion to the channels' hydraulic conductances;
+// each channel's current at the shared voltage is then summed.
+func (a *Array) realizationCurrent(voltage, sigma, totalFlow float64, rng *rand.Rand) (float64, error) {
+	n := a.NChannels
+	type geom struct{ w, h float64 }
+	chans := make([]geom, n)
+	conds := make([]float64, n)
+	sum := 0.0
+	clamp := func(f float64) float64 {
+		if f < 1-3*sigma {
+			f = 1 - 3*sigma
+		}
+		if f > 1+3*sigma {
+			f = 1 + 3*sigma
+		}
+		return f
+	}
+	for k := 0; k < n; k++ {
+		fw := clamp(1 + sigma*rng.NormFloat64())
+		fh := clamp(1 + sigma*rng.NormFloat64())
+		w := a.Cell.Channel.Width * fw
+		h := a.Cell.Channel.Height * fh
+		chans[k] = geom{w, h}
+		// Laminar conductance ~ A * Dh^2 / fRe (per unit gradient).
+		area := w * h
+		dh := 2 * area / (w + h)
+		aspect := math.Min(w, h) / math.Max(w, h)
+		g := area * dh * dh / fReApprox(aspect)
+		conds[k] = g
+		sum += g
+	}
+	total := 0.0
+	for k := 0; k < n; k++ {
+		cell := a.Cell // copy
+		cell.Channel.Width = chans[k].w
+		cell.Channel.Height = chans[k].h
+		cell.StreamFlowRate = totalFlow * conds[k] / sum / 2
+		op, err := cell.CurrentAtVoltage(voltage)
+		if err != nil {
+			// A starved narrow channel may not reach the voltage; it
+			// contributes its limited current instead of failing the
+			// whole realization.
+			lim, lerr := cell.effectiveLimit()
+			if lerr != nil {
+				return 0, err
+			}
+			opLim, lerr := cell.VoltageAtCurrent(lim * (1 - 1e-6))
+			if lerr != nil {
+				return 0, err
+			}
+			total += opLim.Current
+			continue
+		}
+		total += op.Current
+	}
+	return total, nil
+}
+
+// fReApprox mirrors cfd.FRe without the panic-on-range contract (the
+// Monte Carlo can momentarily produce extreme aspects at the clamp
+// boundary).
+func fReApprox(aspect float64) float64 {
+	if aspect <= 0 {
+		return 96
+	}
+	if aspect > 1 {
+		aspect = 1
+	}
+	a := aspect
+	return 96 * (1 - 1.3553*a + 1.9467*a*a - 1.7012*a*a*a + 0.9564*a*a*a*a - 0.2537*a*a*a*a*a)
+}

@@ -1,0 +1,97 @@
+package flowcell
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVariationZeroSigmaIsExact(t *testing.T) {
+	a := Power7Array()
+	res, err := a.MonteCarloVariation(1.0, 0, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MeanA-res.NominalA) > 1e-6*res.NominalA {
+		t.Fatalf("zero-sigma mean %g != nominal %g", res.MeanA, res.NominalA)
+	}
+	if res.StdA > 1e-9 {
+		t.Fatalf("zero-sigma std %g", res.StdA)
+	}
+}
+
+func TestVariationGrowsWithSigma(t *testing.T) {
+	a := Power7Array()
+	r2, err := a.MonteCarloVariation(1.0, 0.02, 40, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r10, err := a.MonteCarloVariation(1.0, 0.10, 40, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r10.StdA <= r2.StdA {
+		t.Fatalf("spread must grow with sigma: %g vs %g", r10.StdA, r2.StdA)
+	}
+	// The array averages 88 channels: even 10% per-channel tolerance
+	// leaves the total within ~5% of nominal (central limit), the
+	// robustness argument for many parallel channels.
+	if rel := r10.StdA / r10.NominalA; rel > 0.05 {
+		t.Fatalf("relative spread %.3f too large for an 88-channel array", rel)
+	}
+	// The systematic (Jensen) bias is negative and small.
+	if r10.MeanShiftPct > 0.1 || r10.MeanShiftPct < -3 {
+		t.Fatalf("mean shift %.2f%% outside expectation", r10.MeanShiftPct)
+	}
+}
+
+func TestVariationDeterministicSeed(t *testing.T) {
+	a := Power7Array()
+	r1, err := a.MonteCarloVariation(1.0, 0.05, 15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.MonteCarloVariation(1.0, 0.05, 15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MeanA != r2.MeanA || r1.WorstA != r2.WorstA {
+		t.Fatal("same seed must reproduce the same statistics")
+	}
+	r3, err := a.MonteCarloVariation(1.0, 0.05, 15, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MeanA == r3.MeanA {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestVariationOrderStatistics(t *testing.T) {
+	a := Power7Array()
+	res, err := a.MonteCarloVariation(1.0, 0.08, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.WorstA <= res.P05A && res.P05A <= res.MeanA) {
+		t.Fatalf("order statistics inconsistent: worst %g, p05 %g, mean %g",
+			res.WorstA, res.P05A, res.MeanA)
+	}
+}
+
+func TestVariationArgs(t *testing.T) {
+	a := Power7Array()
+	if _, err := a.MonteCarloVariation(1.0, -0.1, 10, 1); err == nil {
+		t.Fatal("negative sigma accepted")
+	}
+	if _, err := a.MonteCarloVariation(1.0, 0.5, 10, 1); err == nil {
+		t.Fatal("huge sigma accepted")
+	}
+	if _, err := a.MonteCarloVariation(1.0, 0.05, 1, 1); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	bad := *a
+	bad.NChannels = 0
+	if _, err := bad.MonteCarloVariation(1.0, 0.05, 10, 1); err == nil {
+		t.Fatal("invalid array accepted")
+	}
+}

@@ -1,0 +1,153 @@
+package hydro
+
+import (
+	"fmt"
+	"math"
+
+	"bright/internal/num"
+)
+
+// ManifoldConfig describes the U-type (same-side inlet/outlet) or
+// Z-type (opposite-side) header arrangement feeding the parallel
+// channels. Pressure drops along the headers make the channels see
+// different driving pressures — flow maldistribution — which the even-
+// split array model ignores. The ladder network here quantifies it and
+// feeds per-channel weights to the thermal and electrical models
+// (extension E15).
+type ManifoldConfig struct {
+	// NChannels in the array.
+	NChannels int
+	// ChannelResistance is the hydraulic resistance of one channel
+	// (Pa.s/m3), e.g. from ChannelPressureDrop at unit flow.
+	ChannelResistance float64
+	// SegmentResistance is the hydraulic resistance of one header
+	// segment between adjacent channel taps (Pa.s/m3), same for supply
+	// and return headers.
+	SegmentResistance float64
+	// ZType selects the Z (counter-flow headers) arrangement; false is
+	// U-type (parallel-flow headers). Z-type is the classic remedy for
+	// maldistribution.
+	ZType bool
+}
+
+// Validate reports whether the configuration is usable.
+func (m ManifoldConfig) Validate() error {
+	if m.NChannels < 1 {
+		return fmt.Errorf("hydro: need channels, got %d", m.NChannels)
+	}
+	if m.ChannelResistance <= 0 || m.SegmentResistance < 0 {
+		return fmt.Errorf("hydro: nonpositive resistances")
+	}
+	return nil
+}
+
+// ManifoldResult is the solved distribution.
+type ManifoldResult struct {
+	// Weights are the per-channel flow fractions (sum to 1).
+	Weights []float64
+	// MaldistributionPct = (max-min)/mean * 100.
+	MaldistributionPct float64
+	// FirstToLastRatio of channel flows (diagnostic for U vs Z).
+	FirstToLastRatio float64
+}
+
+// SolveManifold computes the per-channel flow distribution for a unit
+// total flow by nodal analysis of the header ladder: supply nodes
+// s_0..s_{N-1} and return nodes r_0..r_{N-1}, channel k connecting s_k
+// to r_k, supply fed at s_0, return drawn at r_0 (U-type) or r_{N-1}
+// (Z-type).
+func SolveManifold(m ManifoldConfig) (*ManifoldResult, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.NChannels
+	if n == 1 {
+		return &ManifoldResult{Weights: []float64{1}, FirstToLastRatio: 1}, nil
+	}
+	gc := 1 / m.ChannelResistance
+	gs := math.Inf(1)
+	if m.SegmentResistance > 0 {
+		gs = 1 / m.SegmentResistance
+	}
+	if math.IsInf(gs, 1) {
+		// Ideal headers: even split.
+		w := make([]float64, n)
+		for k := range w {
+			w[k] = 1 / float64(n)
+		}
+		return &ManifoldResult{Weights: w, MaldistributionPct: 0, FirstToLastRatio: 1}, nil
+	}
+	// Unknown pressures: supply nodes 0..n-1, return nodes n..2n-1.
+	// Reference: return sink node pressure = 0 handled by grounding the
+	// draw node with a large conductance; instead we pin the draw node
+	// exactly by excluding it from the unknowns.
+	drawNode := n // r_0 (U-type)
+	if m.ZType {
+		drawNode = 2*n - 1 // r_{N-1}
+	}
+	idx := make([]int, 2*n)
+	cnt := 0
+	for i := 0; i < 2*n; i++ {
+		if i == drawNode {
+			idx[i] = -1
+			continue
+		}
+		idx[i] = cnt
+		cnt++
+	}
+	co := num.NewCOO(cnt, cnt)
+	b := make([]float64, cnt)
+	stamp := func(a, c int, g float64) {
+		ia, ic := idx[a], idx[c]
+		if ia >= 0 {
+			co.Add(ia, ia, g)
+			if ic >= 0 {
+				co.Add(ia, ic, -g)
+			}
+		}
+		if ic >= 0 {
+			co.Add(ic, ic, g)
+			if ia >= 0 {
+				co.Add(ic, ia, -g)
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		stamp(k, n+k, gc) // channel
+		if k < n-1 {
+			stamp(k, k+1, gs)     // supply header segment
+			stamp(n+k, n+k+1, gs) // return header segment
+		}
+	}
+	// Unit inflow at s_0.
+	b[idx[0]] += 1
+	a := co.ToCSR()
+	x := make([]float64, cnt)
+	if _, err := num.CG(a, b, x, num.IterOptions{Tol: 1e-12, MaxIter: 100 * cnt, M: num.NewJacobi(a)}); err != nil {
+		return nil, fmt.Errorf("hydro: manifold solve failed: %w", err)
+	}
+	pAt := func(i int) float64 {
+		if idx[i] < 0 {
+			return 0
+		}
+		return x[idx[i]]
+	}
+	res := &ManifoldResult{Weights: make([]float64, n)}
+	sum := 0.0
+	minW, maxW := math.Inf(1), math.Inf(-1)
+	for k := 0; k < n; k++ {
+		w := gc * (pAt(k) - pAt(n+k))
+		res.Weights[k] = w
+		sum += w
+		minW = math.Min(minW, w)
+		maxW = math.Max(maxW, w)
+	}
+	// Normalize (unit inflow should already sum to 1 up to solver tol).
+	for k := range res.Weights {
+		res.Weights[k] /= sum
+	}
+	mean := 1.0 / float64(n)
+	res.MaldistributionPct = 100 * (maxW/sum - minW/sum) / mean
+	res.FirstToLastRatio = res.Weights[0] / res.Weights[n-1]
+	return res, nil
+}

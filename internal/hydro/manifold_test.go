@@ -1,0 +1,140 @@
+package hydro
+
+import (
+	"math"
+	"testing"
+)
+
+func tableIIManifold(segFrac float64, z bool) ManifoldConfig {
+	chR := ChannelPressureDrop(power7Channel, vanadium, 1.0) // Pa.s/m3
+	return ManifoldConfig{
+		NChannels:         88,
+		ChannelResistance: chR,
+		SegmentResistance: segFrac * chR,
+		ZType:             z,
+	}
+}
+
+func TestManifoldWeightsSumToOne(t *testing.T) {
+	for _, z := range []bool{false, true} {
+		res, err := SolveManifold(tableIIManifold(1e-4, z))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, w := range res.Weights {
+			if w <= 0 {
+				t.Fatalf("nonpositive weight %g", w)
+			}
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("weights sum %g", sum)
+		}
+	}
+}
+
+func TestIdealHeadersEvenSplit(t *testing.T) {
+	cfg := tableIIManifold(0, false)
+	res, err := SolveManifold(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaldistributionPct != 0 {
+		t.Fatalf("ideal headers maldistribution %g", res.MaldistributionPct)
+	}
+	for _, w := range res.Weights {
+		if math.Abs(w-1.0/88) > 1e-12 {
+			t.Fatalf("uneven ideal split: %g", w)
+		}
+	}
+}
+
+func TestSingleChannelTrivial(t *testing.T) {
+	res, err := SolveManifold(ManifoldConfig{NChannels: 1, ChannelResistance: 1, SegmentResistance: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Weights) != 1 || res.Weights[0] != 1 {
+		t.Fatalf("single channel weights %v", res.Weights)
+	}
+}
+
+func TestUTypeFavorsNearChannels(t *testing.T) {
+	res, err := SolveManifold(tableIIManifold(1e-4, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// U-type: both headers tap at the same end, so near channels see
+	// the full driving pressure and far channels a reduced one.
+	if res.FirstToLastRatio <= 1 {
+		t.Fatalf("U-type first/last %g should exceed 1", res.FirstToLastRatio)
+	}
+	// Monotone decay along the array.
+	for k := 1; k < len(res.Weights); k++ {
+		if res.Weights[k] > res.Weights[k-1]*(1+1e-9) {
+			t.Fatalf("U-type weights not monotone at %d", k)
+		}
+	}
+}
+
+func TestZTypeSymmetric(t *testing.T) {
+	res, err := SolveManifold(tableIIManifold(1e-4, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Z-type: the end channels match by symmetry.
+	if math.Abs(res.FirstToLastRatio-1) > 1e-6 {
+		t.Fatalf("Z-type first/last %g", res.FirstToLastRatio)
+	}
+	// And the profile is symmetric about the center.
+	n := len(res.Weights)
+	for k := 0; k < n/2; k++ {
+		if math.Abs(res.Weights[k]-res.Weights[n-1-k]) > 1e-9*res.Weights[k] {
+			t.Fatalf("Z-type asymmetric at %d", k)
+		}
+	}
+}
+
+func TestZTypeBeatsUType(t *testing.T) {
+	for _, segFrac := range []float64{1e-5, 1e-4, 1e-3} {
+		u, err := SolveManifold(tableIIManifold(segFrac, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, err := SolveManifold(tableIIManifold(segFrac, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if z.MaldistributionPct >= u.MaldistributionPct {
+			t.Fatalf("segFrac %g: Z %g%% should beat U %g%%",
+				segFrac, z.MaldistributionPct, u.MaldistributionPct)
+		}
+	}
+}
+
+func TestMaldistributionGrowsWithSegmentResistance(t *testing.T) {
+	prev := -1.0
+	for _, segFrac := range []float64{1e-6, 1e-5, 1e-4, 1e-3} {
+		res, err := SolveManifold(tableIIManifold(segFrac, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MaldistributionPct <= prev {
+			t.Fatalf("maldistribution not monotone at %g", segFrac)
+		}
+		prev = res.MaldistributionPct
+	}
+}
+
+func TestManifoldValidation(t *testing.T) {
+	if _, err := SolveManifold(ManifoldConfig{NChannels: 0, ChannelResistance: 1}); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+	if _, err := SolveManifold(ManifoldConfig{NChannels: 2, ChannelResistance: 0}); err == nil {
+		t.Fatal("zero channel resistance accepted")
+	}
+	if _, err := SolveManifold(ManifoldConfig{NChannels: 2, ChannelResistance: 1, SegmentResistance: -1}); err == nil {
+		t.Fatal("negative segment resistance accepted")
+	}
+}

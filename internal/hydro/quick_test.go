@@ -1,0 +1,82 @@
+package hydro
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bright/internal/units"
+)
+
+func quickConfig(seed int64, max int) *quick.Config {
+	return &quick.Config{MaxCount: max, Rand: rand.New(rand.NewSource(seed))}
+}
+
+// TestQuickEvaluateInverts: for random networks and flows,
+// FlowRateForPressure inverts Evaluate.
+func TestQuickEvaluateInverts(t *testing.T) {
+	fn := func(flowR, kR, nR uint8) bool {
+		net := power7Network()
+		net.NChannels = 1 + int(nR)%200
+		net.ManifoldK = float64(kR) / 32 // 0..8
+		q := units.MLPerMinToM3PerS(1 + float64(flowR)*5)
+		rep, err := net.Evaluate(q)
+		if err != nil {
+			return false
+		}
+		back, err := net.FlowRateForPressure(rep.TotalDrop)
+		if err != nil {
+			return false
+		}
+		return math.Abs(back-q) <= 1e-7*q
+	}
+	if err := quick.Check(fn, quickConfig(41, 200)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPumpPowerPositiveAndMonotone: pumping power grows with flow.
+func TestQuickPumpPowerPositiveAndMonotone(t *testing.T) {
+	fn := func(flowR, dR uint8) bool {
+		net := power7Network()
+		q1 := units.MLPerMinToM3PerS(1 + float64(flowR))
+		q2 := q1 + units.MLPerMinToM3PerS(1+float64(dR))
+		r1, err1 := net.Evaluate(q1)
+		r2, err2 := net.Evaluate(q2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return r1.PumpPower > 0 && r2.PumpPower > r1.PumpPower
+	}
+	if err := quick.Check(fn, quickConfig(42, 200)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickManifoldWeightsNormalized for random ladder parameters.
+func TestQuickManifoldWeightsNormalized(t *testing.T) {
+	fn := func(nR, segR uint8, z bool) bool {
+		cfg := ManifoldConfig{
+			NChannels:         1 + int(nR)%120,
+			ChannelResistance: 1e9,
+			SegmentResistance: float64(segR) * 1e3, // 0 .. 2.55e5
+			ZType:             z,
+		}
+		res, err := SolveManifold(cfg)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, w := range res.Weights {
+			if w <= 0 || math.IsNaN(w) {
+				return false
+			}
+			sum += w
+		}
+		return math.Abs(sum-1) < 1e-8
+	}
+	if err := quick.Check(fn, quickConfig(43, 120)); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+package num
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// laplacian2D builds the SPD 5-point stencil on an n x n grid.
+func laplacian2D(n int) *CSR {
+	c := NewCOO(n*n, n*n)
+	idx := func(i, j int) int { return j*n + i }
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			row := idx(i, j)
+			c.Add(row, row, 4)
+			if i > 0 {
+				c.Add(row, idx(i-1, j), -1)
+			}
+			if i < n-1 {
+				c.Add(row, idx(i+1, j), -1)
+			}
+			if j > 0 {
+				c.Add(row, idx(i, j-1), -1)
+			}
+			if j < n-1 {
+				c.Add(row, idx(i, j+1), -1)
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+func BenchmarkCSRMulVec64x64(b *testing.B) {
+	a := laplacian2D(64)
+	x := make([]float64, a.Cols)
+	y := make([]float64, a.Rows)
+	for i := range x {
+		x[i] = float64(i % 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.MulVec(x, y)
+	}
+}
+
+func BenchmarkCGLaplacian64x64(b *testing.B) {
+	a := laplacian2D(64)
+	rhs := make([]float64, a.Rows)
+	rng := rand.New(rand.NewSource(1))
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	m := NewJacobi(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, a.Rows)
+		if _, err := CG(a, rhs, x, IterOptions{Tol: 1e-8, M: m}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBiCGSTABConvection(b *testing.B) {
+	const n = 4096
+	c := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 3)
+		if i > 0 {
+			c.Add(i, i-1, -1.8)
+		}
+		if i < n-1 {
+			c.Add(i, i+1, -1)
+		}
+	}
+	a := c.ToCSR()
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = 1
+	}
+	m := NewJacobi(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, n)
+		if _, err := BiCGSTAB(a, rhs, x, IterOptions{Tol: 1e-9, M: m}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLUSolve64(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 64
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+		a.Add(i, i, float64(n))
+	}
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveDense(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTridiag4096(b *testing.B) {
+	const n = 4096
+	sub := make([]float64, n)
+	diag := make([]float64, n)
+	sup := make([]float64, n)
+	rhs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = 4
+		sub[i] = -1
+		sup[i] = -1
+		rhs[i] = float64(i % 5)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveTridiag(sub, diag, sup, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBrentPolarizationStyle(b *testing.B) {
+	// The shape of the operating-point solves: exp-dominated monotone
+	// function root-found per evaluation.
+	f := func(x float64) float64 { return 2.3*expApprox(x) - 5 - x }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Brent(f, 0, 3, 1e-12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// expApprox keeps the benchmark allocation-free and deterministic.
+func expApprox(x float64) float64 {
+	s := 1.0
+	term := 1.0
+	for k := 1; k < 12; k++ {
+		term *= x / float64(k)
+		s += term
+	}
+	return s
+}

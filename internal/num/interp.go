@@ -1,0 +1,139 @@
+package num
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Interpolator evaluates a 1D interpolant.
+type Interpolator interface {
+	// Eval returns the interpolated value at x. Outside the data range
+	// the behaviour is implementation-defined (both implementations
+	// here clamp to the end values' polynomial pieces).
+	Eval(x float64) float64
+}
+
+// Linear is a piecewise-linear interpolant over strictly increasing
+// abscissae.
+type Linear struct {
+	xs, ys []float64
+}
+
+// NewLinear builds a piecewise-linear interpolant. xs must be strictly
+// increasing and the same length as ys (length >= 2).
+func NewLinear(xs, ys []float64) (*Linear, error) {
+	if err := checkInterpInput(xs, ys); err != nil {
+		return nil, err
+	}
+	l := &Linear{xs: append([]float64(nil), xs...), ys: append([]float64(nil), ys...)}
+	return l, nil
+}
+
+// Eval evaluates the interpolant, extrapolating linearly beyond the ends.
+func (l *Linear) Eval(x float64) float64 {
+	i := searchSegment(l.xs, x)
+	x0, x1 := l.xs[i], l.xs[i+1]
+	y0, y1 := l.ys[i], l.ys[i+1]
+	t := (x - x0) / (x1 - x0)
+	return y0 + t*(y1-y0)
+}
+
+// PCHIP is a monotone piecewise-cubic Hermite interpolant
+// (Fritsch-Carlson). It never overshoots the data, which matters when
+// interpolating physical property tables (viscosity, conductivity) where
+// spurious oscillation would produce unphysical values.
+type PCHIP struct {
+	xs, ys, d []float64
+}
+
+// NewPCHIP builds a monotone cubic interpolant. xs must be strictly
+// increasing and the same length as ys (length >= 2).
+func NewPCHIP(xs, ys []float64) (*PCHIP, error) {
+	if err := checkInterpInput(xs, ys); err != nil {
+		return nil, err
+	}
+	n := len(xs)
+	p := &PCHIP{
+		xs: append([]float64(nil), xs...),
+		ys: append([]float64(nil), ys...),
+		d:  make([]float64, n),
+	}
+	h := make([]float64, n-1)
+	delta := make([]float64, n-1)
+	for i := 0; i < n-1; i++ {
+		h[i] = xs[i+1] - xs[i]
+		delta[i] = (ys[i+1] - ys[i]) / h[i]
+	}
+	if n == 2 {
+		p.d[0], p.d[1] = delta[0], delta[0]
+		return p, nil
+	}
+	// Interior slopes: weighted harmonic mean where the secants agree in
+	// sign, zero otherwise (Fritsch-Carlson).
+	for i := 1; i < n-1; i++ {
+		if delta[i-1]*delta[i] <= 0 {
+			p.d[i] = 0
+			continue
+		}
+		w1 := 2*h[i] + h[i-1]
+		w2 := h[i] + 2*h[i-1]
+		p.d[i] = (w1 + w2) / (w1/delta[i-1] + w2/delta[i])
+	}
+	p.d[0] = edgeSlope(h[0], h[1], delta[0], delta[1])
+	p.d[n-1] = edgeSlope(h[n-2], h[n-3], delta[n-2], delta[n-3])
+	return p, nil
+}
+
+func edgeSlope(h0, h1, d0, d1 float64) float64 {
+	s := ((2*h0+h1)*d0 - h0*d1) / (h0 + h1)
+	if s*d0 <= 0 {
+		return 0
+	}
+	if d0*d1 < 0 && math.Abs(s) > 3*math.Abs(d0) {
+		return 3 * d0
+	}
+	return s
+}
+
+// Eval evaluates the interpolant; beyond the ends the boundary cubic
+// piece is extended.
+func (p *PCHIP) Eval(x float64) float64 {
+	i := searchSegment(p.xs, x)
+	h := p.xs[i+1] - p.xs[i]
+	t := (x - p.xs[i]) / h
+	h00 := (1 + 2*t) * (1 - t) * (1 - t)
+	h10 := t * (1 - t) * (1 - t)
+	h01 := t * t * (3 - 2*t)
+	h11 := t * t * (t - 1)
+	return h00*p.ys[i] + h10*h*p.d[i] + h01*p.ys[i+1] + h11*h*p.d[i+1]
+}
+
+func checkInterpInput(xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return ErrShape
+	}
+	if len(xs) < 2 {
+		return fmt.Errorf("num: interpolation needs >= 2 points, got %d", len(xs))
+	}
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return fmt.Errorf("num: abscissae must be strictly increasing (x[%d]=%g <= x[%d]=%g)",
+				i, xs[i], i-1, xs[i-1])
+		}
+	}
+	return nil
+}
+
+// searchSegment returns i such that xs[i] <= x < xs[i+1], clamped to the
+// valid segment range [0, len(xs)-2].
+func searchSegment(xs []float64, x float64) int {
+	i := sort.SearchFloat64s(xs, x) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i > len(xs)-2 {
+		i = len(xs) - 2
+	}
+	return i
+}

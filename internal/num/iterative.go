@@ -1,0 +1,245 @@
+package num
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoConvergence is returned when an iterative solver exhausts its
+// iteration budget without meeting the requested tolerance.
+var ErrNoConvergence = errors.New("num: iterative solver did not converge")
+
+// Preconditioner applies an approximate inverse: z = M^{-1} r.
+type Preconditioner interface {
+	Apply(r, z []float64)
+}
+
+// IdentityPreconditioner is the trivial (no-op) preconditioner.
+type IdentityPreconditioner struct{}
+
+// Apply copies r into z.
+func (IdentityPreconditioner) Apply(r, z []float64) { copy(z, r) }
+
+// JacobiPreconditioner scales by the inverse diagonal of the matrix.
+type JacobiPreconditioner struct {
+	invDiag []float64
+}
+
+// NewJacobi builds a Jacobi preconditioner from the matrix diagonal.
+// Zero diagonal entries are treated as 1 (no scaling) so that the
+// preconditioner is always well defined.
+func NewJacobi(a *CSR) *JacobiPreconditioner {
+	d := a.Diag()
+	inv := make([]float64, len(d))
+	for i, v := range d {
+		if v != 0 {
+			inv[i] = 1 / v
+		} else {
+			inv[i] = 1
+		}
+	}
+	return &JacobiPreconditioner{invDiag: inv}
+}
+
+// Apply computes z = D^{-1} r.
+func (p *JacobiPreconditioner) Apply(r, z []float64) {
+	for i, v := range r {
+		z[i] = v * p.invDiag[i]
+	}
+}
+
+// IterOptions configures the Krylov solvers.
+type IterOptions struct {
+	// Tol is the relative residual tolerance ||r|| / ||b||.
+	// Defaults to 1e-10 if zero.
+	Tol float64
+	// MaxIter bounds the iteration count. Defaults to 10*n if zero.
+	MaxIter int
+	// M is the preconditioner; identity if nil.
+	M Preconditioner
+}
+
+func (o IterOptions) withDefaults(n int) IterOptions {
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10 * n
+		if o.MaxIter < 200 {
+			o.MaxIter = 200
+		}
+	}
+	if o.M == nil {
+		o.M = IdentityPreconditioner{}
+	}
+	return o
+}
+
+// IterResult reports the outcome of an iterative solve.
+type IterResult struct {
+	Iterations int
+	Residual   float64 // final relative residual
+}
+
+// CG solves the symmetric positive definite system A x = b with the
+// preconditioned conjugate gradient method. x is used as the initial
+// guess and overwritten with the solution.
+func CG(a *CSR, b, x []float64, opt IterOptions) (IterResult, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n || len(x) != n {
+		return IterResult{}, ErrShape
+	}
+	opt = opt.withDefaults(n)
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	a.MulVec(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		Fill(x, 0)
+		return IterResult{0, 0}, nil
+	}
+	opt.M.Apply(r, z)
+	copy(p, z)
+	rz := Dot(r, z)
+	res := Norm2(r) / bnorm
+	if res <= opt.Tol {
+		return IterResult{0, res}, nil
+	}
+	for it := 1; it <= opt.MaxIter; it++ {
+		a.MulVec(p, ap)
+		pap := Dot(p, ap)
+		if pap == 0 || math.IsNaN(pap) {
+			return IterResult{it, res}, fmt.Errorf("%w: CG breakdown (pAp=%g)", ErrNoConvergence, pap)
+		}
+		alpha := rz / pap
+		Axpy(alpha, p, x)
+		Axpy(-alpha, ap, r)
+		res = Norm2(r) / bnorm
+		if res <= opt.Tol {
+			return IterResult{it, res}, nil
+		}
+		opt.M.Apply(r, z)
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return IterResult{opt.MaxIter, res}, fmt.Errorf("%w: CG after %d iters, residual %.3e", ErrNoConvergence, opt.MaxIter, res)
+}
+
+// BiCGSTAB solves the general (nonsymmetric) system A x = b with the
+// preconditioned stabilized bi-conjugate gradient method. x is the
+// initial guess and is overwritten with the solution.
+func BiCGSTAB(a *CSR, b, x []float64, opt IterOptions) (IterResult, error) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n || len(x) != n {
+		return IterResult{}, ErrShape
+	}
+	opt = opt.withDefaults(n)
+	r := make([]float64, n)
+	rhat := make([]float64, n)
+	p := make([]float64, n)
+	v := make([]float64, n)
+	s := make([]float64, n)
+	t := make([]float64, n)
+	phat := make([]float64, n)
+	shat := make([]float64, n)
+
+	a.MulVec(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		Fill(x, 0)
+		return IterResult{0, 0}, nil
+	}
+	res := Norm2(r) / bnorm
+	if res <= opt.Tol {
+		return IterResult{0, res}, nil
+	}
+	copy(rhat, r)
+	var rho, alpha, omega float64 = 1, 1, 1
+	for it := 1; it <= opt.MaxIter; it++ {
+		rhoNew := Dot(rhat, r)
+		if rhoNew == 0 {
+			return IterResult{it, res}, fmt.Errorf("%w: BiCGSTAB breakdown (rho=0)", ErrNoConvergence)
+		}
+		if it == 1 {
+			copy(p, r)
+		} else {
+			beta := (rhoNew / rho) * (alpha / omega)
+			for i := range p {
+				p[i] = r[i] + beta*(p[i]-omega*v[i])
+			}
+		}
+		rho = rhoNew
+		opt.M.Apply(p, phat)
+		a.MulVec(phat, v)
+		den := Dot(rhat, v)
+		if den == 0 {
+			return IterResult{it, res}, fmt.Errorf("%w: BiCGSTAB breakdown (rhat.v=0)", ErrNoConvergence)
+		}
+		alpha = rho / den
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		if sr := Norm2(s) / bnorm; sr <= opt.Tol {
+			Axpy(alpha, phat, x)
+			return IterResult{it, sr}, nil
+		}
+		opt.M.Apply(s, shat)
+		a.MulVec(shat, t)
+		tt := Dot(t, t)
+		if tt == 0 {
+			return IterResult{it, res}, fmt.Errorf("%w: BiCGSTAB breakdown (t.t=0)", ErrNoConvergence)
+		}
+		omega = Dot(t, s) / tt
+		if omega == 0 {
+			return IterResult{it, res}, fmt.Errorf("%w: BiCGSTAB breakdown (omega=0)", ErrNoConvergence)
+		}
+		for i := range x {
+			x[i] += alpha*phat[i] + omega*shat[i]
+		}
+		for i := range r {
+			r[i] = s[i] - omega*t[i]
+		}
+		res = Norm2(r) / bnorm
+		if res <= opt.Tol {
+			return IterResult{it, res}, nil
+		}
+	}
+	return IterResult{opt.MaxIter, res}, fmt.Errorf("%w: BiCGSTAB after %d iters, residual %.3e", ErrNoConvergence, opt.MaxIter, res)
+}
+
+// SolveSparse is a convenience wrapper: it chooses CG with a Jacobi
+// preconditioner when the matrix is symmetric, BiCGSTAB otherwise, and
+// returns the solution in a fresh slice.
+func SolveSparse(a *CSR, b []float64, opt IterOptions) ([]float64, IterResult, error) {
+	x := make([]float64, len(b))
+	if opt.M == nil {
+		opt.M = NewJacobi(a)
+	}
+	var res IterResult
+	var err error
+	if a.IsSymmetric(1e-12) {
+		res, err = CG(a, b, x, opt)
+		if err == nil {
+			return x, res, nil
+		}
+		// CG can fail when the matrix is symmetric but indefinite;
+		// fall back to BiCGSTAB before giving up.
+		Fill(x, 0)
+	}
+	res, err = BiCGSTAB(a, b, x, opt)
+	return x, res, err
+}

@@ -1,0 +1,127 @@
+package num
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRK4ExponentialDecay(t *testing.T) {
+	// y' = -y, y(0) = 1 -> y(2) = e^-2.
+	f := func(t float64, y, dydt []float64) { dydt[0] = -y[0] }
+	y, err := RK4(f, []float64{1}, 0, 2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-math.Exp(-2)) > 1e-8 {
+		t.Fatalf("y(2) = %.10f, want %.10f", y[0], math.Exp(-2))
+	}
+}
+
+func TestRK4FourthOrderConvergence(t *testing.T) {
+	f := func(t float64, y, dydt []float64) { dydt[0] = math.Cos(t) * y[0] }
+	exact := math.Exp(math.Sin(2))
+	errAt := func(n int) float64 {
+		y, err := RK4(f, []float64{1}, 0, 2, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(y[0] - exact)
+	}
+	e1, e2 := errAt(40), errAt(80)
+	order := math.Log2(e1 / e2)
+	if order < 3.7 || order > 4.3 {
+		t.Fatalf("observed order %.2f, want ~4", order)
+	}
+}
+
+func TestRK4Harmonic(t *testing.T) {
+	// y'' = -y as a system; energy conserved over one period.
+	f := func(t float64, y, dydt []float64) {
+		dydt[0] = y[1]
+		dydt[1] = -y[0]
+	}
+	y, err := RK4(f, []float64{1, 0}, 0, 2*math.Pi, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(y[0]-1) > 1e-8 || math.Abs(y[1]) > 1e-8 {
+		t.Fatalf("one period: %v", y)
+	}
+}
+
+func TestRK4Args(t *testing.T) {
+	f := func(t float64, y, dydt []float64) { dydt[0] = 0 }
+	if _, err := RK4(f, []float64{1}, 0, 1, 0); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+	if _, err := RK4(f, []float64{1}, 1, 0, 10); err == nil {
+		t.Fatal("reversed interval accepted")
+	}
+}
+
+func TestRK45MatchesRK4(t *testing.T) {
+	f := func(t float64, y, dydt []float64) {
+		dydt[0] = y[1]
+		dydt[1] = -math.Sin(y[0]) // pendulum
+	}
+	y0 := []float64{1.2, 0}
+	yRK4, err := RK4(f, y0, 0, 10, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yRK45, err := RK45(f, y0, 0, 10, AdaptiveOptions{RelTol: 1e-10, AbsTol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range yRK4 {
+		if math.Abs(yRK4[i]-yRK45[i]) > 1e-6 {
+			t.Fatalf("component %d: RK4 %.10f vs RK45 %.10f", i, yRK4[i], yRK45[i])
+		}
+	}
+}
+
+func TestRK45StiffnessAdapts(t *testing.T) {
+	// Fast transient then slow decay: the adaptive integrator must
+	// succeed where a coarse fixed grid would be unstable.
+	f := func(t float64, y, dydt []float64) { dydt[0] = -50 * (y[0] - math.Cos(t)) }
+	y, err := RK45(f, []float64{0}, 0, 3, AdaptiveOptions{RelTol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Asymptotic solution ~ (2500 cos t + 50 sin t)/2501.
+	want := (2500*math.Cos(3) + 50*math.Sin(3)) / 2501
+	if math.Abs(y[0]-want) > 1e-4 {
+		t.Fatalf("y(3) = %.6f, want %.6f", y[0], want)
+	}
+}
+
+func TestRK45Args(t *testing.T) {
+	f := func(t float64, y, dydt []float64) { dydt[0] = 0 }
+	if _, err := RK45(f, []float64{1}, 1, 1, AdaptiveOptions{}); err == nil {
+		t.Fatal("empty interval accepted")
+	}
+	// Step underflow: a derivative that demands ever-smaller steps.
+	bad := func(t float64, y, dydt []float64) {
+		dydt[0] = math.NaN()
+	}
+	if _, err := RK45(bad, []float64{1}, 0, 1, AdaptiveOptions{MaxSteps: 1000}); err == nil {
+		t.Fatal("NaN derivative accepted")
+	}
+}
+
+func TestRK4DoesNotMutateInitialState(t *testing.T) {
+	f := func(t float64, y, dydt []float64) { dydt[0] = 1 }
+	y0 := []float64{5}
+	if _, err := RK4(f, y0, 0, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if y0[0] != 5 {
+		t.Fatal("RK4 mutated y0")
+	}
+	if _, err := RK45(f, y0, 0, 1, AdaptiveOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if y0[0] != 5 {
+		t.Fatal("RK45 mutated y0")
+	}
+}

@@ -1,0 +1,88 @@
+package num
+
+import (
+	"fmt"
+	"math"
+)
+
+// GoldenSection minimizes a unimodal scalar function on [a, b] to the
+// given absolute tolerance on x, returning the minimizer and minimum.
+// For non-unimodal functions it converges to some local minimum inside
+// the bracket.
+func GoldenSection(f func(float64) float64, a, b, tol float64) (xmin, fmin float64, err error) {
+	if b <= a {
+		return 0, 0, fmt.Errorf("num: GoldenSection needs a < b")
+	}
+	if tol <= 0 {
+		tol = 1e-8 * (b - a)
+	}
+	const invPhi = 0.6180339887498949
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for i := 0; i < 500 && (b-a) > tol; i++ {
+		if f1 < f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	if f1 < f2 {
+		return x1, f1, nil
+	}
+	return x2, f2, nil
+}
+
+// CoordinateDescent minimizes f over a box by cycling golden-section
+// line searches along each coordinate until the improvement per sweep
+// falls below tol (relative) or maxSweeps is exhausted. It returns the
+// best point found. The method is derivative-free and robust for the
+// smooth low-dimensional design objectives in this repository.
+func CoordinateDescent(f func([]float64) float64, x0, lo, hi []float64, tol float64, maxSweeps int) ([]float64, float64, error) {
+	dim := len(x0)
+	if len(lo) != dim || len(hi) != dim {
+		return nil, 0, fmt.Errorf("num: bounds dimension mismatch")
+	}
+	for d := 0; d < dim; d++ {
+		if hi[d] <= lo[d] {
+			return nil, 0, fmt.Errorf("num: empty box on coordinate %d", d)
+		}
+		if x0[d] < lo[d] || x0[d] > hi[d] {
+			return nil, 0, fmt.Errorf("num: x0 outside the box on coordinate %d", d)
+		}
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 20
+	}
+	x := append([]float64(nil), x0...)
+	best := f(x)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		prev := best
+		for d := 0; d < dim; d++ {
+			xd := append([]float64(nil), x...)
+			line := func(v float64) float64 {
+				xd[d] = v
+				return f(xd)
+			}
+			xStar, fStar, err := GoldenSection(line, lo[d], hi[d], 1e-6*(hi[d]-lo[d]))
+			if err != nil {
+				return nil, 0, err
+			}
+			if fStar < best {
+				best = fStar
+				x[d] = xStar
+			}
+		}
+		if math.Abs(prev-best) <= tol*(math.Abs(prev)+1e-12) {
+			break
+		}
+	}
+	return x, best, nil
+}

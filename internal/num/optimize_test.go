@@ -1,0 +1,74 @@
+package num
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGoldenSectionQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x - 1.7) * (x - 1.7) }
+	x, fx, err := GoldenSection(f, -5, 5, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-1.7) > 1e-8 || fx > 1e-15 {
+		t.Fatalf("x=%g f=%g", x, fx)
+	}
+}
+
+func TestGoldenSectionEndpointMinimum(t *testing.T) {
+	// Monotone function: the minimum sits at the left endpoint.
+	x, _, err := GoldenSection(func(x float64) float64 { return x }, 2, 9, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-2) > 1e-6 {
+		t.Fatalf("endpoint minimum missed: %g", x)
+	}
+	if _, _, err := GoldenSection(func(x float64) float64 { return x }, 3, 3, 0); err == nil {
+		t.Fatal("empty bracket accepted")
+	}
+}
+
+func TestCoordinateDescentRosenbrockish(t *testing.T) {
+	// A smooth bowl with interacting coordinates.
+	f := func(x []float64) float64 {
+		return (x[0]-2)*(x[0]-2) + 3*(x[1]+1)*(x[1]+1) + 0.5*x[0]*x[1]
+	}
+	x, fx, err := CoordinateDescent(f, []float64{0, 0}, []float64{-10, -10}, []float64{10, 10}, 1e-10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic minimum: 2(x-2)+0.5y = 0 and 6(y+1)+0.5x = 0 give
+	// x = 54/23.5 ~ 2.2979, y = 8-4x ~ -1.1915.
+	if math.Abs(x[0]-54.0/23.5) > 1e-3 || math.Abs(x[1]-(8-4*54.0/23.5)) > 1e-3 {
+		t.Fatalf("minimizer %v (f=%g)", x, fx)
+	}
+}
+
+func TestCoordinateDescentRespectsBox(t *testing.T) {
+	f := func(x []float64) float64 { return -x[0] } // pushes to the upper bound
+	x, _, err := CoordinateDescent(f, []float64{0.5}, []float64{0}, []float64{1}, 1e-9, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] < 0 || x[0] > 1 {
+		t.Fatalf("left the box: %v", x)
+	}
+	if x[0] < 0.999 {
+		t.Fatalf("did not reach the active bound: %v", x)
+	}
+}
+
+func TestCoordinateDescentValidation(t *testing.T) {
+	f := func(x []float64) float64 { return 0 }
+	if _, _, err := CoordinateDescent(f, []float64{0}, []float64{1}, []float64{0}, 0, 0); err == nil {
+		t.Fatal("empty box accepted")
+	}
+	if _, _, err := CoordinateDescent(f, []float64{5}, []float64{0}, []float64{1}, 0, 0); err == nil {
+		t.Fatal("x0 outside box accepted")
+	}
+	if _, _, err := CoordinateDescent(f, []float64{0, 0}, []float64{0}, []float64{1}, 0, 0); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}

@@ -1,0 +1,73 @@
+package num
+
+// GaussLegendre integrates f over [a, b] with an n-point Gauss-Legendre
+// rule (n in {2, 3, 4, 5}; other values fall back to composite 5-point).
+// The rule is exact for polynomials of degree 2n-1, which is ample for
+// the smooth velocity/concentration profiles integrated in this
+// repository.
+func GaussLegendre(f func(float64) float64, a, b float64, n int) float64 {
+	type rule struct{ x, w []float64 }
+	rules := map[int]rule{
+		2: {[]float64{-0.5773502691896257, 0.5773502691896257}, []float64{1, 1}},
+		3: {[]float64{-0.7745966692414834, 0, 0.7745966692414834},
+			[]float64{0.5555555555555556, 0.8888888888888888, 0.5555555555555556}},
+		4: {[]float64{-0.8611363115940526, -0.3399810435848563, 0.3399810435848563, 0.8611363115940526},
+			[]float64{0.3478548451374538, 0.6521451548625461, 0.6521451548625461, 0.3478548451374538}},
+		5: {[]float64{-0.9061798459386640, -0.5384693101056831, 0, 0.5384693101056831, 0.9061798459386640},
+			[]float64{0.2369268850561891, 0.4786286704993665, 0.5688888888888889, 0.4786286704993665, 0.2369268850561891}},
+	}
+	r, ok := rules[n]
+	if !ok {
+		// Composite 5-point over 8 panels for unusual n requests.
+		const panels = 8
+		h := (b - a) / panels
+		s := 0.0
+		for i := 0; i < panels; i++ {
+			s += GaussLegendre(f, a+float64(i)*h, a+float64(i+1)*h, 5)
+		}
+		return s
+	}
+	mid := 0.5 * (a + b)
+	half := 0.5 * (b - a)
+	s := 0.0
+	for i, xi := range r.x {
+		s += r.w[i] * f(mid+half*xi)
+	}
+	return s * half
+}
+
+// CompositeSimpson integrates f over [a, b] with n panels (n rounded up
+// to even). It is used as an independent cross-check of GaussLegendre in
+// tests and for integrands sampled on uniform grids.
+func CompositeSimpson(f func(float64) float64, a, b float64, n int) float64 {
+	if n < 2 {
+		n = 2
+	}
+	if n%2 == 1 {
+		n++
+	}
+	h := (b - a) / float64(n)
+	s := f(a) + f(b)
+	for i := 1; i < n; i++ {
+		x := a + float64(i)*h
+		if i%2 == 0 {
+			s += 2 * f(x)
+		} else {
+			s += 4 * f(x)
+		}
+	}
+	return s * h / 3
+}
+
+// TrapzUniform integrates samples ys taken at uniform spacing dx with the
+// trapezoidal rule.
+func TrapzUniform(ys []float64, dx float64) float64 {
+	if len(ys) < 2 {
+		return 0
+	}
+	s := 0.5 * (ys[0] + ys[len(ys)-1])
+	for _, v := range ys[1 : len(ys)-1] {
+		s += v
+	}
+	return s * dx
+}

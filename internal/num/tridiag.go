@@ -1,0 +1,40 @@
+package num
+
+// SolveTridiag solves the tridiagonal system with sub-diagonal a,
+// diagonal b, super-diagonal c and right-hand side d using the Thomas
+// algorithm. a[0] and c[n-1] are ignored. The inputs are not modified;
+// the solution is returned in a fresh slice.
+//
+// The Thomas algorithm is numerically stable for diagonally dominant
+// systems, which is what the finite-volume discretizations in this
+// repository produce.
+func SolveTridiag(a, b, c, d []float64) ([]float64, error) {
+	n := len(b)
+	if len(a) != n || len(c) != n || len(d) != n {
+		return nil, ErrShape
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	cp := make([]float64, n)
+	dp := make([]float64, n)
+	if b[0] == 0 {
+		return nil, ErrSingular
+	}
+	cp[0] = c[0] / b[0]
+	dp[0] = d[0] / b[0]
+	for i := 1; i < n; i++ {
+		den := b[i] - a[i]*cp[i-1]
+		if den == 0 {
+			return nil, ErrSingular
+		}
+		cp[i] = c[i] / den
+		dp[i] = (d[i] - a[i]*dp[i-1]) / den
+	}
+	x := make([]float64, n)
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+	return x, nil
+}

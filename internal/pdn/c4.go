@@ -1,0 +1,162 @@
+package pdn
+
+import (
+	"fmt"
+	"math"
+
+	"bright/internal/floorplan"
+)
+
+// C4Spec describes a conventional package-fed controlled-collapse
+// chip-connection (C4) pad array — the baseline power-delivery medium
+// the paper argues against (its Section I: adding power/ground pads
+// "decreases the number of pins dedicated for I/O, limiting the
+// off-chip bandwidth").
+type C4Spec struct {
+	// Pitch is the pad pitch (m); 400 um is typical for the
+	// generation's organic flip-chip packages.
+	Pitch float64
+	// MaxCurrentPerPad is the reliability (electromigration) limit per
+	// pad (A); ~0.2 A is a standard planning number, used here with
+	// the derating below.
+	MaxCurrentPerPad float64
+	// Derating divides the per-pad limit for reliability margin (>= 1).
+	Derating float64
+	// PadResistance is the series resistance of one pad plus its
+	// package via (ohm).
+	PadResistance float64
+}
+
+// DefaultC4 returns a representative flip-chip pad array for the
+// POWER7+ generation.
+func DefaultC4() C4Spec {
+	return C4Spec{
+		Pitch:            400e-6,
+		MaxCurrentPerPad: 0.2,
+		Derating:         2.0,
+		PadResistance:    12e-3,
+	}
+}
+
+// Validate reports whether the spec is physical.
+func (c C4Spec) Validate() error {
+	if c.Pitch <= 0 || c.MaxCurrentPerPad <= 0 || c.PadResistance <= 0 {
+		return fmt.Errorf("pdn: nonphysical C4 spec %+v", c)
+	}
+	if c.Derating < 1 {
+		return fmt.Errorf("pdn: C4 derating %g < 1", c.Derating)
+	}
+	return nil
+}
+
+// TotalPads returns the number of pad sites available under the die.
+func (c C4Spec) TotalPads(f *floorplan.Floorplan) int {
+	nx := int(f.Width / c.Pitch)
+	ny := int(f.Height / c.Pitch)
+	return nx * ny
+}
+
+// PadsForRail returns the number of pads a supply rail drawing current
+// I (A) consumes: power pads at the derated per-pad limit, plus an
+// equal number of ground-return pads (the standard 1:1 P/G allocation).
+func (c C4Spec) PadsForRail(current float64) int {
+	if current <= 0 {
+		return 0
+	}
+	perPad := c.MaxCurrentPerPad / c.Derating
+	n := int(math.Ceil(current / perPad))
+	return 2 * n // power + ground
+}
+
+// C4BaselineResult compares conventional C4 delivery of the cache rail
+// against the microfluidic supply (extension experiment E1).
+type C4BaselineResult struct {
+	// TotalPads under the die.
+	TotalPads int
+	// CacheRailPads consumed by the cache rail when fed conventionally.
+	CacheRailPads int
+	// FullChipPads consumed if the whole chip were fed at the C4 limit
+	// (context: how tight the pad budget is overall).
+	FullChipPads int
+	// FreedPadFractionPct = CacheRailPads / TotalPads * 100: the pad
+	// budget returned to I/O by the microfluidic cache supply.
+	FreedPadFractionPct float64
+	// IOGainPct: relative growth of the I/O pad pool, assuming the
+	// non-power pads were all I/O before.
+	IOGainPct float64
+	// ConventionalMinV is the minimum cache voltage with the C4
+	// baseline grid (distributed package feed).
+	ConventionalMinV float64
+	// MicrofluidicMinV is the Fig. 8 value for comparison.
+	MicrofluidicMinV float64
+}
+
+// C4Baseline evaluates the conventional baseline for the POWER7+ cache
+// rail: pad accounting plus a PDN solve with the pads as distributed
+// via sites over the cache area.
+func C4Baseline(spec C4Spec, totalChipCurrent float64) (*C4BaselineResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	p, _, err := Power7Problem()
+	if err != nil {
+		return nil, err
+	}
+	f := p.Floorplan
+	res := &C4BaselineResult{TotalPads: spec.TotalPads(f)}
+
+	// Microfluidic case (Fig. 8 configuration).
+	micro, err := Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	res.MicrofluidicMinV = micro.MinVCache
+	cacheCurrent := micro.TotalLoad
+
+	res.CacheRailPads = spec.PadsForRail(cacheCurrent)
+	res.FullChipPads = spec.PadsForRail(totalChipCurrent)
+	if res.CacheRailPads > res.TotalPads {
+		return nil, fmt.Errorf("pdn: cache rail needs %d pads, only %d available",
+			res.CacheRailPads, res.TotalPads)
+	}
+	res.FreedPadFractionPct = 100 * float64(res.CacheRailPads) / float64(res.TotalPads)
+	ioBefore := res.TotalPads - res.CacheRailPads - res.FullChipPads
+	if ioBefore <= 0 {
+		return nil, fmt.Errorf("pdn: no I/O pads left in the conventional baseline (%d total, %d power)",
+			res.TotalPads, res.CacheRailPads+res.FullChipPads)
+	}
+	res.IOGainPct = 100 * float64(res.CacheRailPads) / float64(ioBefore)
+
+	// Conventional baseline grid: the cache rail fed from below through
+	// pads distributed on the C4 pitch over the cache units.
+	conv := *p
+	conv.Sites = c4SitesOverCache(f, spec)
+	if len(conv.Sites) == 0 {
+		return nil, fmt.Errorf("pdn: no C4 sites over cache")
+	}
+	sol, err := Solve(&conv)
+	if err != nil {
+		return nil, err
+	}
+	res.ConventionalMinV = sol.MinVCache
+	return res, nil
+}
+
+// c4SitesOverCache places a via site at every C4 pad location falling
+// inside a cache unit. To keep the solve affordable the sites are
+// placed on a 4x-coarsened pad grid with proportionally reduced series
+// resistance (4x4 pads lumped per site).
+func c4SitesOverCache(f *floorplan.Floorplan, spec C4Spec) []ViaSite {
+	const lump = 4
+	pitch := spec.Pitch * lump
+	r := spec.PadResistance / (lump * lump)
+	var sites []ViaSite
+	for x := pitch / 2; x < f.Width; x += pitch {
+		for y := pitch / 2; y < f.Height; y += pitch {
+			if u := f.UnitAt(x, y); u != nil && u.Kind.IsCache() {
+				sites = append(sites, ViaSite{X: x, Y: y, Resistance: r})
+			}
+		}
+	}
+	return sites
+}

@@ -1,0 +1,88 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+
+	"bright/internal/floorplan"
+)
+
+func TestC4SpecDefaults(t *testing.T) {
+	c := DefaultC4()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := c
+	bad.Pitch = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero pitch accepted")
+	}
+	bad = c
+	bad.Derating = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("derating < 1 accepted")
+	}
+}
+
+func TestC4PadAccounting(t *testing.T) {
+	c := DefaultC4()
+	f := floorplan.Power7()
+	// 400 um pitch over 26.55 x 21.34 mm: 66 x 53 = 3498 pads.
+	if n := c.TotalPads(f); n != 3498 {
+		t.Fatalf("total pads %d, want 3498", n)
+	}
+	// 2.2 A at 0.1 A/pad derated -> 22 power + 22 ground = 44.
+	if n := c.PadsForRail(2.19); n != 44 {
+		t.Fatalf("cache rail pads %d, want 44", n)
+	}
+	if c.PadsForRail(0) != 0 {
+		t.Fatal("zero current must need zero pads")
+	}
+	// Monotone in current.
+	if c.PadsForRail(10) <= c.PadsForRail(5) {
+		t.Fatal("pad count not monotone")
+	}
+}
+
+func TestC4BaselineE1(t *testing.T) {
+	res, err := C4Baseline(DefaultC4(), 58.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pad budget: the cache rail frees ~1-2% of the total pads, which
+	// is a ~2% growth of the I/O pool in this accounting.
+	if res.CacheRailPads < 20 || res.CacheRailPads > 120 {
+		t.Fatalf("cache rail pads %d outside expectation", res.CacheRailPads)
+	}
+	if res.IOGainPct < 0.5 || res.IOGainPct > 10 {
+		t.Fatalf("I/O gain %.2f%% outside expectation", res.IOGainPct)
+	}
+	// The conventional dense-pad baseline droops less than the
+	// 14-site microfluidic feed (it has hundreds of feed points), but
+	// both stay within the usable band.
+	if res.ConventionalMinV <= res.MicrofluidicMinV {
+		t.Fatalf("dense C4 feed (%.4f V) should droop less than 14 VRM sites (%.4f V)",
+			res.ConventionalMinV, res.MicrofluidicMinV)
+	}
+	if res.MicrofluidicMinV < 0.93 {
+		t.Fatalf("microfluidic droop %.4f V out of band", res.MicrofluidicMinV)
+	}
+	if res.FullChipPads <= res.CacheRailPads {
+		t.Fatal("full-chip pad demand must dominate the cache rail's")
+	}
+	if math.IsNaN(res.FreedPadFractionPct) || res.FreedPadFractionPct <= 0 {
+		t.Fatalf("freed fraction %g", res.FreedPadFractionPct)
+	}
+}
+
+func TestC4BaselineErrors(t *testing.T) {
+	bad := DefaultC4()
+	bad.Pitch = -1
+	if _, err := C4Baseline(bad, 58.8); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	// A chip current so large the pads cannot feed it.
+	if _, err := C4Baseline(DefaultC4(), 1e4); err == nil {
+		t.Fatal("impossible chip current accepted")
+	}
+}

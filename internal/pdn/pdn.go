@@ -1,0 +1,233 @@
+// Package pdn models the on-chip power delivery network of the case
+// study: a resistive power-grid mesh over the die, current-sink loads
+// from the floorplan power map, and microfluidic-fed voltage-regulator
+// (VRM) sources injecting through TSV via sites above the cache regions
+// (paper Figs. 5, 6 and 8). The DC operating point is a modified nodal
+// analysis solved with preconditioned conjugate gradients.
+package pdn
+
+import (
+	"fmt"
+	"math"
+
+	"bright/internal/floorplan"
+	"bright/internal/mesh"
+	"bright/internal/num"
+)
+
+// VRM is a voltage regulator module converting the flow-cell potential
+// to the chip supply level (the paper cites switched-capacitor
+// converters at 86% efficiency, reference [22]).
+type VRM struct {
+	// Vout is the regulated output voltage (V).
+	Vout float64
+	// Efficiency in (0, 1].
+	Efficiency float64
+	// OutputResistance is the converter output impedance (ohm), lumped
+	// into each via site's source resistance.
+	OutputResistance float64
+}
+
+// Validate reports whether the VRM parameters are physical.
+func (v VRM) Validate() error {
+	if v.Vout <= 0 {
+		return fmt.Errorf("pdn: nonpositive VRM output %g V", v.Vout)
+	}
+	if v.Efficiency <= 0 || v.Efficiency > 1 {
+		return fmt.Errorf("pdn: VRM efficiency %g out of (0,1]", v.Efficiency)
+	}
+	if v.OutputResistance < 0 {
+		return fmt.Errorf("pdn: negative VRM output resistance %g", v.OutputResistance)
+	}
+	return nil
+}
+
+// InputPower returns the power (W) the VRM draws from the flow cells to
+// deliver outputPower to the grid.
+func (v VRM) InputPower(outputPower float64) float64 { return outputPower / v.Efficiency }
+
+// DefaultVRM returns the case-study VRM: 1.0 V output at 86% efficiency
+// (the switched-capacitor converter of the paper's reference [22]) with
+// a 5 mohm output impedance.
+func DefaultVRM() VRM {
+	return VRM{Vout: 1.0, Efficiency: 0.86, OutputResistance: 5e-3}
+}
+
+// ViaSite is one TSV bundle feeding the grid from a VRM output.
+type ViaSite struct {
+	// X, Y is the site location on the die (m).
+	X, Y float64
+	// Resistance is the series resistance (ohm) of the TSV bundle plus
+	// the VRM output impedance.
+	Resistance float64
+}
+
+// Problem describes one power-grid DC solve.
+type Problem struct {
+	Floorplan *floorplan.Floorplan
+	// SheetResistance of the on-chip power grid (ohm/square).
+	SheetResistance float64
+	// Supply is the VRM-regulated source voltage (V).
+	Supply float64
+	// Sites are the VRM/TSV injection points.
+	Sites []ViaSite
+	// LoadDensity is the sink current density field (A/m2) on the solve
+	// grid; build it with CacheLoad or a custom map.
+	LoadDensity *mesh.Field2D
+	// NX, NY are the grid resolution (defaults 106x85, ~0.25 mm cells).
+	NX, NY int
+}
+
+// Validate reports whether the problem is well posed.
+func (p *Problem) Validate() error {
+	if p.Floorplan == nil {
+		return fmt.Errorf("pdn: nil floorplan")
+	}
+	if p.SheetResistance <= 0 {
+		return fmt.Errorf("pdn: nonpositive sheet resistance %g", p.SheetResistance)
+	}
+	if p.Supply <= 0 {
+		return fmt.Errorf("pdn: nonpositive supply %g", p.Supply)
+	}
+	if len(p.Sites) == 0 {
+		return fmt.Errorf("pdn: no via sites")
+	}
+	for k, s := range p.Sites {
+		if s.Resistance <= 0 {
+			return fmt.Errorf("pdn: site %d has nonpositive resistance", k)
+		}
+		if s.X < 0 || s.X > p.Floorplan.Width || s.Y < 0 || s.Y > p.Floorplan.Height {
+			return fmt.Errorf("pdn: site %d at (%g, %g) outside die", k, s.X, s.Y)
+		}
+	}
+	if p.LoadDensity == nil {
+		return fmt.Errorf("pdn: nil load density")
+	}
+	return nil
+}
+
+func (p *Problem) grid() *mesh.Grid2D {
+	nx, ny := p.NX, p.NY
+	if nx == 0 {
+		nx = 106
+	}
+	if ny == 0 {
+		ny = 85
+	}
+	return mesh.NewUniformGrid2D(p.Floorplan.Width, p.Floorplan.Height, nx, ny)
+}
+
+// Solution is the solved grid state.
+type Solution struct {
+	Grid *mesh.Grid2D
+	// V is the node voltage field (V).
+	V *mesh.Field2D
+	// MinV, MaxV are the voltage extremes over the die.
+	MinV, MaxV float64
+	// MinVCache is the minimum voltage inside cache units (the quantity
+	// that matters for the Fig. 8 experiment).
+	MinVCache float64
+	// TotalLoad is the summed sink current (A).
+	TotalLoad float64
+	// SiteCurrents are the injection currents per via site (A).
+	SiteCurrents []float64
+	// WorstX, WorstY locate the minimum cache voltage.
+	WorstX, WorstY float64
+}
+
+// Solve computes the DC operating point.
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := p.grid()
+	if p.LoadDensity.Grid.NX() != g.NX() || p.LoadDensity.Grid.NY() != g.NY() {
+		return nil, fmt.Errorf("pdn: load density grid %dx%d does not match solve grid %dx%d",
+			p.LoadDensity.Grid.NX(), p.LoadDensity.Grid.NY(), g.NX(), g.NY())
+	}
+	n := g.NumCells()
+	co := num.NewCOO(n, n)
+	b := make([]float64, n)
+	// Mesh conductances: between laterally adjacent nodes,
+	// G = (w_perp / d) / Rs.
+	for j := 0; j < g.NY(); j++ {
+		for i := 0; i < g.NX(); i++ {
+			row := g.Index(i, j)
+			if i < g.NX()-1 {
+				cond := (g.Y.Widths[j] / g.X.CenterSpacing(i)) / p.SheetResistance
+				col := g.Index(i+1, j)
+				co.Add(row, row, cond)
+				co.Add(col, col, cond)
+				co.Add(row, col, -cond)
+				co.Add(col, row, -cond)
+			}
+			if j < g.NY()-1 {
+				cond := (g.X.Widths[i] / g.Y.CenterSpacing(j)) / p.SheetResistance
+				col := g.Index(i, j+1)
+				co.Add(row, row, cond)
+				co.Add(col, col, cond)
+				co.Add(row, col, -cond)
+				co.Add(col, row, -cond)
+			}
+			// Load sink.
+			load := p.LoadDensity.At(i, j) * g.CellArea(i, j)
+			b[row] -= load
+		}
+	}
+	// Sources: conductance to the fixed supply.
+	siteNodes := make([]int, len(p.Sites))
+	for k, s := range p.Sites {
+		i := g.X.FindCell(s.X)
+		j := g.Y.FindCell(s.Y)
+		node := g.Index(i, j)
+		siteNodes[k] = node
+		gs := 1 / s.Resistance
+		co.Add(node, node, gs)
+		b[node] += gs * p.Supply
+	}
+	a := co.ToCSR()
+	x := make([]float64, n)
+	num.Fill(x, p.Supply) // warm start at the supply level
+	if _, err := num.CG(a, b, x, num.IterOptions{Tol: 1e-11, MaxIter: 40 * n, M: num.NewJacobi(a)}); err != nil {
+		return nil, fmt.Errorf("pdn: grid solve failed: %w", err)
+	}
+	sol := &Solution{
+		Grid:         g,
+		V:            &mesh.Field2D{Grid: g, Data: x},
+		MinV:         math.Inf(1),
+		MaxV:         math.Inf(-1),
+		MinVCache:    math.Inf(1),
+		SiteCurrents: make([]float64, len(p.Sites)),
+	}
+	for j := 0; j < g.NY(); j++ {
+		for i := 0; i < g.NX(); i++ {
+			v := sol.V.At(i, j)
+			if v < sol.MinV {
+				sol.MinV = v
+			}
+			if v > sol.MaxV {
+				sol.MaxV = v
+			}
+			u := p.Floorplan.UnitAt(g.X.Centers[i], g.Y.Centers[j])
+			if u != nil && u.Kind.IsCache() && v < sol.MinVCache {
+				sol.MinVCache = v
+				sol.WorstX, sol.WorstY = g.X.Centers[i], g.Y.Centers[j]
+			}
+			sol.TotalLoad += p.LoadDensity.At(i, j) * g.CellArea(i, j)
+		}
+	}
+	for k, node := range siteNodes {
+		sol.SiteCurrents[k] = (p.Supply - x[node]) / p.Sites[k].Resistance
+	}
+	return sol, nil
+}
+
+// TotalSourceCurrent sums the via-site injections (A); at DC it must
+// equal TotalLoad (asserted by tests as a KCL check).
+func (s *Solution) TotalSourceCurrent() float64 {
+	t := 0.0
+	for _, i := range s.SiteCurrents {
+		t += i
+	}
+	return t
+}

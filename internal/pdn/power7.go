@@ -1,0 +1,84 @@
+package pdn
+
+import (
+	"fmt"
+
+	"bright/internal/floorplan"
+	"bright/internal/mesh"
+	"bright/internal/units"
+)
+
+// Power7SheetResistance is the sheet resistance (ohm/square) assumed for
+// the global on-chip power grid in the case study. The microfluidic
+// supply enters from the channel layer above the die through TSVs, so
+// the grid is carried on upper-metal planes; 0.35 ohm/sq reproduces the
+// 0.96-0.995 V spread of the paper's Fig. 8 and is representative of a
+// thick-upper-metal global grid.
+const Power7SheetResistance = 0.35
+
+// Power7TSVResistance is the series resistance (ohm) of one via site:
+// a TSV bundle (~1 mohm) plus the VRM output impedance.
+const Power7TSVResistance = 6e-3
+
+// CacheViaSites places VRM via sites over the cache units of the
+// floorplan: one site at the center of each L2 slice and a vertical
+// chain of three sites per L3 bank (their aspect ratio is tall).
+func CacheViaSites(f *floorplan.Floorplan, resistance float64) []ViaSite {
+	var sites []ViaSite
+	for _, u := range f.Units {
+		r := u.Rect
+		switch u.Kind {
+		case floorplan.L2:
+			sites = append(sites, ViaSite{
+				X: r.X + r.W/2, Y: r.Y + r.H/2, Resistance: resistance,
+			})
+		case floorplan.L3:
+			for k := 0; k < 3; k++ {
+				sites = append(sites, ViaSite{
+					X:          r.X + r.W/2,
+					Y:          r.Y + r.H*(float64(k)+0.5)/3,
+					Resistance: resistance,
+				})
+			}
+		}
+	}
+	return sites
+}
+
+// SingleViaSite places one central via site (the ablation baseline for
+// VRM placement).
+func SingleViaSite(f *floorplan.Floorplan, resistance float64) []ViaSite {
+	return []ViaSite{{X: f.Width / 2, Y: f.Height / 2, Resistance: resistance}}
+}
+
+// CacheLoad builds the sink current density field for the Fig. 8
+// experiment: the paper's 1 W/cm2 cache density at the given supply
+// voltage inside L2/L3 units, zero elsewhere (the rest of the chip is
+// powered by conventional external supplies).
+func CacheLoad(f *floorplan.Floorplan, g *mesh.Grid2D, supply float64) *mesh.Field2D {
+	mask := f.RasterizeMask(g, floorplan.UnitKind.IsCache)
+	density := units.WPerCM2ToWPerM2(1.0) / supply // A/m2
+	for k, v := range mask.Data {
+		mask.Data[k] = v * density
+	}
+	return mask
+}
+
+// Power7Problem assembles the complete Fig. 8 problem: POWER7+
+// floorplan, cache-only loads at 1 V, cache via sites, default VRM.
+func Power7Problem() (*Problem, VRM, error) {
+	f := floorplan.Power7()
+	if err := f.Validate(0); err != nil {
+		return nil, VRM{}, fmt.Errorf("pdn: POWER7+ floorplan: %w", err)
+	}
+	vrm := DefaultVRM()
+	p := &Problem{
+		Floorplan:       f,
+		SheetResistance: Power7SheetResistance,
+		Supply:          vrm.Vout,
+		Sites:           CacheViaSites(f, Power7TSVResistance+vrm.OutputResistance),
+	}
+	g := p.grid()
+	p.LoadDensity = CacheLoad(f, g, vrm.Vout)
+	return p, vrm, nil
+}

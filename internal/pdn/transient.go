@@ -1,0 +1,211 @@
+package pdn
+
+import (
+	"fmt"
+	"math"
+
+	"bright/internal/num"
+)
+
+// TransientProblem extends the DC grid with on-die decoupling
+// capacitance, a load step and a VRM response lag: the caches wake from
+// idle to full current at t=0, but the switched-capacitor VRMs keep
+// delivering their pre-step current until their control loop reacts
+// (VRMResponseTime). During that window only the decap supplies the
+// step, and the grid droops below its final DC value — the transient
+// half of the power-integrity story of Figs. 5-6.
+type TransientProblem struct {
+	// Base is the DC problem (grid, sites, full-load map).
+	Base *Problem
+	// DecapPerArea is the decoupling capacitance per die area (F/m2);
+	// ~1e-2..5e-2 F/m2 (10-50 nF/mm2) is typical on-die decap.
+	DecapPerArea float64
+	// StepFraction: the load steps from StepFraction*I to I at t=0.
+	StepFraction float64
+	// VRMResponseTime is the regulation lag (s); switched-capacitor
+	// converters react within a few switching periods, ~1 us.
+	VRMResponseTime float64
+	// Dt and Steps control the backward-Euler integration; the run
+	// must cover the response time (Dt*Steps > VRMResponseTime).
+	Dt    float64
+	Steps int
+}
+
+// Validate reports whether the problem is well posed.
+func (p *TransientProblem) Validate() error {
+	if p.Base == nil {
+		return fmt.Errorf("pdn: nil base problem")
+	}
+	if err := p.Base.Validate(); err != nil {
+		return err
+	}
+	if p.DecapPerArea <= 0 {
+		return fmt.Errorf("pdn: nonpositive decap %g", p.DecapPerArea)
+	}
+	if p.StepFraction < 0 || p.StepFraction >= 1 {
+		return fmt.Errorf("pdn: step fraction %g out of [0,1)", p.StepFraction)
+	}
+	if p.VRMResponseTime <= 0 {
+		return fmt.Errorf("pdn: nonpositive VRM response time")
+	}
+	if p.Dt <= 0 || p.Steps <= 0 {
+		return fmt.Errorf("pdn: invalid stepping dt=%g steps=%d", p.Dt, p.Steps)
+	}
+	if p.Dt*float64(p.Steps) <= p.VRMResponseTime {
+		return fmt.Errorf("pdn: run (%g s) must cover the VRM response time (%g s)",
+			p.Dt*float64(p.Steps), p.VRMResponseTime)
+	}
+	return nil
+}
+
+// TransientResult is the droop trajectory.
+type TransientResult struct {
+	// Times (s) and MinV (V): the grid's minimum voltage per step.
+	Times, MinV []float64
+	// WorstV is the deepest droop over the run.
+	WorstV float64
+	// SettledV is the final (DC full-load) minimum voltage.
+	SettledV float64
+	// DroopMV = (SettledV - WorstV)*1000: the transient penalty below
+	// the DC operating point.
+	DroopMV float64
+}
+
+// SolveTransient integrates the wake-up step with backward Euler.
+func SolveTransient(p *TransientProblem) (*TransientResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	base := p.Base
+	g := base.grid()
+	if base.LoadDensity.Grid.NX() != g.NX() || base.LoadDensity.Grid.NY() != g.NY() {
+		return nil, fmt.Errorf("pdn: load grid mismatch")
+	}
+	n := g.NumCells()
+	// Grid conductances shared by every phase.
+	gridCOO := num.NewCOO(n, n)
+	loadFull := make([]float64, n)
+	capPerNode := make([]float64, n)
+	for j := 0; j < g.NY(); j++ {
+		for i := 0; i < g.NX(); i++ {
+			row := g.Index(i, j)
+			if i < g.NX()-1 {
+				cond := (g.Y.Widths[j] / g.X.CenterSpacing(i)) / base.SheetResistance
+				col := g.Index(i+1, j)
+				gridCOO.Add(row, row, cond)
+				gridCOO.Add(col, col, cond)
+				gridCOO.Add(row, col, -cond)
+				gridCOO.Add(col, row, -cond)
+			}
+			if j < g.NY()-1 {
+				cond := (g.X.Widths[i] / g.Y.CenterSpacing(j)) / base.SheetResistance
+				col := g.Index(i, j+1)
+				gridCOO.Add(row, row, cond)
+				gridCOO.Add(col, col, cond)
+				gridCOO.Add(row, col, -cond)
+				gridCOO.Add(col, row, -cond)
+			}
+			area := g.CellArea(i, j)
+			loadFull[row] = base.LoadDensity.At(i, j) * area
+			capPerNode[row] = p.DecapPerArea * area
+		}
+	}
+	siteNodes := make([]int, len(base.Sites))
+	siteG := make([]float64, len(base.Sites))
+	for k, s := range base.Sites {
+		siteNodes[k] = g.Index(g.X.FindCell(s.X), g.Y.FindCell(s.Y))
+		siteG[k] = 1 / s.Resistance
+	}
+	// DC solve helper with voltage-source sites at the given load scale.
+	dcCOO := num.NewCOO(n, n)
+	stampFrom := func(dst *num.COO, src *num.CSR) {
+		for i := 0; i < src.Rows; i++ {
+			for kk := src.RowPtr[i]; kk < src.RowPtr[i+1]; kk++ {
+				dst.Add(i, src.ColIdx[kk], src.Val[kk])
+			}
+		}
+	}
+	gridCSR := gridCOO.ToCSR()
+	stampFrom(dcCOO, gridCSR)
+	srcB := make([]float64, n)
+	for k, node := range siteNodes {
+		dcCOO.Add(node, node, siteG[k])
+		srcB[node] += siteG[k] * base.Supply
+	}
+	aDC := dcCOO.ToCSR()
+	solveDC := func(scale float64) ([]float64, error) {
+		b := make([]float64, n)
+		for k := range b {
+			b[k] = srcB[k] - scale*loadFull[k]
+		}
+		x := make([]float64, n)
+		num.Fill(x, base.Supply)
+		if _, err := num.CG(aDC, b, x, num.IterOptions{Tol: 1e-11, MaxIter: 40 * n, M: num.NewJacobi(aDC)}); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	x, err := solveDC(p.StepFraction)
+	if err != nil {
+		return nil, fmt.Errorf("pdn: idle DC solve: %w", err)
+	}
+	settled, err := solveDC(1)
+	if err != nil {
+		return nil, fmt.Errorf("pdn: settled DC solve: %w", err)
+	}
+	// Frozen VRM currents during the lag window.
+	iFrozen := make([]float64, n)
+	for k, node := range siteNodes {
+		iFrozen[node] += siteG[k] * (base.Supply - x[node])
+	}
+	// Phase matrices with capacitance.
+	lagCOO := num.NewCOO(n, n)
+	stampFrom(lagCOO, gridCSR)
+	regCOO := num.NewCOO(n, n)
+	stampFrom(regCOO, gridCSR)
+	for k, node := range siteNodes {
+		regCOO.Add(node, node, siteG[k])
+	}
+	for row, c := range capPerNode {
+		lagCOO.Add(row, row, c/p.Dt)
+		regCOO.Add(row, row, c/p.Dt)
+	}
+	aLag := lagCOO.ToCSR()
+	aReg := regCOO.ToCSR()
+	preLag := num.NewJacobi(aLag)
+	preReg := num.NewJacobi(aReg)
+
+	res := &TransientResult{WorstV: math.Inf(1)}
+	rhs := make([]float64, n)
+	for step := 1; step <= p.Steps; step++ {
+		t := float64(step) * p.Dt
+		inLag := t <= p.VRMResponseTime
+		for k := range rhs {
+			rhs[k] = -loadFull[k] + capPerNode[k]/p.Dt*x[k]
+			if inLag {
+				rhs[k] += iFrozen[k]
+			} else {
+				rhs[k] += srcB[k]
+			}
+		}
+		a, pre := aReg, preReg
+		if inLag {
+			a, pre = aLag, preLag
+		}
+		if _, err := num.CG(a, rhs, x, num.IterOptions{Tol: 1e-10, MaxIter: 40 * n, M: pre}); err != nil {
+			return nil, fmt.Errorf("pdn: transient step %d: %w", step, err)
+		}
+		minV := num.MinSlice(x)
+		res.Times = append(res.Times, t)
+		res.MinV = append(res.MinV, minV)
+		if minV < res.WorstV {
+			res.WorstV = minV
+		}
+	}
+	res.SettledV = num.MinSlice(settled)
+	res.DroopMV = 1000 * (res.SettledV - res.WorstV)
+	if res.DroopMV < 0 {
+		res.DroopMV = 0
+	}
+	return res, nil
+}

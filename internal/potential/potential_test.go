@@ -1,0 +1,161 @@
+package potential
+
+import (
+	"math"
+	"testing"
+)
+
+func tableIIProblem() *Problem {
+	return &Problem{
+		Width: 200e-6, Height: 400e-6,
+		CoverageLeft: 1, CoverageRight: 1,
+		SigmaFuel: 40, SigmaOx: 40,
+	}
+}
+
+func TestFullCoverageMatchesAnalytic(t *testing.T) {
+	p := tableIIProblem()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform field: the FVM must reproduce W/(sigma) ASR exactly
+	// (within solver tolerance).
+	if math.Abs(sol.ASR-p.AnalyticASR())/p.AnalyticASR() > 1e-6 {
+		t.Fatalf("full-coverage ASR %g vs analytic %g", sol.ASR, p.AnalyticASR())
+	}
+	if math.Abs(sol.ConstrictionFactor-1) > 1e-6 {
+		t.Fatalf("constriction factor %g != 1", sol.ConstrictionFactor)
+	}
+}
+
+func TestTwoConductivitySeries(t *testing.T) {
+	p := tableIIProblem()
+	p.SigmaFuel, p.SigmaOx = 20, 60
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Width / 2 * (1.0/20 + 1.0/60)
+	if math.Abs(sol.ASR-want)/want > 1e-4 {
+		t.Fatalf("two-sigma ASR %g vs series %g", sol.ASR, want)
+	}
+}
+
+func TestPartialCoverageConstricts(t *testing.T) {
+	prev := 1.0
+	for _, cov := range []float64{0.75, 0.5, 0.25} {
+		p := tableIIProblem()
+		p.CoverageLeft, p.CoverageRight = cov, cov
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.ConstrictionFactor <= prev {
+			t.Fatalf("coverage %g: factor %g must exceed %g", cov, sol.ConstrictionFactor, prev)
+		}
+		prev = sol.ConstrictionFactor
+	}
+	// Quarter coverage on both walls at this aspect ratio costs well
+	// over 2x the full-coverage resistance.
+	if prev < 2 {
+		t.Fatalf("quarter-coverage constriction %g suspiciously small", prev)
+	}
+}
+
+func TestReciprocity(t *testing.T) {
+	// Swapping the two electrodes' coverages leaves the resistance
+	// unchanged (network reciprocity), even with asymmetric sigma once
+	// those are swapped too.
+	p1 := tableIIProblem()
+	p1.CoverageLeft, p1.CoverageRight = 0.4, 0.9
+	s1, err := Solve(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := tableIIProblem()
+	p2.CoverageLeft, p2.CoverageRight = 0.9, 0.4
+	s2, err := Solve(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s1.ASR-s2.ASR)/s1.ASR > 1e-6 {
+		t.Fatalf("reciprocity violated: %g vs %g", s1.ASR, s2.ASR)
+	}
+}
+
+func TestGridConvergence(t *testing.T) {
+	cov := 0.5
+	asrAt := func(n int) float64 {
+		p := tableIIProblem()
+		p.CoverageLeft, p.CoverageRight = cov, cov
+		p.NX, p.NY = n, n
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol.ASR
+	}
+	ref := asrAt(128)
+	prevErr := math.Inf(1)
+	for _, n := range []int{16, 32, 64} {
+		e := math.Abs(asrAt(n)-ref) / ref
+		if e > prevErr*1.01 {
+			t.Fatalf("not converging at n=%d: %g vs %g", n, e, prevErr)
+		}
+		prevErr = e
+	}
+	if prevErr > 0.02 {
+		t.Fatalf("finest error %g", prevErr)
+	}
+}
+
+func TestPotentialFieldBounds(t *testing.T) {
+	p := tableIIProblem()
+	p.CoverageLeft, p.CoverageRight = 0.5, 0.5
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := sol.Phi.MinMax()
+	if lo < -1e-9 || hi > 1+1e-9 {
+		t.Fatalf("potential escapes [0,1]: [%g, %g]", lo, hi)
+	}
+	// Midline potential ~0.5 by symmetry.
+	g := sol.Phi.Grid
+	mid := sol.Phi.At(g.NX()/2, g.NY()/4)
+	if math.Abs(mid-0.5) > 0.05 {
+		t.Fatalf("midline potential %g", mid)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []*Problem{
+		{Width: 0, Height: 1, CoverageLeft: 1, CoverageRight: 1, SigmaFuel: 1, SigmaOx: 1},
+		{Width: 1, Height: 1, CoverageLeft: 0, CoverageRight: 1, SigmaFuel: 1, SigmaOx: 1},
+		{Width: 1, Height: 1, CoverageLeft: 1, CoverageRight: 1.5, SigmaFuel: 1, SigmaOx: 1},
+		{Width: 1, Height: 1, CoverageLeft: 1, CoverageRight: 1, SigmaFuel: 0, SigmaOx: 1},
+	}
+	for k, p := range bad {
+		if _, err := Solve(p); err == nil {
+			t.Errorf("case %d accepted", k)
+		}
+	}
+}
+
+func TestConstrictionFactorHelper(t *testing.T) {
+	f, err := ConstrictionFactor(200e-6, 400e-6, 1.0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-1) > 1e-6 {
+		t.Fatalf("full coverage helper %g", f)
+	}
+	f2, err := ConstrictionFactor(200e-6, 400e-6, 0.5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2 <= 1.05 {
+		t.Fatalf("half coverage helper %g", f2)
+	}
+}

@@ -1,0 +1,202 @@
+package thermal
+
+import (
+	"fmt"
+
+	"bright/internal/mesh"
+	"bright/internal/num"
+)
+
+// AirCooledProblem is the conventional-cooling baseline the paper
+// argues against: the same die, but heat leaves through a spreader and
+// finned heat sink on top (lumped into an effective heat-transfer
+// coefficient) instead of through embedded microchannels.
+type AirCooledProblem struct {
+	// DieWidth, DieHeight in m.
+	DieWidth, DieHeight float64
+	// Layers bottom-up, all Conduction, exactly one HeatSource. The top
+	// layer's upper face carries the convective boundary.
+	Layers []Layer
+	// EffectiveHTC is the lumped spreader+sink+airflow coefficient
+	// referenced to the die footprint (W/m2K). Good server air coolers
+	// reach an effective 2000-5000 W/m2K; liquid cold plates 10-20k.
+	EffectiveHTC float64
+	// AmbientK is the inlet-air temperature (K).
+	AmbientK float64
+	// Power is the heat map (W/m2) on Grid().
+	Power *mesh.Field2D
+	// NX, NY default to 88x64.
+	NX, NY int
+}
+
+// Grid returns the lateral solve grid.
+func (p *AirCooledProblem) Grid() *mesh.Grid2D {
+	nx, ny := p.NX, p.NY
+	if nx == 0 {
+		nx = 88
+	}
+	if ny == 0 {
+		ny = 64
+	}
+	return mesh.NewUniformGrid2D(p.DieWidth, p.DieHeight, nx, ny)
+}
+
+// Validate reports whether the problem is well posed.
+func (p *AirCooledProblem) Validate() error {
+	if p.DieWidth <= 0 || p.DieHeight <= 0 {
+		return fmt.Errorf("thermal: nonpositive die")
+	}
+	if len(p.Layers) == 0 {
+		return fmt.Errorf("thermal: no layers")
+	}
+	sources := 0
+	for i, l := range p.Layers {
+		if l.Kind != Conduction {
+			return fmt.Errorf("thermal: air-cooled layer %d must be Conduction", i)
+		}
+		if l.Thickness <= 0 {
+			return fmt.Errorf("thermal: layer %d nonpositive thickness", i)
+		}
+		if err := l.Material.Validate(); err != nil {
+			return err
+		}
+		if l.HeatSource {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return fmt.Errorf("thermal: need exactly one source layer, got %d", sources)
+	}
+	if p.EffectiveHTC <= 0 {
+		return fmt.Errorf("thermal: nonpositive HTC")
+	}
+	if p.AmbientK <= 0 {
+		return fmt.Errorf("thermal: nonpositive ambient")
+	}
+	if p.Power == nil {
+		return fmt.Errorf("thermal: nil power")
+	}
+	return nil
+}
+
+// AirCooledSolution is the solved baseline state.
+type AirCooledSolution struct {
+	Grid    *mesh.Grid2D
+	ActiveT *mesh.Field2D
+	PeakT   float64
+	// TopMeanT is the mean top-surface temperature (K).
+	TopMeanT float64
+	// TotalPower integrated from the map (W).
+	TotalPower float64
+}
+
+// SolveAirCooled computes the steady conduction + top-convection state.
+func SolveAirCooled(p *AirCooledProblem) (*AirCooledSolution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := p.Grid()
+	nx, ny := g.NX(), g.NY()
+	if p.Power.Grid.NX() != nx || p.Power.Grid.NY() != ny {
+		return nil, fmt.Errorf("thermal: power grid mismatch")
+	}
+	nz := len(p.Layers)
+	n := nx * ny * nz
+	idx := func(i, j, k int) int { return (k*ny+j)*nx + i }
+	co := num.NewCOO(n, n)
+	b := make([]float64, n)
+	activeK := 0
+	total := 0.0
+	for k := 0; k < nz; k++ {
+		l := p.Layers[k]
+		if l.HeatSource {
+			activeK = k
+		}
+		kc := l.Material.Conductivity
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				row := idx(i, j, k)
+				dx := g.X.Widths[i]
+				dy := g.Y.Widths[j]
+				if i < nx-1 {
+					cond := kc * (dy * l.Thickness) / g.X.CenterSpacing(i)
+					co.Add(row, row, cond)
+					co.Add(idx(i+1, j, k), idx(i+1, j, k), cond)
+					co.Add(row, idx(i+1, j, k), -cond)
+					co.Add(idx(i+1, j, k), row, -cond)
+				}
+				if j < ny-1 {
+					cond := kc * (dx * l.Thickness) / g.Y.CenterSpacing(j)
+					co.Add(row, row, cond)
+					co.Add(idx(i, j+1, k), idx(i, j+1, k), cond)
+					co.Add(row, idx(i, j+1, k), -cond)
+					co.Add(idx(i, j+1, k), row, -cond)
+				}
+				if k < nz-1 {
+					up := idx(i, j, k+1)
+					r := l.Thickness/(2*kc) + p.Layers[k+1].Thickness/(2*p.Layers[k+1].Material.Conductivity)
+					cond := (dx * dy) / r
+					co.Add(row, row, cond)
+					co.Add(up, up, cond)
+					co.Add(row, up, -cond)
+					co.Add(up, row, -cond)
+				}
+				if k == nz-1 {
+					// Robin boundary: series of half-layer conduction
+					// and the effective film coefficient.
+					r := l.Thickness/(2*kc) + 1/p.EffectiveHTC
+					cond := (dx * dy) / r
+					co.Add(row, row, cond)
+					b[row] += cond * p.AmbientK
+				}
+				if l.HeatSource {
+					q := p.Power.At(i, j) * dx * dy
+					b[row] += q
+					total += q
+				}
+			}
+		}
+	}
+	a := co.ToCSR()
+	x := make([]float64, n)
+	num.Fill(x, p.AmbientK)
+	if _, err := num.CG(a, b, x, num.IterOptions{Tol: 1e-10, MaxIter: 60 * n, M: num.NewJacobi(a)}); err != nil {
+		return nil, fmt.Errorf("thermal: air-cooled solve failed: %w", err)
+	}
+	sol := &AirCooledSolution{
+		Grid:       g,
+		ActiveT:    mesh.NewField2D(g),
+		PeakT:      -1,
+		TotalPower: total,
+	}
+	var topSum float64
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			ta := x[idx(i, j, activeK)]
+			sol.ActiveT.Set(i, j, ta)
+			if ta > sol.PeakT {
+				sol.PeakT = ta
+			}
+			topSum += x[idx(i, j, nz-1)]
+		}
+	}
+	sol.TopMeanT = topSum / float64(nx*ny)
+	return sol, nil
+}
+
+// Power7AirCooled assembles the baseline for the POWER7+ full-load map:
+// die, TIM and copper spreader under the lumped sink coefficient.
+func Power7AirCooled(htc, ambientK float64, power *mesh.Field2D) *AirCooledProblem {
+	return &AirCooledProblem{
+		DieWidth:  26.55e-3,
+		DieHeight: 21.34e-3,
+		Layers: []Layer{
+			{Name: "die", Kind: Conduction, Thickness: 500e-6, Material: Silicon(), HeatSource: true},
+			{Name: "tim", Kind: Conduction, Thickness: 50e-6, Material: Material{Name: "TIM", Conductivity: 4, VolHeatCapacity: 2e6}},
+			{Name: "spreader", Kind: Conduction, Thickness: 2e-3, Material: Material{Name: "copper", Conductivity: 390, VolHeatCapacity: 3.4e6}},
+		},
+		EffectiveHTC: htc,
+		AmbientK:     ambientK,
+		Power:        power,
+	}
+}

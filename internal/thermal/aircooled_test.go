@@ -1,0 +1,113 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"bright/internal/floorplan"
+	"bright/internal/units"
+)
+
+func airProblem(t *testing.T, htc float64) *AirCooledProblem {
+	t.Helper()
+	f := floorplan.Power7()
+	p := Power7AirCooled(htc, units.CtoK(35), nil)
+	p.Power = f.Rasterize(p.Grid(), floorplan.Power7FullLoad())
+	return p
+}
+
+func TestAirCooledBaseline(t *testing.T) {
+	// A good server air cooler (~2500 W/m2K effective at 35 C ambient)
+	// runs the full-load POWER7+ tens of kelvin hotter than the
+	// microfluidic array at a 27 C inlet.
+	sol, err := SolveAirCooled(airProblem(t, 2500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peakC := units.KtoC(sol.PeakT)
+	if peakC < 60 || peakC > 95 {
+		t.Fatalf("air-cooled peak %.1f C outside server expectation", peakC)
+	}
+	micro, err := Solve(Power7Problem(676, units.CtoK(27), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.PeakT-micro.PeakT < 20 {
+		t.Fatalf("microfluidic advantage only %.1f K", sol.PeakT-micro.PeakT)
+	}
+}
+
+func TestAirCooledEnergyBalance(t *testing.T) {
+	p := airProblem(t, 3000)
+	sol, err := SolveAirCooled(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All power leaves through the top film: htc * A * (Ttop - Tamb).
+	carried := p.EffectiveHTC * p.DieWidth * p.DieHeight * (sol.TopMeanT - p.AmbientK)
+	if math.Abs(carried-sol.TotalPower)/sol.TotalPower > 0.02 {
+		t.Fatalf("film carries %.1f W of %.1f W", carried, sol.TotalPower)
+	}
+}
+
+func TestAirCooledMonotoneInHTC(t *testing.T) {
+	weak, err := SolveAirCooled(airProblem(t, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := SolveAirCooled(airProblem(t, 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strong.PeakT >= weak.PeakT {
+		t.Fatal("stronger cooling must lower the peak")
+	}
+}
+
+func TestAirCooledSpreaderHelps(t *testing.T) {
+	// Removing the copper spreader concentrates the heat and raises the
+	// peak at the same film coefficient.
+	with := airProblem(t, 2500)
+	solWith, err := SolveAirCooled(with)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without := airProblem(t, 2500)
+	without.Layers = without.Layers[:1] // die only
+	solWithout, err := SolveAirCooled(without)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solWithout.PeakT <= solWith.PeakT {
+		t.Fatalf("spreader should lower the peak: %.1f vs %.1f",
+			units.KtoC(solWithout.PeakT), units.KtoC(solWith.PeakT))
+	}
+}
+
+func TestAirCooledValidation(t *testing.T) {
+	p := airProblem(t, 2500)
+	p.EffectiveHTC = 0
+	if _, err := SolveAirCooled(p); err == nil {
+		t.Fatal("zero HTC accepted")
+	}
+	p = airProblem(t, 2500)
+	p.AmbientK = -1
+	if _, err := SolveAirCooled(p); err == nil {
+		t.Fatal("negative ambient accepted")
+	}
+	p = airProblem(t, 2500)
+	p.Layers[0].HeatSource = false
+	if _, err := SolveAirCooled(p); err == nil {
+		t.Fatal("sourceless stack accepted")
+	}
+	p = airProblem(t, 2500)
+	p.Layers[1].Kind = ChannelCavity
+	if _, err := SolveAirCooled(p); err == nil {
+		t.Fatal("cavity layer accepted in the air-cooled stack")
+	}
+	p = airProblem(t, 2500)
+	p.Power = nil
+	if _, err := SolveAirCooled(p); err == nil {
+		t.Fatal("nil power accepted")
+	}
+}

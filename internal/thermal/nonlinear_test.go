@@ -1,0 +1,119 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"bright/internal/units"
+)
+
+func TestConductivityAt(t *testing.T) {
+	si := Silicon()
+	// Reference at 300 K (and for t <= 0).
+	if si.ConductivityAt(300) != si.Conductivity || si.ConductivityAt(0) != si.Conductivity {
+		t.Fatal("reference conductivity")
+	}
+	// Hotter silicon conducts worse.
+	if si.ConductivityAt(340) >= si.ConductivityAt(300) {
+		t.Fatal("silicon k must fall with T")
+	}
+	// Known ratio at 330 K: (300/330)^1.33 ~ 0.881.
+	r := si.ConductivityAt(330) / si.Conductivity
+	if math.Abs(r-math.Pow(300.0/330, 1.33)) > 1e-12 {
+		t.Fatalf("k ratio %g", r)
+	}
+	// Exponent 0 materials are T-independent.
+	ox := SiliconDioxide()
+	if ox.ConductivityAt(400) != ox.Conductivity {
+		t.Fatal("SiO2 should be constant here")
+	}
+	bad := si
+	bad.TempExponent = 5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("absurd exponent accepted")
+	}
+}
+
+func TestNonlinearSolveRaisesPeak(t *testing.T) {
+	linear := Power7Problem(676, units.CtoK(27), 0)
+	solLin, err := Solve(linear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonlin := Power7Problem(676, units.CtoK(27), 0)
+	nonlin.NonlinearTempIterations = 4
+	solNl, err := Solve(nonlin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := solNl.PeakT - solLin.PeakT
+	// Warmer silicon conducts worse -> slightly higher peak; the effect
+	// is a fraction of a kelvin at these mild temperatures.
+	if d <= 0 {
+		t.Fatalf("nonlinear peak %.3f must exceed linear %.3f", solNl.PeakT, solLin.PeakT)
+	}
+	if d > 1.5 {
+		t.Fatalf("nonlinear correction %.2f K implausibly large", d)
+	}
+}
+
+func TestNonlinearConverges(t *testing.T) {
+	// More iterations past convergence change nothing measurable.
+	at := func(iters int) float64 {
+		p := Power7Problem(676, units.CtoK(27), 0)
+		p.NonlinearTempIterations = iters
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol.PeakT
+	}
+	if d := math.Abs(at(3) - at(6)); d > 0.05 {
+		t.Fatalf("not converged after 3 iterations (delta %.3f K)", d)
+	}
+}
+
+func yGradient(sol *Solution) float64 {
+	g := sol.Grid
+	q := g.NY() / 4
+	var first, last float64
+	for j := 0; j < q; j++ {
+		for i := 0; i < g.NX(); i++ {
+			first += sol.ActiveT.At(i, j)
+			last += sol.ActiveT.At(i, g.NY()-1-j)
+		}
+	}
+	return (last - first) / float64(q*g.NX())
+}
+
+func TestCounterFlowEvensGradient(t *testing.T) {
+	uni, err := Solve(Power7Problem(676, units.CtoK(27), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := Power7Problem(676, units.CtoK(27), 0)
+	cf.Stack.Channels.CounterFlow = true
+	solC, err := Solve(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gU, gC := yGradient(uni), yGradient(solC)
+	// Uniflow warms monotonically downstream; counterflow must cut the
+	// asymmetry roughly in half.
+	if gU <= 0 {
+		t.Fatalf("uniflow gradient %g not positive", gU)
+	}
+	if gC > 0.7*gU {
+		t.Fatalf("counterflow gradient %.3f K should be well below uniflow %.3f K", gC, gU)
+	}
+	// Energy still conserved: outlet carries the chip power.
+	mc := cf.Stack.Channels.HeatCapacityRate()
+	carried := mc * (solC.OutletT - cf.Stack.Channels.InletTemperature)
+	if math.Abs(carried-solC.TotalPower)/solC.TotalPower > 0.02 {
+		t.Fatalf("counterflow enthalpy balance: %.1f W vs %.1f W", carried, solC.TotalPower)
+	}
+	// Peak unchanged or slightly better.
+	if solC.PeakT > uni.PeakT+0.05 {
+		t.Fatalf("counterflow peak %.2f worse than uniflow %.2f", solC.PeakT, uni.PeakT)
+	}
+}

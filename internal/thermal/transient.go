@@ -1,0 +1,96 @@
+package thermal
+
+import (
+	"fmt"
+
+	"bright/internal/mesh"
+	"bright/internal/num"
+)
+
+// TransientResult is the sampled trajectory of a transient solve.
+type TransientResult struct {
+	// Times are the sample instants (s).
+	Times []float64
+	// PeakT is the active-plane peak temperature (K) at each sample.
+	PeakT []float64
+	// MeanFluidT is the coolant mean temperature (K) at each sample
+	// (the quantity the electrochemistry follows in workload studies).
+	MeanFluidT []float64
+	// MeanWallT is the channel-wall mean temperature (K) per sample.
+	MeanWallT []float64
+	// TotalPowerW is the instantaneous chip power (W) per sample.
+	TotalPowerW []float64
+	// Final is the full state at the last step.
+	Final *Solution
+}
+
+// SolveTransient integrates the thermal network with backward Euler from
+// a uniform initial temperature t0 (typically the coolant inlet): at each
+// step (A + C/dt) T^{n+1} = b + (C/dt) T^n. The matrix is constant, so
+// it is assembled and preconditioned once. Use it for power-step
+// studies: the paper's architecture promises thermal time constants in
+// the millisecond range thanks to the thin stack and embedded coolant.
+func SolveTransient(p *Problem, t0, dt float64, steps int) (*TransientResult, error) {
+	return SolveSchedule(p, t0, dt, steps, nil)
+}
+
+// SolveSchedule integrates the network under a time-varying power map:
+// schedule(step, time) returns the power field for the step (1-based
+// step index, time at the end of the step). A nil schedule holds
+// p.Power constant — the plain step response. This is the engine of the
+// workload scenarios (package workload): bursty chip activity produces
+// temperature trajectories, which the quasi-static electrochemistry
+// then follows.
+func SolveSchedule(p *Problem, t0, dt float64, steps int, schedule func(step int, time float64) *mesh.Field2D) (*TransientResult, error) {
+	if dt <= 0 || steps <= 0 {
+		return nil, fmt.Errorf("thermal: invalid transient parameters dt=%g steps=%d", dt, steps)
+	}
+	if t0 <= 0 {
+		return nil, fmt.Errorf("thermal: nonpositive initial temperature %g", t0)
+	}
+	s, err := assemble(p, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Add the capacitance terms to the diagonal.
+	for row, c := range s.cap {
+		s.co.Add(row, row, c/dt)
+	}
+	a := s.co.ToCSR()
+	pre := num.NewJacobi(a)
+
+	x := make([]float64, s.n)
+	num.Fill(x, t0)
+	rhs := make([]float64, s.n)
+	res := &TransientResult{}
+	power := p.Power
+	for step := 1; step <= steps; step++ {
+		time := float64(step) * dt
+		if schedule != nil {
+			if f := schedule(step, time); f != nil {
+				power = f
+			}
+		}
+		base, err := s.rhsWithPower(power)
+		if err != nil {
+			return nil, fmt.Errorf("thermal: schedule step %d: %w", step, err)
+		}
+		copy(rhs, base)
+		for row, c := range s.cap {
+			rhs[row] += c / dt * x[row]
+		}
+		if _, err := num.BiCGSTAB(a, rhs, x, num.IterOptions{Tol: 1e-9, MaxIter: 40 * s.n, M: pre}); err != nil {
+			return nil, fmt.Errorf("thermal: transient step %d: %w", step, err)
+		}
+		sol := s.extract(x)
+		res.Times = append(res.Times, time)
+		res.PeakT = append(res.PeakT, sol.PeakT)
+		res.MeanFluidT = append(res.MeanFluidT, sol.MeanFluidT)
+		res.MeanWallT = append(res.MeanWallT, sol.MeanWallT)
+		res.TotalPowerW = append(res.TotalPowerW, s.totalPower)
+		if step == steps {
+			res.Final = sol
+		}
+	}
+	return res, nil
+}

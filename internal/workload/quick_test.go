@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bright/internal/floorplan"
+)
+
+func quickConfig(seed int64, max int) *quick.Config {
+	return &quick.Config{MaxCount: max, Rand: rand.New(rand.NewSource(seed))}
+}
+
+// TestQuickTraceAtAlwaysReturnsAPhase: any time maps onto one of the
+// trace's phase utilizations, for any (possibly negative) query time.
+func TestQuickTraceAtAlwaysReturnsAPhase(t *testing.T) {
+	fn := func(d1, d2, d3 uint8, u1, u2, u3 uint8, tRaw int16) bool {
+		tr := &Trace{Phases: []Phase{
+			{Duration: 0.01 + float64(d1)/100, Util: Utilization{Default: float64(u1) / 255}},
+			{Duration: 0.01 + float64(d2)/100, Util: Utilization{Default: float64(u2) / 255}},
+			{Duration: 0.01 + float64(d3)/100, Util: Utilization{Default: float64(u3) / 255}},
+		}}
+		if err := tr.Validate(); err != nil {
+			return false
+		}
+		got := tr.At(float64(tRaw) / 10).Default
+		for _, p := range tr.Phases {
+			if got == p.Util.Default {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(fn, quickConfig(51, 300)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTracePeriodicity: At(t) == At(t + period) for any t.
+func TestQuickTracePeriodicity(t *testing.T) {
+	tr := Burst(0.7, 0.3)
+	period := tr.TotalDuration()
+	fn := func(tRaw int16) bool {
+		tt := float64(tRaw) / 50
+		// Skip times within rounding distance of a phase boundary,
+		// where the float64 modulo can land on either side.
+		frac := math.Mod(math.Mod(tt, period)+period, period)
+		for _, edge := range []float64{0, tr.Phases[0].Duration, period} {
+			if math.Abs(frac-edge) < 1e-9 {
+				return true
+			}
+		}
+		return tr.At(tt).Default == tr.At(tt+period).Default
+	}
+	if err := quick.Check(fn, quickConfig(52, 300)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPowerBetweenIdleAndFull: the instantaneous total power at
+// any utilization lies between the idle and full endpoints.
+func TestQuickPowerBetweenIdleAndFull(t *testing.T) {
+	f := floorplan.Power7()
+	pm := Power7PowerModel()
+	idle := pm.TotalPower(f, Utilization{Default: 0})
+	full := pm.TotalPower(f, Utilization{Default: 1})
+	fn := func(uRaw uint8, coreRaw uint8) bool {
+		u := Utilization{
+			Default: float64(uRaw) / 255,
+			ByKind: map[floorplan.UnitKind]float64{
+				floorplan.Core: float64(coreRaw) / 255,
+			},
+		}
+		p := pm.TotalPower(f, u)
+		return p >= idle-1e-9 && p <= full+1e-9 && !math.IsNaN(p)
+	}
+	if err := quick.Check(fn, quickConfig(53, 200)); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"bright/internal/floorplan"
+	"bright/internal/mesh"
+)
+
+func approx(t *testing.T, got, want, rel float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > rel*math.Abs(want) {
+		t.Errorf("%s: got %g want %g (rel tol %g)", msg, got, want, rel)
+	}
+}
+
+func TestUtilizationPrecedence(t *testing.T) {
+	u := Utilization{
+		ByName:  map[string]float64{"CORE0": 1},
+		ByKind:  map[floorplan.UnitKind]float64{floorplan.Core: 0.5},
+		Default: 0.1,
+	}
+	f := floorplan.Power7()
+	var core0, core1, l3 floorplan.Unit
+	for _, unit := range f.Units {
+		switch unit.Name {
+		case "CORE0":
+			core0 = unit
+		case "CORE1":
+			core1 = unit
+		case "L3_0":
+			l3 = unit
+		}
+	}
+	if u.Of(core0) != 1 {
+		t.Fatal("name precedence")
+	}
+	if u.Of(core1) != 0.5 {
+		t.Fatal("kind precedence")
+	}
+	if u.Of(l3) != 0.1 {
+		t.Fatal("default fallback")
+	}
+}
+
+func TestUtilizationValidate(t *testing.T) {
+	if err := (Utilization{Default: 0.5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Utilization{Default: 1.5}).Validate(); err == nil {
+		t.Fatal("default >1 accepted")
+	}
+	if err := (Utilization{ByName: map[string]float64{"X": -0.1}}).Validate(); err == nil {
+		t.Fatal("negative by-name accepted")
+	}
+	if err := (Utilization{ByKind: map[floorplan.UnitKind]float64{floorplan.Core: 2}}).Validate(); err == nil {
+		t.Fatal("by-kind >1 accepted")
+	}
+}
+
+func TestTraceAtWrapsPeriodically(t *testing.T) {
+	tr := Burst(1.0, 0.25)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, tr.TotalDuration(), 1.0, 1e-12, "period")
+	// Inside the burst.
+	if tr.At(0.1).Default != 1 {
+		t.Fatal("burst phase")
+	}
+	// Inside the idle tail.
+	if tr.At(0.9).Default != 0 {
+		t.Fatal("idle phase")
+	}
+	// Wrapped.
+	if tr.At(2.1).Default != 1 || tr.At(-0.9).Default != 1 {
+		t.Fatal("wrapping")
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	if err := (&Trace{}).Validate(); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	bad := &Trace{Phases: []Phase{{Duration: 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero-duration phase accepted")
+	}
+}
+
+func TestPowerModelEndpoints(t *testing.T) {
+	f := floorplan.Power7()
+	pm := Power7PowerModel()
+	full := pm.TotalPower(f, Utilization{Default: 1})
+	idle := pm.TotalPower(f, Utilization{Default: 0})
+	// Full equals the Fig. 9 full-load budget.
+	approx(t, full, f.TotalPower(floorplan.Power7FullLoad()), 1e-9, "full-load endpoint")
+	// Idle is a meaningful but smaller floor.
+	if idle <= 0.2*full || idle >= 0.6*full {
+		t.Fatalf("idle %g vs full %g outside leakage expectation", idle, full)
+	}
+	// Linear in utilization.
+	half := pm.TotalPower(f, Utilization{Default: 0.5})
+	approx(t, half, 0.5*(full+idle), 1e-9, "linearity")
+}
+
+func TestDensityFieldMatchesAnalyticTotal(t *testing.T) {
+	f := floorplan.Power7()
+	pm := Power7PowerModel()
+	g := mesh.NewUniformGrid2D(f.Width, f.Height, 60, 48)
+	for _, u := range []Utilization{
+		{Default: 1},
+		{Default: 0.3},
+		{ByKind: map[floorplan.UnitKind]float64{floorplan.Core: 1}, Default: 0},
+	} {
+		field := pm.DensityField(f, g, u)
+		approx(t, field.Integrate(), pm.TotalPower(f, u), 1e-9, "rasterized power")
+	}
+}
+
+func TestCoreMigrationTrace(t *testing.T) {
+	f := floorplan.Power7()
+	tr := CoreMigration(f, 0.01, 0.2)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Phases) != 8 {
+		t.Fatalf("expected 8 phases (one per core), got %d", len(tr.Phases))
+	}
+	// Each phase heats exactly one core fully.
+	for k, p := range tr.Phases {
+		hot := 0
+		for name, v := range p.Util.ByName {
+			if v == 1 {
+				hot++
+				if name == "" {
+					t.Fatal("unnamed hot unit")
+				}
+			}
+		}
+		if hot != 1 {
+			t.Fatalf("phase %d: %d hot cores", k, hot)
+		}
+	}
+	// Migration actually moves the hotspot: consecutive phases differ.
+	if tr.Phases[0].Util.ByName["CORE0"] != 1 || tr.Phases[1].Util.ByName["CORE0"] == 1 {
+		t.Fatal("hotspot did not move")
+	}
+}
+
+func TestSteadyTrace(t *testing.T) {
+	tr := Steady(0.7, 5)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.At(3).Default != 0.7 {
+		t.Fatal("steady value")
+	}
+	if tr.TotalDuration() != 5 {
+		t.Fatal("duration")
+	}
+}
+
+func TestBurstDutyClamping(t *testing.T) {
+	if tr := Burst(1, 0); tr.Phases[0].Duration != 0.5 {
+		t.Fatal("zero duty should default to 0.5")
+	}
+	if tr := Burst(1, 1.2); tr.Phases[1].Duration <= 0 {
+		t.Fatal("duty >= 1 should clamp, leaving a positive idle phase")
+	}
+}
