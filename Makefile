@@ -1,0 +1,34 @@
+# Developer/CI entry points. `make check` is the full gate: vet, build,
+# and the test suite under the race detector (the sim engine is heavily
+# concurrent — races there are correctness bugs, not style).
+
+GO ?= go
+
+.PHONY: check build vet test race test-short bench bench-serving
+
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detected run of everything; use `make race PKG=./internal/sim/...`
+# to scope it to the concurrent paths.
+PKG ?= ./...
+race:
+	$(GO) test -race $(PKG)
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Serving-layer throughput baseline only (see BenchmarkEngineThroughput).
+bench-serving:
+	$(GO) test -run xxx -bench BenchmarkEngineThroughput -benchmem .

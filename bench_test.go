@@ -19,8 +19,14 @@ package bright_test
 // to the timing.
 
 import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
+	"bright"
+	"bright/internal/core"
 	"bright/internal/experiments"
 )
 
@@ -411,6 +417,63 @@ func BenchmarkE20ThermalCap(b *testing.B) {
 		worstCap = res.Rows[len(res.Rows)-1].MaxLoadFraction
 	}
 	b.ReportMetric(worstCap, "cap@10ml-min")
+}
+
+// BenchmarkEngineThroughput is the serving-layer baseline: evaluates/sec
+// through the sim engine's queue + cache + single-flight path at 1, 4
+// and NumCPU workers, cold cache (every request distinct, every request
+// solves) versus warm cache (one hot config, every request hits). The
+// solver is synthetic — a fixed slug of floating-point work standing in
+// for a real solve — so the numbers isolate engine overhead and pool
+// scaling from solver physics. Invert ns/op for evaluates/sec.
+func BenchmarkEngineThroughput(b *testing.B) {
+	synthetic := func(ctx context.Context, cfg core.Config) (*core.Report, error) {
+		// ~the cost of a cheap solver stage, so worker scaling is visible.
+		acc := 0.0
+		for k := 0; k < 5000; k++ {
+			acc += float64(k) * cfg.FlowMLMin
+		}
+		return &core.Report{Config: cfg, NetElectricalGainW: acc}, nil
+	}
+	workerCounts := []int{1, 4, runtime.NumCPU()}
+	for _, workers := range workerCounts {
+		for _, warm := range []bool{false, true} {
+			label := fmt.Sprintf("workers=%d/cache=cold", workers)
+			if warm {
+				label = fmt.Sprintf("workers=%d/cache=warm", workers)
+			}
+			b.Run(label, func(b *testing.B) {
+				e := bright.NewEngine(bright.EngineOptions{
+					Workers:    workers,
+					QueueDepth: 4096,
+					CacheSize:  8, // cold path must keep missing
+					Solver:     synthetic,
+				})
+				defer e.Shutdown(context.Background())
+				hot := core.DefaultConfig()
+				if warm {
+					if _, err := e.Evaluate(context.Background(), hot); err != nil {
+						b.Fatal(err)
+					}
+				}
+				var seq atomic.Int64
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						cfg := hot
+						if !warm {
+							// Distinct beyond the canonical-key tolerance:
+							// every cold request is a fresh solve.
+							cfg.FlowMLMin = 100 + 0.001*float64(seq.Add(1))
+						}
+						if _, err := e.Evaluate(context.Background(), cfg); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			})
+		}
+	}
 }
 
 func BenchmarkAblationChannelCount(b *testing.B) {

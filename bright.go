@@ -38,6 +38,7 @@ import (
 	"bright/internal/core"
 	"bright/internal/cosim"
 	"bright/internal/flowcell"
+	"bright/internal/sim"
 	"bright/internal/thermal"
 	"bright/internal/units"
 )
@@ -118,6 +119,34 @@ func RunCoSim(cfg CoSimConfig) (*CoSimResult, error) { return cosim.Run(cfg) }
 // and reports the temperature-coupling current/power gains (the
 // paper's <=4% and ~23% numbers).
 func CouplingGain(cfg CoSimConfig) (*cosim.Gain, error) { return cosim.CouplingGain(cfg) }
+
+// Engine is the concurrent evaluation service behind the brightd
+// daemon: a fixed worker pool over a bounded queue (ErrQueueFull
+// backpressure), a canonical-key memoizing LRU cache with single-flight
+// deduplication, and batched sweep jobs. See internal/sim.
+type Engine = sim.Engine
+
+// EngineOptions configures NewEngine; the zero value gives NumCPU
+// workers, a 64-deep queue and a 256-entry cache.
+type EngineOptions = sim.Options
+
+// EngineStats is a snapshot of the engine's serving metrics.
+type EngineStats = sim.Stats
+
+// SweepSpec describes a batched design-space sweep (the cartesian
+// product of its axis values over a base configuration).
+type SweepSpec = sim.SweepSpec
+
+// SweepJob is an asynchronous, pollable sweep submitted to an Engine.
+type SweepJob = sim.Job
+
+// ErrQueueFull is the engine's backpressure signal: the bounded job
+// queue is at capacity and the request was shed, not queued.
+var ErrQueueFull = sim.ErrQueueFull
+
+// NewEngine builds and starts a concurrent evaluation engine; the
+// worker pool is running on return. Stop it with Engine.Shutdown.
+func NewEngine(opts EngineOptions) *Engine { return sim.New(opts) }
 
 // CtoK converts Celsius to Kelvin (convenience re-export).
 func CtoK(c float64) float64 { return units.CtoK(c) }

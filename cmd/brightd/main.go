@@ -1,0 +1,128 @@
+// Command brightd is the bright simulation server: a long-running HTTP
+// daemon exposing the integrated microfluidic power-and-cooling model as
+// a concurrent evaluation service backed by internal/sim's worker pool,
+// memoizing cache and batched sweep jobs.
+//
+// Endpoints (JSON over HTTP):
+//
+//	POST /v1/evaluate  — solve one configuration (fields default to the
+//	                     paper's nominal point); synchronous
+//	POST /v1/sweep     — submit a batched design-space sweep; returns a
+//	                     job id immediately (202)
+//	GET  /v1/jobs/{id} — poll a sweep job: state, progress, streamed
+//	                     per-point results
+//	GET  /v1/stats     — cache hit rate, queue depth, worker utilization
+//	                     and solve latencies
+//
+// The job queue is bounded: when it is full, /v1/evaluate answers 503
+// (backpressure) instead of queueing unbounded work. SIGINT/SIGTERM
+// trigger a graceful shutdown that stops accepting requests, drains
+// in-flight solves, and exits.
+//
+// Usage:
+//
+//	brightd [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	        [-request-timeout 5m] [-drain-timeout 30s]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"bright/internal/sim"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", runtime.NumCPU(), "worker pool size")
+		queueDepth   = flag.Int("queue", 64, "bounded job queue depth (full queue => 503)")
+		cacheSize    = flag.Int("cache", 256, "memoization LRU capacity in reports (negative disables)")
+		reqTimeout   = flag.Duration("request-timeout", 5*time.Minute, "per-request solve timeout")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
+	)
+	flag.Parse()
+
+	engine := sim.New(sim.Options{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		CacheSize:  *cacheSize,
+	})
+
+	handler := withRequestTimeout(*reqTimeout, withLogging(sim.NewHandler(engine)))
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("brightd: listening on %s (%d workers, queue %d, cache %d)",
+			*addr, *workers, *queueDepth, *cacheSize)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("brightd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("brightd: signal received, draining (budget %s)", *drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("brightd: http shutdown: %v", err)
+	}
+	if err := engine.Shutdown(shutdownCtx); err != nil {
+		log.Printf("brightd: engine shutdown: %v", err)
+	}
+	log.Printf("brightd: bye")
+}
+
+// withRequestTimeout bounds each request's solve by deriving a deadline
+// context; the engine threads it into the iterative solvers, so an
+// expired deadline aborts the co-simulation at an iteration boundary
+// and surfaces as 504.
+func withRequestTimeout(d time.Duration, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// statusRecorder captures the response code for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func withLogging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		log.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, rec.status,
+			time.Since(start).Round(time.Millisecond))
+	})
+}

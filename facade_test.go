@@ -1,11 +1,46 @@
 package bright_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"bright"
 )
+
+func TestPublicEngineAPI(t *testing.T) {
+	e := bright.NewEngine(bright.EngineOptions{
+		Workers: 2,
+		Solver: func(ctx context.Context, cfg bright.Config) (*bright.Report, error) {
+			sys, err := bright.NewSystem(cfg)
+			if err != nil {
+				return nil, err
+			}
+			// A facade-level smoke test must stay fast: return a report
+			// that skips the co-simulation but exercises the cache path.
+			return &bright.Report{Config: sys.Config}, nil
+		},
+	})
+	defer e.Shutdown(context.Background())
+	rep, err := e.Evaluate(context.Background(), bright.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := e.Evaluate(context.Background(), bright.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2 != rep {
+		t.Fatal("second identical request was not a cache hit")
+	}
+	st := e.Stats()
+	if st.CacheHits != 1 || st.Solves != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 solve", st)
+	}
+	if bright.ErrQueueFull == nil {
+		t.Fatal("backpressure sentinel must be exported")
+	}
+}
 
 func TestPublicBatteryAPI(t *testing.T) {
 	a := bright.Power7Array()

@@ -7,7 +7,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"bright/internal/cosim"
 	"bright/internal/floorplan"
@@ -47,8 +49,67 @@ func DefaultConfig() Config {
 	}
 }
 
+// floatFields enumerates every float64 field of Config by name, in
+// declaration order. CanonicalKey and the finiteness checks in Validate
+// both iterate this list, and a reflection guard in the tests pins its
+// length to the struct's field count so new fields cannot silently
+// escape either.
+func (c Config) floatFields() []struct {
+	Name  string
+	Value float64
+} {
+	return []struct {
+		Name  string
+		Value float64
+	}{
+		{"FlowMLMin", c.FlowMLMin},
+		{"InletTempC", c.InletTempC},
+		{"SupplyVoltage", c.SupplyVoltage},
+		{"ChipLoad", c.ChipLoad},
+		{"ManifoldK", c.ManifoldK},
+		{"PumpEfficiency", c.PumpEfficiency},
+	}
+}
+
+// keyTolerance is the absolute quantum CanonicalKey rounds every field
+// to. It sits far below any solver tolerance in the stack (the co-sim
+// converges to 0.01 K, the linear solvers to ~1e-10 relative), so two
+// configs whose fields differ by less than this produce bitwise-equal
+// results and may share one cache entry.
+const keyTolerance = 1e-9
+
+// CanonicalKey returns a deterministic string key identifying the
+// configuration up to solver tolerance: each field is quantized to
+// keyTolerance before formatting, so configs that differ only below the
+// tolerance map to the same key. The key is human-readable on purpose —
+// it doubles as a cache-debugging aid.
+func (c Config) CanonicalKey() string {
+	fields := c.floatFields()
+	parts := make([]string, len(fields))
+	for k, f := range fields {
+		q := math.Round(f.Value/keyTolerance) * keyTolerance
+		if q == 0 { // normalize -0
+			q = 0
+		}
+		parts[k] = fmt.Sprintf("%s=%.9f", f.Name, q)
+	}
+	key := parts[0]
+	for _, p := range parts[1:] {
+		key += "|" + p
+	}
+	return key
+}
+
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
+	for _, f := range c.floatFields() {
+		if math.IsNaN(f.Value) {
+			return fmt.Errorf("core: %s is NaN", f.Name)
+		}
+		if math.IsInf(f.Value, 0) {
+			return fmt.Errorf("core: %s is %g (must be finite)", f.Name, f.Value)
+		}
+	}
 	if c.FlowMLMin <= 0 {
 		return fmt.Errorf("core: nonpositive flow %g ml/min", c.FlowMLMin)
 	}
@@ -130,14 +191,25 @@ type Report struct {
 // Evaluate runs the full pipeline: electro-thermal co-simulation, power
 // grid solve and hydraulic analysis.
 func (s *System) Evaluate() (*Report, error) {
+	return s.EvaluateContext(context.Background())
+}
+
+// EvaluateContext is Evaluate with cancellation: the context is threaded
+// into the co-simulation loop (checked every outer iteration) and
+// checked between the pipeline stages, so a canceled context aborts the
+// evaluation within one co-sim iteration or one stage.
+func (s *System) EvaluateContext(ctx context.Context) (*Report, error) {
 	cfg := s.Config
-	co, err := cosim.Run(cosim.Config{
+	co, err := cosim.RunContext(ctx, cosim.Config{
 		TotalFlowMLMin:  cfg.FlowMLMin,
 		InletTempC:      cfg.InletTempC,
 		TerminalVoltage: cfg.SupplyVoltage,
 		ChipLoad:        cfg.ChipLoad,
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("core: co-simulation: %w", err)
 	}
 	rep := &Report{
@@ -152,6 +224,9 @@ func (s *System) Evaluate() (*Report, error) {
 	rep.DeliveredW = co.Operating.Power * s.VRM.Efficiency
 	rep.PowersCaches = rep.DeliveredW >= rep.CacheDemandW
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	p, _, err := pdn.Power7Problem()
 	if err != nil {
 		return nil, err

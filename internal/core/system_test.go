@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -30,6 +31,44 @@ func TestConfigValidation(t *testing.T) {
 		if _, err := NewSystem(c); err == nil {
 			t.Errorf("case %d: NewSystem accepted invalid config", k)
 		}
+	}
+}
+
+func TestConfigValidationRejectsNonFinite(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		field  string
+	}{
+		{"flow NaN", func(c *Config) { c.FlowMLMin = nan }, "FlowMLMin"},
+		{"flow +Inf", func(c *Config) { c.FlowMLMin = math.Inf(1) }, "FlowMLMin"},
+		{"inlet NaN", func(c *Config) { c.InletTempC = nan }, "InletTempC"},
+		{"inlet -Inf", func(c *Config) { c.InletTempC = math.Inf(-1) }, "InletTempC"},
+		{"voltage NaN", func(c *Config) { c.SupplyVoltage = nan }, "SupplyVoltage"},
+		{"voltage +Inf", func(c *Config) { c.SupplyVoltage = math.Inf(1) }, "SupplyVoltage"},
+		{"load NaN", func(c *Config) { c.ChipLoad = nan }, "ChipLoad"},
+		{"load -Inf", func(c *Config) { c.ChipLoad = math.Inf(-1) }, "ChipLoad"},
+		{"manifold NaN", func(c *Config) { c.ManifoldK = nan }, "ManifoldK"},
+		{"manifold +Inf", func(c *Config) { c.ManifoldK = math.Inf(1) }, "ManifoldK"},
+		{"pump NaN", func(c *Config) { c.PumpEfficiency = nan }, "PumpEfficiency"},
+		{"pump -Inf", func(c *Config) { c.PumpEfficiency = math.Inf(-1) }, "PumpEfficiency"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := DefaultConfig()
+			tc.mutate(&c)
+			err := c.Validate()
+			if err == nil {
+				t.Fatal("expected a validation error")
+			}
+			if !strings.Contains(err.Error(), tc.field) {
+				t.Errorf("error %q does not name the offending field %s", err, tc.field)
+			}
+			if _, err := NewSystem(c); err == nil {
+				t.Error("NewSystem accepted a non-finite config")
+			}
+		})
 	}
 }
 

@@ -1,0 +1,77 @@
+package cosim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func nominal() Config {
+	return Config{
+		TotalFlowMLMin:  676,
+		InletTempC:      27,
+		TerminalVoltage: 1.0,
+	}
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, nominal())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled context: got %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextCancelMidRun cancels a running co-simulation and asserts
+// it aborts within one outer iteration: the cancellation must surface as
+// context.Canceled well before the full multi-second run completes.
+func TestRunContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		res, err := RunContext(ctx, nominal())
+		done <- outcome{res, err}
+	}()
+	// Let the run enter its first iteration, then pull the plug.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case out := <-done:
+		if !errors.Is(out.err, context.Canceled) {
+			t.Fatalf("canceled run returned %v, want context.Canceled", out.err)
+		}
+		// One outer iteration is a few hundred ms (array solve + thermal
+		// solve); the full run is several of those. Aborting within one
+		// iteration of the cancel keeps us far under the full runtime.
+		if elapsed := time.Since(start); elapsed > 3*time.Second {
+			t.Fatalf("cancellation took %v — not honored at iteration boundaries", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("co-simulation ignored cancellation")
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full co-simulation in -short mode")
+	}
+	cfg := nominal()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Operating.Current != b.Operating.Current || a.Iterations != b.Iterations {
+		t.Fatalf("RunContext(Background) diverged from Run: %+v vs %+v", a.Operating, b.Operating)
+	}
+}

@@ -9,6 +9,7 @@
 package cosim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -109,6 +110,14 @@ func effectiveCellTemp(sol *thermal.Solution) float64 {
 
 // Run executes the fixed-point co-simulation.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: the context is checked at every
+// outer fixed-point iteration (and threaded into the thermal solver), so
+// a canceled context aborts the co-simulation within one outer
+// iteration, returning the context's error.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -118,6 +127,9 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{Config: cfg}
 	var heat float64
 	for iter := 1; iter <= cfg.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Iterations = iter
 		array := flowcell.Power7ArrayAt(cfg.TotalFlowMLMin, tCell)
 		op, err := array.CurrentAtVoltage(cfg.TerminalVoltage)
@@ -134,8 +146,11 @@ func Run(cfg Config) (*Result, error) {
 				tp.Power.Data[k] *= cfg.ChipLoad
 			}
 		}
-		sol, err := thermal.Solve(tp)
+		sol, err := thermal.SolveContext(ctx, tp)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("cosim: thermal solve at iteration %d: %w", iter, err)
 		}
 		res.History = append(res.History, IterRecord{

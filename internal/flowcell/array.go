@@ -1,6 +1,7 @@
 package flowcell
 
 import (
+	"context"
 	"fmt"
 
 	"bright/internal/cfd"
@@ -52,10 +53,16 @@ func (a *Array) CurrentAtVoltage(v float64) (OperatingPoint, error) {
 
 // Polarize sweeps the array's V-I characteristic (Fig. 7).
 func (a *Array) Polarize(n int, maxFrac float64) (PolarizationCurve, error) {
+	return a.PolarizeContext(context.Background(), n, maxFrac)
+}
+
+// PolarizeContext is Polarize with cancellation, checked at every sweep
+// point.
+func (a *Array) PolarizeContext(ctx context.Context, n int, maxFrac float64) (PolarizationCurve, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
-	curve, err := a.Cell.Polarize(n, maxFrac)
+	curve, err := a.Cell.PolarizeContext(ctx, n, maxFrac)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package flowcell
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -167,6 +168,13 @@ type PolarizationCurve []OperatingPoint
 // Polarize sweeps n operating points from open circuit to maxFrac of the
 // effective limiting current (use ~0.98; 1.0 is singular).
 func (c *Cell) Polarize(n int, maxFrac float64) (PolarizationCurve, error) {
+	return c.PolarizeContext(context.Background(), n, maxFrac)
+}
+
+// PolarizeContext is Polarize with cancellation, checked at every sweep
+// point (each point is a full nonlinear cell solve, so a canceled
+// context aborts within one point's solve time).
+func (c *Cell) PolarizeContext(ctx context.Context, n int, maxFrac float64) (PolarizationCurve, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("flowcell: need at least 2 sweep points, got %d", n)
 	}
@@ -180,6 +188,9 @@ func (c *Cell) Polarize(n int, maxFrac float64) (PolarizationCurve, error) {
 	currents := num.Linspace(0, maxFrac*iLim, n)
 	curve := make(PolarizationCurve, 0, n)
 	for _, i := range currents {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		op, err := c.VoltageAtCurrent(i)
 		if err != nil {
 			return nil, fmt.Errorf("flowcell: sweep at %g A: %w", i, err)

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"bright/internal/core"
+)
+
+// lruCache is a size-bounded least-recently-used memoization of solved
+// reports, keyed by core.Config.CanonicalKey(). Reports are stored by
+// pointer and treated as immutable once published; callers must not
+// mutate a cached *core.Report.
+type lruCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheEntry struct {
+	key string
+	rep *core.Report
+}
+
+// newLRUCache returns a cache holding at most capacity reports; a
+// capacity <= 0 disables caching (every Get misses, Add is a no-op).
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached report for key and marks it most recently used.
+func (c *lruCache) Get(key string) (*core.Report, bool) {
+	if c.cap <= 0 {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*cacheEntry).rep, true
+}
+
+// Add inserts (or refreshes) a solved report, evicting the least
+// recently used entry when the cache is full.
+func (c *lruCache) Add(key string, rep *core.Report) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).rep = rep
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, rep: rep})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the current number of cached reports.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Counters returns the lifetime hit/miss counts.
+func (c *lruCache) Counters() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// flightGroup deduplicates concurrent solves of the same key: the first
+// caller for a key becomes the leader and runs the solve; later callers
+// ("followers") wait on the leader's completion instead of solving
+// again. Unlike golang.org/x/sync/singleflight (not vendored here —
+// stdlib only), completion is exposed as a channel so followers can
+// abandon the wait when their own context dies while the leader keeps
+// solving.
+type flightGroup struct {
+	mu     sync.Mutex
+	flight map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when the leader publishes rep/err
+	rep  *core.Report
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flight: make(map[string]*flightCall)}
+}
+
+// join returns the in-flight call for key and whether this caller is the
+// leader (created the call). Leaders must eventually call complete or
+// abandon the call with forget.
+func (g *flightGroup) join(key string) (*flightCall, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if call, ok := g.flight[key]; ok {
+		return call, false
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.flight[key] = call
+	return call, true
+}
+
+// complete publishes the leader's result to all followers and removes
+// the call so the next request for the key starts fresh.
+func (g *flightGroup) complete(key string, call *flightCall, rep *core.Report, err error) {
+	g.mu.Lock()
+	delete(g.flight, key)
+	g.mu.Unlock()
+	call.rep, call.err = rep, err
+	close(call.done)
+}
+
+// forget removes the call without completing it — used when the leader
+// fails to enqueue (queue full) so followers aren't stranded. Followers
+// already waiting observe the closed channel with the sentinel error.
+func (g *flightGroup) forget(key string, call *flightCall, err error) {
+	g.complete(key, call, nil, err)
+}

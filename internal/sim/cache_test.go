@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"bright/internal/core"
+)
+
+func cfgWithFlow(flow float64) core.Config {
+	c := core.DefaultConfig()
+	c.FlowMLMin = flow
+	return c
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := newLRUCache(3)
+	reps := map[string]*core.Report{}
+	for _, flow := range []float64{1, 2, 3} {
+		cfg := cfgWithFlow(flow)
+		rep := fakeReport(cfg)
+		reps[cfg.CanonicalKey()] = rep
+		c.Add(cfg.CanonicalKey(), rep)
+	}
+	// Touch key 1 so key 2 becomes the least recently used.
+	if _, ok := c.Get(cfgWithFlow(1).CanonicalKey()); !ok {
+		t.Fatal("key 1 missing")
+	}
+	// Inserting a fourth entry must evict key 2, not key 1.
+	c.Add(cfgWithFlow(4).CanonicalKey(), fakeReport(cfgWithFlow(4)))
+	if _, ok := c.Get(cfgWithFlow(2).CanonicalKey()); ok {
+		t.Fatal("least-recently-used key 2 survived eviction")
+	}
+	for _, flow := range []float64{1, 3, 4} {
+		if _, ok := c.Get(cfgWithFlow(flow).CanonicalKey()); !ok {
+			t.Fatalf("key %g wrongly evicted", flow)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("cache length %d, want 3", c.Len())
+	}
+}
+
+func TestLRURefreshExistingKey(t *testing.T) {
+	c := newLRUCache(2)
+	key := cfgWithFlow(1).CanonicalKey()
+	first := fakeReport(cfgWithFlow(1))
+	second := fakeReport(cfgWithFlow(1))
+	c.Add(key, first)
+	c.Add(key, second)
+	if c.Len() != 1 {
+		t.Fatalf("re-adding a key grew the cache to %d", c.Len())
+	}
+	got, _ := c.Get(key)
+	if got != second {
+		t.Fatal("refresh did not replace the stored report")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := newLRUCache(-1)
+	key := cfgWithFlow(1).CanonicalKey()
+	c.Add(key, fakeReport(cfgWithFlow(1)))
+	if _, ok := c.Get(key); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	c := newLRUCache(8)
+	key := cfgWithFlow(1).CanonicalKey()
+	c.Get(key) // miss
+	c.Add(key, fakeReport(cfgWithFlow(1)))
+	c.Get(key) // hit
+	c.Get(key) // hit
+	hits, misses := c.Counters()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("counters hits=%d misses=%d, want 2/1", hits, misses)
+	}
+}
+
+func TestCacheManyKeysStaysBounded(t *testing.T) {
+	c := newLRUCache(16)
+	for k := 0; k < 200; k++ {
+		cfg := cfgWithFlow(float64(k + 1))
+		c.Add(cfg.CanonicalKey(), fakeReport(cfg))
+	}
+	if c.Len() != 16 {
+		t.Fatalf("cache grew to %d entries, cap is 16", c.Len())
+	}
+	// The 16 most recent keys survive.
+	for k := 184; k < 200; k++ {
+		if _, ok := c.Get(cfgWithFlow(float64(k + 1)).CanonicalKey()); !ok {
+			t.Fatalf("recent key %d evicted", k+1)
+		}
+	}
+}
+
+func TestFlightGroupLeaderElection(t *testing.T) {
+	g := newFlightGroup()
+	call1, leader1 := g.join("k")
+	call2, leader2 := g.join("k")
+	if !leader1 || leader2 {
+		t.Fatal("exactly the first joiner must lead")
+	}
+	if call1 != call2 {
+		t.Fatal("joiners got different calls")
+	}
+	rep := fakeReport(core.DefaultConfig())
+	g.complete("k", call1, rep, nil)
+	select {
+	case <-call2.done:
+	default:
+		t.Fatal("complete did not release followers")
+	}
+	if call2.rep != rep {
+		t.Fatal("follower saw the wrong report")
+	}
+	// After completion the key starts a fresh flight.
+	_, leader3 := g.join("k")
+	if !leader3 {
+		t.Fatal("completed key did not reset")
+	}
+}
+
+func TestFlightGroupForget(t *testing.T) {
+	g := newFlightGroup()
+	call, _ := g.join("k")
+	sentinel := fmt.Errorf("queue full")
+	g.forget("k", call, sentinel)
+	<-call.done
+	if call.err != sentinel {
+		t.Fatalf("forget published %v, want sentinel", call.err)
+	}
+	if _, leader := g.join("k"); !leader {
+		t.Fatal("forgotten key did not reset")
+	}
+}

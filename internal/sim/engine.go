@@ -1,0 +1,265 @@
+// Package sim is the concurrent job-execution layer over the bright
+// system model: a fixed-size worker pool with a bounded queue (explicit
+// backpressure instead of blocking), a canonical-key memoizing LRU cache
+// with single-flight deduplication, batched parameter sweeps that fan
+// out across the pool, and context-aware cancellation threaded into the
+// iterative solvers. It is the engine behind the brightd daemon and the
+// substrate for design-space exploration workloads, which are
+// embarrassingly parallel grids over (flow, inlet temperature, rail
+// voltage, load).
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"bright/internal/core"
+)
+
+// ErrQueueFull is returned by Evaluate when the bounded job queue is at
+// capacity — the backpressure signal. Callers should shed load or retry
+// later; the engine never blocks a submitter on a full queue.
+var ErrQueueFull = errors.New("sim: job queue full")
+
+// ErrClosed is returned by Evaluate and SubmitSweep after Shutdown.
+var ErrClosed = errors.New("sim: engine closed")
+
+// Solver computes the full system report for one configuration. The
+// production solver builds a core.System and runs EvaluateContext; tests
+// and benchmarks inject counting or synthetic solvers.
+type Solver func(ctx context.Context, cfg core.Config) (*core.Report, error)
+
+// DefaultSolver is the production path: core.NewSystem + EvaluateContext.
+func DefaultSolver(ctx context.Context, cfg core.Config) (*core.Report, error) {
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sys.EvaluateContext(ctx)
+}
+
+// Options configures a new Engine. The zero value gives NumCPU workers,
+// a 64-deep queue, a 256-entry cache and the production solver.
+type Options struct {
+	// Workers is the fixed worker-pool size (default runtime.NumCPU()).
+	Workers int
+	// QueueDepth bounds the pending-job queue; a full queue makes
+	// Evaluate return ErrQueueFull (default 64).
+	QueueDepth int
+	// CacheSize bounds the memoization LRU in entries (default 256;
+	// negative disables caching).
+	CacheSize int
+	// Solver overrides the production solver (tests, benchmarks).
+	Solver Solver
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 256
+	}
+	if o.Solver == nil {
+		o.Solver = DefaultSolver
+	}
+	return o
+}
+
+// task is one unit of work on the queue: solve cfg under ctx and
+// complete the flight call with the result.
+type task struct {
+	ctx  context.Context
+	cfg  core.Config
+	key  string
+	call *flightCall
+}
+
+// Engine is the concurrent evaluation service. Create with New, submit
+// with Evaluate / SubmitSweep, observe with Stats, stop with Shutdown.
+type Engine struct {
+	opts   Options
+	queue  chan *task
+	cache  *lruCache
+	flight *flightGroup
+	m      metrics
+	jobs   *jobRegistry
+
+	workerWG sync.WaitGroup
+
+	// closeMu guards the closed flag and queue sends: Evaluate sends
+	// while holding it read-locked, Shutdown closes the queue while
+	// holding it write-locked, so no send can race the close.
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+// New builds and starts an engine: the worker pool is running on return.
+func New(opts Options) *Engine {
+	opts = opts.withDefaults()
+	e := &Engine{
+		opts:   opts,
+		queue:  make(chan *task, opts.QueueDepth),
+		cache:  newLRUCache(opts.CacheSize),
+		flight: newFlightGroup(),
+		jobs:   newJobRegistry(),
+	}
+	e.workerWG.Add(opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		go e.worker()
+	}
+	return e
+}
+
+func (e *Engine) worker() {
+	defer e.workerWG.Done()
+	for t := range e.queue {
+		e.m.busyWorkers.Add(1)
+		start := time.Now()
+		rep, err := e.opts.Solver(t.ctx, t.cfg)
+		e.m.recordSolve(time.Since(start), err)
+		if err == nil {
+			e.cache.Add(t.key, rep)
+		}
+		e.flight.complete(t.key, t.call, rep, err)
+		e.m.busyWorkers.Add(-1)
+	}
+}
+
+// enqueue places a task on the bounded queue. With block=false a full
+// queue returns ErrQueueFull immediately (external backpressure); with
+// block=true the send waits for a slot or the context (internal sweep
+// fan-out, which is itself bounded by the job's point list).
+func (e *Engine) enqueue(t *task, block bool) error {
+	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if block {
+		select {
+		case e.queue <- t:
+			return nil
+		case <-t.ctx.Done():
+			return t.ctx.Err()
+		}
+	}
+	select {
+	case e.queue <- t:
+		return nil
+	default:
+		e.m.queueRejected.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// Evaluate solves one configuration through the cache, single-flight
+// layer and worker pool. Identical concurrent requests (same canonical
+// key) trigger exactly one underlying solve; a full queue returns
+// ErrQueueFull; ctx cancels the caller's wait and, when the caller is
+// the flight leader, the solve itself (at solver iteration boundaries).
+// Failed or canceled solves are never cached.
+func (e *Engine) Evaluate(ctx context.Context, cfg core.Config) (*core.Report, error) {
+	return e.evaluate(ctx, cfg, false)
+}
+
+func (e *Engine) evaluate(ctx context.Context, cfg core.Config, block bool) (*core.Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	key := cfg.CanonicalKey()
+	for {
+		if rep, ok := e.cache.Get(key); ok {
+			return rep, nil
+		}
+		call, leader := e.flight.join(key)
+		if leader {
+			t := &task{ctx: ctx, cfg: cfg, key: key, call: call}
+			if err := e.enqueue(t, block); err != nil {
+				e.flight.forget(key, call, err)
+				return nil, err
+			}
+		}
+		select {
+		case <-call.done:
+			if call.err == nil {
+				return call.rep, nil
+			}
+			// A follower whose own context is still live should not be
+			// penalized for the leader's cancellation: retry the whole
+			// lookup (the cache was not poisoned, so this re-solves).
+			if !leader && ctx.Err() == nil &&
+				(errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded)) {
+				continue
+			}
+			return nil, call.err
+		case <-ctx.Done():
+			// The caller gives up waiting. The solve (if this caller led
+			// it) sees the same context and aborts at its next iteration
+			// boundary; followers keep waiting on their own contexts.
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Stats snapshots the engine's serving metrics.
+func (e *Engine) Stats() Stats {
+	hits, misses := e.cache.Counters()
+	var hitRate float64
+	if total := hits + misses; total > 0 {
+		hitRate = float64(hits) / float64(total)
+	}
+	meanMS, maxMS, lastMS := e.m.latencySnapshot()
+	active, done := e.jobs.counts()
+	return Stats{
+		Workers:            e.opts.Workers,
+		BusyWorkers:        int(e.m.busyWorkers.Load()),
+		QueueDepth:         len(e.queue),
+		QueueCapacity:      cap(e.queue),
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		CacheHitRate:       hitRate,
+		CacheSize:          e.cache.Len(),
+		CacheCapacity:      e.opts.CacheSize,
+		Solves:             e.m.solves.Load(),
+		SolveErrors:        e.m.solveErrors.Load(),
+		QueueRejected:      e.m.queueRejected.Load(),
+		SolveLatencyMeanMS: meanMS,
+		SolveLatencyMaxMS:  maxMS,
+		SolveLatencyLastMS: lastMS,
+		JobsActive:         active,
+		JobsDone:           done,
+	}
+}
+
+// Shutdown stops accepting new work, drains queued and in-flight jobs,
+// and waits for the workers to exit; ctx bounds the drain (on timeout
+// the workers keep finishing in the background, but Shutdown returns
+// ctx's error). Shutdown is idempotent.
+func (e *Engine) Shutdown(ctx context.Context) error {
+	e.closeMu.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.queue)
+	}
+	e.closeMu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		e.workerWG.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("sim: shutdown drain: %w", ctx.Err())
+	}
+}

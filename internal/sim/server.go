@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"bright/internal/core"
+	"bright/internal/units"
+)
+
+// ReportView is the JSON-facing condensation of a core.Report: the
+// headline quantities of every pipeline stage without the full field
+// solutions (which run to megabytes of mesh data).
+type ReportView struct {
+	Config core.Config `json:"config"`
+
+	// Array electrical operating point.
+	ArrayCurrentA float64 `json:"array_current_a"`
+	ArrayPowerW   float64 `json:"array_power_w"`
+	DeliveredW    float64 `json:"delivered_w"`
+
+	// Cache rail.
+	CacheDemandW float64 `json:"cache_demand_w"`
+	PowersCaches bool    `json:"powers_caches"`
+	MinVCacheV   float64 `json:"min_v_cache_v"`
+
+	// Thermal.
+	PeakTempC   float64 `json:"peak_temp_c"`
+	OutletTempC float64 `json:"outlet_temp_c"`
+
+	// Hydraulics and net balance.
+	PumpPowerW         float64 `json:"pump_power_w"`
+	PressureDropBar    float64 `json:"pressure_drop_bar"`
+	NetElectricalGainW float64 `json:"net_electrical_gain_w"`
+
+	// Co-simulation diagnostics.
+	CoSimIterations int  `json:"cosim_iterations"`
+	CoSimConverged  bool `json:"cosim_converged"`
+
+	// Summary is the human-readable block from Report.Summary().
+	Summary string `json:"summary"`
+}
+
+// NewReportView condenses a full report.
+func NewReportView(r *core.Report) ReportView {
+	return ReportView{
+		Config:             r.Config,
+		ArrayCurrentA:      r.CoSim.Operating.Current,
+		ArrayPowerW:        r.CoSim.Operating.Power,
+		DeliveredW:         r.DeliveredW,
+		CacheDemandW:       r.CacheDemandW,
+		PowersCaches:       r.PowersCaches,
+		MinVCacheV:         r.Grid.MinVCache,
+		PeakTempC:          r.PeakTempC,
+		OutletTempC:        units.KtoC(r.Thermal.OutletT),
+		PumpPowerW:         r.Hydraulics.PumpPower,
+		PressureDropBar:    units.PaToBar(r.Hydraulics.TotalDrop),
+		NetElectricalGainW: r.NetElectricalGainW,
+		CoSimIterations:    r.CoSim.Iterations,
+		CoSimConverged:     r.CoSim.Converged,
+		Summary:            r.Summary(),
+	}
+}
+
+// EvaluateRequest is the /v1/evaluate body. Absent fields take the
+// paper's nominal operating point (core.DefaultConfig).
+type EvaluateRequest struct {
+	FlowMLMin      *float64 `json:"flow_ml_min,omitempty"`
+	InletTempC     *float64 `json:"inlet_temp_c,omitempty"`
+	SupplyVoltage  *float64 `json:"supply_voltage,omitempty"`
+	ChipLoad       *float64 `json:"chip_load,omitempty"`
+	ManifoldK      *float64 `json:"manifold_k,omitempty"`
+	PumpEfficiency *float64 `json:"pump_efficiency,omitempty"`
+}
+
+// Config applies the request's overrides on top of the default config.
+func (r EvaluateRequest) Config() core.Config {
+	cfg := core.DefaultConfig()
+	set := func(dst *float64, src *float64) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	set(&cfg.FlowMLMin, r.FlowMLMin)
+	set(&cfg.InletTempC, r.InletTempC)
+	set(&cfg.SupplyVoltage, r.SupplyVoltage)
+	set(&cfg.ChipLoad, r.ChipLoad)
+	set(&cfg.ManifoldK, r.ManifoldK)
+	set(&cfg.PumpEfficiency, r.PumpEfficiency)
+	return cfg
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// statusFor maps engine errors to HTTP statuses: backpressure is 503
+// (retryable), cancellation/timeout is 504, validation and everything
+// else is 400.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// NewHandler wires the engine's HTTP surface:
+//
+//	POST /v1/evaluate  — solve one configuration (synchronous)
+//	POST /v1/sweep     — submit a batched sweep, returns a job id
+//	GET  /v1/jobs/{id} — poll a sweep job (state + streamed results)
+//	GET  /v1/stats     — serving metrics (cache, queue, latency)
+//
+// Sweep jobs are detached from the submitting request's context (they
+// outlive it by design); they stop on engine shutdown or Job.Cancel.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
+		var req EvaluateRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		rep, err := e.Evaluate(r.Context(), req.Config())
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, NewReportView(rep))
+	})
+
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		var spec SweepSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding sweep spec: %w", err))
+			return
+		}
+		// Detach from the request context: the job must keep running
+		// after this response is written.
+		job, err := e.SubmitSweep(context.Background(), spec)
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"job_id": job.ID,
+			"total":  job.Total,
+		})
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := e.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Snapshot())
+	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Stats())
+	})
+
+	return mux
+}

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Engine, *httptest.Server) {
+	t.Helper()
+	e := newTestEngine(t, opts)
+	srv := httptest.NewServer(NewHandler(e))
+	t.Cleanup(srv.Close)
+	return e, srv
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestHTTPEvaluate(t *testing.T) {
+	s := &countingSolver{}
+	_, srv := newTestServer(t, Options{Workers: 2, Solver: s.solve})
+
+	resp, body := postJSON(t, srv.URL+"/v1/evaluate", `{"flow_ml_min": 300}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var view ReportView
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Config.FlowMLMin != 300 {
+		t.Fatalf("override lost: %+v", view.Config)
+	}
+	// Unspecified fields default to the paper's nominal point.
+	if view.Config.SupplyVoltage != 1.0 || view.Config.InletTempC != 27 {
+		t.Fatalf("defaults lost: %+v", view.Config)
+	}
+	if view.ArrayCurrentA <= 0 || view.Summary == "" {
+		t.Fatalf("view missing headline numbers: %+v", view)
+	}
+}
+
+func TestHTTPEvaluateValidation(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 1, Solver: (&countingSolver{}).solve})
+	resp, body := postJSON(t, srv.URL+"/v1/evaluate", `{"flow_ml_min": -10}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid config returned %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "flow") {
+		t.Fatalf("error body does not explain the problem: %s", body)
+	}
+	resp, _ = postJSON(t, srv.URL+"/v1/evaluate", `not json`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON returned %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPStatsHitRate(t *testing.T) {
+	s := &countingSolver{}
+	_, srv := newTestServer(t, Options{Workers: 2, Solver: s.solve})
+	for k := 0; k < 3; k++ {
+		resp, body := postJSON(t, srv.URL+"/v1/evaluate", `{}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", k, resp.StatusCode, body)
+		}
+	}
+	var st Stats
+	getJSON(t, srv.URL+"/v1/stats", &st)
+	if st.CacheHitRate <= 0 {
+		t.Fatalf("repeated identical requests left hit rate %g, want > 0", st.CacheHitRate)
+	}
+	if st.Solves != 1 || st.CacheHits != 2 {
+		t.Fatalf("solves=%d hits=%d, want 1/2", st.Solves, st.CacheHits)
+	}
+	if st.Workers != 2 || st.QueueCapacity == 0 {
+		t.Fatalf("pool stats missing: %+v", st)
+	}
+}
+
+func TestHTTPSweepAndJobPolling(t *testing.T) {
+	s := &countingSolver{}
+	_, srv := newTestServer(t, Options{Workers: 4, Solver: s.solve})
+
+	resp, body := postJSON(t, srv.URL+"/v1/sweep",
+		`{"flows_ml_min": [100, 300, 676], "inlet_temps_c": [27, 37]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, body)
+	}
+	var accepted struct {
+		JobID string `json:"job_id"`
+		Total int    `json:"total"`
+	}
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	if accepted.Total != 6 || accepted.JobID == "" {
+		t.Fatalf("unexpected accept body: %s", body)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	var view JobView
+	for {
+		getJSON(t, srv.URL+"/v1/jobs/"+accepted.JobID, &view)
+		if view.State != JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck: %+v", view)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if view.State != JobDone || view.Completed != 6 {
+		t.Fatalf("job finished %s with %d/%d", view.State, view.Completed, view.Total)
+	}
+	for _, r := range view.Results {
+		if r.Report == nil {
+			t.Fatalf("point %d has no report: %+v", r.Index, r)
+		}
+	}
+}
+
+func TestHTTPSweepSurvivesSubmitterDisconnect(t *testing.T) {
+	// The sweep must keep running after the submitting request's context
+	// dies (the handler detaches the job from the request).
+	s := &countingSolver{}
+	e, srv := newTestServer(t, Options{Workers: 2, Solver: s.solve})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/sweep",
+		bytes.NewBufferString(`{"flows_ml_min": [100, 200]}`))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	cancel() // simulate client disconnect right after the 202
+
+	job, ok := e.Job(accepted.JobID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	v := waitJob(t, job, 10*time.Second)
+	if v.State != JobDone {
+		t.Fatalf("job died with the request: %s", v.State)
+	}
+}
+
+func TestHTTPUnknownJob(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 1, Solver: (&countingSolver{}).solve})
+	resp := getJSON(t, srv.URL+"/v1/jobs/job-424242", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job returned %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPQueueFullIs503(t *testing.T) {
+	s := &countingSolver{block: make(chan struct{})}
+	_, srv := newTestServer(t, Options{Workers: 1, QueueDepth: 1, Solver: s.solve})
+	defer close(s.block)
+
+	// Saturate: 1 running + 1 queued (distinct configs so no dedup).
+	// Plain http.Post here — t.Fatal must not run off the test goroutine.
+	for k := 0; k < 2; k++ {
+		body := fmt.Sprintf(`{"flow_ml_min": %d}`, 100+k)
+		go func() {
+			resp, err := http.Post(srv.URL+"/v1/evaluate", "application/json", strings.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for s.calls.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never saturated")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var resp *http.Response
+	for time.Now().Before(deadline) {
+		resp, _ = postJSON(t, srv.URL+"/v1/evaluate", `{"flow_ml_min": 999}`)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			return // backpressure surfaced as 503
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("saturated server last returned %d, want 503", resp.StatusCode)
+}

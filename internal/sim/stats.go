@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a point-in-time snapshot of the engine's serving metrics,
+// shaped for JSON (the brightd /v1/stats endpoint marshals it as-is).
+type Stats struct {
+	// Pool.
+	Workers       int `json:"workers"`
+	BusyWorkers   int `json:"busy_workers"`
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+
+	// Cache.
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	CacheSize     int     `json:"cache_size"`
+	CacheCapacity int     `json:"cache_capacity"`
+
+	// Solves.
+	Solves        uint64 `json:"solves"`
+	SolveErrors   uint64 `json:"solve_errors"`
+	QueueRejected uint64 `json:"queue_rejected"`
+
+	// Latency over completed solves (cache hits excluded).
+	SolveLatencyMeanMS float64 `json:"solve_latency_mean_ms"`
+	SolveLatencyMaxMS  float64 `json:"solve_latency_max_ms"`
+	SolveLatencyLastMS float64 `json:"solve_latency_last_ms"`
+
+	// Sweep jobs.
+	JobsActive int `json:"jobs_active"`
+	JobsDone   int `json:"jobs_done"`
+}
+
+// metrics accumulates the mutable counters behind Stats. Counters that
+// are bumped on hot paths are atomics; the latency aggregate sits under
+// its own mutex.
+type metrics struct {
+	busyWorkers   atomic.Int64
+	solves        atomic.Uint64
+	solveErrors   atomic.Uint64
+	queueRejected atomic.Uint64
+
+	mu           sync.Mutex
+	latencyTotal time.Duration
+	latencyMax   time.Duration
+	latencyLast  time.Duration
+	latencyCount uint64
+}
+
+func (m *metrics) recordSolve(d time.Duration, err error) {
+	m.solves.Add(1)
+	if err != nil {
+		m.solveErrors.Add(1)
+	}
+	m.mu.Lock()
+	m.latencyTotal += d
+	m.latencyLast = d
+	if d > m.latencyMax {
+		m.latencyMax = d
+	}
+	m.latencyCount++
+	m.mu.Unlock()
+}
+
+func (m *metrics) latencySnapshot() (meanMS, maxMS, lastMS float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	toMS := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	if m.latencyCount > 0 {
+		meanMS = toMS(m.latencyTotal) / float64(m.latencyCount)
+	}
+	return meanMS, toMS(m.latencyMax), toMS(m.latencyLast)
+}

@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"bright/internal/core"
+)
+
+// MaxSweepPoints bounds a single sweep's grid so one request cannot
+// enqueue unbounded work.
+const MaxSweepPoints = 4096
+
+// SweepSpec describes a batched design-space sweep: the cartesian
+// product of the listed axis values, each applied on top of Base. An
+// empty axis keeps Base's value for that field, so a spec with a single
+// populated axis is a 1-D sweep.
+type SweepSpec struct {
+	// Base is the configuration the axes override; zero value means
+	// core.DefaultConfig().
+	Base *core.Config `json:"base,omitempty"`
+	// Axes (any may be empty):
+	FlowsMLMin     []float64 `json:"flows_ml_min,omitempty"`
+	InletTempsC    []float64 `json:"inlet_temps_c,omitempty"`
+	SupplyVoltages []float64 `json:"supply_voltages,omitempty"`
+	ChipLoads      []float64 `json:"chip_loads,omitempty"`
+}
+
+// Grid expands the spec into the full list of configurations, in
+// row-major axis order (flow outermost, load innermost).
+func (s SweepSpec) Grid() ([]core.Config, error) {
+	base := core.DefaultConfig()
+	if s.Base != nil {
+		base = *s.Base
+	}
+	axis := func(vals []float64, fallback float64) []float64 {
+		if len(vals) == 0 {
+			return []float64{fallback}
+		}
+		return vals
+	}
+	flows := axis(s.FlowsMLMin, base.FlowMLMin)
+	inlets := axis(s.InletTempsC, base.InletTempC)
+	volts := axis(s.SupplyVoltages, base.SupplyVoltage)
+	loads := axis(s.ChipLoads, base.ChipLoad)
+
+	n := len(flows) * len(inlets) * len(volts) * len(loads)
+	if n == 0 {
+		return nil, fmt.Errorf("sim: empty sweep grid")
+	}
+	if n > MaxSweepPoints {
+		return nil, fmt.Errorf("sim: sweep grid has %d points, cap is %d", n, MaxSweepPoints)
+	}
+	grid := make([]core.Config, 0, n)
+	for _, f := range flows {
+		for _, t := range inlets {
+			for _, v := range volts {
+				for _, l := range loads {
+					cfg := base
+					cfg.FlowMLMin, cfg.InletTempC, cfg.SupplyVoltage, cfg.ChipLoad = f, t, v, l
+					if err := cfg.Validate(); err != nil {
+						return nil, fmt.Errorf("sim: sweep point %d: %w", len(grid), err)
+					}
+					grid = append(grid, cfg)
+				}
+			}
+		}
+	}
+	return grid, nil
+}
+
+// JobState is the lifecycle of a sweep job.
+type JobState string
+
+const (
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"   // at least one point errored
+	JobCanceled JobState = "canceled" // job context canceled before completion
+)
+
+// PointResult is one solved sweep point, streamed into the job as
+// workers complete it (order follows completion, not grid order; Index
+// gives the grid position).
+type PointResult struct {
+	Index      int         `json:"index"`
+	Config     core.Config `json:"config"`
+	Report     *ReportView `json:"report,omitempty"`
+	Error      string      `json:"error,omitempty"`
+	DurationMS float64     `json:"duration_ms"`
+}
+
+// Job is an asynchronous sweep: submitted once, polled for state and
+// incrementally streamed results.
+type Job struct {
+	ID    string
+	Total int
+
+	mu        sync.Mutex
+	state     JobState
+	results   []PointResult
+	completed int
+	failed    int
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc
+}
+
+// JobView is a poll snapshot of a job, shaped for JSON.
+type JobView struct {
+	ID        string        `json:"id"`
+	State     JobState      `json:"state"`
+	Total     int           `json:"total"`
+	Completed int           `json:"completed"`
+	Failed    int           `json:"failed"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Results   []PointResult `json:"results"`
+}
+
+// Snapshot returns a copy of the job's current state; the results slice
+// is copied so callers can serialize it without holding the job lock.
+func (j *Job) Snapshot() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	out := JobView{
+		ID:        j.ID,
+		State:     j.state,
+		Total:     j.Total,
+		Completed: j.completed,
+		Failed:    j.failed,
+		ElapsedMS: float64(end.Sub(j.started)) / float64(time.Millisecond),
+		Results:   append([]PointResult(nil), j.results...),
+	}
+	return out
+}
+
+// Cancel aborts the job's remaining points; already-solved points stay.
+func (j *Job) Cancel() { j.cancel() }
+
+func (j *Job) record(r PointResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.results = append(j.results, r)
+	j.completed++
+	if r.Error != "" {
+		j.failed++
+	}
+}
+
+func (j *Job) finish(ctxErr error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case ctxErr != nil:
+		j.state = JobCanceled
+	case j.failed > 0:
+		j.state = JobFailed
+	default:
+		j.state = JobDone
+	}
+}
+
+// jobRegistry tracks submitted jobs by ID.
+type jobRegistry struct {
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*Job
+}
+
+func newJobRegistry() *jobRegistry {
+	return &jobRegistry{jobs: make(map[string]*Job)}
+}
+
+func (r *jobRegistry) add(j *Job) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	j.ID = fmt.Sprintf("job-%06d", r.seq)
+	r.jobs[j.ID] = j
+	return j.ID
+}
+
+func (r *jobRegistry) get(id string) (*Job, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+func (r *jobRegistry) counts() (active, done int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, j := range r.jobs {
+		j.mu.Lock()
+		if j.state == JobRunning {
+			active++
+		} else {
+			done++
+		}
+		j.mu.Unlock()
+	}
+	return active, done
+}
+
+// SubmitSweep expands the spec and fans its points out across the worker
+// pool, returning immediately with a pollable Job. Points flow through
+// the same cache/single-flight path as Evaluate, so a sweep revisiting
+// known configurations is mostly cache hits. The job runs until done or
+// until ctx (or Job.Cancel) cancels it; fan-out uses blocking enqueue —
+// the sweep applies backpressure to itself, not ErrQueueFull, since its
+// total work is already bounded by MaxSweepPoints.
+func (e *Engine) SubmitSweep(ctx context.Context, spec SweepSpec) (*Job, error) {
+	e.closeMu.RLock()
+	closed := e.closed
+	e.closeMu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	grid, err := spec.Grid()
+	if err != nil {
+		return nil, err
+	}
+	jobCtx, cancel := context.WithCancel(ctx)
+	j := &Job{
+		Total:   len(grid),
+		state:   JobRunning,
+		started: time.Now(),
+		cancel:  cancel,
+	}
+	e.jobs.add(j)
+
+	go func() {
+		defer cancel()
+		// Fan out with a semaphore bounding in-flight points to twice
+		// the pool size: enough to keep every worker busy while the
+		// previous batch drains, without flooding the queue.
+		sem := make(chan struct{}, 2*e.opts.Workers)
+		var wg sync.WaitGroup
+		for i, cfg := range grid {
+			if jobCtx.Err() != nil {
+				break
+			}
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(idx int, cfg core.Config) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				start := time.Now()
+				rep, err := e.evaluate(jobCtx, cfg, true)
+				pr := PointResult{
+					Index:      idx,
+					Config:     cfg,
+					DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+				}
+				if err != nil {
+					pr.Error = err.Error()
+				} else {
+					v := NewReportView(rep)
+					pr.Report = &v
+				}
+				j.record(pr)
+			}(i, cfg)
+		}
+		wg.Wait()
+		j.finish(jobCtx.Err())
+	}()
+	return j, nil
+}
+
+// Job returns the job with the given ID.
+func (e *Engine) Job(id string) (*Job, bool) {
+	return e.jobs.get(id)
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"bright/internal/core"
+)
+
+var errSolverBoom = errors.New("synthetic solver failure")
+
+func TestSweepGridExpansion(t *testing.T) {
+	spec := SweepSpec{
+		FlowsMLMin:  []float64{100, 676},
+		InletTempsC: []float64{27, 37, 47},
+	}
+	grid, err := spec.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 6 {
+		t.Fatalf("grid has %d points, want 2*3=6", len(grid))
+	}
+	// Unswept axes keep the base (default) values.
+	def := core.DefaultConfig()
+	for k, cfg := range grid {
+		if cfg.SupplyVoltage != def.SupplyVoltage || cfg.PumpEfficiency != def.PumpEfficiency {
+			t.Fatalf("point %d lost base values: %+v", k, cfg)
+		}
+	}
+	// Row-major: flow outermost.
+	if grid[0].FlowMLMin != 100 || grid[3].FlowMLMin != 676 {
+		t.Fatalf("unexpected axis order: %+v", grid)
+	}
+}
+
+func TestSweepGridCustomBase(t *testing.T) {
+	base := core.DefaultConfig()
+	base.PumpEfficiency = 0.7
+	spec := SweepSpec{Base: &base, ChipLoads: []float64{0.5, 1.0}}
+	grid, err := spec.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 2 || grid[0].PumpEfficiency != 0.7 {
+		t.Fatalf("base override lost: %+v", grid)
+	}
+}
+
+func TestSweepGridRejectsOversizeAndInvalid(t *testing.T) {
+	big := make([]float64, 100)
+	for k := range big {
+		big[k] = float64(k + 1)
+	}
+	if _, err := (SweepSpec{FlowsMLMin: big, InletTempsC: big[:50]}).Grid(); err == nil {
+		t.Fatal("5000-point grid accepted beyond MaxSweepPoints")
+	}
+	if _, err := (SweepSpec{FlowsMLMin: []float64{-5}}).Grid(); err == nil {
+		t.Fatal("invalid sweep point accepted")
+	}
+}
+
+func waitJob(t *testing.T, j *Job, timeout time.Duration) JobView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		v := j.Snapshot()
+		if v.State != JobRunning {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v (%d/%d)", v.ID, v.State, timeout, v.Completed, v.Total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSweepJobCompletesAllPoints(t *testing.T) {
+	s := &countingSolver{}
+	e := newTestEngine(t, Options{Workers: 4, QueueDepth: 8, Solver: s.solve})
+	job, err := e.SubmitSweep(context.Background(), SweepSpec{
+		FlowsMLMin:  []float64{100, 300, 676},
+		InletTempsC: []float64{27, 37},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitJob(t, job, 10*time.Second)
+	if v.State != JobDone {
+		t.Fatalf("job state %s, want done", v.State)
+	}
+	if v.Completed != 6 || len(v.Results) != 6 || v.Failed != 0 {
+		t.Fatalf("completed=%d results=%d failed=%d, want 6/6/0", v.Completed, len(v.Results), v.Failed)
+	}
+	// Every grid index appears exactly once.
+	seen := make(map[int]bool)
+	for _, r := range v.Results {
+		if r.Report == nil || r.Error != "" {
+			t.Fatalf("point %d: %+v", r.Index, r)
+		}
+		if seen[r.Index] {
+			t.Fatalf("index %d reported twice", r.Index)
+		}
+		seen[r.Index] = true
+	}
+	if s.calls.Load() != 6 {
+		t.Fatalf("solver ran %d times, want 6", s.calls.Load())
+	}
+}
+
+// TestSweepSharesCacheWithEvaluate: a sweep over already-solved points
+// must be served from the cache, not re-solved.
+func TestSweepSharesCacheWithEvaluate(t *testing.T) {
+	s := &countingSolver{}
+	e := newTestEngine(t, Options{Workers: 2, Solver: s.solve})
+	for _, flow := range []float64{100, 200} {
+		if _, err := e.Evaluate(context.Background(), cfgWithFlow(flow)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	job, err := e.SubmitSweep(context.Background(), SweepSpec{FlowsMLMin: []float64{100, 200, 300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitJob(t, job, 10*time.Second)
+	if v.State != JobDone {
+		t.Fatalf("job state %s", v.State)
+	}
+	if got := s.calls.Load(); got != 3 { // 2 warm-up + 1 new point
+		t.Fatalf("solver ran %d times, want 3 (two sweep points cached)", got)
+	}
+}
+
+func TestSweepJobCancel(t *testing.T) {
+	s := &countingSolver{block: make(chan struct{})}
+	e := newTestEngine(t, Options{Workers: 1, QueueDepth: 4, Solver: s.solve})
+	flows := make([]float64, 20)
+	for k := range flows {
+		flows[k] = float64(100 + k)
+	}
+	job, err := e.SubmitSweep(context.Background(), SweepSpec{FlowsMLMin: flows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the first point start solving, then cancel the job.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	job.Cancel()
+	v := waitJob(t, job, 10*time.Second)
+	if v.State != JobCanceled {
+		t.Fatalf("canceled job reports %s", v.State)
+	}
+	if v.Completed >= v.Total {
+		t.Fatalf("cancellation did not stop the sweep: %d/%d", v.Completed, v.Total)
+	}
+	close(s.block)
+}
+
+func TestSweepFailedPointMarksJobFailed(t *testing.T) {
+	s := &countingSolver{err: errSolverBoom}
+	e := newTestEngine(t, Options{Workers: 2, Solver: s.solve})
+	job, err := e.SubmitSweep(context.Background(), SweepSpec{FlowsMLMin: []float64{100, 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitJob(t, job, 10*time.Second)
+	if v.State != JobFailed || v.Failed != 2 {
+		t.Fatalf("state=%s failed=%d, want failed/2", v.State, v.Failed)
+	}
+}
+
+func TestJobLookup(t *testing.T) {
+	s := &countingSolver{}
+	e := newTestEngine(t, Options{Workers: 1, Solver: s.solve})
+	job, err := e.SubmitSweep(context.Background(), SweepSpec{FlowsMLMin: []float64{100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := e.Job(job.ID); !ok || got != job {
+		t.Fatalf("Job(%q) = %v, %v", job.ID, got, ok)
+	}
+	if _, ok := e.Job("job-999999"); ok {
+		t.Fatal("unknown job id resolved")
+	}
+	waitJob(t, job, 10*time.Second)
+}

@@ -1,6 +1,7 @@
 package thermal
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -379,11 +380,24 @@ func solveOnce(p *Problem, layerT []float64) (*system, []float64, error) {
 // Solve computes the steady-state temperature field, optionally with
 // temperature-dependent layer conductivities (NonlinearTempIterations).
 func Solve(p *Problem) (*Solution, error) {
+	return SolveContext(context.Background(), p)
+}
+
+// SolveContext is Solve with cancellation: the context is checked before
+// the initial linear solve and at every nonlinear conductivity update,
+// so a canceled context aborts within one sparse solve.
+func SolveContext(ctx context.Context, p *Problem) (*Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	s, x, err := solveOnce(p, nil)
 	if err != nil {
 		return nil, err
 	}
 	for iter := 0; iter < p.NonlinearTempIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		layerT := s.layerMeans(x)
 		s2, x2, err := solveOnce(p, layerT)
 		if err != nil {
