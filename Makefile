@@ -1,12 +1,13 @@
 # Developer/CI entry points. `make check` is the full gate: vet, build,
-# and the test suite under the race detector (the sim engine is heavily
-# concurrent — races there are correctness bugs, not style).
+# the test suite under the race detector (the sim engine and the num
+# kernel pool are heavily concurrent — races there are correctness bugs,
+# not style), and the kernel escape guard.
 
 GO ?= go
 
-.PHONY: check build vet test race test-short bench bench-serving
+.PHONY: check build vet test race test-short bench bench-serving escape-check
 
-check: vet build race
+check: vet build race escape-check
 
 build:
 	$(GO) build ./...
@@ -18,17 +19,48 @@ test:
 	$(GO) test ./...
 
 # Race-detected run of everything; use `make race PKG=./internal/sim/...`
-# to scope it to the concurrent paths.
+# to scope it to the concurrent paths. Race instrumentation is a
+# 10-20x slowdown on small containers (the experiments package alone
+# can exceed go test's default 10m budget on one core), so the gate
+# raises the per-package timeout rather than skipping the heavy suites.
 PKG ?= ./...
+RACE_TIMEOUT ?= 30m
 race:
-	$(GO) test -race $(PKG)
+	$(GO) test -race -timeout $(RACE_TIMEOUT) $(PKG)
 
 test-short:
 	$(GO) test -short ./...
 
+# Full benchmark sweep over the numeric kernels, the thermal solver and
+# the serving engine, folded into a machine-readable report
+# (BENCH_PR2.json): per-benchmark ns/op, B/op, allocs/op, and
+# serial-vs-parallel speedup pairs, stamped with the Go version and core
+# count of the generating machine.
 bench:
-	$(GO) test -bench . -benchmem ./...
+	$(GO) test -run xxx -bench . -benchmem ./internal/num > /tmp/bench_num.txt
+	$(GO) test -run xxx -bench . -benchmem ./internal/thermal > /tmp/bench_thermal.txt
+	$(GO) test -run xxx -bench BenchmarkEngineThroughput -benchmem . > /tmp/bench_engine.txt
+	$(GO) run ./cmd/benchjson -o BENCH_PR2.json /tmp/bench_num.txt /tmp/bench_thermal.txt /tmp/bench_engine.txt
+	@echo wrote BENCH_PR2.json
 
 # Serving-layer throughput baseline only (see BenchmarkEngineThroughput).
 bench-serving:
 	$(GO) test -run xxx -bench BenchmarkEngineThroughput -benchmem .
+
+# Static allocation guard for the parallel kernel hot path: the only
+# heap escapes allowed in internal/num/parallel.go are the one-time
+# pool allocations (the parRun descriptor and its partials buffer built
+# in sync.Pool.New). Anything else — a closure capturing operands, a
+# descriptor escaping per call — would put an allocation on every
+# kernel op and break the zero-allocs/op solve loop, so it fails the
+# gate. The dynamic twin of this guard is TestKrylovWorkspaceZeroAlloc.
+escape-check:
+	@out=$$($(GO) build -gcflags=-m ./internal/num 2>&1 \
+		| grep 'parallel\.go' \
+		| grep -E 'escapes to heap|moved to heap' \
+		| grep -vE 'new\(parRun\)|make\(\[\]float64, 2\*maxKernelChunks\)|make\(\[\]float64, 128\)'); \
+	if [ -n "$$out" ]; then \
+		echo "escape-check: unexpected heap escapes in the kernel hot path:"; \
+		echo "$$out"; exit 1; \
+	fi
+	@echo escape-check ok

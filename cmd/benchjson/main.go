@@ -1,0 +1,208 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON report. It reads one or more benchmark output
+// files (or stdin when none are given), parses every benchmark result
+// line, and emits a single JSON document with per-benchmark ns/op,
+// B/op, allocs/op and any custom metrics, plus speedup pairs for
+// benchmarks that expose /serial and /parallel sub-benchmarks.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./internal/num > num.txt
+//	benchjson -o BENCH.json num.txt [more.txt ...]
+//
+// The report records the machine context (Go version, GOMAXPROCS, CPU
+// line from the benchmark header) so numbers from different boxes are
+// never compared blind.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Package is the pkg: line in effect when the result appeared.
+	Package    string  `json:"package,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsOp       float64 `json:"ns_op"`
+	// BytesOp and AllocsOp are -1 when the run lacked -benchmem.
+	BytesOp  float64 `json:"bytes_op"`
+	AllocsOp float64 `json:"allocs_op"`
+	// Metrics holds any further "value unit" pairs (e.g. MB/s, custom
+	// b.ReportMetric units).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Speedup pairs a benchmark's /serial and /parallel variants.
+type Speedup struct {
+	Name       string  `json:"name"`
+	SerialNs   float64 `json:"serial_ns_op"`
+	ParallelNs float64 `json:"parallel_ns_op"`
+	// Speedup = serial / parallel: > 1 means the parallel path wins.
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Cores is GOMAXPROCS on the generating machine — read it before
+	// trusting any /parallel number.
+	Cores      int         `json:"cores"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	Speedups   []Speedup   `json:"speedups,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep := &Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Cores:     runtime.GOMAXPROCS(0),
+	}
+	if flag.NArg() == 0 {
+		if err := parse(os.Stdin, rep); err != nil {
+			fatal(err)
+		}
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		err = parse(f, rep)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+	}
+	rep.Speedups = speedups(rep.Benchmarks)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse consumes one `go test -bench` output stream, appending results
+// to the report and capturing the cpu/pkg header lines.
+func parse(r io.Reader, rep *Report) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			if rep.CPU == "" {
+				rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu: "))
+			}
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		b, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		b.Package = pkg
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return sc.Err()
+}
+
+// parseLine parses "BenchmarkName-8  123  456 ns/op  0 B/op  0 allocs/op".
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix from the last path segment only.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, BytesOp: -1, AllocsOp: -1}
+	// The remainder is "value unit" pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsOp = v
+		case "B/op":
+			b.BytesOp = v
+		case "allocs/op":
+			b.AllocsOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, b.NsOp > 0
+}
+
+// speedups pairs Foo/serial with Foo/parallel results.
+func speedups(benches []Benchmark) []Speedup {
+	serial := map[string]float64{}
+	parallel := map[string]float64{}
+	for _, b := range benches {
+		if base, ok := strings.CutSuffix(b.Name, "/serial"); ok {
+			serial[base] = b.NsOp
+		} else if base, ok := strings.CutSuffix(b.Name, "/parallel"); ok {
+			parallel[base] = b.NsOp
+		}
+	}
+	var out []Speedup
+	for name, s := range serial {
+		p, ok := parallel[name]
+		if !ok || p <= 0 {
+			continue
+		}
+		out = append(out, Speedup{Name: name, SerialNs: s, ParallelNs: p, Speedup: s / p})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -22,7 +22,13 @@
 // Usage:
 //
 //	brightd [-addr :8080] [-workers N] [-queue N] [-cache N]
-//	        [-request-timeout 5m] [-drain-timeout 30s]
+//	        [-kernel-threads N] [-request-timeout 5m] [-drain-timeout 30s]
+//
+// -kernel-threads caps the goroutines the numeric kernels fork inside
+// each solve (0 = GOMAXPROCS); it defaults from the BRIGHT_NUM_THREADS
+// environment variable. On a multi-core box serving few concurrent
+// requests, raise it toward the core count; under a saturated worker
+// pool, 1 avoids oversubscription (the workers already use every core).
 package main
 
 import (
@@ -34,27 +40,43 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"syscall"
 	"time"
 
 	"bright/internal/sim"
 )
 
+// envInt reads an integer environment variable, returning def when the
+// variable is unset or malformed.
+func envInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil {
+			return v
+		}
+		log.Printf("brightd: ignoring malformed %s=%q", name, s)
+	}
+	return def
+}
+
 func main() {
 	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		workers      = flag.Int("workers", runtime.NumCPU(), "worker pool size")
-		queueDepth   = flag.Int("queue", 64, "bounded job queue depth (full queue => 503)")
-		cacheSize    = flag.Int("cache", 256, "memoization LRU capacity in reports (negative disables)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", runtime.NumCPU(), "worker pool size")
+		queueDepth  = flag.Int("queue", 64, "bounded job queue depth (full queue => 503)")
+		cacheSize   = flag.Int("cache", 256, "memoization LRU capacity in reports (negative disables)")
+		kernThreads = flag.Int("kernel-threads", envInt("BRIGHT_NUM_THREADS", 0),
+			"goroutine cap for the numeric kernels inside each solve (0 = GOMAXPROCS; env BRIGHT_NUM_THREADS)")
 		reqTimeout   = flag.Duration("request-timeout", 5*time.Minute, "per-request solve timeout")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
 	)
 	flag.Parse()
 
 	engine := sim.New(sim.Options{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		CacheSize:  *cacheSize,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		CacheSize:     *cacheSize,
+		KernelThreads: *kernThreads,
 	})
 
 	handler := withRequestTimeout(*reqTimeout, withLogging(sim.NewHandler(engine)))

@@ -15,6 +15,7 @@ import (
 	"bright/internal/floorplan"
 	"bright/internal/flowcell"
 	"bright/internal/hydro"
+	"bright/internal/num"
 	"bright/internal/pdn"
 	"bright/internal/thermal"
 	"bright/internal/units"
@@ -137,6 +138,13 @@ type System struct {
 	Floorplan *floorplan.Floorplan
 	Array     *flowcell.Array
 	VRM       pdn.VRM
+
+	// pdnWarm carries the grid voltage field across Evaluate calls on
+	// this System: repeated evaluations (load sweeps on one System) seed
+	// each DC solve from the previous field. Evaluate is consequently
+	// not safe for concurrent use on a shared System; the sim engine
+	// builds one System per solve, which keeps its workers independent.
+	pdnWarm num.WarmStart
 }
 
 // NewSystem builds the integrated POWER7+ system at the given config.
@@ -240,6 +248,7 @@ func (s *System) EvaluateContext(ctx context.Context) (*Report, error) {
 			p.LoadDensity.Data[k] *= cfg.ChipLoad
 		}
 	}
+	p.Warm = &s.pdnWarm
 	grid, err := pdn.Solve(p)
 	if err != nil {
 		return nil, fmt.Errorf("core: power grid: %w", err)

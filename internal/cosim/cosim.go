@@ -125,6 +125,21 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	inletK := units.CtoK(cfg.InletTempC)
 	tCell := inletK
 	res := &Result{Config: cfg}
+	// The thermal geometry, stack and flow are fixed across the
+	// fixed-point loop — only the electrochemical loss heat changes —
+	// so the FV network is assembled and preconditioned exactly once,
+	// and each iteration's solve warm-starts from the previous
+	// iteration's temperature field instead of the uniform inlet state.
+	tp := thermal.Power7Problem(cfg.TotalFlowMLMin, inletK, 0)
+	if cfg.ChipLoad != 1 {
+		for k := range tp.Power.Data {
+			tp.Power.Data[k] *= cfg.ChipLoad
+		}
+	}
+	session, err := thermal.NewSession(tp)
+	if err != nil {
+		return nil, fmt.Errorf("cosim: thermal session: %w", err)
+	}
 	var heat float64
 	for iter := 1; iter <= cfg.MaxIter; iter++ {
 		if err := ctx.Err(); err != nil {
@@ -140,13 +155,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		tp := thermal.Power7Problem(cfg.TotalFlowMLMin, inletK, heat)
-		if cfg.ChipLoad != 1 {
-			for k := range tp.Power.Data {
-				tp.Power.Data[k] *= cfg.ChipLoad
-			}
-		}
-		sol, err := thermal.SolveContext(ctx, tp)
+		sol, err := session.SolveContext(ctx, nil, heat)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()

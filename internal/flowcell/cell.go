@@ -92,10 +92,6 @@ type Cell struct {
 	// computed with the charge-conservation field solver (paper
 	// eq. (11), package potential) and folded into OhmicASR.
 	ElectrodeCoverage float64
-
-	// constriction memo (geometry-only; recomputed after copies).
-	constrictionVal float64
-	constrictionKey [3]float64
 }
 
 // Validate reports whether the cell description is usable.
@@ -237,18 +233,16 @@ func (c *Cell) OhmicASR() float64 {
 	return ionic*c.constriction() + c.ContactASR
 }
 
-// constriction returns the memoized geometric constriction factor of
-// the ionic path for the cell's electrode coverage (1 for full-wall
-// electrodes). The factor is conductivity-independent when both streams
-// share the same electrolyte, so the memo keys on geometry only.
+// constriction returns the geometric constriction factor of the ionic
+// path for the cell's electrode coverage (1 for full-wall electrodes).
+// The factor is conductivity-independent when both streams share the
+// same electrolyte, so the process-wide memo inside
+// potential.ConstrictionFactor (keyed on geometry only) serves every
+// cell with the same cross-section — including copies of this one.
 func (c *Cell) constriction() float64 {
 	cov := c.ElectrodeCoverage
 	if cov == 0 || cov == 1 {
 		return 1
-	}
-	key := [3]float64{c.Channel.Width, c.Channel.Height, cov}
-	if c.constrictionKey == key && c.constrictionVal > 0 {
-		return c.constrictionVal
 	}
 	f, err := potential.ConstrictionFactor(c.Channel.Width, c.Channel.Height, cov, 1)
 	if err != nil {
@@ -256,8 +250,6 @@ func (c *Cell) constriction() float64 {
 		// here is a programming error, not an operating condition.
 		panic(fmt.Sprintf("flowcell: constriction solve failed: %v", err))
 	}
-	c.constrictionKey = key
-	c.constrictionVal = f
 	return f
 }
 

@@ -84,17 +84,28 @@ type IterResult struct {
 
 // CG solves the symmetric positive definite system A x = b with the
 // preconditioned conjugate gradient method. x is used as the initial
-// guess and overwritten with the solution.
+// guess (a warm start from a nearby solution cuts the iteration count)
+// and overwritten with the solution.
 func CG(a *CSR, b, x []float64, opt IterOptions) (IterResult, error) {
+	return CGWith(a, b, x, opt, nil)
+}
+
+// CGWith is CG with caller-owned scratch: passing the same Workspace to
+// repeated solves makes the steady-state loop allocation-free. A nil
+// workspace allocates fresh scratch (identical to CG).
+func CGWith(a *CSR, b, x []float64, opt IterOptions, ws *Workspace) (IterResult, error) {
 	n := a.Rows
 	if a.Cols != n || len(b) != n || len(x) != n {
 		return IterResult{}, ErrShape
 	}
 	opt = opt.withDefaults(n)
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	r := ws.vec(wsR, n)
+	z := ws.vec(wsZ, n)
+	p := ws.vec(wsP, n)
+	ap := ws.vec(wsAP, n)
 
 	a.MulVec(x, r)
 	for i := range r {
@@ -138,21 +149,31 @@ func CG(a *CSR, b, x []float64, opt IterOptions) (IterResult, error) {
 
 // BiCGSTAB solves the general (nonsymmetric) system A x = b with the
 // preconditioned stabilized bi-conjugate gradient method. x is the
-// initial guess and is overwritten with the solution.
+// initial guess (warm-startable) and is overwritten with the solution.
 func BiCGSTAB(a *CSR, b, x []float64, opt IterOptions) (IterResult, error) {
+	return BiCGSTABWith(a, b, x, opt, nil)
+}
+
+// BiCGSTABWith is BiCGSTAB with caller-owned scratch: passing the same
+// Workspace to repeated solves makes the steady-state loop
+// allocation-free. A nil workspace allocates fresh scratch.
+func BiCGSTABWith(a *CSR, b, x []float64, opt IterOptions, ws *Workspace) (IterResult, error) {
 	n := a.Rows
 	if a.Cols != n || len(b) != n || len(x) != n {
 		return IterResult{}, ErrShape
 	}
 	opt = opt.withDefaults(n)
-	r := make([]float64, n)
-	rhat := make([]float64, n)
-	p := make([]float64, n)
-	v := make([]float64, n)
-	s := make([]float64, n)
-	t := make([]float64, n)
-	phat := make([]float64, n)
-	shat := make([]float64, n)
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	r := ws.vec(wsR, n)
+	rhat := ws.vec(wsZ, n)
+	p := ws.vec(wsP, n)
+	v := ws.vec(wsAP, n)
+	s := ws.vec(wsS, n)
+	t := ws.vec(wsT, n)
+	phat := ws.vec(wsPhat, n)
+	shat := ws.vec(wsShat, n)
 
 	a.MulVec(x, r)
 	for i := range r {
@@ -223,23 +244,13 @@ func BiCGSTAB(a *CSR, b, x []float64, opt IterOptions) (IterResult, error) {
 
 // SolveSparse is a convenience wrapper: it chooses CG with a Jacobi
 // preconditioner when the matrix is symmetric, BiCGSTAB otherwise, and
-// returns the solution in a fresh slice.
+// returns the solution in a fresh slice. Both the CG attempt and the
+// indefinite-matrix fallback to BiCGSTAB run through one SparseSolver,
+// so the symmetry scan and the preconditioner are paid exactly once;
+// callers solving repeatedly against the same matrix should hold a
+// SparseSolver themselves.
 func SolveSparse(a *CSR, b []float64, opt IterOptions) ([]float64, IterResult, error) {
 	x := make([]float64, len(b))
-	if opt.M == nil {
-		opt.M = NewJacobi(a)
-	}
-	var res IterResult
-	var err error
-	if a.IsSymmetric(1e-12) {
-		res, err = CG(a, b, x, opt)
-		if err == nil {
-			return x, res, nil
-		}
-		// CG can fail when the matrix is symmetric but indefinite;
-		// fall back to BiCGSTAB before giving up.
-		Fill(x, 0)
-	}
-	res, err = BiCGSTAB(a, b, x, opt)
+	res, err := NewSparseSolver(a, opt).Solve(b, x)
 	return x, res, err
 }

@@ -1,0 +1,116 @@
+package num
+
+import "sync"
+
+// SparseSolver binds an iterative method to one matrix and caches
+// everything that only depends on its sparsity pattern and values: the
+// symmetry decision (CG vs BiCGSTAB), the Jacobi preconditioner, and
+// the Krylov scratch workspace. Repeated solves against the same matrix
+// — the co-simulation fixed-point loop, transient time stepping,
+// parameter sweeps — pay none of that per call, and the steady-state
+// solve loop is allocation-free.
+//
+// The solver does not observe later mutation of the matrix: if the
+// values or pattern change, build a new SparseSolver.
+//
+// Solve is safe for concurrent use; calls serialize on an internal
+// mutex (the scratch workspace is shared). For parallel solves against
+// the same matrix, give each goroutine its own solver.
+type SparseSolver struct {
+	mu  sync.Mutex
+	a   *CSR
+	sym bool
+	pre Preconditioner
+	opt IterOptions
+	ws  Workspace
+}
+
+// NewSparseSolver builds a solver for a, detecting symmetry once
+// (numerically, to 1e-12). opt.M overrides the cached Jacobi
+// preconditioner when non-nil.
+func NewSparseSolver(a *CSR, opt IterOptions) *SparseSolver {
+	return NewSparseSolverSymmetric(a, a.IsSymmetric(1e-12), opt)
+}
+
+// NewSparseSolverSymmetric is NewSparseSolver with the symmetry
+// decision asserted by the caller, skipping the O(nnz * row-nnz) scan —
+// use it when the assembly guarantees the answer (FV diffusion stamps
+// are symmetric; advection-coupled networks are not). Asserting
+// symmetric=true on a matrix that only CG cannot handle is still safe:
+// a CG breakdown falls back to BiCGSTAB on the same cached
+// preconditioner.
+func NewSparseSolverSymmetric(a *CSR, symmetric bool, opt IterOptions) *SparseSolver {
+	s := &SparseSolver{a: a, sym: symmetric, opt: opt}
+	if opt.M != nil {
+		s.pre = opt.M
+	} else {
+		s.pre = NewJacobi(a)
+	}
+	return s
+}
+
+// Symmetric reports the cached symmetry decision.
+func (s *SparseSolver) Symmetric() bool { return s.sym }
+
+// Matrix returns the bound matrix.
+func (s *SparseSolver) Matrix() *CSR { return s.a }
+
+// WarmStart carries a previous solution field across solves as the next
+// solve's initial guess. The zero value is valid (an empty cache).
+// Invalidation contract: a cached guess is only a guess — any field of
+// the right length is safe (the solver still converges to the true
+// solution) — but it must be dropped (Invalidate) when the system
+// dimension changes, which Seed enforces by length check.
+type WarmStart struct {
+	x []float64
+}
+
+// Seed copies the cached field into x and reports whether it did; a
+// missing or wrongly-sized cache leaves x untouched and returns false.
+// Safe on a nil receiver.
+func (w *WarmStart) Seed(x []float64) bool {
+	if w == nil || len(w.x) != len(x) {
+		return false
+	}
+	copy(x, w.x)
+	return true
+}
+
+// Save stores a copy of x as the next Seed, reusing the cached buffer
+// when the size matches. Safe on a nil receiver (no-op).
+func (w *WarmStart) Save(x []float64) {
+	if w == nil {
+		return
+	}
+	if len(w.x) != len(x) {
+		w.x = make([]float64, len(x))
+	}
+	copy(w.x, x)
+}
+
+// Invalidate drops the cached field.
+func (w *WarmStart) Invalidate() {
+	if w != nil {
+		w.x = nil
+	}
+}
+
+// Solve solves A x = b. x carries the initial guess in (warm start) and
+// the solution out. Symmetric systems run preconditioned CG; a CG
+// breakdown (symmetric-indefinite matrices) restarts BiCGSTAB from zero
+// with the same preconditioner. Nonsymmetric systems run BiCGSTAB
+// directly.
+func (s *SparseSolver) Solve(b, x []float64) (IterResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	opt := s.opt
+	opt.M = s.pre
+	if s.sym {
+		res, err := CGWith(s.a, b, x, opt, &s.ws)
+		if err == nil {
+			return res, nil
+		}
+		Fill(x, 0)
+	}
+	return BiCGSTABWith(s.a, b, x, opt, &s.ws)
+}

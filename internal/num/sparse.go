@@ -83,18 +83,23 @@ type CSR struct {
 // NNZ returns the number of stored entries.
 func (m *CSR) NNZ() int { return len(m.Val) }
 
-// MulVec computes y = m*x.
+// MulVec computes y = m*x. Large matrices are row-partitioned across
+// the kernel pool (see SetKernelThreads); the per-row sums are
+// identical to the serial loop either way.
 func (m *CSR) MulVec(x, y []float64) {
 	if len(x) != m.Cols || len(y) != m.Rows {
 		panic(ErrShape)
 	}
-	for i := 0; i < m.Rows; i++ {
-		s := 0.0
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			s += m.Val[k] * x[m.ColIdx[k]]
-		}
-		y[i] = s
+	// SpMV does ~2 flops per stored entry; gate the fork on nnz.
+	chunks := kernelChunks(2 * m.NNZ())
+	if chunks == 1 {
+		mulVecRange(m, x, y, 0, m.Rows)
+		return
 	}
+	r := getRun(opMulVec)
+	r.a, r.x, r.y = m, x, y
+	forkJoin(r, m.Rows, chunks)
+	putRun(r)
 }
 
 // Diag extracts the matrix diagonal into a fresh slice. Missing diagonal

@@ -76,6 +76,13 @@ type Problem struct {
 	LoadDensity *mesh.Field2D
 	// NX, NY are the grid resolution (defaults 106x85, ~0.25 mm cells).
 	NX, NY int
+	// Warm optionally carries the voltage field between solves: repeated
+	// solves of the same grid (sweeps, co-simulation outer loops) seed
+	// the next CG run from the previous solution instead of the flat
+	// supply level. The cached field auto-invalidates on a resolution
+	// change (length check); callers changing the mesh semantics at a
+	// fixed resolution should Invalidate explicitly.
+	Warm *num.WarmStart
 }
 
 // Validate reports whether the problem is well posed.
@@ -187,10 +194,15 @@ func Solve(p *Problem) (*Solution, error) {
 	}
 	a := co.ToCSR()
 	x := make([]float64, n)
-	num.Fill(x, p.Supply) // warm start at the supply level
-	if _, err := num.CG(a, b, x, num.IterOptions{Tol: 1e-11, MaxIter: 40 * n, M: num.NewJacobi(a)}); err != nil {
+	if !p.Warm.Seed(x) {
+		num.Fill(x, p.Supply) // cold start at the supply level
+	}
+	// The MNA stamps are symmetric by construction: CG without a scan.
+	solver := num.NewSparseSolverSymmetric(a, true, num.IterOptions{Tol: 1e-11, MaxIter: 40 * n})
+	if _, err := solver.Solve(b, x); err != nil {
 		return nil, fmt.Errorf("pdn: grid solve failed: %w", err)
 	}
+	p.Warm.Save(x)
 	sol := &Solution{
 		Grid:         g,
 		V:            &mesh.Field2D{Grid: g, Data: x},

@@ -133,6 +133,10 @@ func SolveTransient(p *TransientProblem) (*TransientResult, error) {
 		srcB[node] += siteG[k] * base.Supply
 	}
 	aDC := dcCOO.ToCSR()
+	// One cached solver per matrix for the whole run: the preconditioner
+	// and Krylov workspace are built once and shared by every solve
+	// against that matrix (all stamps here are symmetric by construction).
+	dcSolver := num.NewSparseSolverSymmetric(aDC, true, num.IterOptions{Tol: 1e-11, MaxIter: 40 * n})
 	solveDC := func(scale float64) ([]float64, error) {
 		b := make([]float64, n)
 		for k := range b {
@@ -140,7 +144,7 @@ func SolveTransient(p *TransientProblem) (*TransientResult, error) {
 		}
 		x := make([]float64, n)
 		num.Fill(x, base.Supply)
-		if _, err := num.CG(aDC, b, x, num.IterOptions{Tol: 1e-11, MaxIter: 40 * n, M: num.NewJacobi(aDC)}); err != nil {
+		if _, err := dcSolver.Solve(b, x); err != nil {
 			return nil, err
 		}
 		return x, nil
@@ -170,10 +174,8 @@ func SolveTransient(p *TransientProblem) (*TransientResult, error) {
 		lagCOO.Add(row, row, c/p.Dt)
 		regCOO.Add(row, row, c/p.Dt)
 	}
-	aLag := lagCOO.ToCSR()
-	aReg := regCOO.ToCSR()
-	preLag := num.NewJacobi(aLag)
-	preReg := num.NewJacobi(aReg)
+	lagSolver := num.NewSparseSolverSymmetric(lagCOO.ToCSR(), true, num.IterOptions{Tol: 1e-10, MaxIter: 40 * n})
+	regSolver := num.NewSparseSolverSymmetric(regCOO.ToCSR(), true, num.IterOptions{Tol: 1e-10, MaxIter: 40 * n})
 
 	res := &TransientResult{WorstV: math.Inf(1)}
 	rhs := make([]float64, n)
@@ -188,11 +190,11 @@ func SolveTransient(p *TransientProblem) (*TransientResult, error) {
 				rhs[k] += srcB[k]
 			}
 		}
-		a, pre := aReg, preReg
+		solver := regSolver
 		if inLag {
-			a, pre = aLag, preLag
+			solver = lagSolver
 		}
-		if _, err := num.CG(a, rhs, x, num.IterOptions{Tol: 1e-10, MaxIter: 40 * n, M: pre}); err != nil {
+		if _, err := solver.Solve(rhs, x); err != nil {
 			return nil, fmt.Errorf("pdn: transient step %d: %w", step, err)
 		}
 		minV := num.MinSlice(x)

@@ -10,6 +10,7 @@ package potential
 
 import (
 	"fmt"
+	"sync"
 
 	"bright/internal/mesh"
 	"bright/internal/num"
@@ -31,6 +32,11 @@ type Problem struct {
 	SigmaFuel, SigmaOx float64
 	// NX, NY are the grid resolution (defaults 48x48).
 	NX, NY int
+	// Warm optionally carries the potential field between solves of the
+	// same cross-section at slowly varying parameters (e.g. conductivity
+	// sweeps), seeding CG from the previous field instead of the flat
+	// 0.5 V mid-gap guess. Auto-invalidates on a resolution change.
+	Warm *num.WarmStart
 }
 
 // Validate reports whether the problem is well posed.
@@ -142,10 +148,15 @@ func Solve(p *Problem) (*Solution, error) {
 	}
 	a := co.ToCSR()
 	x := make([]float64, n)
-	num.Fill(x, 0.5)
-	if _, err := num.CG(a, b, x, num.IterOptions{Tol: 1e-11, MaxIter: 40 * n, M: num.NewJacobi(a)}); err != nil {
+	if !p.Warm.Seed(x) {
+		num.Fill(x, 0.5)
+	}
+	// The FV diffusion stamps are symmetric by construction: CG, no scan.
+	solver := num.NewSparseSolverSymmetric(a, true, num.IterOptions{Tol: 1e-11, MaxIter: 40 * n})
+	if _, err := solver.Solve(b, x); err != nil {
 		return nil, fmt.Errorf("potential: field solve failed: %w", err)
 	}
+	p.Warm.Save(x)
 	sol := &Solution{Phi: &mesh.Field2D{Grid: g, Data: x}}
 	// Current through the left electrode per unit channel length.
 	for j := 0; j < ny; j++ {
@@ -166,9 +177,24 @@ func Solve(p *Problem) (*Solution, error) {
 	return sol, nil
 }
 
+// constrictionMemo caches ConstrictionFactor results process-wide. The
+// factor is a ratio of two resistances through the same uniform-sigma
+// medium, so it is invariant under sigma scaling and the key needs only
+// the geometry and coverage. Sweeps and per-cell models that revisit
+// the same cross-section (the flow-cell array evaluates it once per
+// clogging state) then skip the 48x48 CG solve entirely.
+var constrictionMemo sync.Map // [3]float64{width, height, coverage} -> float64
+
 // ConstrictionFactor is a convenience wrapper returning only the factor
-// for the given geometry and symmetric electrode coverage.
+// for the given geometry and symmetric electrode coverage. Results are
+// memoized process-wide: the factor does not depend on sigma (it
+// cancels in the ASR ratio for a uniform medium), so the cache is keyed
+// on (width, height, coverage) only.
 func ConstrictionFactor(width, height, coverage, sigma float64) (float64, error) {
+	key := [3]float64{width, height, coverage}
+	if v, ok := constrictionMemo.Load(key); ok {
+		return v.(float64), nil
+	}
 	sol, err := Solve(&Problem{
 		Width: width, Height: height,
 		CoverageLeft: coverage, CoverageRight: coverage,
@@ -177,5 +203,6 @@ func ConstrictionFactor(width, height, coverage, sigma float64) (float64, error)
 	if err != nil {
 		return 0, err
 	}
+	constrictionMemo.Store(key, sol.ConstrictionFactor)
 	return sol.ConstrictionFactor, nil
 }

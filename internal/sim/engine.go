@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"bright/internal/core"
+	"bright/internal/num"
 )
 
 // ErrQueueFull is returned by Evaluate when the bounded job queue is at
@@ -53,6 +54,14 @@ type Options struct {
 	// CacheSize bounds the memoization LRU in entries (default 256;
 	// negative disables caching).
 	CacheSize int
+	// KernelThreads caps the goroutines the numeric kernels (SpMV, dot,
+	// axpy) fork per operation; 0 keeps the current process-wide setting
+	// (which defaults to GOMAXPROCS). The setting is process-wide — the
+	// kernels are shared by every solver in the process — so the last
+	// engine created wins. Deployments running one engine per process
+	// (brightd) set it from the BRIGHT_NUM_THREADS environment or the
+	// -kernel-threads flag.
+	KernelThreads int
 	// Solver overrides the production solver (tests, benchmarks).
 	Solver Solver
 }
@@ -104,6 +113,9 @@ type Engine struct {
 // New builds and starts an engine: the worker pool is running on return.
 func New(opts Options) *Engine {
 	opts = opts.withDefaults()
+	if opts.KernelThreads > 0 {
+		num.SetKernelThreads(opts.KernelThreads)
+	}
 	e := &Engine{
 		opts:   opts,
 		queue:  make(chan *task, opts.QueueDepth),
@@ -236,6 +248,7 @@ func (e *Engine) Stats() Stats {
 		SolveLatencyLastMS: lastMS,
 		JobsActive:         active,
 		JobsDone:           done,
+		KernelThreads:      num.KernelThreads(),
 	}
 }
 

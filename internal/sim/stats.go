@@ -35,6 +35,10 @@ type Stats struct {
 	// Sweep jobs.
 	JobsActive int `json:"jobs_active"`
 	JobsDone   int `json:"jobs_done"`
+
+	// KernelThreads is the resolved process-wide goroutine cap of the
+	// numeric kernels (SpMV, dot, axpy) behind every solve.
+	KernelThreads int `json:"kernel_threads"`
 }
 
 // metrics accumulates the mutable counters behind Stats. Counters that

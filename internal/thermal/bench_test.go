@@ -1,0 +1,51 @@
+package thermal
+
+import (
+	"testing"
+
+	"bright/internal/floorplan"
+	"bright/internal/units"
+)
+
+func benchProblem() *Problem {
+	p := Power7Problem(676, units.CtoK(27), 0)
+	p.NX, p.NY = 44, 32
+	p.Power = floorplan.Power7().Rasterize(p.Grid(), floorplan.Power7FullLoad())
+	return p
+}
+
+// BenchmarkSolveCold is the from-scratch path the co-simulation used to
+// pay every fixed-point iteration: assemble the FV network, build the
+// preconditioner, converge BiCGSTAB from the uniform inlet field.
+func BenchmarkSolveCold(b *testing.B) {
+	p := benchProblem()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionWarm is the cached path: matrix, preconditioner and
+// Krylov workspace reused, each solve warm-started from the previous
+// field with a slightly different coolant heat — exactly the shape of
+// the co-simulation loop. Compare against BenchmarkSolveCold.
+func BenchmarkSessionWarm(b *testing.B) {
+	ses, err := NewSession(benchProblem())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ses.Solve(nil, 0); err != nil {
+		b.Fatal(err)
+	}
+	heats := [...]float64{3.9, 4.0, 4.1, 4.0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ses.Solve(nil, heats[i%len(heats)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

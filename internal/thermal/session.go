@@ -1,0 +1,102 @@
+package thermal
+
+import (
+	"context"
+	"fmt"
+
+	"bright/internal/mesh"
+	"bright/internal/num"
+)
+
+// Session caches one assembled steady-state thermal system — the FV
+// network matrix, its Jacobi preconditioner and the Krylov workspace —
+// for repeated solves where only the right-hand side changes: a new
+// power map, a new electrochemical loss heat, or both. This is exactly
+// the shape of the electro-thermal co-simulation fixed-point loop,
+// where the geometry, stack and flow are fixed across iterations; a
+// session there skips per-iteration reassembly entirely and each solve
+// warm-starts from the previous iteration's temperature field.
+//
+// Warm-start contract: the cached matrix and guess are valid only while
+// the Problem's geometry, stack, channel spec, grid resolution and flow
+// stay fixed. Changing any of those (a new mesh, a clogging pattern, a
+// different flow rate) requires a fresh Session — the session holds no
+// invalidation magic, it is bound to the Problem it was built from.
+// Changing only Power or ExtraFluidHeat between calls is the intended
+// use. A Session is not safe for concurrent use.
+type Session struct {
+	p      *Problem
+	s      *system
+	solver *num.SparseSolver
+	x      []float64
+	warm   bool
+	last   num.IterResult
+}
+
+// NewSession assembles the problem once and prepares the cached solver.
+// The problem must be linear (NonlinearTempIterations == 0): the
+// temperature-dependent-conductivity path reassembles the matrix per
+// pass and cannot reuse one factorization-free setup.
+func NewSession(p *Problem) (*Session, error) {
+	if p.NonlinearTempIterations != 0 {
+		return nil, fmt.Errorf("thermal: Session requires a linear problem (NonlinearTempIterations=0, got %d)",
+			p.NonlinearTempIterations)
+	}
+	s, err := assemble(p, nil)
+	if err != nil {
+		return nil, err
+	}
+	a := s.co.ToCSR()
+	ses := &Session{
+		p: p,
+		s: s,
+		// Advection makes the network nonsymmetric: BiCGSTAB, no scan.
+		solver: num.NewSparseSolverSymmetric(a, false, num.IterOptions{Tol: 1e-10, MaxIter: 60 * s.n}),
+		x:      make([]float64, s.n),
+	}
+	num.Fill(ses.x, s.inletT)
+	return ses, nil
+}
+
+// Solve computes the steady state for the given power map (nil keeps
+// the problem's map) and extra coolant heat (W), warm-starting from the
+// previous call's temperature field.
+func (ss *Session) Solve(power *mesh.Field2D, extraFluidHeat float64) (*Solution, error) {
+	return ss.SolveContext(context.Background(), power, extraFluidHeat)
+}
+
+// SolveContext is Solve with cancellation, checked before the linear
+// solve starts.
+func (ss *Session) SolveContext(ctx context.Context, power *mesh.Field2D, extraFluidHeat float64) (*Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if power == nil {
+		power = ss.p.Power
+	}
+	if extraFluidHeat < 0 {
+		return nil, fmt.Errorf("thermal: negative extra fluid heat %g", extraFluidHeat)
+	}
+	b, err := ss.s.rhsWithPower(power, extraFluidHeat)
+	if err != nil {
+		return nil, err
+	}
+	res, err := ss.solver.Solve(b, ss.x)
+	ss.last = res
+	if err != nil {
+		// Do not let a failed iterate poison the next warm start.
+		num.Fill(ss.x, ss.s.inletT)
+		ss.warm = false
+		return nil, fmt.Errorf("thermal: session solve failed: %w", err)
+	}
+	ss.warm = true
+	return ss.s.extract(ss.x), nil
+}
+
+// LastIterations reports the Krylov iteration count of the most recent
+// solve — the observable measure of warm-start effectiveness.
+func (ss *Session) LastIterations() int { return ss.last.Iterations }
+
+// Warm reports whether the next solve will start from a previous
+// converged field rather than the uniform inlet temperature.
+func (ss *Session) Warm() bool { return ss.warm }

@@ -72,7 +72,8 @@ func (p *Problem) Validate() error {
 type system struct {
 	grid       *mesh.Grid2D
 	co         *num.COO
-	b          []float64 // baseline RHS (inlet advection + fluid heat), no chip power
+	b          []float64 // baseline RHS (inlet advection), no chip power or fluid heat
+	rhs        []float64 // reused full-RHS buffer of rhsWithPower
 	cap        []float64 // heat capacity per node (J/K)
 	n          int
 	nx, ny, nz int
@@ -85,16 +86,28 @@ type system struct {
 }
 
 // rhsWithPower returns the full right-hand side for the given power
-// field: the baseline (advection, extra fluid heat) plus the chip power
-// deposited into every heat-source layer. It also records the
-// integrated power in s.totalPower.
-func (s *system) rhsWithPower(power *mesh.Field2D) ([]float64, error) {
+// field: the baseline (advection) plus the chip power deposited into
+// every heat-source layer and extraFluidHeat (W) spread uniformly over
+// all fluid nodes. It also records the integrated power in
+// s.totalPower. The returned slice is an internal buffer, valid until
+// the next rhsWithPower call — copy it to keep it.
+func (s *system) rhsWithPower(power *mesh.Field2D, extraFluidHeat float64) ([]float64, error) {
 	if power.Grid.NX() != s.nx || power.Grid.NY() != s.ny {
 		return nil, fmt.Errorf("thermal: power grid %dx%d does not match solve grid %dx%d",
 			power.Grid.NX(), power.Grid.NY(), s.nx, s.ny)
 	}
-	b := make([]float64, s.n)
+	if s.rhs == nil {
+		s.rhs = make([]float64, s.n)
+	}
+	b := s.rhs
 	copy(b, s.b)
+	nSolid := s.nx * s.ny * s.nz
+	if extraFluidHeat != 0 {
+		perCell := extraFluidHeat / float64(s.n-nSolid)
+		for i := nSolid; i < s.n; i++ {
+			b[i] += perCell
+		}
+	}
 	s.totalPower = 0
 	for _, k := range s.activeKs {
 		for j := 0; j < s.ny; j++ {
@@ -208,7 +221,6 @@ func assemble(p *Problem, layerT []float64) (*system, error) {
 	h := spec.WallHTC()
 	perim := spec.ConvectivePerimeter()
 	chanPerCell := float64(spec.NChannels) / float64(nx)
-	extraPerCell := p.ExtraFluidHeat / float64(nx*ny*len(cavKs))
 	fluidCapPerCell := spec.Fluid.HeatCapacityVol * spec.Channel.Area() * chanPerCell
 	// Per-column flow share (clogging support): column i carries
 	// weight_i/sum of the total heat capacity rate.
@@ -252,7 +264,6 @@ func assemble(p *Problem, layerT []float64) (*system, error) {
 				} else {
 					s.co.Add(fRow, s.fIdx(c, i, upstream), -mcCell)
 				}
-				s.b[fRow] += extraPerCell
 				s.cap[fRow] = fluidCapPerCell * dy
 			}
 		}
@@ -358,20 +369,29 @@ func (s *system) layerMeans(x []float64) []float64 {
 	return out
 }
 
-// solveOnce assembles at the given layer temperatures and solves.
-func solveOnce(p *Problem, layerT []float64) (*system, []float64, error) {
+// solveOnce assembles at the given layer temperatures and solves. x0,
+// when sized to the system, seeds the Krylov iteration (warm start);
+// otherwise the solve starts from the uniform inlet temperature. The
+// advection coupling makes the network nonsymmetric, so the solver is
+// pinned to BiCGSTAB without paying a symmetry scan.
+func solveOnce(p *Problem, layerT, x0 []float64) (*system, []float64, error) {
 	s, err := assemble(p, layerT)
 	if err != nil {
 		return nil, nil, err
 	}
-	b, err := s.rhsWithPower(p.Power)
+	b, err := s.rhsWithPower(p.Power, p.ExtraFluidHeat)
 	if err != nil {
 		return nil, nil, err
 	}
 	a := s.co.ToCSR()
 	x := make([]float64, s.n)
-	num.Fill(x, s.inletT)
-	if _, err := num.BiCGSTAB(a, b, x, num.IterOptions{Tol: 1e-10, MaxIter: 60 * s.n, M: num.NewJacobi(a)}); err != nil {
+	if len(x0) == s.n {
+		copy(x, x0)
+	} else {
+		num.Fill(x, s.inletT)
+	}
+	solver := num.NewSparseSolverSymmetric(a, false, num.IterOptions{Tol: 1e-10, MaxIter: 60 * s.n})
+	if _, err := solver.Solve(b, x); err != nil {
 		return nil, nil, fmt.Errorf("thermal: steady solve failed: %w", err)
 	}
 	return s, x, nil
@@ -390,7 +410,7 @@ func SolveContext(ctx context.Context, p *Problem) (*Solution, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	s, x, err := solveOnce(p, nil)
+	s, x, err := solveOnce(p, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -399,7 +419,10 @@ func SolveContext(ctx context.Context, p *Problem) (*Solution, error) {
 			return nil, err
 		}
 		layerT := s.layerMeans(x)
-		s2, x2, err := solveOnce(p, layerT)
+		// Each conductivity update re-solves from the previous pass's
+		// field — the matrices differ only by the temperature-dependent
+		// conductivities, so the warm start is close.
+		s2, x2, err := solveOnce(p, layerT, x)
 		if err != nil {
 			return nil, err
 		}

@@ -57,7 +57,10 @@ func SolveSchedule(p *Problem, t0, dt float64, steps int, schedule func(step int
 		s.co.Add(row, row, c/dt)
 	}
 	a := s.co.ToCSR()
-	pre := num.NewJacobi(a)
+	// One cached solver for every step: the matrix is constant, so the
+	// Jacobi preconditioner and Krylov workspace are built once, and
+	// each step warm-starts from the previous temperature field.
+	solver := num.NewSparseSolverSymmetric(a, false, num.IterOptions{Tol: 1e-9, MaxIter: 40 * s.n})
 
 	x := make([]float64, s.n)
 	num.Fill(x, t0)
@@ -71,7 +74,7 @@ func SolveSchedule(p *Problem, t0, dt float64, steps int, schedule func(step int
 				power = f
 			}
 		}
-		base, err := s.rhsWithPower(power)
+		base, err := s.rhsWithPower(power, p.ExtraFluidHeat)
 		if err != nil {
 			return nil, fmt.Errorf("thermal: schedule step %d: %w", step, err)
 		}
@@ -79,7 +82,7 @@ func SolveSchedule(p *Problem, t0, dt float64, steps int, schedule func(step int
 		for row, c := range s.cap {
 			rhs[row] += c / dt * x[row]
 		}
-		if _, err := num.BiCGSTAB(a, rhs, x, num.IterOptions{Tol: 1e-9, MaxIter: 40 * s.n, M: pre}); err != nil {
+		if _, err := solver.Solve(rhs, x); err != nil {
 			return nil, fmt.Errorf("thermal: transient step %d: %w", step, err)
 		}
 		sol := s.extract(x)
