@@ -5,9 +5,17 @@
 
 GO ?= go
 
-.PHONY: check build vet test race test-short bench bench-serving escape-check
+.PHONY: check fmt-check build vet test race race-serving test-short bench bench-serving escape-check
 
-check: vet build race escape-check
+check: fmt-check vet build race escape-check
+
+# Formatting gate: any file gofmt would rewrite fails the build.
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "fmt-check: gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+	@echo fmt-check ok
 
 build:
 	$(GO) build ./...
@@ -27,6 +35,12 @@ PKG ?= ./...
 RACE_TIMEOUT ?= 30m
 race:
 	$(GO) test -race -timeout $(RACE_TIMEOUT) $(PKG)
+
+# Fast race pass over just the concurrent serving layers — the metrics
+# registry and the sim engine — for tight iteration on those packages
+# (the full `race` already covers them in tier-1).
+race-serving:
+	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/obs/... ./internal/sim/...
 
 test-short:
 	$(GO) test -short ./...

@@ -13,16 +13,26 @@
 //	                     per-point results
 //	GET  /v1/stats     — cache hit rate, queue depth, worker utilization
 //	                     and solve latencies
+//	GET  /metrics      — Prometheus text exposition: serving metrics plus
+//	                     Krylov/cosim/thermal solver telemetry
 //
 // The job queue is bounded: when it is full, /v1/evaluate answers 503
-// (backpressure) instead of queueing unbounded work. SIGINT/SIGTERM
-// trigger a graceful shutdown that stops accepting requests, drains
-// in-flight solves, and exits.
+// with a Retry-After header (backpressure) instead of queueing
+// unbounded work; a 503 without Retry-After means the daemon is
+// shutting down. Every response carries an X-Request-ID header that the
+// access log echoes, correlating client-visible failures with server
+// log lines. SIGINT/SIGTERM trigger a graceful shutdown that stops
+// accepting requests, drains in-flight solves, and exits.
 //
 // Usage:
 //
 //	brightd [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	        [-kernel-threads N] [-request-timeout 5m] [-drain-timeout 30s]
+//	        [-debug-addr :6060]
+//
+// -debug-addr starts an opt-in debug listener serving net/http/pprof
+// under /debug/pprof/ — kept off the public address so profiling
+// endpoints are never exposed to clients by accident.
 //
 // -kernel-threads caps the goroutines the numeric kernels fork inside
 // each solve (0 = GOMAXPROCS); it defaults from the BRIGHT_NUM_THREADS
@@ -37,6 +47,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -44,7 +55,22 @@ import (
 	"syscall"
 	"time"
 
+	"bright/internal/obs"
 	"bright/internal/sim"
+)
+
+// HTTP-surface telemetry, alongside the solver counters in obs.Default
+// so one /metrics scrape carries both. Status classes rather than exact
+// codes keep the cardinality fixed.
+var (
+	httpRequests = map[int]*obs.Counter{
+		2: obs.Default.Counter("bright_http_requests_total", "HTTP responses by status class.", obs.L("class", "2xx")),
+		3: obs.Default.Counter("bright_http_requests_total", "HTTP responses by status class.", obs.L("class", "3xx")),
+		4: obs.Default.Counter("bright_http_requests_total", "HTTP responses by status class.", obs.L("class", "4xx")),
+		5: obs.Default.Counter("bright_http_requests_total", "HTTP responses by status class.", obs.L("class", "5xx")),
+	}
+	httpDuration = obs.Default.Histogram("bright_http_request_duration_seconds",
+		"End-to-end HTTP request latency.", obs.DefLatencyBuckets)
 )
 
 // envInt reads an integer environment variable, returning def when the
@@ -69,8 +95,25 @@ func main() {
 			"goroutine cap for the numeric kernels inside each solve (0 = GOMAXPROCS; env BRIGHT_NUM_THREADS)")
 		reqTimeout   = flag.Duration("request-timeout", 5*time.Minute, "per-request solve timeout")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
+		debugAddr    = flag.String("debug-addr", "",
+			"opt-in debug listener serving /debug/pprof/ (empty = disabled)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		dm := http.NewServeMux()
+		dm.HandleFunc("/debug/pprof/", pprof.Index)
+		dm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("brightd: debug listener (pprof) on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dm); err != nil {
+				log.Printf("brightd: debug listener: %v", err)
+			}
+		}()
+	}
 
 	engine := sim.New(sim.Options{
 		Workers:       *workers,
@@ -139,12 +182,22 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// withLogging assigns each request its ID (echoed in the X-Request-ID
+// response header and every related server log line), records the HTTP
+// telemetry, and writes the access log.
 func withLogging(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r, id := sim.EnsureRequestID(r)
+		w.Header().Set("X-Request-ID", id)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(rec, r)
-		log.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, rec.status,
-			time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		httpDuration.Observe(elapsed.Seconds())
+		if c, ok := httpRequests[rec.status/100]; ok {
+			c.Inc()
+		}
+		log.Printf("rid=%s %s %s -> %d (%s)", id, r.Method, r.URL.Path, rec.status,
+			elapsed.Round(time.Millisecond))
 	})
 }

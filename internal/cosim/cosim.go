@@ -14,8 +14,27 @@ import (
 	"math"
 
 	"bright/internal/flowcell"
+	"bright/internal/obs"
 	"bright/internal/thermal"
 	"bright/internal/units"
+)
+
+// Fixed-point loop telemetry (process-wide; see internal/obs). The
+// outcome label separates healthy convergence from iteration-budget
+// exhaustion, solver errors and cancellations — the signal a
+// design-space sweep needs to spot regions where the electro-thermal
+// coupling stops converging.
+var (
+	cosimIterations = obs.Default.Counter("bright_cosim_iterations_total",
+		"Electro-thermal fixed-point iterations executed.")
+	cosimConverged = obs.Default.Counter("bright_cosim_runs_total",
+		"Completed co-simulation runs by outcome.", obs.L("outcome", "converged"))
+	cosimMaxIter = obs.Default.Counter("bright_cosim_runs_total",
+		"Completed co-simulation runs by outcome.", obs.L("outcome", "maxiter"))
+	cosimErrored = obs.Default.Counter("bright_cosim_runs_total",
+		"Completed co-simulation runs by outcome.", obs.L("outcome", "error"))
+	cosimCanceled = obs.Default.Counter("bright_cosim_runs_total",
+		"Completed co-simulation runs by outcome.", obs.L("outcome", "canceled"))
 )
 
 // Config describes one co-simulation run on the POWER7+ case study.
@@ -138,28 +157,35 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	session, err := thermal.NewSession(tp)
 	if err != nil {
+		cosimErrored.Inc()
 		return nil, fmt.Errorf("cosim: thermal session: %w", err)
 	}
 	var heat float64
 	for iter := 1; iter <= cfg.MaxIter; iter++ {
 		if err := ctx.Err(); err != nil {
+			cosimCanceled.Inc()
 			return nil, err
 		}
 		res.Iterations = iter
+		cosimIterations.Inc()
 		array := flowcell.Power7ArrayAt(cfg.TotalFlowMLMin, tCell)
 		op, err := array.CurrentAtVoltage(cfg.TerminalVoltage)
 		if err != nil {
+			cosimErrored.Inc()
 			return nil, fmt.Errorf("cosim: iteration %d (T=%.2f K): %w", iter, tCell, err)
 		}
 		heat, err = array.HeatDissipation(op)
 		if err != nil {
+			cosimErrored.Inc()
 			return nil, err
 		}
 		sol, err := session.SolveContext(ctx, nil, heat)
 		if err != nil {
 			if ctx.Err() != nil {
+				cosimCanceled.Inc()
 				return nil, ctx.Err()
 			}
+			cosimErrored.Inc()
 			return nil, fmt.Errorf("cosim: thermal solve at iteration %d: %w", iter, err)
 		}
 		res.History = append(res.History, IterRecord{
@@ -175,11 +201,13 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		if math.Abs(tNew-tCell) < cfg.TolK {
 			res.Converged = true
 			res.CellTempK = tCell
+			cosimConverged.Inc()
 			return res, nil
 		}
 		tCell += cfg.Relax * (tNew - tCell)
 	}
 	res.CellTempK = tCell
+	cosimMaxIter.Inc()
 	return res, fmt.Errorf("cosim: no convergence after %d iterations (last dT drive)", cfg.MaxIter)
 }
 

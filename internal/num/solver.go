@@ -1,6 +1,34 @@
 package num
 
-import "sync"
+import (
+	"sync"
+
+	"bright/internal/obs"
+)
+
+// Krylov solver telemetry, published process-wide (obs.Default): every
+// SparseSolver in the process shares these, matching how the solvers
+// themselves are shared across thermal sessions, PDN grids and sweeps.
+// Counting happens per Solve call, not per iteration, so the cost is
+// one atomic add against thousands of SpMV operations.
+var (
+	cgSolves = obs.Default.Counter("bright_krylov_solves_total",
+		"SparseSolver.Solve attempts by method (a CG fallback counts both).",
+		obs.L("method", "cg"))
+	bicgSolves = obs.Default.Counter("bright_krylov_solves_total",
+		"SparseSolver.Solve attempts by method (a CG fallback counts both).",
+		obs.L("method", "bicgstab"))
+	cgIterations = obs.Default.Counter("bright_krylov_iterations_total",
+		"Krylov iterations spent inside SparseSolver.Solve, by method.",
+		obs.L("method", "cg"))
+	bicgIterations = obs.Default.Counter("bright_krylov_iterations_total",
+		"Krylov iterations spent inside SparseSolver.Solve, by method.",
+		obs.L("method", "bicgstab"))
+	cgFallbacks = obs.Default.Counter("bright_krylov_cg_fallbacks_total",
+		"CG breakdowns that restarted as BiCGSTAB on the cached preconditioner.")
+	solveFailures = obs.Default.Counter("bright_krylov_failures_total",
+		"SparseSolver.Solve calls whose final method did not converge.")
+)
 
 // SparseSolver binds an iterative method to one matrix and caches
 // everything that only depends on its sparsity pattern and values: the
@@ -107,10 +135,19 @@ func (s *SparseSolver) Solve(b, x []float64) (IterResult, error) {
 	opt.M = s.pre
 	if s.sym {
 		res, err := CGWith(s.a, b, x, opt, &s.ws)
+		cgSolves.Inc()
+		cgIterations.Add(uint64(res.Iterations))
 		if err == nil {
 			return res, nil
 		}
+		cgFallbacks.Inc()
 		Fill(x, 0)
 	}
-	return BiCGSTABWith(s.a, b, x, opt, &s.ws)
+	res, err := BiCGSTABWith(s.a, b, x, opt, &s.ws)
+	bicgSolves.Inc()
+	bicgIterations.Add(uint64(res.Iterations))
+	if err != nil {
+		solveFailures.Inc()
+	}
+	return res, err
 }

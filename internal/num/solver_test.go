@@ -194,3 +194,50 @@ func TestKrylovWorkspaceZeroAlloc(t *testing.T) {
 		t.Fatalf("BiCGSTABWith allocates %.1f per solve, want 0", allocs)
 	}
 }
+
+// TestSparseSolverTelemetry pins the process-wide Krylov counters: a CG
+// solve bumps the cg series, a CG breakdown bumps the fallback counter
+// and the bicgstab series. Counters are deltas, not absolutes — other
+// tests in the package share obs.Default.
+func TestSparseSolverTelemetry(t *testing.T) {
+	delta := func(f func()) (cgS, cgIt, biS, biIt, fb uint64) {
+		c0, i0, b0, j0, f0 := cgSolves.Value(), cgIterations.Value(), bicgSolves.Value(), bicgIterations.Value(), cgFallbacks.Value()
+		f()
+		return cgSolves.Value() - c0, cgIterations.Value() - i0,
+			bicgSolves.Value() - b0, bicgIterations.Value() - j0,
+			cgFallbacks.Value() - f0
+	}
+
+	// Healthy SPD solve: CG only.
+	a := laplacian2D(12)
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = 1
+	}
+	cgS, cgIt, biS, _, fb := delta(func() {
+		x := make([]float64, a.Rows)
+		if _, err := NewSparseSolver(a, IterOptions{Tol: 1e-10}).Solve(b, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if cgS != 1 || cgIt == 0 || biS != 0 || fb != 0 {
+		t.Fatalf("SPD solve counted cgSolves=%d cgIters=%d biSolves=%d fallbacks=%d, want 1/>0/0/0",
+			cgS, cgIt, biS, fb)
+	}
+
+	// Symmetric-indefinite matrix: CG breaks down, BiCGSTAB finishes.
+	c := NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Add(1, 1, -1)
+	ind := c.ToCSR()
+	cgS, _, biS, biIt, fb := delta(func() {
+		x := make([]float64, 2)
+		if _, err := NewSparseSolver(ind, IterOptions{Tol: 1e-12}).Solve([]float64{1, 1}, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if cgS != 1 || biS != 1 || biIt == 0 || fb != 1 {
+		t.Fatalf("indefinite solve counted cgSolves=%d biSolves=%d biIters=%d fallbacks=%d, want 1/1/>0/1",
+			cgS, biS, biIt, fb)
+	}
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+func escapeHelp(h string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(h)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeSeries emits one sample line: name{labels,extra} value.
+func writeSeries(w io.Writer, name, labels, extra, value string) error {
+	sep := ""
+	if labels != "" && extra != "" {
+		sep = ","
+	}
+	if labels == "" && extra == "" {
+		_, err := fmt.Fprintf(w, "%s %s\n", name, value)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s{%s%s%s} %s\n", name, labels, sep, extra, value)
+	return err
+}
+
+// WritePrometheus renders every family in registration order in the
+// Prometheus text exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, f := range r.order {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.order {
+			switch {
+			case s.counter != nil:
+				writeSeries(bw, f.name, s.labels, "", strconv.FormatUint(s.counter.Value(), 10))
+			case s.counterFn != nil:
+				writeSeries(bw, f.name, s.labels, "", strconv.FormatUint(s.counterFn(), 10))
+			case s.gauge != nil:
+				writeSeries(bw, f.name, s.labels, "", formatFloat(s.gauge.Value()))
+			case s.gaugeFn != nil:
+				writeSeries(bw, f.name, s.labels, "", formatFloat(s.gaugeFn()))
+			case s.hist != nil:
+				counts, sum, total := s.hist.snapshot()
+				var cum uint64
+				for i, b := range s.hist.bounds {
+					cum += counts[i]
+					writeSeries(bw, f.name+"_bucket", s.labels,
+						`le="`+formatFloat(b)+`"`, strconv.FormatUint(cum, 10))
+				}
+				writeSeries(bw, f.name+"_bucket", s.labels, `le="+Inf"`, strconv.FormatUint(total, 10))
+				writeSeries(bw, f.name+"_sum", s.labels, "", formatFloat(sum))
+				writeSeries(bw, f.name+"_count", s.labels, "", strconv.FormatUint(total, 10))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves the given registries concatenated as one Prometheus
+// scrape. Duplicate registry pointers are rendered once, so
+// Handler(engineReg, Default) stays correct when both are the same.
+func Handler(regs ...*Registry) http.Handler {
+	uniq := make([]*Registry, 0, len(regs))
+	seen := make(map[*Registry]bool, len(regs))
+	for _, r := range regs {
+		if r == nil || seen[r] {
+			continue
+		}
+		seen[r] = true
+		uniq = append(uniq, r)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		for _, r := range uniq {
+			if err := r.WritePrometheus(w); err != nil {
+				return // client went away; nothing sensible to do
+			}
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseExposition reads Prometheus text format into sample -> value,
+// keyed by the full series string (name plus rendered labels).
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		samples[line[:i]] = v
+	}
+	return samples
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("req_total", "Requests served.", L("code", "200"))
+	c.Add(7)
+	g := r.Gauge("queue_depth", "Jobs waiting.")
+	g.Set(3)
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+
+	for _, want := range []string{
+		"# HELP req_total Requests served.",
+		"# TYPE req_total counter",
+		"# TYPE queue_depth gauge",
+		"# TYPE lat_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	samples := parseExposition(t, text)
+	checks := map[string]float64{
+		`req_total{code="200"}`:         7,
+		`queue_depth`:                   3,
+		`lat_seconds_bucket{le="0.1"}`:  1,
+		`lat_seconds_bucket{le="1"}`:    2, // cumulative
+		`lat_seconds_bucket{le="+Inf"}`: 3,
+		`lat_seconds_count`:             3,
+		`lat_seconds_sum`:               5.55,
+	}
+	for k, want := range checks {
+		got, ok := samples[k]
+		if !ok {
+			t.Fatalf("missing sample %q in:\n%s", k, text)
+		}
+		if got != want {
+			t.Fatalf("%s = %g, want %g", k, got, want)
+		}
+	}
+}
+
+func TestLabeledHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d_seconds", "", []float64{1}, L("op", "solve"))
+	h.Observe(0.5)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, b.String())
+	if samples[`d_seconds_bucket{op="solve",le="1"}`] != 1 {
+		t.Fatalf("labeled bucket missing:\n%s", b.String())
+	}
+	if samples[`d_seconds_count{op="solve"}`] != 1 {
+		t.Fatalf("labeled count missing:\n%s", b.String())
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", L("path", `a\b`+"\n"))
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `path="a\\b\n"`) {
+		t.Fatalf("label value not escaped:\n%q", b.String())
+	}
+}
+
+func TestCallbackSeries(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(0)
+	r.CounterFunc("cb_total", "", func() uint64 { return n })
+	depth := 0
+	r.GaugeFunc("cb_depth", "", func() float64 { return float64(depth) })
+	n, depth = 42, 7
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, b.String())
+	if samples["cb_total"] != 42 || samples["cb_depth"] != 7 {
+		t.Fatalf("callback series sampled wrong: %v", samples)
+	}
+}
+
+func TestHandlerMergesAndDedupes(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("a_total", "").Inc()
+	r2 := NewRegistry()
+	r2.Counter("b_total", "").Add(2)
+
+	// r1 passed twice must render once.
+	srv := httptest.NewServer(Handler(r1, r2, r1, nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type %q, want %q", ct, ContentType)
+	}
+	var b strings.Builder
+	if _, err := fmt.Fprint(&b, readAll(t, resp.Body)); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if strings.Count(text, "# TYPE a_total counter") != 1 {
+		t.Fatalf("duplicate registry rendered twice:\n%s", text)
+	}
+	samples := parseExposition(t, text)
+	if samples["a_total"] != 1 || samples["b_total"] != 2 {
+		t.Fatalf("merged scrape wrong: %v", samples)
+	}
+}
+
+func readAll(t *testing.T, r interface{ Read([]byte) (int, error) }) string {
+	t.Helper()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			return b.String()
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+type metricType int
+
+const (
+	counterType metricType = iota
+	gaugeType
+	histogramType
+)
+
+func (t metricType) String() string {
+	switch t {
+	case counterType:
+		return "counter"
+	case gaugeType:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one (family, label set) time series. Exactly one of the
+// value fields is set, matching the family type; the Fn variants are
+// callback-backed (sampled at exposition time).
+type series struct {
+	labels    string // canonical rendered label pairs, "" when unlabeled
+	counter   *Counter
+	counterFn func() uint64
+	gauge     *Gauge
+	gaugeFn   func() float64
+	hist      *Histogram
+}
+
+// family groups every series sharing one metric name: Prometheus
+// requires a single HELP/TYPE per name.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	order   []*series
+	byLabel map[string]*series
+}
+
+// Registry is an ordered collection of metric families. Registration is
+// idempotent: asking for an existing (name, labels) series returns the
+// same instrument, so package-level `var x = obs.Default.Counter(...)`
+// and repeated construction in tests are both safe. Registering the
+// same name with a different type, or a (name, labels) series with a
+// different kind of backing (value vs callback), panics — that is a
+// programming error, not a runtime condition.
+type Registry struct {
+	mu     sync.Mutex
+	order  []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// Default is the process-wide registry. Library packages (num, cosim,
+// thermal) publish here; per-engine serving metrics live in the
+// engine's own registry, and brightd's /metrics renders both.
+var Default = NewRegistry()
+
+// renderLabels canonicalizes a label set: sorted by name, escaped,
+// rendered as `a="b",c="d"`.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteString(`"`)
+	}
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// fam returns (creating if needed) the family for name, enforcing type
+// consistency.
+func (r *Registry) fam(name, help string, typ metricType) *family {
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, byLabel: make(map[string]*series)}
+		r.byName[name] = f
+		r.order = append(r.order, f)
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s, was %s", name, typ, f.typ))
+	}
+	return f
+}
+
+// ser returns (creating via mk if needed) the series for the rendered
+// label set within f.
+func (f *family) ser(labels []Label, mk func() *series) *series {
+	key := renderLabels(labels)
+	if s, ok := f.byLabel[key]; ok {
+		return s
+	}
+	s := mk()
+	s.labels = key
+	f.byLabel[key] = s
+	f.order = append(f.order, s)
+	return s
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.fam(name, help, counterType).ser(labels, func() *series {
+		return &series{counter: &Counter{}}
+	})
+	if s.counter == nil {
+		panic(fmt.Sprintf("obs: counter series %q{%s} is callback-backed", name, renderLabels(labels)))
+	}
+	return s.counter
+}
+
+// CounterFunc registers a callback-backed counter series: fn is sampled
+// at exposition time and must be monotonically non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fam(name, help, counterType).ser(labels, func() *series {
+		return &series{counterFn: fn}
+	})
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.fam(name, help, gaugeType).ser(labels, func() *series {
+		return &series{gauge: &Gauge{}}
+	})
+	if s.gauge == nil {
+		panic(fmt.Sprintf("obs: gauge series %q{%s} is callback-backed", name, renderLabels(labels)))
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a callback-backed gauge series, sampled at
+// exposition time (queue depth, pool occupancy, cache size).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fam(name, help, gaugeType).ser(labels, func() *series {
+		return &series{gaugeFn: fn}
+	})
+}
+
+// Histogram registers (or returns the existing) histogram series with
+// the given finite bucket upper bounds (a +Inf bucket is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.fam(name, help, histogramType).ser(labels, func() *series {
+		return &series{hist: newHistogram(buckets)}
+	})
+	return s.hist
+}

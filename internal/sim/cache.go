@@ -18,8 +18,9 @@ type lruCache struct {
 	order   *list.List // front = most recently used
 	entries map[string]*list.Element
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -37,10 +38,16 @@ func newLRUCache(capacity int) *lruCache {
 	}
 }
 
+// enabled reports whether the cache stores anything at all.
+func (c *lruCache) enabled() bool { return c.cap > 0 }
+
 // Get returns the cached report for key and marks it most recently used.
+// A disabled cache reports a plain miss without touching the counters:
+// counting every lookup as a miss against a cache that does not exist
+// made /v1/stats show a growing miss count and a meaningless 0% hit
+// rate (the stats layer reports "disabled" instead).
 func (c *lruCache) Get(key string) (*core.Report, bool) {
-	if c.cap <= 0 {
-		c.misses.Add(1)
+	if !c.enabled() {
 		return nil, false
 	}
 	c.mu.Lock()
@@ -58,7 +65,7 @@ func (c *lruCache) Get(key string) (*core.Report, bool) {
 // Add inserts (or refreshes) a solved report, evicting the least
 // recently used entry when the cache is full.
 func (c *lruCache) Add(key string, rep *core.Report) {
-	if c.cap <= 0 {
+	if !c.enabled() {
 		return
 	}
 	c.mu.Lock()
@@ -73,6 +80,7 @@ func (c *lruCache) Add(key string, rep *core.Report) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
 	}
 }
 
@@ -83,9 +91,9 @@ func (c *lruCache) Len() int {
 	return c.order.Len()
 }
 
-// Counters returns the lifetime hit/miss counts.
-func (c *lruCache) Counters() (hits, misses uint64) {
-	return c.hits.Load(), c.misses.Load()
+// Counters returns the lifetime hit/miss/eviction counts.
+func (c *lruCache) Counters() (hits, misses, evictions uint64) {
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
 }
 
 // flightGroup deduplicates concurrent solves of the same key: the first

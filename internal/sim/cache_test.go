@@ -58,14 +58,26 @@ func TestLRURefreshExistingKey(t *testing.T) {
 }
 
 func TestCacheDisabled(t *testing.T) {
-	c := newLRUCache(-1)
-	key := cfgWithFlow(1).CanonicalKey()
-	c.Add(key, fakeReport(cfgWithFlow(1)))
-	if _, ok := c.Get(key); ok {
-		t.Fatal("disabled cache returned a hit")
-	}
-	if c.Len() != 0 {
-		t.Fatal("disabled cache stored an entry")
+	for _, capacity := range []int{-1, 0} {
+		c := newLRUCache(capacity)
+		key := cfgWithFlow(1).CanonicalKey()
+		c.Add(key, fakeReport(cfgWithFlow(1)))
+		if _, ok := c.Get(key); ok {
+			t.Fatalf("cap %d: disabled cache returned a hit", capacity)
+		}
+		if c.Len() != 0 {
+			t.Fatalf("cap %d: disabled cache stored an entry", capacity)
+		}
+		// A cache that does not exist must not count misses: the old
+		// behavior made /v1/stats report a growing miss count and a
+		// bogus 0% hit rate with caching off.
+		if hits, misses, evictions := c.Counters(); hits != 0 || misses != 0 || evictions != 0 {
+			t.Fatalf("cap %d: disabled cache counted hits=%d misses=%d evictions=%d, want all 0",
+				capacity, hits, misses, evictions)
+		}
+		if c.enabled() {
+			t.Fatalf("cap %d: cache reports enabled", capacity)
+		}
 	}
 }
 
@@ -76,9 +88,20 @@ func TestCacheCounters(t *testing.T) {
 	c.Add(key, fakeReport(cfgWithFlow(1)))
 	c.Get(key) // hit
 	c.Get(key) // hit
-	hits, misses := c.Counters()
-	if hits != 2 || misses != 1 {
-		t.Fatalf("counters hits=%d misses=%d, want 2/1", hits, misses)
+	hits, misses, evictions := c.Counters()
+	if hits != 2 || misses != 1 || evictions != 0 {
+		t.Fatalf("counters hits=%d misses=%d evictions=%d, want 2/1/0", hits, misses, evictions)
+	}
+}
+
+func TestCacheEvictionCounter(t *testing.T) {
+	c := newLRUCache(2)
+	for k := 0; k < 5; k++ {
+		cfg := cfgWithFlow(float64(k + 1))
+		c.Add(cfg.CanonicalKey(), fakeReport(cfg))
+	}
+	if _, _, evictions := c.Counters(); evictions != 3 {
+		t.Fatalf("evictions = %d, want 3", evictions)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"bright/internal/core"
 	"bright/internal/num"
+	"bright/internal/obs"
 )
 
 // ErrQueueFull is returned by Evaluate when the bounded job queue is at
@@ -64,6 +65,11 @@ type Options struct {
 	KernelThreads int
 	// Solver overrides the production solver (tests, benchmarks).
 	Solver Solver
+	// Metrics is the registry the engine publishes its serving metrics
+	// into; nil gives the engine a private registry (reachable via
+	// Engine.Metrics). One engine per registry: the gauge callbacks are
+	// bound to the engine that registered first.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -98,7 +104,8 @@ type Engine struct {
 	queue  chan *task
 	cache  *lruCache
 	flight *flightGroup
-	m      metrics
+	reg    *obs.Registry
+	m      *metrics
 	jobs   *jobRegistry
 
 	workerWG sync.WaitGroup
@@ -116,13 +123,20 @@ func New(opts Options) *Engine {
 	if opts.KernelThreads > 0 {
 		num.SetKernelThreads(opts.KernelThreads)
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	e := &Engine{
 		opts:   opts,
 		queue:  make(chan *task, opts.QueueDepth),
 		cache:  newLRUCache(opts.CacheSize),
 		flight: newFlightGroup(),
+		reg:    reg,
+		m:      newMetrics(reg),
 		jobs:   newJobRegistry(),
 	}
+	e.registerGauges()
 	e.workerWG.Add(opts.Workers)
 	for w := 0; w < opts.Workers; w++ {
 		go e.worker()
@@ -221,29 +235,42 @@ func (e *Engine) evaluate(ctx context.Context, cfg core.Config, block bool) (*co
 	}
 }
 
+// Metrics returns the registry holding the engine's serving metrics,
+// for exposition (the /metrics endpoint renders it).
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
+
 // Stats snapshots the engine's serving metrics.
 func (e *Engine) Stats() Stats {
-	hits, misses := e.cache.Counters()
+	hits, misses, evictions := e.cache.Counters()
 	var hitRate float64
 	if total := hits + misses; total > 0 {
 		hitRate = float64(hits) / float64(total)
 	}
-	meanMS, maxMS, lastMS := e.m.latencySnapshot()
+	cacheCap := e.opts.CacheSize
+	if !e.cache.enabled() {
+		cacheCap = 0
+	}
+	meanMS, p50MS, p90MS, p99MS, maxMS, lastMS := e.m.latencySnapshot()
 	active, done := e.jobs.counts()
 	return Stats{
 		Workers:            e.opts.Workers,
 		BusyWorkers:        int(e.m.busyWorkers.Load()),
 		QueueDepth:         len(e.queue),
 		QueueCapacity:      cap(e.queue),
+		CacheEnabled:       e.cache.enabled(),
 		CacheHits:          hits,
 		CacheMisses:        misses,
+		CacheEvictions:     evictions,
 		CacheHitRate:       hitRate,
 		CacheSize:          e.cache.Len(),
-		CacheCapacity:      e.opts.CacheSize,
-		Solves:             e.m.solves.Load(),
-		SolveErrors:        e.m.solveErrors.Load(),
-		QueueRejected:      e.m.queueRejected.Load(),
+		CacheCapacity:      cacheCap,
+		Solves:             e.m.solves.Value(),
+		SolveErrors:        e.m.solveErrors.Value(),
+		QueueRejected:      e.m.queueRejected.Value(),
 		SolveLatencyMeanMS: meanMS,
+		SolveLatencyP50MS:  p50MS,
+		SolveLatencyP90MS:  p90MS,
+		SolveLatencyP99MS:  p99MS,
 		SolveLatencyMaxMS:  maxMS,
 		SolveLatencyLastMS: lastMS,
 		JobsActive:         active,

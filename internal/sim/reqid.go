@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// Request IDs tag every HTTP request so multi-line server logs (access
+// line, encode failures, solver diagnostics) can be correlated. The ID
+// is minted by the outermost middleware that sees the request —
+// brightd's logging wrapper, or the handler itself when the wrapper is
+// absent (tests, embedded use) — stored in the request context, and
+// echoed to the client in the X-Request-ID response header.
+
+type requestIDKey struct{}
+
+// reqIDPrefix distinguishes processes so IDs stay unique across
+// restarts; reqIDSeq distinguishes requests within one.
+var (
+	reqIDPrefix = func() string {
+		var b [3]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "bright"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	reqIDSeq atomic.Uint64
+)
+
+func newRequestID() string {
+	return fmt.Sprintf("%s-%06d", reqIDPrefix, reqIDSeq.Add(1))
+}
+
+// ContextWithRequestID returns ctx carrying the request ID.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "" when absent.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// EnsureRequestID returns a request whose context carries a request ID
+// (minting one when absent) and the ID itself. The caller owns header
+// propagation.
+func EnsureRequestID(r *http.Request) (*http.Request, string) {
+	if id := RequestID(r.Context()); id != "" {
+		return r, id
+	}
+	id := newRequestID()
+	return r.WithContext(ContextWithRequestID(r.Context(), id)), id
+}
+
+// withRequestIDs is the handler-level fallback: it guarantees every
+// request reaching the mux has an ID and the response carries it.
+func withRequestIDs(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r, id := EnsureRequestID(r)
+		if w.Header().Get("X-Request-ID") == "" {
+			w.Header().Set("X-Request-ID", id)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

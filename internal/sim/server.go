@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 
 	"bright/internal/core"
+	"bright/internal/obs"
 	"bright/internal/units"
 )
 
@@ -95,23 +97,38 @@ func (r EvaluateRequest) Config() core.Config {
 
 type errorBody struct {
 	Error string `json:"error"`
+	// Retryable marks transient conditions (queue backpressure) apart
+	// from terminal ones (engine shutdown): both are 503, but only the
+	// former is worth retrying against this instance.
+	Retryable bool `json:"retryable"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON encodes v after the status line. An encode failure at that
+// point cannot change the response code anymore, but it must not vanish
+// either — a truncated body is otherwise undiagnosable — so it is
+// logged with the request ID.
+func writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		id := RequestID(r.Context())
+		if id == "" {
+			id = "-"
+		}
+		log.Printf("sim: rid=%s %s %s: encoding %T response after status %d: %v",
+			id, r.Method, r.URL.Path, v, status, err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	writeJSON(w, r, status, errorBody{Error: err.Error()})
 }
 
-// statusFor maps engine errors to HTTP statuses: backpressure is 503
-// (retryable), cancellation/timeout is 504, validation and everything
-// else is 400.
+// statusFor maps engine errors to HTTP statuses: backpressure and
+// shutdown are 503, cancellation/timeout is 504, validation and
+// everything else is 400.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
@@ -123,46 +140,69 @@ func statusFor(err error) int {
 	}
 }
 
+// writeEngineError distinguishes the two 503 causes that statusFor
+// conflates from the client's point of view: a full queue is retryable
+// backpressure (Retry-After says so), engine shutdown is terminal for
+// this instance (no Retry-After; go elsewhere).
+func writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, r, http.StatusServiceUnavailable,
+			errorBody{Error: err.Error(), Retryable: true})
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, r, http.StatusServiceUnavailable,
+			errorBody{Error: err.Error(), Retryable: false})
+	default:
+		writeError(w, r, statusFor(err), err)
+	}
+}
+
 // NewHandler wires the engine's HTTP surface:
 //
 //	POST /v1/evaluate  — solve one configuration (synchronous)
 //	POST /v1/sweep     — submit a batched sweep, returns a job id
 //	GET  /v1/jobs/{id} — poll a sweep job (state + streamed results)
 //	GET  /v1/stats     — serving metrics (cache, queue, latency)
+//	GET  /metrics      — Prometheus text exposition: the engine's
+//	                     registry plus obs.Default (solver telemetry
+//	                     from num, cosim and thermal)
 //
-// Sweep jobs are detached from the submitting request's context (they
-// outlive it by design); they stop on engine shutdown or Job.Cancel.
+// Every response carries an X-Request-ID header (minted here unless an
+// outer middleware already assigned one via EnsureRequestID). Sweep
+// jobs are detached from the submitting request's context (they outlive
+// it by design); they stop on engine shutdown or Job.Cancel.
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
 		var req EvaluateRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 			return
 		}
 		rep, err := e.Evaluate(r.Context(), req.Config())
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			writeEngineError(w, r, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, NewReportView(rep))
+		writeJSON(w, r, http.StatusOK, NewReportView(rep))
 	})
 
 	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
 		var spec SweepSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding sweep spec: %w", err))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding sweep spec: %w", err))
 			return
 		}
 		// Detach from the request context: the job must keep running
 		// after this response is written.
 		job, err := e.SubmitSweep(context.Background(), spec)
 		if err != nil {
-			writeError(w, statusFor(err), err)
+			writeEngineError(w, r, err)
 			return
 		}
-		writeJSON(w, http.StatusAccepted, map[string]any{
+		writeJSON(w, r, http.StatusAccepted, map[string]any{
 			"job_id": job.ID,
 			"total":  job.Total,
 		})
@@ -171,15 +211,17 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		job, ok := e.Job(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			writeError(w, r, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 			return
 		}
-		writeJSON(w, http.StatusOK, job.Snapshot())
+		writeJSON(w, r, http.StatusOK, job.Snapshot())
 	})
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, e.Stats())
+		writeJSON(w, r, http.StatusOK, e.Stats())
 	})
 
-	return mux
+	mux.Handle("GET /metrics", obs.Handler(e.Metrics(), obs.Default))
+
+	return withRequestIDs(mux)
 }

@@ -5,8 +5,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -217,12 +219,279 @@ func TestHTTPQueueFullIs503(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	var resp *http.Response
+	var body []byte
 	for time.Now().Before(deadline) {
-		resp, _ = postJSON(t, srv.URL+"/v1/evaluate", `{"flow_ml_min": 999}`)
+		resp, body = postJSON(t, srv.URL+"/v1/evaluate", `{"flow_ml_min": 999}`)
 		if resp.StatusCode == http.StatusServiceUnavailable {
-			return // backpressure surfaced as 503
+			// Backpressure surfaced as 503 — and as *retryable* 503:
+			// Retry-After distinguishes a momentarily full queue from a
+			// terminal shutdown (see TestHTTPClosedEngine503).
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatalf("queue-full 503 missing Retry-After header")
+			}
+			var eb struct {
+				Error     string `json:"error"`
+				Retryable bool   `json:"retryable"`
+			}
+			if err := json.Unmarshal(body, &eb); err != nil {
+				t.Fatalf("decoding 503 body %q: %v", body, err)
+			}
+			if !eb.Retryable || !strings.Contains(eb.Error, "queue full") {
+				t.Fatalf("queue-full body %+v, want retryable with a queue-full error", eb)
+			}
+			return
 		}
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatalf("saturated server last returned %d, want 503", resp.StatusCode)
+}
+
+// TestHTTPClosedEngine503 pins the other half of the 503 split: a shut
+// down engine answers 503 with no Retry-After and a non-retryable body,
+// so clients can tell terminal shutdown from transient backpressure.
+func TestHTTPClosedEngine503(t *testing.T) {
+	e := New(Options{Workers: 1, Solver: (&countingSolver{}).solve})
+	srv := httptest.NewServer(NewHandler(e))
+	t.Cleanup(srv.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, ep := range []string{"/v1/evaluate", "/v1/sweep"} {
+		resp, body := postJSON(t, srv.URL+ep, `{}`)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s on closed engine returned %d: %s", ep, resp.StatusCode, body)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			t.Fatalf("%s: terminal shutdown 503 carries Retry-After %q", ep, ra)
+		}
+		var eb struct {
+			Error     string `json:"error"`
+			Retryable bool   `json:"retryable"`
+		}
+		if err := json.Unmarshal(body, &eb); err != nil {
+			t.Fatalf("decoding 503 body %q: %v", body, err)
+		}
+		if eb.Retryable || !strings.Contains(eb.Error, "closed") {
+			t.Fatalf("%s: shutdown body %+v, want non-retryable engine-closed error", ep, eb)
+		}
+	}
+}
+
+func TestHTTPOversizedSweepGrid(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 1, Solver: (&countingSolver{}).solve})
+	axis := func(n int) string {
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = fmt.Sprintf("%d", 100+i)
+		}
+		return "[" + strings.Join(vals, ",") + "]"
+	}
+	// 17 * 16 * 16 = 4352 > MaxSweepPoints (4096).
+	body := fmt.Sprintf(`{"flows_ml_min": %s, "inlet_temps_c": %s, "chip_loads": %s}`,
+		axis(17), `[20,21,22,23,24,25,26,27,28,29,30,31,32,33,34,35]`,
+		`[0.1,0.15,0.2,0.25,0.3,0.35,0.4,0.45,0.5,0.55,0.6,0.65,0.7,0.75,0.8,0.85]`)
+	resp, respBody := postJSON(t, srv.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized sweep returned %d: %s", resp.StatusCode, respBody)
+	}
+	if !strings.Contains(string(respBody), "cap") {
+		t.Fatalf("oversized-sweep error does not mention the cap: %s", respBody)
+	}
+}
+
+func TestHTTPMalformedSweepBody(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 1, Solver: (&countingSolver{}).solve})
+	resp, body := postJSON(t, srv.URL+"/v1/sweep", `{"flows_ml_min": "not-a-list"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed sweep body returned %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestHTTPRequestIDAssigned(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 1, Solver: (&countingSolver{}).solve})
+	r1 := getJSON(t, srv.URL+"/v1/stats", nil)
+	r2 := getJSON(t, srv.URL+"/v1/stats", nil)
+	id1, id2 := r1.Header.Get("X-Request-ID"), r2.Header.Get("X-Request-ID")
+	if id1 == "" || id2 == "" {
+		t.Fatalf("responses missing X-Request-ID: %q, %q", id1, id2)
+	}
+	if id1 == id2 {
+		t.Fatalf("distinct requests shared request ID %q", id1)
+	}
+}
+
+// failingWriter accepts headers but fails every body write, simulating
+// a client that vanished after the status line went out.
+type failingWriter struct {
+	h http.Header
+}
+
+func (f *failingWriter) Header() http.Header {
+	if f.h == nil {
+		f.h = make(http.Header)
+	}
+	return f.h
+}
+func (f *failingWriter) WriteHeader(int)           {}
+func (f *failingWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("connection gone") }
+
+func TestWriteJSONLogsEncodeErrors(t *testing.T) {
+	var buf bytes.Buffer
+	prev := log.Writer()
+	log.SetOutput(&buf)
+	defer log.SetOutput(prev)
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/stats", nil)
+	req = req.WithContext(ContextWithRequestID(req.Context(), "test-rid-42"))
+	writeJSON(&failingWriter{}, req, http.StatusOK, map[string]string{"k": "v"})
+
+	out := buf.String()
+	if !strings.Contains(out, "connection gone") {
+		t.Fatalf("encode failure not logged: %q", out)
+	}
+	if !strings.Contains(out, "test-rid-42") {
+		t.Fatalf("encode-failure log missing the request ID: %q", out)
+	}
+}
+
+// parseMetrics reads Prometheus text exposition into series -> value.
+func parseMetrics(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("malformed metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed metrics value in %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+func scrapeMetrics(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics returned %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return parseMetrics(t, buf.String())
+}
+
+// TestHTTPMetricsEndToEnd runs the production solver through the full
+// HTTP surface and asserts the /metrics exposition carries the whole
+// pipeline's telemetry: serving counters and the solve-latency
+// histogram from the engine registry, plus cosim fixed-point and Krylov
+// iteration counters from obs.Default — and that the counters are
+// monotone across scrapes.
+func TestHTTPMetricsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline solve in -short mode")
+	}
+	_, srv := newTestServer(t, Options{Workers: 2})
+
+	resp, body := postJSON(t, srv.URL+"/v1/evaluate", `{}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("evaluate: %d: %s", resp.StatusCode, body)
+	}
+	m1 := scrapeMetrics(t, srv.URL)
+
+	if m1["bright_solves_total"] < 1 {
+		t.Fatalf("bright_solves_total = %g, want >= 1", m1["bright_solves_total"])
+	}
+	if m1["bright_solve_duration_seconds_count"] < 1 {
+		t.Fatalf("solve latency histogram empty: %v", m1)
+	}
+	if m1[`bright_solve_duration_seconds_bucket{le="+Inf"}`] != m1["bright_solve_duration_seconds_count"] {
+		t.Fatalf("histogram +Inf bucket disagrees with count")
+	}
+	if _, ok := m1["bright_queue_capacity"]; !ok {
+		t.Fatalf("queue gauges missing: %v", m1)
+	}
+	if _, ok := m1["bright_cache_misses_total"]; !ok {
+		t.Fatalf("cache counters missing: %v", m1)
+	}
+	// Solver telemetry from obs.Default: the evaluate above ran a real
+	// co-simulation, which runs fixed-point iterations, thermal session
+	// solves and BiCGSTAB solves.
+	if m1["bright_cosim_iterations_total"] < 1 {
+		t.Fatalf("cosim iterations not counted: %v", m1)
+	}
+	if m1[`bright_cosim_runs_total{outcome="converged"}`] < 1 {
+		t.Fatalf("cosim convergence outcome not counted")
+	}
+	if m1[`bright_krylov_iterations_total{method="bicgstab"}`] < 1 {
+		t.Fatalf("Krylov iterations not counted")
+	}
+	if m1[`bright_thermal_session_solves_total{warm="false"}`] < 1 {
+		t.Fatalf("thermal session solves not counted")
+	}
+
+	// Monotonicity: another (distinct) solve strictly raises the solve
+	// and iteration counters and never lowers any counter.
+	resp, body = postJSON(t, srv.URL+"/v1/evaluate", `{"inlet_temp_c": 37}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second evaluate: %d: %s", resp.StatusCode, body)
+	}
+	m2 := scrapeMetrics(t, srv.URL)
+	if m2["bright_solves_total"] <= m1["bright_solves_total"] {
+		t.Fatalf("solves counter not monotone: %g -> %g",
+			m1["bright_solves_total"], m2["bright_solves_total"])
+	}
+	if m2["bright_cosim_iterations_total"] <= m1["bright_cosim_iterations_total"] {
+		t.Fatalf("cosim iteration counter not monotone")
+	}
+	for _, name := range []string{
+		"bright_solve_errors_total", "bright_queue_rejected_total",
+		"bright_cache_hits_total", "bright_cache_misses_total",
+		`bright_krylov_iterations_total{method="bicgstab"}`,
+	} {
+		if m2[name] < m1[name] {
+			t.Fatalf("counter %s went backwards: %g -> %g", name, m1[name], m2[name])
+		}
+	}
+}
+
+func TestHTTPStatsCacheDisabled(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 1, CacheSize: -1, Solver: (&countingSolver{}).solve})
+	for k := 0; k < 2; k++ {
+		resp, body := postJSON(t, srv.URL+"/v1/evaluate", `{}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: %d: %s", k, resp.StatusCode, body)
+		}
+	}
+	var st Stats
+	getJSON(t, srv.URL+"/v1/stats", &st)
+	if st.CacheEnabled {
+		t.Fatalf("cache reported enabled with CacheSize -1: %+v", st)
+	}
+	if st.CacheHits != 0 || st.CacheMisses != 0 || st.CacheHitRate != 0 {
+		t.Fatalf("disabled cache accumulated counters: %+v", st)
+	}
+	if st.CacheCapacity != 0 || st.CacheSize != 0 {
+		t.Fatalf("disabled cache reports capacity/size: %+v", st)
+	}
+	if st.Solves != 2 {
+		t.Fatalf("solves = %d, want 2 (no memoization without a cache)", st.Solves)
+	}
 }

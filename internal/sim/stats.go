@@ -4,10 +4,14 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"bright/internal/obs"
 )
 
 // Stats is a point-in-time snapshot of the engine's serving metrics,
 // shaped for JSON (the brightd /v1/stats endpoint marshals it as-is).
+// The same counters back the Prometheus /metrics exposition; this view
+// folds them into one JSON object for humans and scripts.
 type Stats struct {
 	// Pool.
 	Workers       int `json:"workers"`
@@ -15,20 +19,29 @@ type Stats struct {
 	QueueDepth    int `json:"queue_depth"`
 	QueueCapacity int `json:"queue_capacity"`
 
-	// Cache.
-	CacheHits     uint64  `json:"cache_hits"`
-	CacheMisses   uint64  `json:"cache_misses"`
-	CacheHitRate  float64 `json:"cache_hit_rate"`
-	CacheSize     int     `json:"cache_size"`
-	CacheCapacity int     `json:"cache_capacity"`
+	// Cache. When the cache is disabled (non-positive capacity) Enabled
+	// is false and every other cache field is zero — there is no cache
+	// to have a hit rate.
+	CacheEnabled   bool    `json:"cache_enabled"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheEvictions uint64  `json:"cache_evictions"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	CacheSize      int     `json:"cache_size"`
+	CacheCapacity  int     `json:"cache_capacity"`
 
 	// Solves.
 	Solves        uint64 `json:"solves"`
 	SolveErrors   uint64 `json:"solve_errors"`
 	QueueRejected uint64 `json:"queue_rejected"`
 
-	// Latency over completed solves (cache hits excluded).
+	// Latency over completed solves (cache hits excluded). Percentiles
+	// are estimated from the fixed-bucket histogram backing the
+	// Prometheus exposition.
 	SolveLatencyMeanMS float64 `json:"solve_latency_mean_ms"`
+	SolveLatencyP50MS  float64 `json:"solve_latency_p50_ms"`
+	SolveLatencyP90MS  float64 `json:"solve_latency_p90_ms"`
+	SolveLatencyP99MS  float64 `json:"solve_latency_p99_ms"`
 	SolveLatencyMaxMS  float64 `json:"solve_latency_max_ms"`
 	SolveLatencyLastMS float64 `json:"solve_latency_last_ms"`
 
@@ -41,43 +54,95 @@ type Stats struct {
 	KernelThreads int `json:"kernel_threads"`
 }
 
-// metrics accumulates the mutable counters behind Stats. Counters that
-// are bumped on hot paths are atomics; the latency aggregate sits under
-// its own mutex.
+// metrics holds the engine's mutable counters, backed by obs
+// instruments so the same numbers serve /v1/stats and /metrics. Max and
+// last latency are not expressible as histogram samples, so they keep a
+// small mutex of their own.
 type metrics struct {
-	busyWorkers   atomic.Int64
-	solves        atomic.Uint64
-	solveErrors   atomic.Uint64
-	queueRejected atomic.Uint64
+	busyWorkers atomic.Int64
 
-	mu           sync.Mutex
-	latencyTotal time.Duration
-	latencyMax   time.Duration
-	latencyLast  time.Duration
-	latencyCount uint64
+	solves        *obs.Counter
+	solveErrors   *obs.Counter
+	queueRejected *obs.Counter
+	solveLatency  *obs.Histogram
+
+	mu          sync.Mutex
+	latencyMax  time.Duration
+	latencyLast time.Duration
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		solves: reg.Counter("bright_solves_total",
+			"Completed solver invocations (cache hits excluded)."),
+		solveErrors: reg.Counter("bright_solve_errors_total",
+			"Solver invocations that returned an error (including cancellations)."),
+		queueRejected: reg.Counter("bright_queue_rejected_total",
+			"Evaluate requests shed with ErrQueueFull backpressure."),
+		solveLatency: reg.Histogram("bright_solve_duration_seconds",
+			"Wall-clock latency of one solver invocation.", obs.DefLatencyBuckets),
+	}
 }
 
 func (m *metrics) recordSolve(d time.Duration, err error) {
-	m.solves.Add(1)
+	m.solves.Inc()
 	if err != nil {
-		m.solveErrors.Add(1)
+		m.solveErrors.Inc()
 	}
+	m.solveLatency.Observe(d.Seconds())
 	m.mu.Lock()
-	m.latencyTotal += d
 	m.latencyLast = d
 	if d > m.latencyMax {
 		m.latencyMax = d
 	}
-	m.latencyCount++
 	m.mu.Unlock()
 }
 
-func (m *metrics) latencySnapshot() (meanMS, maxMS, lastMS float64) {
+func (m *metrics) latencySnapshot() (meanMS, p50MS, p90MS, p99MS, maxMS, lastMS float64) {
+	const sToMS = 1e3
+	if n := m.solveLatency.Count(); n > 0 {
+		meanMS = m.solveLatency.Sum() / float64(n) * sToMS
+		p50MS = m.solveLatency.Quantile(0.50) * sToMS
+		p90MS = m.solveLatency.Quantile(0.90) * sToMS
+		p99MS = m.solveLatency.Quantile(0.99) * sToMS
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	toMS := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-	if m.latencyCount > 0 {
-		meanMS = toMS(m.latencyTotal) / float64(m.latencyCount)
-	}
-	return meanMS, toMS(m.latencyMax), toMS(m.latencyLast)
+	return meanMS, p50MS, p90MS, p99MS, toMS(m.latencyMax), toMS(m.latencyLast)
+}
+
+// registerGauges publishes the engine's sampled-at-scrape-time state
+// (queue occupancy, pool utilization, cache size, job counts) into its
+// registry. Called once from New, after every field the callbacks read
+// is in place.
+func (e *Engine) registerGauges() {
+	reg := e.reg
+	reg.GaugeFunc("bright_workers",
+		"Fixed worker-pool size.", func() float64 { return float64(e.opts.Workers) })
+	reg.GaugeFunc("bright_workers_busy",
+		"Workers currently running a solve.", func() float64 { return float64(e.m.busyWorkers.Load()) })
+	reg.GaugeFunc("bright_queue_depth",
+		"Jobs waiting on the bounded queue.", func() float64 { return float64(len(e.queue)) })
+	reg.GaugeFunc("bright_queue_capacity",
+		"Bounded queue capacity.", func() float64 { return float64(cap(e.queue)) })
+	reg.GaugeFunc("bright_cache_enabled",
+		"1 when the memoization cache is enabled, 0 when disabled.", func() float64 {
+			if e.cache.enabled() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("bright_cache_entries",
+		"Reports currently held by the memoization cache.", func() float64 { return float64(e.cache.Len()) })
+	reg.CounterFunc("bright_cache_hits_total",
+		"Memoization cache hits.", func() uint64 { h, _, _ := e.cache.Counters(); return h })
+	reg.CounterFunc("bright_cache_misses_total",
+		"Memoization cache misses.", func() uint64 { _, m, _ := e.cache.Counters(); return m })
+	reg.CounterFunc("bright_cache_evictions_total",
+		"Reports evicted from the memoization cache.", func() uint64 { _, _, ev := e.cache.Counters(); return ev })
+	reg.GaugeFunc("bright_jobs_active",
+		"Sweep jobs currently running.", func() float64 { a, _ := e.jobs.counts(); return float64(a) })
+	reg.GaugeFunc("bright_jobs_done",
+		"Sweep jobs finished (done, failed or canceled).", func() float64 { _, d := e.jobs.counts(); return float64(d) })
 }

@@ -6,6 +6,17 @@ import (
 
 	"bright/internal/mesh"
 	"bright/internal/num"
+	"bright/internal/obs"
+)
+
+// Session solve telemetry (process-wide; see internal/obs). The warm
+// label splits first solves from warm-started re-solves, making the
+// co-simulation's warm-start hit rate visible on /metrics.
+var (
+	sessionSolvesWarm = obs.Default.Counter("bright_thermal_session_solves_total",
+		"Thermal session solves by warm-start state.", obs.L("warm", "true"))
+	sessionSolvesCold = obs.Default.Counter("bright_thermal_session_solves_total",
+		"Thermal session solves by warm-start state.", obs.L("warm", "false"))
 )
 
 // Session caches one assembled steady-state thermal system — the FV
@@ -80,6 +91,11 @@ func (ss *Session) SolveContext(ctx context.Context, power *mesh.Field2D, extraF
 	b, err := ss.s.rhsWithPower(power, extraFluidHeat)
 	if err != nil {
 		return nil, err
+	}
+	if ss.warm {
+		sessionSolvesWarm.Inc()
+	} else {
+		sessionSolvesCold.Inc()
 	}
 	res, err := ss.solver.Solve(b, ss.x)
 	ss.last = res
