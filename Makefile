@@ -1,13 +1,16 @@
-# Developer/CI entry points. `make check` is the full gate: vet, build,
-# the test suite under the race detector (the sim engine and the num
-# kernel pool are heavily concurrent — races there are correctness bugs,
-# not style), and the kernel escape guard.
+# Developer/CI entry points. `make check` is the full gate, in order:
+# gofmt (any file gofmt would rewrite fails), go vet, brightlint (the
+# domain-aware analyzers in internal/lint: SI-unit literals, *Context
+# propagation on serving paths, obs registration placement, discarded
+# errors), the build, the test suite under the race detector (the sim
+# engine and the num kernel pool are heavily concurrent — races there
+# are correctness bugs, not style), and the kernel escape guard.
 
 GO ?= go
 
-.PHONY: check fmt-check build vet test race race-serving test-short bench bench-serving escape-check
+.PHONY: check fmt-check build vet lint lint-fix-list test race race-serving test-short bench bench-serving escape-check
 
-check: fmt-check vet build race escape-check
+check: fmt-check vet lint build race escape-check
 
 # Formatting gate: any file gofmt would rewrite fails the build.
 fmt-check:
@@ -22,6 +25,17 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Domain-aware static analysis (cmd/brightlint): exits nonzero on any
+# finding. Deliberate cases are annotated in source with
+# `//lint:ignore <analyzer> <reason>`.
+lint:
+	$(GO) run ./cmd/brightlint ./...
+
+# Convenience view of the same findings grouped by analyzer with
+# counts, for working through a backlog; never fails the build.
+lint-fix-list:
+	@$(GO) run ./cmd/brightlint -group ./... || true
 
 test:
 	$(GO) test ./...

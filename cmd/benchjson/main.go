@@ -87,6 +87,7 @@ func main() {
 			fatal(err)
 		}
 		err = parse(f, rep)
+		//lint:ignore errignore read-side close; a parse failure is already fatal below
 		f.Close()
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", path, err))
@@ -100,7 +101,9 @@ func main() {
 	}
 	enc = append(enc, '\n')
 	if *out == "" {
-		os.Stdout.Write(enc)
+		if _, err := os.Stdout.Write(enc); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {

@@ -148,6 +148,10 @@ func main() {
 	}
 
 	log.Printf("brightd: signal received, draining (budget %s)", *drainTimeout)
+	// The root context is already canceled by the signal at this point;
+	// the drain budget must run on a fresh context or Shutdown would
+	// return immediately.
+	//lint:ignore ctxpropagate shutdown drain runs after the root context is canceled
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -1,0 +1,107 @@
+// Command brightlint runs the repository's domain-aware static-analysis
+// suite (internal/lint) over a package pattern and reports findings as
+// `file:line:col: [analyzer] message`, one per line, sorted. It exits 1
+// when there are findings, 2 when loading fails outright.
+//
+// Usage:
+//
+//	brightlint [-only unitconv,ctxpropagate,obsreg,errignore]
+//	           [-group] [-v] [packages...]
+//
+// With no packages, ./... is analyzed. -group prints findings grouped
+// by analyzer with counts (the `make lint-fix-list` view). -v also
+// reports packages whose type check failed (analysis still runs with
+// partial information; the build gate, not the linter, owns compile
+// errors).
+//
+// Deliberate findings are suppressed in source with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"bright/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer subset (default: all)")
+	group := flag.Bool("group", false, "group findings by analyzer with counts")
+	verbose := flag.Bool("v", false, "report type-check failures and per-package progress")
+	flag.Parse()
+
+	analyzers, err := lint.ByName(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "brightlint:", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "brightlint:", err)
+		os.Exit(2)
+	}
+	if *verbose {
+		for _, p := range pkgs {
+			status := "ok"
+			if len(p.TypeErrors) > 0 {
+				status = fmt.Sprintf("type-check errors (%d), partial analysis: %v", len(p.TypeErrors), p.TypeErrors[0])
+			}
+			fmt.Fprintf(os.Stderr, "brightlint: %s: %s\n", p.ImportPath, status)
+		}
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	cwd, err := os.Getwd()
+	rel := func(path string) string {
+		if err != nil {
+			return path
+		}
+		if r, err := filepath.Rel(cwd, path); err == nil && len(r) < len(path) {
+			return r
+		}
+		return path
+	}
+
+	if *group {
+		byAnalyzer := map[string][]lint.Diagnostic{}
+		for _, d := range diags {
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], d)
+		}
+		for _, a := range analyzers {
+			ds := byAnalyzer[a.Name]
+			fmt.Printf("== %s (%d) — %s\n", a.Name, len(ds), a.Doc)
+			for _, d := range ds {
+				fmt.Printf("  %s:%d:%d: %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message)
+			}
+		}
+		if ds := byAnalyzer["brightlint"]; len(ds) > 0 {
+			fmt.Printf("== brightlint (%d) — directive problems\n", len(ds))
+			for _, d := range ds {
+				fmt.Printf("  %s:%d:%d: %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Message)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "brightlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+	if *verbose || *group {
+		fmt.Fprintf(os.Stderr, "brightlint: clean (%d packages)\n", len(pkgs))
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"bright/internal/design"
+	"bright/internal/units"
 	"bright/internal/vis"
 )
 
@@ -48,9 +49,9 @@ func main() {
 			if !e.Feasible {
 				continue
 			}
-			ws = append(ws, e.Candidate.Width*1e6)
-			hs = append(hs, e.Candidate.Height*1e6)
-			pitches = append(pitches, e.Candidate.Pitch*1e6)
+			ws = append(ws, units.MToUM(e.Candidate.Width))
+			hs = append(hs, units.MToUM(e.Candidate.Height))
+			pitches = append(pitches, units.MToUM(e.Candidate.Pitch))
 			nets = append(nets, e.NetPowerW)
 		}
 		if err := vis.WriteCSVSeries(os.Stdout,

@@ -67,12 +67,16 @@ func writeCSV(dir, name string, write func(f *os.File) error) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if err := write(f); err != nil {
+		//lint:ignore errignore the write error takes precedence over cleanup-close
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Printf("    wrote %s\n", path)
-	return f.Close()
+	return nil
 }
 
 func runFig3(dir string) error {
@@ -352,8 +356,8 @@ func runExtensions2(dir string) error {
 		if !e.Feasible {
 			continue
 		}
-		ws = append(ws, e.Candidate.Width*1e6)
-		hs = append(hs, e.Candidate.Height*1e6)
+		ws = append(ws, units.MToUM(e.Candidate.Width))
+		hs = append(hs, units.MToUM(e.Candidate.Height))
 		nets = append(nets, e.NetPowerW)
 	}
 	if err := writeCSV(dir, "e8_designspace.csv", func(f *os.File) error {

@@ -35,7 +35,8 @@ type Candidate struct {
 
 // String implements fmt.Stringer.
 func (c Candidate) String() string {
-	return fmt.Sprintf("%gx%g um @ %g um pitch", c.Width*1e6, c.Height*1e6, c.Pitch*1e6)
+	return fmt.Sprintf("%gx%g um @ %g um pitch",
+		units.MToUM(c.Width), units.MToUM(c.Height), units.MToUM(c.Pitch))
 }
 
 // Constraints bound feasibility.
@@ -109,7 +110,7 @@ func evaluate(f *floorplan.Floorplan, cand Candidate, flowMLMin, inletC, voltage
 	if cand.Width <= 0 || cand.Height <= 0 || cand.Pitch <= cand.Width {
 		return fail("degenerate geometry")
 	}
-	if wall := (cand.Pitch - cand.Width) * 1e6; wall < cons.MinWallUM {
+	if wall := units.MToUM(cand.Pitch - cand.Width); wall < cons.MinWallUM {
 		return fail("wall %.0f um below the %.0f um limit", wall, cons.MinWallUM)
 	}
 	if aspect := cand.Height / cand.Width; aspect > cons.MaxAspect {

@@ -84,9 +84,9 @@ func TableI() Table {
 	return Table{
 		Name: "Table I — validation redox flow cell (Kjeang et al. 2007)",
 		Rows: []TableRow{
-			row("channel length (mm)", "33", c.Channel.Length*1e3, "%.0f", 33),
-			row("channel width (mm)", "2", c.Channel.Width*1e3, "%.0f", 2),
-			row("channel height (um)", "150", c.Channel.Height*1e6, "%.0f", 150),
+			row("channel length (mm)", "33", units.MToMM(c.Channel.Length), "%.0f", 33),
+			row("channel width (mm)", "2", units.MToMM(c.Channel.Width), "%.0f", 2),
+			row("channel height (um)", "150", units.MToUM(c.Channel.Height), "%.0f", 150),
 			row("density (kg/m3)", "1260", c.Electrolyte.DensityRef, "%.0f", 1260),
 			row("dynamic viscosity (mPa.s)", "2.53", c.Electrolyte.ViscosityRef*1e3, "%.2f", 2.53),
 			row("anode E0 (V)", "-0.255", c.Anode.Couple.E0, "%.3f", -0.255),
@@ -112,9 +112,9 @@ func TableII() Table {
 		Name: "Table II — microfluidic redox cell array on the POWER7+",
 		Rows: []TableRow{
 			row("number of channels", "88", float64(a.NChannels), "%.0f", 88),
-			row("channel width (um)", "200", c.Channel.Width*1e6, "%.0f", 200),
-			row("channel height (um)", "400", c.Channel.Height*1e6, "%.0f", 400),
-			row("channel length (mm)", "22", c.Channel.Length*1e3, "%.0f", 22),
+			row("channel width (um)", "200", units.MToUM(c.Channel.Width), "%.0f", 200),
+			row("channel height (um)", "400", units.MToUM(c.Channel.Height), "%.0f", 400),
+			row("channel length (mm)", "22", units.MToMM(c.Channel.Length), "%.0f", 22),
 			row("total flow (ml/min)", "676", units.M3PerSToMLPerMin(a.TotalFlowRate()), "%.0f", 676),
 			row("thermal conductivity (W/mK)", "0.67", c.Electrolyte.ThermalConductivity, "%.2f", 0.67),
 			row("thermal capacitance (MJ/m3K)", "4.187", c.Electrolyte.HeatCapacityVol*1e-6, "%.3f", 4.187),

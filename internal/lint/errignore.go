@@ -1,0 +1,159 @@
+// errignore: the error discipline. A library that drops an error return
+// converts a diagnosable failure into silent data corruption — a CSV
+// file truncated mid-write, a JSON response half-encoded. This rule
+// flags every discarded error return in non-test code: bare call
+// statements, `_` in the error position of an assignment, and deferred
+// or go'd calls whose error has nowhere to go. A small allowlist covers
+// the documented-infallible cases (strings.Builder and bytes.Buffer
+// writes, fmt printing to the standard streams).
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrIgnore flags discarded error returns outside the allowlist.
+var ErrIgnore = &Analyzer{
+	Name: "errignore",
+	Doc:  "flag discarded error returns in non-test code",
+	Run:  runErrIgnore,
+}
+
+// errType is the predeclared error interface.
+var errType = types.Universe.Lookup("error").Type()
+
+// returnsError reports whether the call's type includes an error
+// result, and at which tuple positions.
+func errorPositions(info *types.Info, call *ast.CallExpr) []int {
+	tv, ok := info.Types[call]
+	if !ok {
+		return nil
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		var out []int
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errType) {
+				out = append(out, i)
+			}
+		}
+		return out
+	default:
+		if tv.Type != nil && types.Identical(tv.Type, errType) {
+			return []int{0}
+		}
+	}
+	return nil
+}
+
+// allowlisted reports whether a call's error is documented-infallible
+// (or conventionally ignored) and may be dropped without annotation.
+func allowlisted(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+
+	// Methods on strings.Builder and bytes.Buffer never fail: the error
+	// results exist only to satisfy io interfaces.
+	if sig != nil && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		switch types.TypeString(recv, nil) {
+		case "strings.Builder", "bytes.Buffer":
+			return true
+		}
+	}
+
+	if pkg != "fmt" {
+		return false
+	}
+	// fmt.Print* to stdout is conventional display output.
+	switch name {
+	case "Print", "Printf", "Println":
+		return true
+	case "Fprint", "Fprintf", "Fprintln":
+		// Allowed only when the writer cannot fail (in-memory builders)
+		// or when a write error is not actionable (standard streams); an
+		// Fprint to a real file must be checked.
+		if len(call.Args) > 0 {
+			arg0 := ast.Unparen(call.Args[0])
+			if tv, ok := info.Types[arg0]; ok {
+				switch types.TypeString(tv.Type, nil) {
+				case "*strings.Builder", "*bytes.Buffer":
+					return true
+				}
+			}
+			if sel, ok := arg0.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					obj := info.Uses[id]
+					if pn, ok := obj.(*types.PkgName); ok && pn.Imported().Path() == "os" &&
+						(sel.Sel.Name == "Stdout" || sel.Sel.Name == "Stderr") {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func runErrIgnore(p *Package) []Diagnostic {
+	if p.Info == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	report := func(n ast.Node, msg string) {
+		diags = append(diags, Diagnostic{Pos: p.Fset.Position(n.Pos()), Analyzer: "errignore", Message: msg})
+	}
+	callName := func(call *ast.CallExpr) string {
+		if fn := calleeFunc(p.Info, call); fn != nil {
+			return fn.Name()
+		}
+		return "call"
+	}
+	checkDiscard := func(call *ast.CallExpr, how string) {
+		if len(errorPositions(p.Info, call)) == 0 || allowlisted(p.Info, call) {
+			return
+		}
+		report(call, "error return of "+callName(call)+" discarded ("+how+"): handle or log it, or annotate //lint:ignore errignore <reason>")
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscard(call, "bare call statement")
+				}
+			case *ast.DeferStmt:
+				checkDiscard(n.Call, "deferred call")
+			case *ast.GoStmt:
+				checkDiscard(n.Call, "go statement")
+			case *ast.AssignStmt:
+				// x, _ := f() with _ in an error position.
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := n.Rhs[0].(*ast.CallExpr)
+				if !ok || allowlisted(p.Info, call) {
+					return true
+				}
+				for _, i := range errorPositions(p.Info, call) {
+					if i < len(n.Lhs) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							report(id, "error return of "+callName(call)+" assigned to _: handle or log it, or annotate //lint:ignore errignore <reason>")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,221 @@
+// Package lint implements brightlint, the repository's domain-aware
+// static-analysis suite. Ordinary go vet cannot see the conventions the
+// physics packages depend on: all computation is SI with conversions
+// confined to internal/units, serving paths must call the *Context API
+// variants so cancellation reaches iteration boundaries, internal/obs
+// registration must stay out of hot loops and per-request handlers, and
+// error returns in library code must not be silently dropped. Each
+// analyzer here encodes one of those invariants as a checkable rule.
+//
+// Diagnostics render as `file:line:col: [analyzer] message`. A finding
+// that is deliberate is suppressed in source with a directive on the
+// same line or the line above:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory: a suppression without a rationale is itself
+// reported (analyzer name "brightlint").
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the canonical `file:line:col: [analyzer] message` form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one rule: a name (used in directives and output), a short
+// doc string, and a Run function producing findings for one package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package) []Diagnostic
+}
+
+// All returns the full suite in canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{UnitConv, CtxPropagate, ObsReg, ErrIgnore}
+}
+
+// ByName resolves a comma-separated analyzer selection against All.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", n, analyzerNames())
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func analyzerNames() string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return strings.Join(names, ", ")
+}
+
+// ignoreDirective is one parsed //lint:ignore comment. A well-formed
+// directive suppresses matching diagnostics on its own line and on the
+// line immediately below (so both trailing comments and comment-above
+// style work).
+type ignoreDirective struct {
+	file     string
+	line     int
+	analyzer string
+	bad      string // non-empty when malformed: the problem description
+}
+
+const directivePrefix = "//lint:ignore"
+
+// parseDirectives extracts every //lint:ignore directive from a file's
+// comments.
+func parseDirectives(fset *token.FileSet, f *ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			d := ignoreDirective{file: pos.Filename, line: pos.Line}
+			fields := strings.Fields(rest)
+			switch {
+			case !strings.HasPrefix(rest, " "):
+				// e.g. //lint:ignoreXXX — not our directive; skip.
+				continue
+			case len(fields) == 0:
+				d.bad = "missing analyzer name and reason"
+			case len(fields) == 1:
+				d.bad = fmt.Sprintf("suppression of %q needs a reason", fields[0])
+			default:
+				d.analyzer = fields[0]
+				if !knownAnalyzer(fields[0]) {
+					d.bad = fmt.Sprintf("unknown analyzer %q (have %s)", fields[0], analyzerNames())
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func knownAnalyzer(name string) bool {
+	for _, a := range All() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over every package, applies //lint:ignore
+// suppressions, reports malformed directives, and returns the combined
+// findings sorted by (file, line, column, analyzer, message) so output
+// is deterministic across runs.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		var directives []ignoreDirective
+		for _, f := range p.Files {
+			directives = append(directives, parseDirectives(p.Fset, f)...)
+		}
+		suppressed := func(d Diagnostic) bool {
+			for _, dir := range directives {
+				if dir.bad != "" || dir.file != d.Pos.Filename || dir.analyzer != d.Analyzer {
+					continue
+				}
+				if d.Pos.Line == dir.line || d.Pos.Line == dir.line+1 {
+					return true
+				}
+			}
+			return false
+		}
+		for _, a := range analyzers {
+			for _, d := range a.Run(p) {
+				if !suppressed(d) {
+					diags = append(diags, d)
+				}
+			}
+		}
+		for _, dir := range directives {
+			if dir.bad != "" {
+				diags = append(diags, Diagnostic{
+					Pos:      token.Position{Filename: dir.file, Line: dir.line, Column: 1},
+					Analyzer: "brightlint",
+					Message:  "malformed //lint:ignore directive: " + dir.bad,
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// walkStack traverses root pre-order, calling fn with each node and its
+// ancestor stack (outermost first, not including n itself). The x/tools
+// inspector is off-limits (stdlib only), so this is the shared helper
+// every ancestor-sensitive rule uses.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		fn(n, stack)
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// pkgSegment returns the last path segment of an import path: the
+// matching key analyzers use so the rules apply equally to the real
+// module ("bright/internal/cosim") and to fixture modules
+// ("fixture/internal/cosim").
+func pkgSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

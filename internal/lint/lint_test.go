@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// expectation is one `// want[+N] <analyzer> "substr"` marker in a
+// fixture file: a diagnostic from analyzer whose message contains
+// substr must be reported at (file, line+N).
+type expectation struct {
+	file     string
+	line     int
+	analyzer string
+	substr   string
+}
+
+var wantRe = regexp.MustCompile(`want(\+\d+)? (\w+) "([^"]*)"`)
+
+// parseExpectations scans every .go file under dir for want markers.
+func parseExpectations(t *testing.T, dir string) []expectation {
+	t.Helper()
+	var out []expectation
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			for _, m := range wantRe.FindAllStringSubmatch(sc.Text(), -1) {
+				offset := 0
+				if m[1] != "" {
+					offset, _ = strconv.Atoi(m[1][1:])
+				}
+				out = append(out, expectation{
+					file: path, line: line + offset, analyzer: m[2], substr: m[3],
+				})
+			}
+		}
+		return sc.Err()
+	})
+	if err != nil {
+		t.Fatalf("scanning %s: %v", dir, err)
+	}
+	return out
+}
+
+// checkAgainstExpectations asserts a 1:1 match between diagnostics and
+// want markers: every expectation met, no unexpected findings.
+func checkAgainstExpectations(t *testing.T, diags []Diagnostic, wants []expectation) {
+	t.Helper()
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.Analyzer != w.analyzer || d.Pos.Line != w.line {
+				continue
+			}
+			if filepath.Base(d.Pos.Filename) != filepath.Base(w.file) {
+				continue
+			}
+			if !strings.Contains(d.Message, w.substr) {
+				continue
+			}
+			matched[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("expected [%s] %q at %s:%d: no matching diagnostic", w.analyzer, w.substr, w.file, w.line)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+func loadFixture(t *testing.T, dir string) []*Package {
+	t.Helper()
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load(%s): %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("Load(%s): no packages", dir)
+	}
+	return pkgs
+}
+
+// TestFixtureExpectations is the golden-fixture gate: every analyzer
+// has positive cases (want markers) and negative cases (clean code in
+// the same files, caught by the no-unexpected-diagnostics side).
+func TestFixtureExpectations(t *testing.T) {
+	dir := filepath.Join("testdata", "mod")
+	pkgs := loadFixture(t, dir)
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Errorf("%s: unexpected type errors: %v", p.ImportPath, p.TypeErrors)
+		}
+	}
+	diags := Run(pkgs, All())
+	checkAgainstExpectations(t, diags, parseExpectations(t, dir))
+
+	// Each analyzer must have proven at least one true positive.
+	seen := map[string]bool{}
+	for _, d := range diags {
+		seen[d.Analyzer] = true
+	}
+	for _, a := range All() {
+		if !seen[a.Name] {
+			t.Errorf("fixture has no positive case for analyzer %s", a.Name)
+		}
+	}
+}
+
+// TestBrokenPackageDoesNotAbortAnalysis: a type-check failure in one
+// package degrades that package to partial analysis but must not stop
+// the rest of the module from being analyzed.
+func TestBrokenPackageDoesNotAbortAnalysis(t *testing.T) {
+	dir := filepath.Join("testdata", "broken")
+	pkgs := loadFixture(t, dir)
+	if len(pkgs) != 2 {
+		t.Fatalf("want 2 packages, got %d", len(pkgs))
+	}
+	var sawBroken bool
+	for _, p := range pkgs {
+		if pkgSegment(p.ImportPath) == "bad" {
+			sawBroken = true
+			if len(p.TypeErrors) == 0 {
+				t.Errorf("%s: expected type-check errors", p.ImportPath)
+			}
+		}
+	}
+	if !sawBroken {
+		t.Fatalf("fixture package bad not loaded")
+	}
+	diags := Run(pkgs, All())
+	checkAgainstExpectations(t, diags, parseExpectations(t, dir))
+}
+
+// TestDeterministicOutput: two independent loads of the same tree must
+// render byte-identical diagnostics, in sorted order.
+func TestDeterministicOutput(t *testing.T) {
+	dir := filepath.Join("testdata", "mod")
+	render := func() string {
+		var b strings.Builder
+		for _, d := range Run(loadFixture(t, dir), All()) {
+			fmt.Fprintf(&b, "%s\n", d)
+		}
+		return b.String()
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Errorf("non-deterministic output:\n--- first\n%s--- second\n%s", first, second)
+	}
+	// Sorted by position: a quick structural spot check.
+	diags := Run(loadFixture(t, dir), All())
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Errorf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+}
+
+// TestSuppressionRequiresReason: directive parsing distinguishes
+// well-formed, unknown-analyzer and missing-reason forms.
+func TestSuppressionDirectiveForms(t *testing.T) {
+	dir := filepath.Join("testdata", "mod")
+	diags := Run(loadFixture(t, dir), All())
+	var malformed int
+	for _, d := range diags {
+		if d.Analyzer == "brightlint" {
+			malformed++
+		}
+	}
+	if malformed != 2 {
+		t.Errorf("want 2 malformed-directive findings, got %d", malformed)
+	}
+}
+
+// TestByName resolves analyzer subsets and rejects unknown names.
+func TestByName(t *testing.T) {
+	got, err := ByName("unitconv,errignore")
+	if err != nil || len(got) != 2 || got[0].Name != "unitconv" || got[1].Name != "errignore" {
+		t.Errorf("ByName subset: got %v, %v", got, err)
+	}
+	if all, err := ByName(""); err != nil || len(all) != len(All()) {
+		t.Errorf("ByName empty: got %v, %v", all, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Errorf("ByName(nope): expected error")
+	}
+}
+
+// TestRepoIsClean dogfoods the suite over the real tree: the linter
+// must land (and stay) green on its own repository. This is the same
+// gate `make lint` enforces, kept in tier-1 so a regression cannot
+// land silently.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo lint in -short mode")
+	}
+	pkgs, err := Load(filepath.Join("..", ".."), "./...")
+	if err != nil {
+		t.Fatalf("Load(repo): %v", err)
+	}
+	diags := Run(pkgs, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,203 @@
+// Loader: enumerates packages with `go list -json`, parses them with
+// go/parser and type-checks them with go/types. Intra-module imports
+// are resolved against the go list output (so the module layout, not
+// GOPATH heuristics, decides what an import path means); everything
+// else — the standard library — goes through the stdlib source
+// importer. The main module therefore stays dependency-free: no
+// golang.org/x/tools, no export-data formats.
+//
+// Type-check errors are soft: a package that fails to check is still
+// returned (with partial type information and its errors recorded) and
+// the remaining packages are still analyzed. Analysis of a tree must
+// not be held hostage by one broken package.
+
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one loaded, parsed and (best-effort) type-checked package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File // non-test GoFiles, in go list order
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors holds every soft type-check error; analyzers run with
+	// whatever partial information survived.
+	TypeErrors []error
+	// LoadError is a go list-level problem (unparsable file list, etc.).
+	LoadError error
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Loader loads and type-checks module packages with a shared FileSet
+// and a shared import cache, so one invocation type-checks each
+// dependency exactly once.
+type Loader struct {
+	dir  string // directory to run go list in ("" = cwd)
+	fset *token.FileSet
+	std  types.ImporterFrom
+	mod  map[string]*listPackage // import path -> module package
+	done map[string]*Package     // import path -> result
+	busy map[string]bool         // import cycle guard
+}
+
+// NewLoader returns a loader rooted at dir (the module to analyze; ""
+// means the current directory).
+func NewLoader(dir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		dir:  dir,
+		fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		mod:  map[string]*listPackage{},
+		done: map[string]*Package{},
+		busy: map[string]bool{},
+	}
+}
+
+// Load lists patterns (typically "./...") in dir and returns the
+// matched packages, parsed and type-checked, sorted by import path.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	l := NewLoader(dir)
+	lps, err := l.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	for _, lp := range lps {
+		l.mod[lp.ImportPath] = lp
+	}
+	var out []*Package
+	for _, lp := range lps {
+		if lp.Name == "" && len(lp.GoFiles) == 0 {
+			// Pattern matched a directory with no buildable files.
+			continue
+		}
+		out = append(out, l.load(lp.ImportPath))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// list shells out to `go list -e -json`. -e keeps broken packages in
+// the output (with their Error recorded) instead of failing the whole
+// enumeration.
+func (l *Loader) list(patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-e", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var out []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := &listPackage{}
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// load parses and type-checks one module package, memoized. It never
+// returns nil: failures are recorded on the Package.
+func (l *Loader) load(path string) *Package {
+	if p, ok := l.done[path]; ok {
+		return p
+	}
+	lp := l.mod[path]
+	p := &Package{ImportPath: path, Name: lp.Name, Dir: lp.Dir, Fset: l.fset}
+	l.done[path] = p
+	if lp.Error != nil {
+		p.LoadError = fmt.Errorf("%s", lp.Error.Err)
+	}
+
+	files := append([]string(nil), lp.GoFiles...)
+	sort.Strings(files)
+	for _, name := range files {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if f != nil {
+			p.Files = append(p.Files, f)
+		}
+		if err != nil {
+			p.TypeErrors = append(p.TypeErrors, err)
+		}
+	}
+	if len(p.Files) == 0 {
+		return p
+	}
+
+	p.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: l,
+		// Soft errors: record and keep checking, so one bad package (or
+		// one bad file) degrades to partial info instead of aborting.
+		Error: func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	l.busy[path] = true
+	pkg, err := conf.Check(path, l.fset, p.Files, p.Info)
+	delete(l.busy, path)
+	p.Types = pkg
+	if err != nil && len(p.TypeErrors) == 0 {
+		p.TypeErrors = append(p.TypeErrors, err)
+	}
+	return p
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.dir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module packages resolve
+// through the loader's own cache (type-checked from source at the
+// directory go list reported), everything else through the stdlib
+// source importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if _, ok := l.mod[path]; ok {
+		if l.busy[path] {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		p := l.load(path)
+		if p.Types == nil {
+			return nil, fmt.Errorf("package %s failed to type-check", path)
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}

@@ -1,0 +1,138 @@
+// obsreg: the metrics discipline. internal/obs registration is
+// idempotent but not free — it takes the registry mutex, renders and
+// canonicalizes label sets, and grows the family tables. Registration
+// belongs in package-level vars or constructors, never in hot loops or
+// per-request handlers; and label values must come from bounded
+// domains — deriving one from request data turns the registry into an
+// unbounded per-client allocation (cardinality explosion) that no
+// scrape can render cheaply.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ObsReg flags metric registration in loops and request handlers, and
+// label values derived from request data.
+var ObsReg = &Analyzer{
+	Name: "obsreg",
+	Doc:  "keep obs metric registration out of hot loops/handlers and label cardinality bounded",
+	Run:  runObsReg,
+}
+
+var registrationMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterFunc": true, "GaugeFunc": true,
+}
+
+// isRegistration reports whether call registers an obs metric: a method
+// from registrationMethods on a Registry defined in a package whose
+// last path segment is "obs".
+func isRegistration(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || pkgSegment(fn.Pkg().Path()) != "obs" || !registrationMethods[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}
+
+// isObsL reports whether call is obs.L(name, value).
+func isObsL(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && pkgSegment(fn.Pkg().Path()) == "obs" && fn.Name() == "L"
+}
+
+// referencesRequest reports whether e mentions a variable of type
+// *net/http.Request — the marker for unbounded, client-controlled data.
+func referencesRequest(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if types.TypeString(obj.Type(), nil) == "*net/http.Request" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// handlerShaped reports whether the function node (FuncDecl or FuncLit)
+// has the http handler signature func(http.ResponseWriter, *http.Request).
+func handlerShaped(info *types.Info, n ast.Node) bool {
+	var sig *types.Signature
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		if obj, ok := info.Defs[n.Name].(*types.Func); ok {
+			sig, _ = obj.Type().(*types.Signature)
+		}
+	case *ast.FuncLit:
+		if tv, ok := info.Types[n]; ok {
+			sig, _ = tv.Type.(*types.Signature)
+		}
+	}
+	if sig == nil || sig.Params().Len() != 2 {
+		return false
+	}
+	return types.TypeString(sig.Params().At(0).Type(), nil) == "net/http.ResponseWriter" &&
+		types.TypeString(sig.Params().At(1).Type(), nil) == "*net/http.Request"
+}
+
+func runObsReg(p *Package) []Diagnostic {
+	// The obs package itself constructs series internally; exempt.
+	if pkgSegment(p.ImportPath) == "obs" || p.Info == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	report := func(n ast.Node, msg string) {
+		diags = append(diags, Diagnostic{Pos: p.Fset.Position(n.Pos()), Analyzer: "obsreg", Message: msg})
+	}
+	for _, f := range p.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if isObsL(p.Info, call) && len(call.Args) == 2 && referencesRequest(p.Info, call.Args[1]) {
+				report(call.Args[1], "label value derived from request data: unbounded label cardinality; use a fixed enumeration instead")
+				return
+			}
+			if !isRegistration(p.Info, call) {
+				return
+			}
+			// Walk outward from the call: a loop before the enclosing
+			// function means per-iteration registration; a handler-shaped
+			// enclosing function means per-request registration.
+			for i := len(stack) - 1; i >= 0; i-- {
+				switch anc := stack[i].(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					report(call, "obs metric registration inside a loop: registration takes the registry lock and canonicalizes labels; hoist it to a package var or constructor")
+					return
+				case *ast.FuncDecl, *ast.FuncLit:
+					if handlerShaped(p.Info, anc) {
+						report(call, "obs metric registration inside a request handler: register once at construction and increment the instrument here")
+					}
+					return
+				}
+			}
+		})
+	}
+	return diags
+}

@@ -1,0 +1,7 @@
+// Package bad fails to type-check: the loader must record the errors
+// and keep analyzing the rest of the module.
+package bad
+
+func Broken() int {
+	return undefinedIdentifier + alsoUndefined
+}

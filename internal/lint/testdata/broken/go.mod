@@ -1,0 +1,3 @@
+module brokenfixture
+
+go 1.22

@@ -1,0 +1,7 @@
+// Package good type-checks and carries one finding, proving analysis
+// survived the broken sibling.
+package good
+
+func ToKelvin(c float64) float64 {
+	return c + 273.15 // want unitconv "units.CtoK"
+}

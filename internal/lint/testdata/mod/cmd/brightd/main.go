@@ -1,0 +1,19 @@
+// Serving-path fixture for ctxpropagate in a command: the import path
+// ends in cmd/brightd. signal.NotifyContext is the documented way to
+// build the process root context, so its Background() argument is not
+// flagged; a bare Background() elsewhere is.
+package main
+
+import (
+	"context"
+	"os"
+	"os/signal"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	_ = ctx
+	detached := context.Background() // want ctxpropagate "context.Background"
+	_ = detached
+}

@@ -1,0 +1,65 @@
+// errignore fixture: discarded error returns vs the allowlist.
+package errs
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+func fallible() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+// Positive cases.
+func bad(f closer) {
+	fallible()      // want errignore "bare call statement"
+	defer f.Close() // want errignore "deferred call"
+	go fallible()   // want errignore "go statement"
+	n, _ := pair()  // want errignore "assigned to _"
+	_ = n
+	fmt.Fprintf(os.NewFile(3, "x"), "not a std stream\n") // want errignore "bare call statement"
+}
+
+// Negative cases: handled errors and the documented-infallible
+// allowlist.
+func good() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	n, err := pair()
+	if err != nil {
+		return err
+	}
+	_ = n
+	fmt.Println("stdout display is conventional")
+	fmt.Fprintf(os.Stderr, "stderr too\n")
+	var b strings.Builder
+	b.WriteString("builders never fail")
+	fmt.Fprintf(&b, "even via Fprintf\n")
+	var buf bytes.Buffer
+	buf.WriteByte('x')
+	return nil
+}
+
+// Suppressed: a deliberate discard with an annotated reason.
+func deliberate(f closer) {
+	//lint:ignore errignore close error is unactionable on this read path
+	f.Close()
+}
+
+// Malformed directives are themselves findings.
+// want+2 brightlint "unknown analyzer"
+//
+//lint:ignore nosuchrule because reasons
+var placeholder = 0
+
+// want+2 brightlint "needs a reason"
+//
+//lint:ignore errignore
+var placeholder2 = 0

@@ -1,0 +1,11 @@
+package core
+
+import "context"
+
+type System struct{}
+
+type Report struct{}
+
+func (s *System) Evaluate() (*Report, error) { return s.EvaluateContext(context.Background()) }
+
+func (s *System) EvaluateContext(ctx context.Context) (*Report, error) { return &Report{}, nil }

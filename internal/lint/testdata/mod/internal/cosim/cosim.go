@@ -1,0 +1,11 @@
+package cosim
+
+import "context"
+
+type Config struct{}
+
+type Result struct{}
+
+func Run(cfg Config) (*Result, error) { return RunContext(context.Background(), cfg) }
+
+func RunContext(ctx context.Context, cfg Config) (*Result, error) { return &Result{}, nil }

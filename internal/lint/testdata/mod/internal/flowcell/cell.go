@@ -1,0 +1,15 @@
+package flowcell
+
+import "context"
+
+type Cell struct{}
+
+type PolarizationCurve []float64
+
+func (c *Cell) Polarize(n int, maxFrac float64) (PolarizationCurve, error) {
+	return c.PolarizeContext(context.Background(), n, maxFrac)
+}
+
+func (c *Cell) PolarizeContext(ctx context.Context, n int, maxFrac float64) (PolarizationCurve, error) {
+	return nil, nil
+}

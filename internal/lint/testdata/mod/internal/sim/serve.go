@@ -1,0 +1,56 @@
+// Serving-path fixture for ctxpropagate: this package's import path
+// ends in internal/sim, so the cancellation discipline applies.
+package sim
+
+import (
+	"context"
+
+	"fixture/internal/core"
+	"fixture/internal/cosim"
+	"fixture/internal/flowcell"
+	"fixture/internal/thermal"
+)
+
+// bad exercises every positive case.
+func bad(cell *flowcell.Cell, sys *core.System) error {
+	ctx := context.Background() // want ctxpropagate "context.Background"
+	_ = ctx
+	ctx2 := context.TODO() // want ctxpropagate "context.TODO"
+	_ = ctx2
+	if _, err := cosim.Run(cosim.Config{}); err != nil { // want ctxpropagate "cosim.RunContext"
+		return err
+	}
+	if _, err := thermal.Solve(&thermal.Problem{}); err != nil { // want ctxpropagate "thermal.SolveContext"
+		return err
+	}
+	if _, err := cell.Polarize(10, 0.95); err != nil { // want ctxpropagate "PolarizeContext"
+		return err
+	}
+	if _, err := sys.Evaluate(); err != nil { // want ctxpropagate "EvaluateContext"
+		return err
+	}
+	return nil
+}
+
+// good shows the clean form: context threaded, *Context variants used.
+func good(ctx context.Context, cell *flowcell.Cell, sys *core.System) error {
+	if _, err := cosim.RunContext(ctx, cosim.Config{}); err != nil {
+		return err
+	}
+	if _, err := thermal.SolveContext(ctx, &thermal.Problem{}); err != nil {
+		return err
+	}
+	if _, err := cell.PolarizeContext(ctx, 10, 0.95); err != nil {
+		return err
+	}
+	if _, err := sys.EvaluateContext(ctx); err != nil {
+		return err
+	}
+	return nil
+}
+
+// suppressed shows a deliberate, annotated detach.
+func suppressed() context.Context {
+	//lint:ignore ctxpropagate detached job context is deliberate here
+	return context.Background()
+}

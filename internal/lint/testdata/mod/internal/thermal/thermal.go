@@ -1,0 +1,11 @@
+package thermal
+
+import "context"
+
+type Problem struct{}
+
+type Solution struct{}
+
+func Solve(p *Problem) (*Solution, error) { return SolveContext(context.Background(), p) }
+
+func SolveContext(ctx context.Context, p *Problem) (*Solution, error) { return &Solution{}, nil }

@@ -1,0 +1,14 @@
+// Package units mirrors the real internal/units: the one place magic
+// conversion literals are legal (unitconv negative case).
+package units
+
+const (
+	ZeroCelsius = 273.15
+	Faraday     = 96485.33212
+	Bar         = 1e5
+	Micrometer  = 1e-6
+)
+
+func CtoK(c float64) float64 { return c + ZeroCelsius }
+
+func MToUM(m float64) float64 { return m / Micrometer }

@@ -1,0 +1,51 @@
+// unitconv fixture: magic conversion literals vs the named helpers.
+package physics
+
+import "fixture/internal/units"
+
+// Positive cases: physical constants spelled as literals.
+const roomK = 298.15 // want unitconv "units.StandardTemperature"
+
+var faraday = 96485.0 // want unitconv "units.Faraday"
+
+func charge(mol float64) float64 {
+	return mol * 96485.33212 // want unitconv "units.Faraday"
+}
+
+func pressurePa() float64 {
+	return 2 * 101325 // want unitconv "units.AtmosphericPressure"
+}
+
+// Positive: inline temperature-offset arithmetic.
+func toKelvin(c float64) float64 {
+	return c + 273.15 // want unitconv "units.CtoK"
+}
+
+func toCelsius(k float64) float64 {
+	return k - 273.15 // want unitconv "units.KtoC"
+}
+
+// Positive: unit-scale factors in a unit-suggesting context.
+func widthUM(width float64) float64 {
+	return width * 1e6 // want unitconv "units.MToUM"
+}
+
+func dropBar(pressureDrop float64) float64 {
+	return pressureDrop / 1e5 // want unitconv "units.PaToBar"
+}
+
+// Negative cases: the named helpers, and scale factors outside a unit
+// context (tolerances, grid scaling) stay legal.
+func clean(c, width float64) float64 {
+	tol := 1e-6
+	k := units.CtoK(c)
+	um := units.MToUM(width)
+	scale := 1e6 * float64(3) // no unit keyword nearby
+	return k + um + tol + scale
+}
+
+// Suppressed: a deliberate literal with an annotated reason.
+func legacyKelvin(c float64) float64 {
+	//lint:ignore unitconv matching the reference table's truncated constant
+	return c + 273.15
+}

@@ -1,0 +1,56 @@
+// obsreg fixture: registration placement and label cardinality.
+package web
+
+import (
+	"net/http"
+
+	"fixture/obs"
+)
+
+// Package-level registration is the sanctioned pattern (negative case).
+var requests = obs.Default.Counter("web_requests_total", "Requests served.")
+
+// Constructor registration is also fine (negative case).
+func newMetrics(r *obs.Registry) *obs.Gauge {
+	return r.Gauge("web_depth", "Queue depth.")
+}
+
+// registerInLoop registers once per iteration (positive case).
+func registerInLoop(r *obs.Registry, shards []string) {
+	for _, s := range shards {
+		r.Counter("web_shard_total", "Per-shard requests.", obs.L("shard", s)) // want obsreg "inside a loop"
+	}
+}
+
+// rangelessLoop catches the plain for statement too (positive case).
+func rangelessLoop(r *obs.Registry) {
+	for i := 0; i < 4; i++ {
+		r.GaugeFunc("web_pool", "Pool occupancy.", func() float64 { return 0 }) // want obsreg "inside a loop"
+	}
+}
+
+// handler registers per request and derives a label from request data
+// (both positive cases).
+func handler(w http.ResponseWriter, r *http.Request) {
+	c := obs.Default.Counter("web_hits_total", "Hits.") // want obsreg "request handler"
+	c.Inc()
+	obs.Default.Counter("web_path_total", "Hits by path.", obs.L("path", r.URL.Path)).Inc() // want obsreg "request handler" // want obsreg "cardinality"
+}
+
+// handlerLit flags handler-shaped function literals as well.
+func register(mux *http.ServeMux) {
+	mux.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) {
+		obs.Default.Gauge("web_live", "Liveness.") // want obsreg "request handler"
+		w.WriteHeader(http.StatusOK)
+	})
+}
+
+// Bounded label values from a fixed enumeration, registered at package
+// level, are the sanctioned shape (negative case).
+var byClass = obs.Default.Counter("web_class_total", "By class.", obs.L("class", "2xx"))
+
+// goodHandler increments pre-registered instruments (negative case).
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	requests.Inc()
+	byClass.Inc()
+}

@@ -1,0 +1,186 @@
+// unitconv: the SI discipline. Every physics package computes in SI
+// base units; the numbers that convert between SI and the paper's
+// presentation units (°C, bar, µm, mA/cm², …) live in internal/units as
+// named constants and helpers. A magic 273.15 or a bare *1e6 elsewhere
+// is exactly the kind of silent unit corruption the paper's validation
+// discipline cannot survive, so this rule flags them and points at the
+// named replacement.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// UnitConv flags magic unit-conversion literals and inline
+// temperature-offset arithmetic outside internal/units.
+var UnitConv = &Analyzer{
+	Name: "unitconv",
+	Doc:  "flag magic unit-conversion literals outside internal/units",
+	Run:  runUnitConv,
+}
+
+// physicalConst is a well-known physical constant recognized by value:
+// tol absorbs the common truncated spellings (96485 for the Faraday
+// constant, 8.314 for R).
+type physicalConst struct {
+	value float64
+	tol   float64
+	name  string // the units.<Name> replacement
+}
+
+var physicalConsts = []physicalConst{
+	{273.15, 0, "units.ZeroCelsius"},
+	{298.15, 0, "units.StandardTemperature"},
+	{96485.33212, 1, "units.Faraday"},
+	{8.314462618, 0.001, "units.GasConstant"},
+	{101325, 0.5, "units.AtmosphericPressure"},
+}
+
+// scaleRule flags a power-of-ten factor only in a unit-suggesting
+// context: the literal must be multiplied with (or divide) an
+// expression that mentions one of the keywords. Bare 1e-6 tolerances
+// and grid scales stay legal.
+type scaleRule struct {
+	values   []float64
+	keywords []string
+	hint     string
+}
+
+var scaleRules = []scaleRule{
+	{
+		values:   []float64{1e6, 1e-6},
+		keywords: []string{"width", "height", "pitch", "depth", "thick", "radius", "diameter", "wall", "gap", "length"},
+		hint:     "use units.MToUM/units.UMToM (or units.Micrometer) for m<->um conversions",
+	},
+	{
+		values:   []float64{1e5, 1e-5},
+		keywords: []string{"pressure", "drop", "bar", "head"},
+		hint:     "use units.PaToBar/units.BarToPa (or units.Bar) for Pa<->bar conversions",
+	},
+	{
+		values:   []float64{1e4, 1e-4},
+		keywords: []string{"power", "flux", "densit", "current"},
+		hint:     "use units.WPerM2ToWPerCM2/units.WPerCM2ToWPerM2 for W/m2<->W/cm2 conversions",
+	},
+}
+
+// litValue returns the numeric value of an INT or FLOAT literal.
+func litValue(lit *ast.BasicLit) (float64, bool) {
+	if lit.Kind != token.INT && lit.Kind != token.FLOAT {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(lit.Value, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func matchConst(v float64) (physicalConst, bool) {
+	for _, c := range physicalConsts {
+		if math.Abs(v-c.value) <= c.tol {
+			return c, true
+		}
+	}
+	return physicalConst{}, false
+}
+
+// mentionsKeyword reports whether any identifier or selector inside e
+// contains one of the keywords (case-insensitive).
+func mentionsKeyword(e ast.Expr, keywords []string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		low := strings.ToLower(id.Name)
+		for _, kw := range keywords {
+			if strings.Contains(low, kw) {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func runUnitConv(p *Package) []Diagnostic {
+	// The conversions have to be spelled somewhere: the defining package
+	// is exempt, and so is this package — the rule table above must
+	// spell the magic numbers it recognizes.
+	if seg := pkgSegment(p.ImportPath); seg == "units" || seg == "lint" {
+		return nil
+	}
+	var diags []Diagnostic
+	// handled marks literals already reported through a more specific
+	// parent rule (offset arithmetic, scale context) so the generic
+	// constant rule does not double-report them.
+	handled := map[*ast.BasicLit]bool{}
+	report := func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{Pos: p.Fset.Position(pos), Analyzer: "unitconv", Message: msg})
+	}
+
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				// Temperature-offset arithmetic: x + 273.15 / x - 273.15.
+				if n.Op == token.ADD || n.Op == token.SUB {
+					for _, side := range []ast.Expr{n.X, n.Y} {
+						lit, ok := side.(*ast.BasicLit)
+						if !ok {
+							continue
+						}
+						if v, ok := litValue(lit); ok && v == 273.15 {
+							handled[lit] = true
+							helper := "units.CtoK"
+							if n.Op == token.SUB && side == n.Y {
+								helper = "units.KtoC"
+							}
+							report(n.Pos(), "inline temperature-offset arithmetic: use "+helper+" instead of the 273.15 literal")
+						}
+					}
+				}
+				// Scale factors in a unit-suggesting context.
+				if n.Op == token.MUL || n.Op == token.QUO {
+					for _, pair := range [][2]ast.Expr{{n.X, n.Y}, {n.Y, n.X}} {
+						lit, ok := pair[0].(*ast.BasicLit)
+						if !ok {
+							continue
+						}
+						v, ok := litValue(lit)
+						if !ok {
+							continue
+						}
+						for _, rule := range scaleRules {
+							for _, rv := range rule.values {
+								if v == rv && mentionsKeyword(pair[1], rule.keywords) {
+									handled[lit] = true
+									report(lit.Pos(), "unit-scale literal "+lit.Value+" in a unit context: "+rule.hint)
+								}
+							}
+						}
+					}
+				}
+			case *ast.BasicLit:
+				if handled[n] {
+					return true
+				}
+				if v, ok := litValue(n); ok {
+					if c, ok := matchConst(v); ok {
+						report(n.Pos(), "magic physical-constant literal "+n.Value+": use "+c.name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

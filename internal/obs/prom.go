@@ -36,41 +36,61 @@ func writeSeries(w io.Writer, name, labels, extra, value string) error {
 }
 
 // WritePrometheus renders every family in registration order in the
-// Prometheus text exposition format (version 0.0.4).
+// Prometheus text exposition format (version 0.0.4). A write error
+// (typically a scraper that hung up) aborts the rendering instead of
+// formatting the remaining families into a dead buffer.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	bw := bufio.NewWriter(w)
 	for _, f := range r.order {
 		if f.help != "" {
-			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+			if _, err := fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
 		}
-		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		if _, err := fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
 		for _, s := range f.order {
-			switch {
-			case s.counter != nil:
-				writeSeries(bw, f.name, s.labels, "", strconv.FormatUint(s.counter.Value(), 10))
-			case s.counterFn != nil:
-				writeSeries(bw, f.name, s.labels, "", strconv.FormatUint(s.counterFn(), 10))
-			case s.gauge != nil:
-				writeSeries(bw, f.name, s.labels, "", formatFloat(s.gauge.Value()))
-			case s.gaugeFn != nil:
-				writeSeries(bw, f.name, s.labels, "", formatFloat(s.gaugeFn()))
-			case s.hist != nil:
-				counts, sum, total := s.hist.snapshot()
-				var cum uint64
-				for i, b := range s.hist.bounds {
-					cum += counts[i]
-					writeSeries(bw, f.name+"_bucket", s.labels,
-						`le="`+formatFloat(b)+`"`, strconv.FormatUint(cum, 10))
-				}
-				writeSeries(bw, f.name+"_bucket", s.labels, `le="+Inf"`, strconv.FormatUint(total, 10))
-				writeSeries(bw, f.name+"_sum", s.labels, "", formatFloat(sum))
-				writeSeries(bw, f.name+"_count", s.labels, "", strconv.FormatUint(total, 10))
+			if err := writeSample(bw, f, s); err != nil {
+				return err
 			}
 		}
 	}
 	return bw.Flush()
+}
+
+// writeSample renders one series (every exposition line it produces).
+func writeSample(bw io.Writer, f *family, s *series) error {
+	switch {
+	case s.counter != nil:
+		return writeSeries(bw, f.name, s.labels, "", strconv.FormatUint(s.counter.Value(), 10))
+	case s.counterFn != nil:
+		return writeSeries(bw, f.name, s.labels, "", strconv.FormatUint(s.counterFn(), 10))
+	case s.gauge != nil:
+		return writeSeries(bw, f.name, s.labels, "", formatFloat(s.gauge.Value()))
+	case s.gaugeFn != nil:
+		return writeSeries(bw, f.name, s.labels, "", formatFloat(s.gaugeFn()))
+	case s.hist != nil:
+		counts, sum, total := s.hist.snapshot()
+		var cum uint64
+		for i, b := range s.hist.bounds {
+			cum += counts[i]
+			if err := writeSeries(bw, f.name+"_bucket", s.labels,
+				`le="`+formatFloat(b)+`"`, strconv.FormatUint(cum, 10)); err != nil {
+				return err
+			}
+		}
+		if err := writeSeries(bw, f.name+"_bucket", s.labels, `le="+Inf"`, strconv.FormatUint(total, 10)); err != nil {
+			return err
+		}
+		if err := writeSeries(bw, f.name+"_sum", s.labels, "", formatFloat(sum)); err != nil {
+			return err
+		}
+		return writeSeries(bw, f.name+"_count", s.labels, "", strconv.FormatUint(total, 10))
+	}
+	return nil
 }
 
 // Handler serves the given registries concatenated as one Prometheus

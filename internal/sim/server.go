@@ -197,6 +197,7 @@ func NewHandler(e *Engine) http.Handler {
 		}
 		// Detach from the request context: the job must keep running
 		// after this response is written.
+		//lint:ignore ctxpropagate sweep jobs outlive the submitting request by design
 		job, err := e.SubmitSweep(context.Background(), spec)
 		if err != nil {
 			writeEngineError(w, r, err)

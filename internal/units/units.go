@@ -40,6 +40,19 @@ const (
 	SquareMillimeter = 1e-6 // m2
 )
 
+// MToUM converts a length in meters to micrometers (the unit the
+// paper's channel-geometry tables use).
+func MToUM(m float64) float64 { return m / Micrometer }
+
+// UMToM converts a length in micrometers to meters.
+func UMToM(um float64) float64 { return um * Micrometer }
+
+// MToMM converts a length in meters to millimeters.
+func MToMM(m float64) float64 { return m / Millimeter }
+
+// MMToM converts a length in millimeters to meters.
+func MMToM(mm float64) float64 { return mm * Millimeter }
+
 // CtoK converts a temperature in degrees Celsius to kelvin.
 func CtoK(c float64) float64 { return c + ZeroCelsius }
 

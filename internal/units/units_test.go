@@ -69,6 +69,31 @@ func TestCurrentDensityConversion(t *testing.T) {
 	approx(t, MAPerCM2ToAPerM2(APerM2ToMAPerCM2(777)), 777, 1e-12, "round trip")
 }
 
+func TestLengthConversion(t *testing.T) {
+	// Paper Table II: 200 um channel width, 22 mm channel length.
+	approx(t, UMToM(200), 200e-6, 1e-12, "200um -> m")
+	approx(t, MToUM(200e-6), 200, 1e-12, "m -> 200um")
+	approx(t, MMToM(22), 22e-3, 1e-12, "22mm -> m")
+	approx(t, MToMM(22e-3), 22, 1e-12, "m -> 22mm")
+
+	// Quick-check round trips: the helpers must be exact inverses to
+	// within floating-point roundoff over physically plausible scales.
+	roundTrip := func(to, from func(float64) float64, name string) {
+		f := func(v float64) bool {
+			v = math.Mod(math.Abs(v), 1e6) // keep magnitudes physical
+			got := from(to(v))
+			return math.Abs(got-v) <= 1e-9*math.Max(1, math.Abs(v))
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s round trip: %v", name, err)
+		}
+	}
+	roundTrip(MToUM, UMToM, "m<->um")
+	roundTrip(MToMM, MMToM, "m<->mm")
+	roundTrip(CtoK, KtoC, "C<->K")
+	roundTrip(PaToBar, BarToPa, "Pa<->bar")
+}
+
 func TestPowerDensityConversion(t *testing.T) {
 	// 26.7 W/cm2 (POWER7+ peak) == 2.67e5 W/m2.
 	approx(t, WPerCM2ToWPerM2(26.7), 2.67e5, 1e-12, "W/cm2 -> W/m2")
