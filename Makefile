@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check fmt-check build vet lint lint-fix-list test race race-serving test-short bench bench-serving escape-check
+.PHONY: check fmt-check build vet lint lint-fix-list test race race-serving test-short bench bench-serving bench-compare escape-check
 
 check: fmt-check vet lint build race escape-check
 
@@ -61,19 +61,29 @@ test-short:
 
 # Full benchmark sweep over the numeric kernels, the thermal solver and
 # the serving engine, folded into a machine-readable report
-# (BENCH_PR2.json): per-benchmark ns/op, B/op, allocs/op, and
-# serial-vs-parallel speedup pairs, stamped with the Go version and core
-# count of the generating machine.
+# (BENCH_PR5.json): per-benchmark ns/op, B/op, allocs/op, and the
+# paired speedup rows (serial vs parallel kernels, Jacobi vs multigrid
+# preconditioning), stamped with the Go version and core count of the
+# generating machine. BENCH_PR2.json is the frozen pre-multigrid
+# baseline; do not overwrite it.
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/num > /tmp/bench_num.txt
 	$(GO) test -run xxx -bench . -benchmem ./internal/thermal > /tmp/bench_thermal.txt
 	$(GO) test -run xxx -bench BenchmarkEngineThroughput -benchmem . > /tmp/bench_engine.txt
-	$(GO) run ./cmd/benchjson -o BENCH_PR2.json /tmp/bench_num.txt /tmp/bench_thermal.txt /tmp/bench_engine.txt
-	@echo wrote BENCH_PR2.json
+	$(GO) run ./cmd/benchjson -o BENCH_PR5.json /tmp/bench_num.txt /tmp/bench_thermal.txt /tmp/bench_engine.txt
+	@echo wrote BENCH_PR5.json
 
 # Serving-layer throughput baseline only (see BenchmarkEngineThroughput).
 bench-serving:
 	$(GO) test -run xxx -bench BenchmarkEngineThroughput -benchmem .
+
+# Multigrid regression gate: runs the paired preconditioner benchmarks
+# (BenchmarkCGPoisson64x64, BenchmarkCGPoisson128x128, BenchmarkCGStack3D
+# — each a /jacobi vs /mg couple) and fails if MG drops below 1.0x the
+# Jacobi baseline on any reference grid, or if the pairs go missing.
+bench-compare:
+	$(GO) test -run xxx -bench 'BenchmarkCGPoisson|BenchmarkCGStack3D' -benchmem ./internal/num > /tmp/bench_mg.txt
+	$(GO) run ./cmd/benchjson -min-mg-speedup 1.0 -o /dev/null /tmp/bench_mg.txt
 
 # Static allocation guard for the parallel kernel hot path: the only
 # heap escapes allowed in internal/num/parallel.go are the one-time

@@ -3,12 +3,20 @@
 // files (or stdin when none are given), parses every benchmark result
 // line, and emits a single JSON document with per-benchmark ns/op,
 // B/op, allocs/op and any custom metrics, plus speedup pairs for
-// benchmarks that expose /serial and /parallel sub-benchmarks.
+// benchmarks that expose paired sub-benchmarks: /serial vs /parallel
+// (kernel threading) and /jacobi vs /mg (preconditioner).
 //
 // Usage:
 //
 //	go test -bench . -benchmem ./internal/num > num.txt
-//	benchjson -o BENCH.json num.txt [more.txt ...]
+//	benchjson -o BENCH.json [-min-mg-speedup 1.0] num.txt [more.txt ...]
+//
+// -min-mg-speedup turns the report into a regression gate: after
+// writing the output it exits nonzero if any jacobi-vs-mg pair falls
+// below the threshold, or if no such pair was found at all (a silently
+// skipped benchmark must not pass the gate). `make bench-compare` runs
+// it at 1.0 so multigrid can never quietly regress below the Jacobi
+// baseline on the reference grids.
 //
 // The report records the machine context (Go version, GOMAXPROCS, CPU
 // line from the benchmark header) so numbers from different boxes are
@@ -44,13 +52,23 @@ type Benchmark struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Speedup pairs a benchmark's /serial and /parallel variants.
+// Speedup pairs a benchmark's baseline and optimized variants. Kind
+// names the pairing: "parallel" for /serial vs /parallel, "mg" for
+// /jacobi vs /mg.
 type Speedup struct {
 	Name       string  `json:"name"`
-	SerialNs   float64 `json:"serial_ns_op"`
-	ParallelNs float64 `json:"parallel_ns_op"`
-	// Speedup = serial / parallel: > 1 means the parallel path wins.
+	Kind       string  `json:"kind"`
+	BaselineNs float64 `json:"baseline_ns_op"`
+	VariantNs  float64 `json:"variant_ns_op"`
+	// Speedup = baseline / variant: > 1 means the optimized path wins.
 	Speedup float64 `json:"speedup"`
+}
+
+// suffixPairs lists the recognized baseline/variant sub-benchmark
+// suffix conventions.
+var suffixPairs = []struct{ kind, baseline, variant string }{
+	{"parallel", "/serial", "/parallel"},
+	{"mg", "/jacobi", "/mg"},
 }
 
 // Report is the emitted document.
@@ -68,6 +86,8 @@ type Report struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	minMG := flag.Float64("min-mg-speedup", 0,
+		"exit nonzero if any jacobi-vs-mg pair's speedup falls below this, or none exists (0 disables)")
 	flag.Parse()
 
 	rep := &Report{
@@ -104,11 +124,39 @@ func main() {
 		if _, err := os.Stdout.Write(enc); err != nil {
 			fatal(err)
 		}
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fatal(err)
 	}
+	// The gate runs after the report is written, so a regression still
+	// leaves the numbers on disk for inspection.
+	if *minMG > 0 {
+		enforceMG(rep.Speedups, *minMG)
+	}
+}
+
+// enforceMG fails the process when the multigrid pairs regress below
+// the floor — or are missing entirely, which would otherwise let a
+// skipped benchmark pass the gate.
+func enforceMG(sp []Speedup, floor float64) {
+	found, bad := 0, 0
+	for _, s := range sp {
+		if s.Kind != "mg" {
+			continue
+		}
+		found++
+		if s.Speedup < floor {
+			fmt.Fprintf(os.Stderr, "benchjson: %s mg speedup %.2fx below required %.2fx\n",
+				s.Name, s.Speedup, floor)
+			bad++
+		}
+	}
+	if found == 0 {
+		fatal(fmt.Errorf("-min-mg-speedup %.2f set but no jacobi-vs-mg pairs found", floor))
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d mg pair(s) at or above %.2fx\n", found, floor)
 }
 
 func fatal(err error) {
@@ -187,25 +235,34 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, b.NsOp > 0
 }
 
-// speedups pairs Foo/serial with Foo/parallel results.
+// speedups pairs every recognized baseline/variant sub-benchmark couple
+// (Foo/serial with Foo/parallel, Foo/jacobi with Foo/mg).
 func speedups(benches []Benchmark) []Speedup {
-	serial := map[string]float64{}
-	parallel := map[string]float64{}
+	ns := map[string]float64{}
 	for _, b := range benches {
-		if base, ok := strings.CutSuffix(b.Name, "/serial"); ok {
-			serial[base] = b.NsOp
-		} else if base, ok := strings.CutSuffix(b.Name, "/parallel"); ok {
-			parallel[base] = b.NsOp
-		}
+		ns[b.Name] = b.NsOp
 	}
 	var out []Speedup
-	for name, s := range serial {
-		p, ok := parallel[name]
-		if !ok || p <= 0 {
-			continue
+	seen := map[string]bool{}
+	for _, b := range benches {
+		for _, p := range suffixPairs {
+			base, ok := strings.CutSuffix(b.Name, p.baseline)
+			if !ok || seen[base+"\x00"+p.kind] {
+				continue
+			}
+			v, ok := ns[base+p.variant]
+			if !ok || v <= 0 {
+				continue
+			}
+			seen[base+"\x00"+p.kind] = true
+			out = append(out, Speedup{Name: base, Kind: p.kind, BaselineNs: b.NsOp, VariantNs: v, Speedup: b.NsOp / v})
 		}
-		out = append(out, Speedup{Name: name, SerialNs: s, ParallelNs: p, Speedup: s / p})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Kind < out[j].Kind
+	})
 	return out
 }

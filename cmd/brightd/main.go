@@ -27,8 +27,8 @@
 // Usage:
 //
 //	brightd [-addr :8080] [-workers N] [-queue N] [-cache N]
-//	        [-kernel-threads N] [-request-timeout 5m] [-drain-timeout 30s]
-//	        [-debug-addr :6060]
+//	        [-kernel-threads N] [-solver-precond auto|jacobi|mg]
+//	        [-request-timeout 5m] [-drain-timeout 30s] [-debug-addr :6060]
 //
 // -debug-addr starts an opt-in debug listener serving net/http/pprof
 // under /debug/pprof/ — kept off the public address so profiling
@@ -39,6 +39,12 @@
 // environment variable. On a multi-core box serving few concurrent
 // requests, raise it toward the core count; under a saturated worker
 // pool, 1 avoids oversubscription (the workers already use every core).
+//
+// -solver-precond picks the preconditioner policy for every iterative
+// solve (default from BRIGHT_SOLVER_PRECOND): auto selects multigrid
+// for large symmetric systems and Jacobi elsewhere; jacobi and mg force
+// one family, for A/B runs and for grids where the heuristic guesses
+// wrong.
 package main
 
 import (
@@ -55,6 +61,7 @@ import (
 	"syscall"
 	"time"
 
+	"bright/internal/num"
 	"bright/internal/obs"
 	"bright/internal/sim"
 )
@@ -85,6 +92,14 @@ func envInt(name string, def int) int {
 	return def
 }
 
+// envStr reads a string environment variable, returning def when unset.
+func envStr(name, def string) string {
+	if s := os.Getenv(name); s != "" {
+		return s
+	}
+	return def
+}
+
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
@@ -97,8 +112,16 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
 		debugAddr    = flag.String("debug-addr", "",
 			"opt-in debug listener serving /debug/pprof/ (empty = disabled)")
+		precond = flag.String("solver-precond", envStr("BRIGHT_SOLVER_PRECOND", "auto"),
+			"preconditioner policy for the iterative solvers: auto, jacobi or mg (env BRIGHT_SOLVER_PRECOND)")
 	)
 	flag.Parse()
+
+	pc, err := num.ParsePrecond(*precond)
+	if err != nil {
+		log.Fatalf("brightd: -solver-precond: %v", err)
+	}
+	num.SetDefaultPrecond(pc)
 
 	if *debugAddr != "" {
 		dm := http.NewServeMux()

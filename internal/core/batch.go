@@ -1,0 +1,53 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"bright/internal/cosim"
+	"bright/internal/pdn"
+)
+
+// Batch evaluates a sequence of configurations while reusing every
+// operator that consecutive points share:
+//
+//   - one cosim.Runner (assembled thermal FV network, its preconditioner
+//     and the previous converged temperature field) per hydrodynamic
+//     condition, rebuilt only when (FlowMLMin, InletTempC) changes;
+//   - one pdn.Session (power-grid matrix plus multigrid setup and the
+//     previous voltage field) for the whole batch, since the grid matrix
+//     does not depend on Config at all.
+//
+// Fed points in sim.SweepSpec.Grid() row-major order — flow outermost,
+// load innermost — every run of points sharing (flow, inlet) chains warm
+// starts through one thermal session, which is the sweep-level win this
+// type exists for. A Batch is not safe for concurrent use.
+type Batch struct {
+	runner *cosim.Runner
+	pdnSes *pdn.Session
+}
+
+// NewBatch returns an empty batch; caches fill lazily on first use.
+func NewBatch() *Batch { return &Batch{} }
+
+// EvaluateContext evaluates one configuration, reusing cached state from
+// previous evaluations where still valid.
+func (b *Batch) EvaluateContext(ctx context.Context, cfg Config) (*Report, error) {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if b.runner == nil || !b.runner.Matches(cfg.FlowMLMin, cfg.InletTempC) {
+		r, err := cosim.NewRunner(cfg.FlowMLMin, cfg.InletTempC)
+		if err != nil {
+			return nil, fmt.Errorf("core: co-simulation: %w", err)
+		}
+		b.runner = r
+	}
+	s.pdnSession = b.pdnSes
+	rep, err := s.evaluateWith(ctx, b.runner.RunContext)
+	if s.pdnSession != nil {
+		b.pdnSes = s.pdnSession // keep the lazily-built session for the next point
+	}
+	return rep, err
+}

@@ -15,7 +15,6 @@ import (
 	"bright/internal/floorplan"
 	"bright/internal/flowcell"
 	"bright/internal/hydro"
-	"bright/internal/num"
 	"bright/internal/pdn"
 	"bright/internal/thermal"
 	"bright/internal/units"
@@ -139,12 +138,14 @@ type System struct {
 	Array     *flowcell.Array
 	VRM       pdn.VRM
 
-	// pdnWarm carries the grid voltage field across Evaluate calls on
-	// this System: repeated evaluations (load sweeps on one System) seed
-	// each DC solve from the previous field. Evaluate is consequently
-	// not safe for concurrent use on a shared System; the sim engine
-	// builds one System per solve, which keeps its workers independent.
-	pdnWarm num.WarmStart
+	// pdnSession lazily caches the assembled power-grid matrix, its
+	// preconditioner and the previous voltage field across Evaluate
+	// calls on this System: repeated evaluations (load sweeps on one
+	// System) skip reassembly and warm-start each DC solve. Evaluate is
+	// consequently not safe for concurrent use on a shared System; the
+	// sim engine builds one System per solve, which keeps its workers
+	// independent.
+	pdnSession *pdn.Session
 }
 
 // NewSystem builds the integrated POWER7+ system at the given config.
@@ -207,8 +208,16 @@ func (s *System) Evaluate() (*Report, error) {
 // checked between the pipeline stages, so a canceled context aborts the
 // evaluation within one co-sim iteration or one stage.
 func (s *System) EvaluateContext(ctx context.Context) (*Report, error) {
+	return s.evaluateWith(ctx, cosim.RunContext)
+}
+
+// evaluateWith is the shared pipeline behind System.EvaluateContext and
+// Batch: the co-simulation stage is pluggable so a Batch can route it
+// through a cached cosim.Runner instead of a one-shot run.
+func (s *System) evaluateWith(ctx context.Context,
+	runCosim func(context.Context, cosim.Config) (*cosim.Result, error)) (*Report, error) {
 	cfg := s.Config
-	co, err := cosim.RunContext(ctx, cosim.Config{
+	co, err := runCosim(ctx, cosim.Config{
 		TotalFlowMLMin:  cfg.FlowMLMin,
 		InletTempC:      cfg.InletTempC,
 		TerminalVoltage: cfg.SupplyVoltage,
@@ -239,17 +248,26 @@ func (s *System) EvaluateContext(ctx context.Context) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.pdnSession == nil {
+		// The grid matrix depends only on the floorplan geometry, sheet
+		// resistance and via sites — none of which vary with Config — so
+		// one session (and one multigrid setup) serves every evaluation.
+		ses, err := pdn.NewSession(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: power grid: %w", err)
+		}
+		s.pdnSession = ses
+	}
+	load := p.LoadDensity
 	if cfg.SupplyVoltage != p.Supply {
-		p.Supply = cfg.SupplyVoltage
-		p.LoadDensity = pdn.CacheLoad(s.Floorplan, p.LoadDensity.Grid, cfg.SupplyVoltage)
+		load = pdn.CacheLoad(s.Floorplan, load.Grid, cfg.SupplyVoltage)
 	}
 	if cfg.ChipLoad != 1 {
-		for k := range p.LoadDensity.Data {
-			p.LoadDensity.Data[k] *= cfg.ChipLoad
+		for k := range load.Data {
+			load.Data[k] *= cfg.ChipLoad
 		}
 	}
-	p.Warm = &s.pdnWarm
-	grid, err := pdn.Solve(p)
+	grid, err := s.pdnSession.Solve(load, cfg.SupplyVoltage)
 	if err != nil {
 		return nil, fmt.Errorf("core: power grid: %w", err)
 	}

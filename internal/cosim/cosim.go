@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"bright/internal/flowcell"
+	"bright/internal/mesh"
 	"bright/internal/obs"
 	"bright/internal/thermal"
 	"bright/internal/units"
@@ -141,25 +142,86 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	inletK := units.CtoK(cfg.InletTempC)
-	tCell := inletK
-	res := &Result{Config: cfg}
-	// The thermal geometry, stack and flow are fixed across the
-	// fixed-point loop — only the electrochemical loss heat changes —
-	// so the FV network is assembled and preconditioned exactly once,
-	// and each iteration's solve warm-starts from the previous
-	// iteration's temperature field instead of the uniform inlet state.
-	tp := thermal.Power7Problem(cfg.TotalFlowMLMin, inletK, 0)
-	if cfg.ChipLoad != 1 {
-		for k := range tp.Power.Data {
-			tp.Power.Data[k] *= cfg.ChipLoad
-		}
-	}
-	session, err := thermal.NewSession(tp)
+	r, err := NewRunner(cfg.TotalFlowMLMin, cfg.InletTempC)
 	if err != nil {
 		cosimErrored.Inc()
 		return nil, fmt.Errorf("cosim: thermal session: %w", err)
 	}
+	return r.RunContext(ctx, cfg)
+}
+
+// Runner caches the thermal session behind the co-simulation for one
+// hydrodynamic condition (total flow, inlet temperature): the FV network
+// is assembled and preconditioned exactly once, and every solve — across
+// fixed-point iterations AND across consecutive RunContext calls — warm
+// starts from the previous converged temperature field. Consecutive runs
+// that differ only in ChipLoad or TerminalVoltage (the inner axes of
+// sim.SweepSpec.Grid()'s row-major order) therefore skip both reassembly
+// and most Krylov iterations. A Runner is not safe for concurrent use.
+type Runner struct {
+	flowMLMin, inletTempC float64
+	base                  *thermal.Problem
+	session               *thermal.Session
+	scaled                *mesh.Field2D
+	// lastTCell is the previous run's converged cell temperature (0 until
+	// a run converges). Seeding the next run's fixed point from it — a
+	// continuation in the sweep's inner axes — converges in a fraction of
+	// the outer iterations a cold start from the inlet temperature needs,
+	// and each outer iteration saved is one full thermal solve saved.
+	lastTCell float64
+}
+
+// NewRunner assembles the thermal session for one (flow, inlet)
+// condition.
+func NewRunner(flowMLMin, inletTempC float64) (*Runner, error) {
+	tp := thermal.Power7Problem(flowMLMin, units.CtoK(inletTempC), 0)
+	session, err := thermal.NewSession(tp)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		flowMLMin:  flowMLMin,
+		inletTempC: inletTempC,
+		base:       tp,
+		session:    session,
+		scaled:     &mesh.Field2D{Grid: tp.Power.Grid, Data: make([]float64, len(tp.Power.Data))},
+	}, nil
+}
+
+// Matches reports whether the runner's cached thermal session covers the
+// given hydrodynamic condition. Sweep grids repeat exact float values
+// along each axis, so exact comparison is the right test.
+func (r *Runner) Matches(flowMLMin, inletTempC float64) bool {
+	return r.flowMLMin == flowMLMin && r.inletTempC == inletTempC
+}
+
+// RunContext executes the fixed-point co-simulation on the cached
+// session. The config's flow and inlet must match the runner's
+// condition; ChipLoad scales the power map into a reused buffer.
+func (r *Runner) RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if !r.Matches(cfg.TotalFlowMLMin, cfg.InletTempC) {
+		return nil, fmt.Errorf("cosim: runner bound to %g ml/min, %g C cannot run %g ml/min, %g C",
+			r.flowMLMin, r.inletTempC, cfg.TotalFlowMLMin, cfg.InletTempC)
+	}
+	power := r.base.Power
+	if cfg.ChipLoad != 1 {
+		for k, v := range r.base.Power.Data {
+			r.scaled.Data[k] = v * cfg.ChipLoad
+		}
+		power = r.scaled
+	}
+	tCell := units.CtoK(cfg.InletTempC)
+	if r.lastTCell != 0 {
+		// Warm start the fixed point from the neighboring point's
+		// converged state. The iteration is a contraction, so the seed
+		// changes only how fast it converges, not where.
+		tCell = r.lastTCell
+	}
+	res := &Result{Config: cfg}
 	var heat float64
 	for iter := 1; iter <= cfg.MaxIter; iter++ {
 		if err := ctx.Err(); err != nil {
@@ -179,7 +241,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			cosimErrored.Inc()
 			return nil, err
 		}
-		sol, err := session.SolveContext(ctx, nil, heat)
+		sol, err := r.session.SolveContext(ctx, power, heat)
 		if err != nil {
 			if ctx.Err() != nil {
 				cosimCanceled.Inc()
@@ -201,6 +263,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		if math.Abs(tNew-tCell) < cfg.TolK {
 			res.Converged = true
 			res.CellTempK = tCell
+			r.lastTCell = tCell
 			cosimConverged.Inc()
 			return res, nil
 		}

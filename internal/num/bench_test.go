@@ -229,6 +229,48 @@ func BenchmarkCGLargeGrid(b *testing.B) {
 	})
 }
 
+// benchPrecond runs one CG solve per iteration as /jacobi and /mg
+// sub-benchmarks — the suffix pairing cmd/benchjson keys on to compute
+// the multigrid speedup rows. MG setup happens outside the timed loop,
+// matching how the serving paths cache the hierarchy per operator.
+func benchPrecond(b *testing.B, a *CSR, shape GridShape, tol float64) {
+	rng := rand.New(rand.NewSource(4))
+	rhs := make([]float64, a.Rows)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	run := func(b *testing.B, m Preconditioner) {
+		x := make([]float64, a.Rows)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Fill(x, 0)
+			if _, err := CG(a, rhs, x, IterOptions{Tol: tol, M: m}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("jacobi", func(b *testing.B) { run(b, NewJacobi(a)) })
+	mg, err := NewGMG(a, shape, MGOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("mg", func(b *testing.B) { run(b, mg) })
+}
+
+func BenchmarkCGPoisson64x64(b *testing.B) {
+	benchPrecond(b, laplacian2D(64), GridShape{NX: 64, NY: 64}, 1e-8)
+}
+
+func BenchmarkCGPoisson128x128(b *testing.B) {
+	benchPrecond(b, laplacian2D(128), GridShape{NX: 128, NY: 128}, 1e-8)
+}
+
+// BenchmarkCGStack3D is the 3D-IC shape: a chip-scale XY grid a few
+// layers deep, matching the thermal stack solves.
+func BenchmarkCGStack3D(b *testing.B) {
+	benchPrecond(b, laplacian3D(48, 48, 8), GridShape{NX: 48, NY: 48, NZ: 8}, 1e-8)
+}
+
 // BenchmarkCGWarmWorkspace measures the steady-state re-solve loop the
 // co-simulation runs: same matrix, warm initial guess, cached workspace
 // and preconditioner. allocs/op is the headline number (must be 0).

@@ -1,0 +1,90 @@
+package num
+
+import "sort"
+
+// Sparse matrix algebra used by the multigrid setup phase: transpose and
+// matrix-matrix products build the restriction operators and the
+// Galerkin coarse-level matrices (A_c = P^T A P). These run once per
+// hierarchy construction, not per solve, so they favour clarity and
+// deterministic output (sorted column order) over peak speed.
+
+// Transpose returns m^T as a new CSR.
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{
+		Rows:   m.Cols,
+		Cols:   m.Rows,
+		RowPtr: make([]int, m.Cols+1),
+		ColIdx: make([]int, m.NNZ()),
+		Val:    make([]float64, m.NNZ()),
+	}
+	for _, j := range m.ColIdx {
+		t.RowPtr[j+1]++
+	}
+	for i := 0; i < t.Rows; i++ {
+		t.RowPtr[i+1] += t.RowPtr[i]
+	}
+	// next[i] is the write cursor of transposed row i.
+	next := make([]int, t.Rows)
+	copy(next, t.RowPtr[:t.Rows])
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.ColIdx[k]
+			t.ColIdx[next[j]] = i
+			t.Val[next[j]] = m.Val[k]
+			next[j]++
+		}
+	}
+	return t
+}
+
+// MatMul returns the product a*b as a new CSR (Gustavson's algorithm
+// with a dense accumulator row). Columns within each output row are
+// sorted, so the result is deterministic and At/Diag-friendly.
+func MatMul(a, b *CSR) *CSR {
+	if a.Cols != b.Rows {
+		panic(ErrShape)
+	}
+	out := &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int, a.Rows+1)}
+	acc := make([]float64, b.Cols)
+	mark := make([]int, b.Cols)
+	for i := range mark {
+		mark[i] = -1
+	}
+	var cols []int
+	for i := 0; i < a.Rows; i++ {
+		cols = cols[:0]
+		for ka := a.RowPtr[i]; ka < a.RowPtr[i+1]; ka++ {
+			j := a.ColIdx[ka]
+			av := a.Val[ka]
+			for kb := b.RowPtr[j]; kb < b.RowPtr[j+1]; kb++ {
+				c := b.ColIdx[kb]
+				if mark[c] != i {
+					mark[c] = i
+					acc[c] = 0
+					cols = append(cols, c)
+				}
+				acc[c] += av * b.Val[kb]
+			}
+		}
+		sort.Ints(cols)
+		for _, c := range cols {
+			out.ColIdx = append(out.ColIdx, c)
+			out.Val = append(out.Val, acc[c])
+		}
+		out.RowPtr[i+1] = len(out.Val)
+	}
+	return out
+}
+
+// ToDense expands the sparse matrix into dense form (multigrid uses it
+// for the coarsest-level direct factorization; keep it off large
+// matrices).
+func (m *CSR) ToDense() *Dense {
+	d := NewDense(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			d.Set(i, m.ColIdx[k], m.Val[k])
+		}
+	}
+	return d
+}

@@ -119,11 +119,21 @@ func FactorLU(a *Dense) (*LU, error) {
 // Solve solves A x = b using the factorization. b is not modified; the
 // solution is returned as a fresh slice.
 func (f *LU) Solve(b []float64) ([]float64, error) {
-	if len(b) != f.n {
-		return nil, ErrShape
+	x := make([]float64, f.n)
+	if err := f.SolveInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves A x = b into the caller-provided x without
+// allocating — the coarse-grid solve inside a multigrid cycle runs once
+// per V-cycle and must stay off the heap. x and b must not alias.
+func (f *LU) SolveInto(x, b []float64) error {
+	if len(b) != f.n || len(x) != f.n {
+		return ErrShape
 	}
 	n := f.n
-	x := make([]float64, n)
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
 	}
@@ -143,11 +153,11 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 		}
 		d := f.lu[i*n+i]
 		if d == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		x[i] = s / d
 	}
-	return x, nil
+	return nil
 }
 
 // Det returns the determinant of the factored matrix.

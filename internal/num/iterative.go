@@ -10,6 +10,14 @@ import (
 // iteration budget without meeting the requested tolerance.
 var ErrNoConvergence = errors.New("num: iterative solver did not converge")
 
+// ErrMaxIter is the subset of ErrNoConvergence where the solver ran out
+// of iteration budget, as opposed to a numerical breakdown. It wraps
+// ErrNoConvergence, so errors.Is against either sentinel works;
+// SparseSolver uses the distinction to surface budget exhaustion
+// instead of retrying with a different method that would burn the same
+// budget again.
+var ErrMaxIter = fmt.Errorf("%w: iteration budget exhausted", ErrNoConvergence)
+
 // Preconditioner applies an approximate inverse: z = M^{-1} r.
 type Preconditioner interface {
 	Apply(r, z []float64)
@@ -54,11 +62,28 @@ type IterOptions struct {
 	// Tol is the relative residual tolerance ||r|| / ||b||.
 	// Defaults to 1e-10 if zero.
 	Tol float64
-	// MaxIter bounds the iteration count. Defaults to 10*n if zero.
+	// MaxIter bounds the iteration count. Defaults to 10*n if zero,
+	// clamped to [200, 20000] — an unbounded 10*n default on large
+	// grids masks non-convergence behind minutes of wasted iterations,
+	// so the budget is capped and exhaustion surfaces as ErrMaxIter.
 	MaxIter int
-	// M is the preconditioner; identity if nil.
+	// M is the preconditioner; identity if nil. SparseSolver fills it
+	// from the Precond policy when nil.
 	M Preconditioner
+	// Precond selects the preconditioner family SparseSolver builds
+	// when M is nil (PrecondAuto defers to the process default, then
+	// to the size/symmetry heuristic). Ignored by bare CG/BiCGSTAB.
+	Precond Precond
+	// Shape, when non-nil and covering the matrix, tells PrecondMG the
+	// structured grid behind the unknowns so it can build geometric
+	// multigrid; without it MG falls back to aggregation AMG.
+	Shape *GridShape
+	// MG tunes the multigrid hierarchy when one is built.
+	MG MGOptions
 }
+
+// defaultMaxIterCap bounds the derived 10*n iteration budget.
+const defaultMaxIterCap = 20000
 
 func (o IterOptions) withDefaults(n int) IterOptions {
 	if o.Tol <= 0 {
@@ -68,6 +93,9 @@ func (o IterOptions) withDefaults(n int) IterOptions {
 		o.MaxIter = 10 * n
 		if o.MaxIter < 200 {
 			o.MaxIter = 200
+		}
+		if o.MaxIter > defaultMaxIterCap {
+			o.MaxIter = defaultMaxIterCap
 		}
 	}
 	if o.M == nil {
@@ -144,7 +172,7 @@ func CGWith(a *CSR, b, x []float64, opt IterOptions, ws *Workspace) (IterResult,
 			p[i] = z[i] + beta*p[i]
 		}
 	}
-	return IterResult{opt.MaxIter, res}, fmt.Errorf("%w: CG after %d iters, residual %.3e", ErrNoConvergence, opt.MaxIter, res)
+	return IterResult{opt.MaxIter, res}, fmt.Errorf("%w: CG after %d iters, residual %.3e", ErrMaxIter, opt.MaxIter, res)
 }
 
 // BiCGSTAB solves the general (nonsymmetric) system A x = b with the
@@ -239,7 +267,7 @@ func BiCGSTABWith(a *CSR, b, x []float64, opt IterOptions, ws *Workspace) (IterR
 			return IterResult{it, res}, nil
 		}
 	}
-	return IterResult{opt.MaxIter, res}, fmt.Errorf("%w: BiCGSTAB after %d iters, residual %.3e", ErrNoConvergence, opt.MaxIter, res)
+	return IterResult{opt.MaxIter, res}, fmt.Errorf("%w: BiCGSTAB after %d iters, residual %.3e", ErrMaxIter, opt.MaxIter, res)
 }
 
 // SolveSparse is a convenience wrapper: it chooses CG with a Jacobi

@@ -1,0 +1,457 @@
+package num
+
+import (
+	"fmt"
+	"math"
+
+	"bright/internal/obs"
+)
+
+// Multigrid telemetry (process-wide; see internal/obs). Setup is counted
+// per hierarchy construction, cycles per preconditioner application —
+// the ratio is the reuse factor that justifies caching MG per operator.
+var (
+	mgSetupsGMG = obs.Default.Counter("bright_mg_setups_total",
+		"Multigrid hierarchy constructions by kind.", obs.L("kind", "gmg"))
+	mgSetupsAMG = obs.Default.Counter("bright_mg_setups_total",
+		"Multigrid hierarchy constructions by kind.", obs.L("kind", "amg"))
+	mgCycles = obs.Default.Counter("bright_mg_cycles_total",
+		"Multigrid V-cycles executed (one Apply may run several).")
+	mgLevelsBuilt = obs.Default.Counter("bright_mg_levels_total",
+		"Multigrid levels constructed across all setups (levels per setup = depth of that hierarchy).")
+)
+
+// GridShape describes the structured grid behind a matrix whose unknowns
+// are ordered row-major with X fastest (mesh.Grid2D/Grid3D Index order).
+// NZ <= 1 means a 2D grid.
+type GridShape struct {
+	NX, NY, NZ int
+}
+
+func (s GridShape) nz() int {
+	if s.NZ <= 1 {
+		return 1
+	}
+	return s.NZ
+}
+
+// Cells returns the total unknown count the shape implies.
+func (s GridShape) Cells() int { return s.NX * s.NY * s.nz() }
+
+// coarsen halves every axis (cell-centered: ceil(n/2)).
+func (s GridShape) coarsen() GridShape {
+	h := func(n int) int { return (n + 1) / 2 }
+	return GridShape{NX: h(s.NX), NY: h(s.NY), NZ: h(s.nz())}
+}
+
+// MGOptions tunes the multigrid hierarchy. The zero value gives a
+// symmetric V(1,1) cycle with damped-Jacobi smoothing — symmetric
+// pre/post smoothing and R = P^T keep the preconditioner SPD for SPD
+// operators, which CG requires.
+type MGOptions struct {
+	// PreSmooth / PostSmooth are damped-Jacobi sweeps per level per
+	// cycle (defaults 1 and 1; keep them equal for CG).
+	PreSmooth, PostSmooth int
+	// Omega is the Jacobi damping factor (default 0.8).
+	Omega float64
+	// CoarsestN stops coarsening once a level has at most this many
+	// unknowns; that level is solved directly by dense LU (default 64).
+	CoarsestN int
+	// MaxLevels bounds the hierarchy depth (default 16).
+	MaxLevels int
+	// Cycles is the number of V-cycles per Apply (default 1).
+	Cycles int
+	// Theta is the AMG strength-of-connection threshold (default 0.08).
+	Theta float64
+}
+
+func (o MGOptions) withDefaults() MGOptions {
+	if o.PreSmooth <= 0 {
+		o.PreSmooth = 1
+	}
+	if o.PostSmooth <= 0 {
+		o.PostSmooth = 1
+	}
+	if o.Omega <= 0 {
+		o.Omega = 0.8
+	}
+	if o.CoarsestN <= 0 {
+		o.CoarsestN = 64
+	}
+	if o.MaxLevels <= 0 {
+		o.MaxLevels = 16
+	}
+	if o.Cycles <= 0 {
+		o.Cycles = 1
+	}
+	if o.Theta <= 0 {
+		o.Theta = 0.08
+	}
+	return o
+}
+
+// mgLevel is one rung of the hierarchy. p maps the next-coarser level's
+// correction up to this level; r (= p^T) maps this level's residual
+// down. Both are nil on the coarsest level. The x/b/res buffers are
+// sized at setup so Apply never allocates.
+type mgLevel struct {
+	a       *CSR
+	invDiag []float64
+	p, r    *CSR
+	x, b    []float64
+	res     []float64
+}
+
+// Multigrid is a V-cycle preconditioner over a fixed operator: geometric
+// (NewGMG, structured grids) or aggregation-based algebraic (NewAMG, any
+// CSR). Setup builds the full hierarchy — prolongations, Galerkin coarse
+// operators A_c = P^T A P, inverse diagonals and a dense LU of the
+// coarsest level — once; Apply then runs allocation-free V-cycles, so a
+// Multigrid cached per operator (thermal session, PDN grid) costs setup
+// exactly once. Apply is not safe for concurrent use; SparseSolver
+// serializes solves, which covers the intended use.
+type Multigrid struct {
+	levels []*mgLevel
+	coarse *LU
+	opt    MGOptions
+	kind   string
+}
+
+// Kind reports "gmg" or "amg".
+func (m *Multigrid) Kind() string { return m.kind }
+
+// Levels reports the hierarchy depth, including the coarsest level.
+func (m *Multigrid) Levels() int { return len(m.levels) }
+
+// NewGMG builds a geometric multigrid hierarchy for a matrix discretized
+// on the given structured grid: cell-centered bilinear (trilinear in 3D)
+// prolongation, full-weighting restriction R = P^T, and Galerkin coarse
+// operators, re-coarsening by 2 per axis until CoarsestN.
+func NewGMG(a *CSR, shape GridShape, opt MGOptions) (*Multigrid, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrShape
+	}
+	if shape.NX <= 0 || shape.NY <= 0 || shape.Cells() != a.Rows {
+		return nil, fmt.Errorf("num: grid shape %dx%dx%d does not cover %d unknowns",
+			shape.NX, shape.NY, shape.nz(), a.Rows)
+	}
+	opt = opt.withDefaults()
+	m := &Multigrid{opt: opt, kind: "gmg"}
+	cur := a
+	curShape := shape
+	for len(m.levels) < opt.MaxLevels-1 && cur.Rows > opt.CoarsestN {
+		next := curShape.coarsen()
+		if next.Cells() >= cur.Rows {
+			break // coarsening stalled (grid already 1x1x1-ish)
+		}
+		p := interpolation(curShape, next)
+		if err := m.pushLevel(cur, p); err != nil {
+			return nil, err
+		}
+		cur = MatMul(m.levels[len(m.levels)-1].r, MatMul(cur, p))
+		curShape = next
+	}
+	if err := m.finish(cur); err != nil {
+		return nil, err
+	}
+	mgSetupsGMG.Inc()
+	mgLevelsBuilt.Add(uint64(len(m.levels)))
+	return m, nil
+}
+
+// NewAMG builds an aggregation-based algebraic multigrid hierarchy from
+// the matrix alone: strength-filtered greedy aggregation, Jacobi-smoothed
+// piecewise-constant prolongation and Galerkin coarse operators. It is
+// the fallback for operators without grid structure (irregular PDN
+// stamps, mixed solid/fluid thermal networks).
+func NewAMG(a *CSR, opt MGOptions) (*Multigrid, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrShape
+	}
+	opt = opt.withDefaults()
+	m := &Multigrid{opt: opt, kind: "amg"}
+	cur := a
+	for len(m.levels) < opt.MaxLevels-1 && cur.Rows > opt.CoarsestN {
+		p, ok := aggregationProlongation(cur, opt.Theta, opt.Omega)
+		if !ok {
+			break // aggregation stalled; solve what we have
+		}
+		if err := m.pushLevel(cur, p); err != nil {
+			return nil, err
+		}
+		cur = MatMul(m.levels[len(m.levels)-1].r, MatMul(cur, p))
+	}
+	if err := m.finish(cur); err != nil {
+		return nil, err
+	}
+	mgSetupsAMG.Inc()
+	mgLevelsBuilt.Add(uint64(len(m.levels)))
+	return m, nil
+}
+
+// pushLevel appends a non-coarsest level with prolongation p.
+func (m *Multigrid) pushLevel(a *CSR, p *CSR) error {
+	inv, err := invDiagOf(a)
+	if err != nil {
+		return err
+	}
+	m.levels = append(m.levels, &mgLevel{
+		a: a, invDiag: inv, p: p, r: p.Transpose(),
+		x: make([]float64, a.Rows), b: make([]float64, a.Rows), res: make([]float64, a.Rows),
+	})
+	return nil
+}
+
+// finish installs the coarsest level and its direct factorization.
+func (m *Multigrid) finish(a *CSR) error {
+	inv, err := invDiagOf(a)
+	if err != nil {
+		return err
+	}
+	m.levels = append(m.levels, &mgLevel{
+		a: a, invDiag: inv,
+		x: make([]float64, a.Rows), b: make([]float64, a.Rows), res: make([]float64, a.Rows),
+	})
+	lu, err := FactorLU(a.ToDense())
+	if err != nil {
+		// A singular coarse operator (e.g. a pure-Neumann network whose
+		// null space survived coarsening) falls back to heavy smoothing
+		// on that level instead of failing the whole hierarchy.
+		m.coarse = nil
+		return nil
+	}
+	m.coarse = lu
+	return nil
+}
+
+func invDiagOf(a *CSR) ([]float64, error) {
+	d := a.Diag()
+	inv := make([]float64, len(d))
+	for i, v := range d {
+		if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("num: multigrid needs a nonzero finite diagonal (row %d has %g)", i, v)
+		}
+		inv[i] = 1 / v
+	}
+	return inv, nil
+}
+
+// Apply runs the configured number of V-cycles on A z = r from a zero
+// initial guess. It is allocation-free: every buffer was sized at setup.
+func (m *Multigrid) Apply(r, z []float64) {
+	f := m.levels[0]
+	copy(f.b, r)
+	Fill(f.x, 0)
+	for c := 0; c < m.opt.Cycles; c++ {
+		m.vcycle(0)
+	}
+	copy(z, f.x)
+	mgCycles.Add(uint64(m.opt.Cycles))
+}
+
+func (m *Multigrid) vcycle(l int) {
+	lev := m.levels[l]
+	if l == len(m.levels)-1 {
+		if m.coarse != nil {
+			// LU never fails here: shapes were fixed at setup.
+			//lint:ignore errignore SolveInto only errors on shape mismatch, pinned at setup
+			_ = m.coarse.SolveInto(lev.x, lev.b)
+		} else {
+			m.smooth(lev, 4*(m.opt.PreSmooth+m.opt.PostSmooth))
+		}
+		return
+	}
+	m.smooth(lev, m.opt.PreSmooth)
+	lev.a.MulVec(lev.x, lev.res)
+	for i := range lev.res {
+		lev.res[i] = lev.b[i] - lev.res[i]
+	}
+	next := m.levels[l+1]
+	lev.r.MulVec(lev.res, next.b)
+	Fill(next.x, 0)
+	m.vcycle(l + 1)
+	lev.p.MulVec(next.x, lev.res)
+	Axpy(1, lev.res, lev.x)
+	m.smooth(lev, m.opt.PostSmooth)
+}
+
+// smooth runs damped-Jacobi sweeps x += omega * D^{-1} (b - A x). The
+// SpMV rides the kernel pool; the pointwise update is cheap enough
+// serial.
+func (m *Multigrid) smooth(lev *mgLevel, sweeps int) {
+	for s := 0; s < sweeps; s++ {
+		lev.a.MulVec(lev.x, lev.res)
+		om := m.opt.Omega
+		for i, d := range lev.invDiag {
+			lev.x[i] += om * d * (lev.b[i] - lev.res[i])
+		}
+	}
+}
+
+// interpolation builds the cell-centered bilinear/trilinear prolongation
+// from the coarse shape to the fine shape as a CSR (fine rows x coarse
+// cols). Each fine cell interpolates from its parent coarse cell and the
+// axis neighbours its center leans toward, with 1D weights (3/4, 1/4)
+// tensored across axes; at domain boundaries the stencil clamps to
+// injection.
+func interpolation(fine, coarse GridShape) *CSR {
+	ax := axisWeights(fine.NX, coarse.NX)
+	ay := axisWeights(fine.NY, coarse.NY)
+	az := axisWeights(fine.nz(), coarse.nz())
+	co := NewCOO(fine.Cells(), coarse.Cells())
+	cIdx := func(i, j, k int) int { return (k*coarse.NY+j)*coarse.NX + i }
+	row := 0
+	for k := 0; k < fine.nz(); k++ {
+		for j := 0; j < fine.NY; j++ {
+			for i := 0; i < fine.NX; i++ {
+				for _, wz := range az[k] {
+					for _, wy := range ay[j] {
+						for _, wx := range ax[i] {
+							co.Add(row, cIdx(wx.i, wy.i, wz.i), wx.w*wy.w*wz.w)
+						}
+					}
+				}
+				row++
+			}
+		}
+	}
+	return co.ToCSR()
+}
+
+// axisEntry is one (coarse index, weight) contribution along an axis.
+type axisEntry struct {
+	i int
+	w float64
+}
+
+// axisWeights returns, per fine cell, the 1D cell-centered linear
+// interpolation stencil: parent coarse cell with weight 3/4 and the
+// neighbour the fine center leans toward with 1/4, clamped to injection
+// at the boundary.
+func axisWeights(n, nc int) [][]axisEntry {
+	out := make([][]axisEntry, n)
+	for i := 0; i < n; i++ {
+		c := i / 2
+		if c >= nc {
+			c = nc - 1
+		}
+		nb := c + 1
+		if i%2 == 0 {
+			nb = c - 1
+		}
+		if nb < 0 || nb >= nc {
+			out[i] = []axisEntry{{i: c, w: 1}}
+		} else {
+			out[i] = []axisEntry{{i: c, w: 0.75}, {i: nb, w: 0.25}}
+		}
+	}
+	return out
+}
+
+// aggregationProlongation builds the smoothed-aggregation prolongation
+// for one AMG coarsening step. Returns ok=false when aggregation cannot
+// shrink the problem (no strong connections left).
+func aggregationProlongation(a *CSR, theta, omega float64) (*CSR, bool) {
+	agg, nAgg := aggregate(a, theta)
+	if nAgg <= 0 || nAgg >= a.Rows {
+		return nil, false
+	}
+	// Tentative piecewise-constant prolongation.
+	co := NewCOO(a.Rows, nAgg)
+	for i, g := range agg {
+		co.Add(i, g, 1)
+	}
+	pt := co.ToCSR()
+	// One damped-Jacobi smoothing pass: P = (I - omega D^{-1} A) P_t.
+	// Smoothing spreads each aggregate's footprint over its neighbours,
+	// which restores near-optimal convergence on diffusion operators.
+	d := a.Diag()
+	jac := &CSR{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		RowPtr: a.RowPtr,
+		ColIdx: a.ColIdx,
+		Val:    make([]float64, a.NNZ()),
+	}
+	for i := 0; i < a.Rows; i++ {
+		di := d[i]
+		if di == 0 {
+			di = 1
+		}
+		s := omega / di
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			jac.Val[k] = -s * a.Val[k]
+			if a.ColIdx[k] == i {
+				jac.Val[k] += 1
+			}
+		}
+	}
+	return MatMul(jac, pt), true
+}
+
+// aggregate greedily groups nodes over strong connections
+// (|a_ij| >= theta * sqrt(|a_ii a_jj|)): a first pass seeds aggregates
+// from still-free nodes and their free strong neighbours, a second pass
+// attaches leftovers to their strongest aggregated neighbour (or makes
+// them singletons). Returns the aggregate id per node and the count.
+func aggregate(a *CSR, theta float64) ([]int, int) {
+	n := a.Rows
+	d := a.Diag()
+	agg := make([]int, n)
+	for i := range agg {
+		agg[i] = -1
+	}
+	strong := func(i, k int) bool {
+		j := a.ColIdx[k]
+		if j == i {
+			return false
+		}
+		v := math.Abs(a.Val[k])
+		return v*v >= theta*theta*math.Abs(d[i]*d[j])
+	}
+	nAgg := 0
+	for i := 0; i < n; i++ {
+		if agg[i] != -1 {
+			continue
+		}
+		free := true
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if strong(i, k) && agg[a.ColIdx[k]] != -1 {
+				free = false
+				break
+			}
+		}
+		if !free {
+			continue
+		}
+		agg[i] = nAgg
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if strong(i, k) {
+				agg[a.ColIdx[k]] = nAgg
+			}
+		}
+		nAgg++
+	}
+	for i := 0; i < n; i++ {
+		if agg[i] != -1 {
+			continue
+		}
+		best, bestV := -1, 0.0
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			if j == i || agg[j] == -1 {
+				continue
+			}
+			if v := math.Abs(a.Val[k]); v > bestV {
+				best, bestV = agg[j], v
+			}
+		}
+		if best >= 0 {
+			agg[i] = best
+		} else {
+			agg[i] = nAgg
+			nAgg++
+		}
+	}
+	return agg, nAgg
+}

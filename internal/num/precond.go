@@ -1,0 +1,101 @@
+package num
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"bright/internal/obs"
+)
+
+// Precond selects the preconditioner family a SparseSolver builds when
+// IterOptions.M is nil.
+type Precond int32
+
+const (
+	// PrecondAuto defers to the process-wide default (SetDefaultPrecond),
+	// then to the heuristic: multigrid for large symmetric systems,
+	// Jacobi otherwise.
+	PrecondAuto Precond = iota
+	// PrecondJacobi forces diagonal scaling.
+	PrecondJacobi
+	// PrecondMG forces multigrid: geometric when IterOptions.Shape
+	// describes the grid, aggregation-based AMG otherwise.
+	PrecondMG
+)
+
+func (p Precond) String() string {
+	switch p {
+	case PrecondJacobi:
+		return "jacobi"
+	case PrecondMG:
+		return "mg"
+	default:
+		return "auto"
+	}
+}
+
+// ParsePrecond parses "auto", "jacobi" or "mg" (case-insensitive); it
+// backs the brightd -solver-precond flag and BRIGHT_SOLVER_PRECOND env.
+func ParsePrecond(s string) (Precond, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return PrecondAuto, nil
+	case "jacobi":
+		return PrecondJacobi, nil
+	case "mg", "multigrid":
+		return PrecondMG, nil
+	}
+	return PrecondAuto, fmt.Errorf("num: unknown preconditioner %q (want auto, jacobi or mg)", s)
+}
+
+var processPrecond atomic.Int32
+
+// SetDefaultPrecond sets the process-wide policy consulted when an
+// IterOptions leaves Precond at PrecondAuto.
+func SetDefaultPrecond(p Precond) { processPrecond.Store(int32(p)) }
+
+// DefaultPrecond returns the process-wide policy.
+func DefaultPrecond() Precond { return Precond(processPrecond.Load()) }
+
+// MGAutoThreshold is the unknown count at and above which PrecondAuto
+// upgrades symmetric systems from Jacobi to multigrid. Below it, Jacobi
+// solves finish before MG setup would pay for itself.
+const MGAutoThreshold = 4096
+
+var mgSetupFallbacks = obs.Default.Counter("bright_mg_setup_fallbacks_total",
+	"Multigrid setups that failed and fell back to Jacobi.")
+
+// buildPrecond resolves the policy chain (options -> process default ->
+// heuristic) into a concrete preconditioner for a. Multigrid setup
+// failure degrades to Jacobi rather than failing the solver build: the
+// result is always usable, just possibly slower.
+func buildPrecond(a *CSR, symmetric bool, opt IterOptions) Preconditioner {
+	p := opt.Precond
+	if p == PrecondAuto {
+		p = DefaultPrecond()
+	}
+	if p == PrecondAuto {
+		if symmetric && a.Rows >= MGAutoThreshold {
+			p = PrecondMG
+		} else {
+			p = PrecondJacobi
+		}
+	}
+	if p == PrecondMG {
+		if m, err := newMGFor(a, opt); err == nil {
+			return m
+		}
+		mgSetupFallbacks.Inc()
+	}
+	return NewJacobi(a)
+}
+
+// newMGFor builds geometric multigrid when the options carry a matching
+// grid shape, aggregation AMG otherwise.
+func newMGFor(a *CSR, opt IterOptions) (*Multigrid, error) {
+	if opt.Shape != nil && opt.Shape.NX > 0 && opt.Shape.NY > 0 && opt.Shape.Cells() == a.Rows {
+		return NewGMG(a, *opt.Shape, opt.MG)
+	}
+	return NewAMG(a, opt.MG)
+}

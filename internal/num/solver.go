@@ -1,6 +1,7 @@
 package num
 
 import (
+	"errors"
 	"sync"
 
 	"bright/internal/obs"
@@ -28,6 +29,8 @@ var (
 		"CG breakdowns that restarted as BiCGSTAB on the cached preconditioner.")
 	solveFailures = obs.Default.Counter("bright_krylov_failures_total",
 		"SparseSolver.Solve calls whose final method did not converge.")
+	maxIterExhausted = obs.Default.Counter("bright_krylov_maxiter_total",
+		"Solves that exhausted their iteration budget (ErrMaxIter), distinct from breakdown fallbacks.")
 )
 
 // SparseSolver binds an iterative method to one matrix and caches
@@ -54,7 +57,7 @@ type SparseSolver struct {
 }
 
 // NewSparseSolver builds a solver for a, detecting symmetry once
-// (numerically, to 1e-12). opt.M overrides the cached Jacobi
+// (numerically, to 1e-12). opt.M overrides the policy-built
 // preconditioner when non-nil.
 func NewSparseSolver(a *CSR, opt IterOptions) *SparseSolver {
 	return NewSparseSolverSymmetric(a, a.IsSymmetric(1e-12), opt)
@@ -72,10 +75,14 @@ func NewSparseSolverSymmetric(a *CSR, symmetric bool, opt IterOptions) *SparseSo
 	if opt.M != nil {
 		s.pre = opt.M
 	} else {
-		s.pre = NewJacobi(a)
+		s.pre = buildPrecond(a, symmetric, opt)
 	}
 	return s
 }
+
+// Precond returns the preconditioner the solver resolved at build time
+// (callers inspect it to confirm which policy branch was taken).
+func (s *SparseSolver) Precond() Preconditioner { return s.pre }
 
 // Symmetric reports the cached symmetry decision.
 func (s *SparseSolver) Symmetric() bool { return s.sym }
@@ -140,6 +147,14 @@ func (s *SparseSolver) Solve(b, x []float64) (IterResult, error) {
 		if err == nil {
 			return res, nil
 		}
+		if errors.Is(err, ErrMaxIter) {
+			// Budget exhaustion is a tolerance/conditioning problem,
+			// not a method problem — BiCGSTAB would burn the same
+			// budget from zero. Surface it instead of masking it.
+			maxIterExhausted.Inc()
+			solveFailures.Inc()
+			return res, err
+		}
 		cgFallbacks.Inc()
 		Fill(x, 0)
 	}
@@ -147,6 +162,9 @@ func (s *SparseSolver) Solve(b, x []float64) (IterResult, error) {
 	bicgSolves.Inc()
 	bicgIterations.Add(uint64(res.Iterations))
 	if err != nil {
+		if errors.Is(err, ErrMaxIter) {
+			maxIterExhausted.Inc()
+		}
 		solveFailures.Inc()
 	}
 	return res, err

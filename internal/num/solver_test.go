@@ -193,6 +193,23 @@ func TestKrylovWorkspaceZeroAlloc(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("BiCGSTABWith allocates %.1f per solve, want 0", allocs)
 	}
+
+	// Same contract with a multigrid preconditioner: hierarchy setup may
+	// allocate, the steady-state MG-preconditioned solve loop must not.
+	mg, err := NewGMG(a, GridShape{NX: 24, NY: 24}, MGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.M = mg
+	allocs = testing.AllocsPerRun(20, func() {
+		Fill(x, 0)
+		if _, err := CGWith(a, b, x, opt, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("MG-preconditioned CGWith allocates %.1f per solve, want 0", allocs)
+	}
 }
 
 // TestSparseSolverTelemetry pins the process-wide Krylov counters: a CG

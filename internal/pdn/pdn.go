@@ -142,19 +142,34 @@ type Solution struct {
 	WorstX, WorstY float64
 }
 
-// Solve computes the DC operating point.
-func Solve(p *Problem) (*Solution, error) {
+// Session caches one assembled PDN grid for repeated solves where only
+// the load map and the supply level change. The MNA matrix depends only
+// on the grid geometry, the sheet resistance and the via sites — load
+// currents and the supply voltage enter the right-hand side alone — so
+// across a parameter sweep every point shares the matrix, the
+// preconditioner (geometric multigrid above the auto threshold; setup
+// is paid once here, not per point) and the Krylov workspace. The
+// internal warm start chains voltage fields between consecutive solves.
+// A Session is not safe for concurrent use.
+type Session struct {
+	p         *Problem
+	g         *mesh.Grid2D
+	solver    *num.SparseSolver
+	siteNodes []int
+	b, x      []float64
+	warm      num.WarmStart
+}
+
+// NewSession validates the problem and assembles the conductance matrix
+// once. The problem's LoadDensity and Supply act as defaults for the
+// package-level Solve; Session.Solve takes both per call.
+func NewSession(p *Problem) (*Session, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	g := p.grid()
-	if p.LoadDensity.Grid.NX() != g.NX() || p.LoadDensity.Grid.NY() != g.NY() {
-		return nil, fmt.Errorf("pdn: load density grid %dx%d does not match solve grid %dx%d",
-			p.LoadDensity.Grid.NX(), p.LoadDensity.Grid.NY(), g.NX(), g.NY())
-	}
 	n := g.NumCells()
 	co := num.NewCOO(n, n)
-	b := make([]float64, n)
 	// Mesh conductances: between laterally adjacent nodes,
 	// G = (w_perp / d) / Rs.
 	for j := 0; j < g.NY(); j++ {
@@ -176,40 +191,75 @@ func Solve(p *Problem) (*Solution, error) {
 				co.Add(row, col, -cond)
 				co.Add(col, row, -cond)
 			}
-			// Load sink.
-			load := p.LoadDensity.At(i, j) * g.CellArea(i, j)
-			b[row] -= load
 		}
 	}
-	// Sources: conductance to the fixed supply.
+	// Sources: conductance to the fixed supply (the supply level itself
+	// is RHS-only).
 	siteNodes := make([]int, len(p.Sites))
 	for k, s := range p.Sites {
 		i := g.X.FindCell(s.X)
 		j := g.Y.FindCell(s.Y)
 		node := g.Index(i, j)
 		siteNodes[k] = node
-		gs := 1 / s.Resistance
-		co.Add(node, node, gs)
-		b[node] += gs * p.Supply
+		co.Add(node, node, 1/s.Resistance)
 	}
 	a := co.ToCSR()
-	x := make([]float64, n)
-	if !p.Warm.Seed(x) {
-		num.Fill(x, p.Supply) // cold start at the supply level
-	}
+	shape := num.GridShape{NX: g.NX(), NY: g.NY()}
 	// The MNA stamps are symmetric by construction: CG without a scan.
-	solver := num.NewSparseSolverSymmetric(a, true, num.IterOptions{Tol: 1e-11, MaxIter: 40 * n})
-	if _, err := solver.Solve(b, x); err != nil {
+	// The grid shape lets the preconditioner policy build geometric
+	// multigrid for the default 106x85 grid and above.
+	solver := num.NewSparseSolverSymmetric(a, true, num.IterOptions{Tol: 1e-11, Shape: &shape})
+	return &Session{
+		p: p, g: g, solver: solver, siteNodes: siteNodes,
+		b: make([]float64, n), x: make([]float64, n),
+	}, nil
+}
+
+// Solve computes the DC operating point for the given load map and
+// supply level, warm-starting from the previous call's voltage field.
+func (s *Session) Solve(load *mesh.Field2D, supply float64) (*Solution, error) {
+	return s.solveWith(load, supply, &s.warm)
+}
+
+func (s *Session) solveWith(load *mesh.Field2D, supply float64, warm *num.WarmStart) (*Solution, error) {
+	g := s.g
+	if load == nil {
+		return nil, fmt.Errorf("pdn: nil load density")
+	}
+	if supply <= 0 {
+		return nil, fmt.Errorf("pdn: nonpositive supply %g", supply)
+	}
+	if load.Grid.NX() != g.NX() || load.Grid.NY() != g.NY() {
+		return nil, fmt.Errorf("pdn: load density grid %dx%d does not match solve grid %dx%d",
+			load.Grid.NX(), load.Grid.NY(), g.NX(), g.NY())
+	}
+	for j := 0; j < g.NY(); j++ {
+		for i := 0; i < g.NX(); i++ {
+			s.b[g.Index(i, j)] = -load.At(i, j) * g.CellArea(i, j)
+		}
+	}
+	for k, node := range s.siteNodes {
+		s.b[node] += supply / s.p.Sites[k].Resistance
+	}
+	if !warm.Seed(s.x) {
+		num.Fill(s.x, supply) // cold start at the supply level
+	}
+	if _, err := s.solver.Solve(s.b, s.x); err != nil {
+		warm.Invalidate()
 		return nil, fmt.Errorf("pdn: grid solve failed: %w", err)
 	}
-	p.Warm.Save(x)
+	warm.Save(s.x)
+	// The session's x buffer is reused next solve; the Solution gets its
+	// own copy.
+	x := make([]float64, len(s.x))
+	copy(x, s.x)
 	sol := &Solution{
 		Grid:         g,
 		V:            &mesh.Field2D{Grid: g, Data: x},
 		MinV:         math.Inf(1),
 		MaxV:         math.Inf(-1),
 		MinVCache:    math.Inf(1),
-		SiteCurrents: make([]float64, len(p.Sites)),
+		SiteCurrents: make([]float64, len(s.p.Sites)),
 	}
 	for j := 0; j < g.NY(); j++ {
 		for i := 0; i < g.NX(); i++ {
@@ -220,18 +270,29 @@ func Solve(p *Problem) (*Solution, error) {
 			if v > sol.MaxV {
 				sol.MaxV = v
 			}
-			u := p.Floorplan.UnitAt(g.X.Centers[i], g.Y.Centers[j])
+			u := s.p.Floorplan.UnitAt(g.X.Centers[i], g.Y.Centers[j])
 			if u != nil && u.Kind.IsCache() && v < sol.MinVCache {
 				sol.MinVCache = v
 				sol.WorstX, sol.WorstY = g.X.Centers[i], g.Y.Centers[j]
 			}
-			sol.TotalLoad += p.LoadDensity.At(i, j) * g.CellArea(i, j)
+			sol.TotalLoad += load.At(i, j) * g.CellArea(i, j)
 		}
 	}
-	for k, node := range siteNodes {
-		sol.SiteCurrents[k] = (p.Supply - x[node]) / p.Sites[k].Resistance
+	for k, node := range s.siteNodes {
+		sol.SiteCurrents[k] = (supply - x[node]) / s.p.Sites[k].Resistance
 	}
 	return sol, nil
+}
+
+// Solve computes the DC operating point. One-shot callers pay assembly
+// and preconditioner setup per call; repeated solves over a fixed grid
+// should hold a Session instead.
+func Solve(p *Problem) (*Solution, error) {
+	s, err := NewSession(p)
+	if err != nil {
+		return nil, err
+	}
+	return s.solveWith(p.LoadDensity, p.Supply, p.Warm)
 }
 
 // TotalSourceCurrent sums the via-site injections (A); at DC it must

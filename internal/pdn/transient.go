@@ -134,9 +134,11 @@ func SolveTransient(p *TransientProblem) (*TransientResult, error) {
 	}
 	aDC := dcCOO.ToCSR()
 	// One cached solver per matrix for the whole run: the preconditioner
-	// and Krylov workspace are built once and shared by every solve
-	// against that matrix (all stamps here are symmetric by construction).
-	dcSolver := num.NewSparseSolverSymmetric(aDC, true, num.IterOptions{Tol: 1e-11, MaxIter: 40 * n})
+	// (geometric multigrid at the default resolution) and Krylov
+	// workspace are built once and shared by every solve against that
+	// matrix (all stamps here are symmetric by construction).
+	shape := num.GridShape{NX: g.NX(), NY: g.NY()}
+	dcSolver := num.NewSparseSolverSymmetric(aDC, true, num.IterOptions{Tol: 1e-11, Shape: &shape})
 	solveDC := func(scale float64) ([]float64, error) {
 		b := make([]float64, n)
 		for k := range b {
@@ -174,8 +176,8 @@ func SolveTransient(p *TransientProblem) (*TransientResult, error) {
 		lagCOO.Add(row, row, c/p.Dt)
 		regCOO.Add(row, row, c/p.Dt)
 	}
-	lagSolver := num.NewSparseSolverSymmetric(lagCOO.ToCSR(), true, num.IterOptions{Tol: 1e-10, MaxIter: 40 * n})
-	regSolver := num.NewSparseSolverSymmetric(regCOO.ToCSR(), true, num.IterOptions{Tol: 1e-10, MaxIter: 40 * n})
+	lagSolver := num.NewSparseSolverSymmetric(lagCOO.ToCSR(), true, num.IterOptions{Tol: 1e-10, Shape: &shape})
+	regSolver := num.NewSparseSolverSymmetric(regCOO.ToCSR(), true, num.IterOptions{Tol: 1e-10, Shape: &shape})
 
 	res := &TransientResult{WorstV: math.Inf(1)}
 	rhs := make([]float64, n)

@@ -151,8 +151,12 @@ func Solve(p *Problem) (*Solution, error) {
 	if !p.Warm.Seed(x) {
 		num.Fill(x, 0.5)
 	}
-	// The FV diffusion stamps are symmetric by construction: CG, no scan.
-	solver := num.NewSparseSolverSymmetric(a, true, num.IterOptions{Tol: 1e-11, MaxIter: 40 * n})
+	// The FV diffusion stamps are symmetric by construction: CG, no
+	// scan. The grid shape lets the preconditioner policy build
+	// geometric multigrid at high resolutions (the default 48x48 stays
+	// below the auto threshold and runs Jacobi).
+	solver := num.NewSparseSolverSymmetric(a, true,
+		num.IterOptions{Tol: 1e-11, Shape: &num.GridShape{NX: nx, NY: ny}})
 	if _, err := solver.Solve(b, x); err != nil {
 		return nil, fmt.Errorf("potential: field solve failed: %w", err)
 	}

@@ -65,6 +65,14 @@ type Options struct {
 	KernelThreads int
 	// Solver overrides the production solver (tests, benchmarks).
 	Solver Solver
+	// BatchSolver builds a fresh stateful solver for one sweep chain — a
+	// run of grid-adjacent points sharing the hydrodynamic condition,
+	// executed sequentially so each point warm-starts from its
+	// neighbor's converged state. The default wraps core.NewBatch (one
+	// thermal session per condition, one PDN session per chain); when
+	// Solver is overridden and BatchSolver is not, chains reuse the
+	// overridden Solver (stateless, no warm carry).
+	BatchSolver func() Solver
 	// Metrics is the registry the engine publishes its serving metrics
 	// into; nil gives the engine a private registry (reachable via
 	// Engine.Metrics). One engine per registry: the gauge callbacks are
@@ -84,6 +92,16 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Solver == nil {
 		o.Solver = DefaultSolver
+		if o.BatchSolver == nil {
+			o.BatchSolver = func() Solver {
+				b := core.NewBatch()
+				return b.EvaluateContext
+			}
+		}
+	}
+	if o.BatchSolver == nil {
+		s := o.Solver
+		o.BatchSolver = func() Solver { return s }
 	}
 	return o
 }
@@ -109,6 +127,7 @@ type Engine struct {
 	jobs   *jobRegistry
 
 	workerWG sync.WaitGroup
+	sweepWG  sync.WaitGroup
 
 	// closeMu guards the closed flag and queue sends: Evaluate sends
 	// while holding it read-locked, Shutdown closes the queue while
@@ -235,6 +254,51 @@ func (e *Engine) evaluate(ctx context.Context, cfg core.Config, block bool) (*co
 	}
 }
 
+// evaluateChained is the sweep-chain variant of evaluate: the cache and
+// single-flight layers still apply, but the flight leader solves INLINE
+// with the chain's own stateful solver instead of enqueueing to the
+// worker pool — that is what lets consecutive points reuse one warm
+// solver stack. The solved return reports whether this call ran the
+// solver itself (leader, no cache hit), which is what the warm/cold
+// chain metrics count.
+func (e *Engine) evaluateChained(ctx context.Context, cfg core.Config, solver Solver) (rep *core.Report, solved bool, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, false, err
+	}
+	key := cfg.CanonicalKey()
+	for {
+		if rep, ok := e.cache.Get(key); ok {
+			return rep, false, nil
+		}
+		call, leader := e.flight.join(key)
+		if leader {
+			start := time.Now()
+			rep, err := solver(ctx, cfg)
+			e.m.recordSolve(time.Since(start), err)
+			if err == nil {
+				e.cache.Add(key, rep)
+			}
+			e.flight.complete(key, call, rep, err)
+			return rep, true, err
+		}
+		select {
+		case <-call.done:
+			if call.err == nil {
+				return call.rep, false, nil
+			}
+			// Same follower-retry rule as evaluate: a live follower is not
+			// penalized for the leader's cancellation.
+			if ctx.Err() == nil &&
+				(errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded)) {
+				continue
+			}
+			return nil, false, call.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
 // Metrics returns the registry holding the engine's serving metrics,
 // for exposition (the /metrics endpoint renders it).
 func (e *Engine) Metrics() *obs.Registry { return e.reg }
@@ -275,6 +339,9 @@ func (e *Engine) Stats() Stats {
 		SolveLatencyLastMS: lastMS,
 		JobsActive:         active,
 		JobsDone:           done,
+		SweepChains:        e.m.sweepChains.Value(),
+		SweepPointsWarm:    e.m.sweepPointsWarm.Value(),
+		SweepPointsCold:    e.m.sweepPointsCold.Value(),
 		KernelThreads:      num.KernelThreads(),
 	}
 }
@@ -294,6 +361,7 @@ func (e *Engine) Shutdown(ctx context.Context) error {
 	drained := make(chan struct{})
 	go func() {
 		e.workerWG.Wait()
+		e.sweepWG.Wait() // sweep chains solve outside the worker pool
 		close(drained)
 	}()
 	select {

@@ -49,6 +49,15 @@ type Stats struct {
 	JobsActive int `json:"jobs_active"`
 	JobsDone   int `json:"jobs_done"`
 
+	// Sweep warm-start chains. A chain is a run of grid-adjacent sweep
+	// points sharing the hydrodynamic condition, executed sequentially
+	// on one cached solver stack; a warm point is a chain solve seeded
+	// by an earlier point's converged state, a cold point paid the full
+	// setup. WarmPoints/(WarmPoints+ColdPoints) is the chaining hit rate.
+	SweepChains     uint64 `json:"sweep_chains"`
+	SweepPointsWarm uint64 `json:"sweep_points_warm"`
+	SweepPointsCold uint64 `json:"sweep_points_cold"`
+
 	// KernelThreads is the resolved process-wide goroutine cap of the
 	// numeric kernels (SpMV, dot, axpy) behind every solve.
 	KernelThreads int `json:"kernel_threads"`
@@ -61,10 +70,13 @@ type Stats struct {
 type metrics struct {
 	busyWorkers atomic.Int64
 
-	solves        *obs.Counter
-	solveErrors   *obs.Counter
-	queueRejected *obs.Counter
-	solveLatency  *obs.Histogram
+	solves          *obs.Counter
+	solveErrors     *obs.Counter
+	queueRejected   *obs.Counter
+	solveLatency    *obs.Histogram
+	sweepChains     *obs.Counter
+	sweepPointsWarm *obs.Counter
+	sweepPointsCold *obs.Counter
 
 	mu          sync.Mutex
 	latencyMax  time.Duration
@@ -81,6 +93,12 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Evaluate requests shed with ErrQueueFull backpressure."),
 		solveLatency: reg.Histogram("bright_solve_duration_seconds",
 			"Wall-clock latency of one solver invocation.", obs.DefLatencyBuckets),
+		sweepChains: reg.Counter("bright_sweep_chains_total",
+			"Sweep warm-start chains executed (runs of points sharing a hydrodynamic condition)."),
+		sweepPointsWarm: reg.Counter("bright_sweep_points_total",
+			"Sweep points solved inside a chain, by warm-start state.", obs.L("warm", "true")),
+		sweepPointsCold: reg.Counter("bright_sweep_points_total",
+			"Sweep points solved inside a chain, by warm-start state.", obs.L("warm", "false")),
 	}
 }
 

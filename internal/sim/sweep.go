@@ -209,13 +209,40 @@ func (r *jobRegistry) counts() (active, done int) {
 	return active, done
 }
 
-// SubmitSweep expands the spec and fans its points out across the worker
-// pool, returning immediately with a pollable Job. Points flow through
-// the same cache/single-flight path as Evaluate, so a sweep revisiting
-// known configurations is mostly cache hits. The job runs until done or
-// until ctx (or Job.Cancel) cancels it; fan-out uses blocking enqueue —
-// the sweep applies backpressure to itself, not ErrQueueFull, since its
-// total work is already bounded by MaxSweepPoints.
+// gridPoint is one sweep point with its grid position.
+type gridPoint struct {
+	idx int
+	cfg core.Config
+}
+
+// chainGrid splits a row-major sweep grid into chains: maximal runs of
+// consecutive points sharing (FlowMLMin, InletTempC). Because Grid()
+// nests flow outermost and load innermost, points sharing the
+// hydrodynamic condition — and therefore the thermal system matrix —
+// are always contiguous, so each chain can run sequentially on one
+// cached solver stack with neighbor warm starts.
+func chainGrid(grid []core.Config) [][]gridPoint {
+	var chains [][]gridPoint
+	for i, cfg := range grid {
+		if i == 0 || cfg.FlowMLMin != grid[i-1].FlowMLMin || cfg.InletTempC != grid[i-1].InletTempC {
+			chains = append(chains, nil)
+		}
+		chains[len(chains)-1] = append(chains[len(chains)-1], gridPoint{idx: i, cfg: cfg})
+	}
+	return chains
+}
+
+// SubmitSweep expands the spec into warm-start chains (runs of
+// grid-adjacent points sharing the hydrodynamic condition) and executes
+// the chains concurrently, each chain sequentially on its own stateful
+// solver from Options.BatchSolver, returning immediately with a pollable
+// Job. Within a chain every point after the first warm-starts from its
+// neighbor's converged thermal and PDN state, so batched sweeps amortize
+// assembly, preconditioner setup and most Krylov iterations. Points
+// still flow through the cache/single-flight path, so a sweep revisiting
+// known configurations is mostly cache hits. Concurrency is bounded to
+// the worker-pool size (chain solves run inline, not on the queue); the
+// job runs until done or until ctx (or Job.Cancel) cancels it.
 func (e *Engine) SubmitSweep(ctx context.Context, spec SweepSpec) (*Job, error) {
 	e.closeMu.RLock()
 	closed := e.closed
@@ -236,37 +263,59 @@ func (e *Engine) SubmitSweep(ctx context.Context, spec SweepSpec) (*Job, error) 
 	}
 	e.jobs.add(j)
 
+	e.sweepWG.Add(1)
 	go func() {
+		defer e.sweepWG.Done()
 		defer cancel()
-		// Fan out with a semaphore bounding in-flight points to twice
-		// the pool size: enough to keep every worker busy while the
-		// previous batch drains, without flooding the queue.
-		sem := make(chan struct{}, 2*e.opts.Workers)
+		sem := make(chan struct{}, e.opts.Workers)
 		var wg sync.WaitGroup
-		for i, cfg := range grid {
+		for _, chain := range chainGrid(grid) {
 			if jobCtx.Err() != nil {
 				break
 			}
 			sem <- struct{}{}
 			wg.Add(1)
-			go func(idx int, cfg core.Config) {
+			go func(chain []gridPoint) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				start := time.Now()
-				rep, err := e.evaluate(jobCtx, cfg, true)
-				pr := PointResult{
-					Index:      idx,
-					Config:     cfg,
-					DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+				e.m.sweepChains.Inc()
+				solver := e.opts.BatchSolver()
+				solved := 0
+				for _, pt := range chain {
+					if jobCtx.Err() != nil {
+						return
+					}
+					e.closeMu.RLock()
+					engineClosed := e.closed
+					e.closeMu.RUnlock()
+					if engineClosed {
+						j.record(PointResult{Index: pt.idx, Config: pt.cfg, Error: ErrClosed.Error()})
+						continue
+					}
+					start := time.Now()
+					rep, didSolve, err := e.evaluateChained(jobCtx, pt.cfg, solver)
+					if didSolve {
+						if solved > 0 {
+							e.m.sweepPointsWarm.Inc()
+						} else {
+							e.m.sweepPointsCold.Inc()
+						}
+						solved++
+					}
+					pr := PointResult{
+						Index:      pt.idx,
+						Config:     pt.cfg,
+						DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+					}
+					if err != nil {
+						pr.Error = err.Error()
+					} else {
+						v := NewReportView(rep)
+						pr.Report = &v
+					}
+					j.record(pr)
 				}
-				if err != nil {
-					pr.Error = err.Error()
-				} else {
-					v := NewReportView(rep)
-					pr.Report = &v
-				}
-				j.record(pr)
-			}(i, cfg)
+			}(chain)
 		}
 		wg.Wait()
 		j.finish(jobCtx.Err())

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"bright/internal/core"
+	"bright/internal/obs"
 )
 
 var errSolverBoom = errors.New("synthetic solver failure")
@@ -33,6 +34,76 @@ func TestSweepGridExpansion(t *testing.T) {
 	// Row-major: flow outermost.
 	if grid[0].FlowMLMin != 100 || grid[3].FlowMLMin != 676 {
 		t.Fatalf("unexpected axis order: %+v", grid)
+	}
+}
+
+// TestSweepGridRowMajorOrder pins the exact expansion order of Grid():
+// flow outermost, then inlet temperature, then supply voltage, with
+// chip load innermost. chainGrid and the batch solver's session reuse
+// both depend on this ordering, so it is a golden test — any change to
+// the nesting must update this table deliberately.
+func TestSweepGridRowMajorOrder(t *testing.T) {
+	spec := SweepSpec{
+		FlowsMLMin:     []float64{100, 676},
+		InletTempsC:    []float64{27, 47},
+		SupplyVoltages: []float64{0.9, 1.0},
+		ChipLoads:      []float64{0.5, 1.0},
+	}
+	grid, err := spec.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][4]float64{ // {flow, inlet, voltage, load}
+		{100, 27, 0.9, 0.5}, {100, 27, 0.9, 1.0}, {100, 27, 1.0, 0.5}, {100, 27, 1.0, 1.0},
+		{100, 47, 0.9, 0.5}, {100, 47, 0.9, 1.0}, {100, 47, 1.0, 0.5}, {100, 47, 1.0, 1.0},
+		{676, 27, 0.9, 0.5}, {676, 27, 0.9, 1.0}, {676, 27, 1.0, 0.5}, {676, 27, 1.0, 1.0},
+		{676, 47, 0.9, 0.5}, {676, 47, 0.9, 1.0}, {676, 47, 1.0, 0.5}, {676, 47, 1.0, 1.0},
+	}
+	if len(grid) != len(want) {
+		t.Fatalf("grid has %d points, want %d", len(grid), len(want))
+	}
+	for k, w := range want {
+		got := [4]float64{grid[k].FlowMLMin, grid[k].InletTempC, grid[k].SupplyVoltage, grid[k].ChipLoad}
+		if got != w {
+			t.Fatalf("point %d = %v, want %v (row-major order broken)", k, got, w)
+		}
+	}
+}
+
+// TestChainGrid: the 2x2x2x2 grid above must split into 4 chains of 4 —
+// one per (flow, inlet) pair — with contiguous, increasing indices.
+func TestChainGrid(t *testing.T) {
+	spec := SweepSpec{
+		FlowsMLMin:     []float64{100, 676},
+		InletTempsC:    []float64{27, 47},
+		SupplyVoltages: []float64{0.9, 1.0},
+		ChipLoads:      []float64{0.5, 1.0},
+	}
+	grid, err := spec.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains := chainGrid(grid)
+	if len(chains) != 4 {
+		t.Fatalf("got %d chains, want 4 (one per hydrodynamic condition)", len(chains))
+	}
+	next := 0
+	for c, chain := range chains {
+		if len(chain) != 4 {
+			t.Fatalf("chain %d has %d points, want 4", c, len(chain))
+		}
+		for _, pt := range chain {
+			if pt.idx != next {
+				t.Fatalf("chain %d: index %d, want %d (chains must cover the grid in order)", c, pt.idx, next)
+			}
+			if pt.cfg.FlowMLMin != chain[0].cfg.FlowMLMin || pt.cfg.InletTempC != chain[0].cfg.InletTempC {
+				t.Fatalf("chain %d mixes hydrodynamic conditions: %+v", c, pt.cfg)
+			}
+			next++
+		}
+	}
+	if next != len(grid) {
+		t.Fatalf("chains cover %d points, want %d", next, len(grid))
 	}
 }
 
@@ -173,6 +244,71 @@ func TestSweepFailedPointMarksJobFailed(t *testing.T) {
 	v := waitJob(t, job, 10*time.Second)
 	if v.State != JobFailed || v.Failed != 2 {
 		t.Fatalf("state=%s failed=%d, want failed/2", v.State, v.Failed)
+	}
+}
+
+// krylovIterations reads the process-wide Krylov iteration counters.
+// Registration is idempotent, so this returns the same instruments the
+// solvers in internal/num bump.
+func krylovIterations() uint64 {
+	cg := obs.Default.Counter("bright_krylov_iterations_total",
+		"Krylov iterations spent inside SparseSolver.Solve, by method.", obs.L("method", "cg"))
+	bicg := obs.Default.Counter("bright_krylov_iterations_total",
+		"Krylov iterations spent inside SparseSolver.Solve, by method.", obs.L("method", "bicgstab"))
+	return cg.Value() + bicg.Value()
+}
+
+// TestSweepWarmStartSavesKrylovIterations is the issue's acceptance
+// test: a chained 1-D sweep (16 load points under one hydrodynamic
+// condition) must spend measurably fewer total Krylov iterations than
+// solving the same points independently, observed through the
+// process-wide obs counters.
+func TestSweepWarmStartSavesKrylovIterations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full co-simulation sweep in -short mode")
+	}
+	loads := make([]float64, 16)
+	for k := range loads {
+		loads[k] = 0.25 + 0.05*float64(k)
+	}
+
+	e := newTestEngine(t, Options{Workers: 1})
+	before := krylovIterations()
+	job, err := e.SubmitSweep(context.Background(), SweepSpec{ChipLoads: loads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 full co-simulations: ~20 s plain, several minutes under -race.
+	v := waitJob(t, job, 15*time.Minute)
+	if v.State != JobDone {
+		t.Fatalf("sweep job state %s, want done", v.State)
+	}
+	chained := krylovIterations() - before
+
+	st := e.Stats()
+	if st.SweepChains < 1 || st.SweepPointsCold < 1 || st.SweepPointsWarm < uint64(len(loads)-1) {
+		t.Fatalf("chain metrics: chains=%d cold=%d warm=%d, want >=1 / >=1 / >=%d",
+			st.SweepChains, st.SweepPointsCold, st.SweepPointsWarm, len(loads)-1)
+	}
+
+	before = krylovIterations()
+	for _, l := range loads {
+		cfg := core.DefaultConfig()
+		cfg.ChipLoad = l
+		if _, err := DefaultSolver(context.Background(), cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	independent := krylovIterations() - before
+
+	t.Logf("krylov iterations: chained=%d independent=%d", chained, independent)
+	if chained >= independent {
+		t.Fatalf("chained sweep spent %d Krylov iterations, independent solves spent %d — warm starts saved nothing",
+			chained, independent)
+	}
+	// "Measurably fewer": require at least a 20% saving.
+	if 5*chained > 4*independent {
+		t.Fatalf("chained sweep saved only %d of %d iterations (under 20%%)", independent-chained, independent)
 	}
 }
 

@@ -62,7 +62,9 @@ func NewSession(p *Problem) (*Session, error) {
 		p: p,
 		s: s,
 		// Advection makes the network nonsymmetric: BiCGSTAB, no scan.
-		solver: num.NewSparseSolverSymmetric(a, false, num.IterOptions{Tol: 1e-10, MaxIter: 60 * s.n}),
+		// MaxIter rides the capped default so exhaustion surfaces as
+		// num.ErrMaxIter instead of burning 60*n iterations.
+		solver: num.NewSparseSolverSymmetric(a, false, num.IterOptions{Tol: 1e-10}),
 		x:      make([]float64, s.n),
 	}
 	num.Fill(ses.x, s.inletT)

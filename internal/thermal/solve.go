@@ -390,7 +390,9 @@ func solveOnce(p *Problem, layerT, x0 []float64) (*system, []float64, error) {
 	} else {
 		num.Fill(x, s.inletT)
 	}
-	solver := num.NewSparseSolverSymmetric(a, false, num.IterOptions{Tol: 1e-10, MaxIter: 60 * s.n})
+	// MaxIter rides the capped default: exhaustion now surfaces as
+	// num.ErrMaxIter instead of burning 60*n iterations.
+	solver := num.NewSparseSolverSymmetric(a, false, num.IterOptions{Tol: 1e-10})
 	if _, err := solver.Solve(b, x); err != nil {
 		return nil, nil, fmt.Errorf("thermal: steady solve failed: %w", err)
 	}

@@ -60,7 +60,7 @@ func SolveSchedule(p *Problem, t0, dt float64, steps int, schedule func(step int
 	// One cached solver for every step: the matrix is constant, so the
 	// Jacobi preconditioner and Krylov workspace are built once, and
 	// each step warm-starts from the previous temperature field.
-	solver := num.NewSparseSolverSymmetric(a, false, num.IterOptions{Tol: 1e-9, MaxIter: 40 * s.n})
+	solver := num.NewSparseSolverSymmetric(a, false, num.IterOptions{Tol: 1e-9})
 
 	x := make([]float64, s.n)
 	num.Fill(x, t0)
