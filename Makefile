@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check fmt-check build vet lint lint-fix-list test race race-serving test-short bench bench-serving bench-compare escape-check
+.PHONY: check fmt-check build vet lint lint-fix-list test race race-serving race-stream test-short bench bench-serving bench-compare escape-check
 
 check: fmt-check vet lint build race escape-check
 
@@ -56,22 +56,32 @@ race:
 race-serving:
 	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/obs/... ./internal/sim/...
 
+# Race pass over the streaming digital-twin service: the session run
+# loops, the frame ring's producer/consumer paths and the SSE/NDJSON
+# framing under slow consumers are all concurrency-critical, so they get
+# their own fast gate for tight iteration (the full `race` also covers
+# them in tier-1).
+race-stream:
+	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/stream/...
+
 test-short:
 	$(GO) test -short ./...
 
-# Full benchmark sweep over the numeric kernels, the thermal solver and
-# the serving engine, folded into a machine-readable report
-# (BENCH_PR5.json): per-benchmark ns/op, B/op, allocs/op, and the
-# paired speedup rows (serial vs parallel kernels, Jacobi vs multigrid
-# preconditioning), stamped with the Go version and core count of the
-# generating machine. BENCH_PR2.json is the frozen pre-multigrid
-# baseline; do not overwrite it.
+# Full benchmark sweep over the numeric kernels, the thermal solver,
+# the serving engine and the streaming-session stepper, folded into a
+# machine-readable report (BENCH_PR6.json): per-benchmark ns/op, B/op,
+# allocs/op, the paired speedup rows (serial vs parallel kernels,
+# Jacobi vs multigrid preconditioning) and the streaming frames/s rows,
+# stamped with the Go version and core count of the generating machine.
+# BENCH_PR2.json (pre-multigrid) and BENCH_PR5.json (pre-streaming) are
+# frozen baselines; do not overwrite them.
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/num > /tmp/bench_num.txt
 	$(GO) test -run xxx -bench . -benchmem ./internal/thermal > /tmp/bench_thermal.txt
 	$(GO) test -run xxx -bench BenchmarkEngineThroughput -benchmem . > /tmp/bench_engine.txt
-	$(GO) run ./cmd/benchjson -o BENCH_PR5.json /tmp/bench_num.txt /tmp/bench_thermal.txt /tmp/bench_engine.txt
-	@echo wrote BENCH_PR5.json
+	$(GO) test -run xxx -bench BenchmarkTransientStepping -benchmem ./internal/stream > /tmp/bench_stream.txt
+	$(GO) run ./cmd/benchjson -o BENCH_PR6.json /tmp/bench_num.txt /tmp/bench_thermal.txt /tmp/bench_engine.txt /tmp/bench_stream.txt
+	@echo wrote BENCH_PR6.json
 
 # Serving-layer throughput baseline only (see BenchmarkEngineThroughput).
 bench-serving:

@@ -64,6 +64,15 @@ type Speedup struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// FrameRate surfaces a streaming-session stepping benchmark's frames/s
+// metric (b.ReportMetric in internal/stream) as a first-class report
+// row, so the digital-twin frame rate is trackable across PRs without
+// digging through the generic metrics maps.
+type FrameRate struct {
+	Name         string  `json:"name"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+}
+
 // suffixPairs lists the recognized baseline/variant sub-benchmark
 // suffix conventions.
 var suffixPairs = []struct{ kind, baseline, variant string }{
@@ -82,6 +91,9 @@ type Report struct {
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 	Speedups   []Speedup   `json:"speedups,omitempty"`
+	// FrameRates lists every benchmark reporting a frames/s metric
+	// (streaming-session stepping throughput).
+	FrameRates []FrameRate `json:"frame_rates,omitempty"`
 }
 
 func main() {
@@ -114,6 +126,7 @@ func main() {
 		}
 	}
 	rep.Speedups = speedups(rep.Benchmarks)
+	rep.FrameRates = frameRates(rep.Benchmarks)
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -233,6 +246,17 @@ func parseLine(line string) (Benchmark, bool) {
 		}
 	}
 	return b, b.NsOp > 0
+}
+
+// frameRates extracts the frames/s rows, in benchmark order.
+func frameRates(benches []Benchmark) []FrameRate {
+	var out []FrameRate
+	for _, b := range benches {
+		if fps, ok := b.Metrics["frames/s"]; ok && fps > 0 {
+			out = append(out, FrameRate{Name: b.Name, FramesPerSec: fps})
+		}
+	}
+	return out
 }
 
 // speedups pairs every recognized baseline/variant sub-benchmark couple

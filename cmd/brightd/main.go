@@ -12,9 +12,18 @@
 //	GET  /v1/jobs/{id} — poll a sweep job: state, progress, streamed
 //	                     per-point results
 //	GET  /v1/stats     — cache hit rate, queue depth, worker utilization
-//	                     and solve latencies
+//	                     and solve latencies (plus streaming-session
+//	                     aggregates under "stream")
 //	GET  /metrics      — Prometheus text exposition: serving metrics plus
-//	                     Krylov/cosim/thermal solver telemetry
+//	                     Krylov/cosim/thermal solver telemetry and the
+//	                     bright_stream_* session series
+//	POST /v1/sessions  — open a streaming digital-twin session (see
+//	                     internal/stream): workload-driven transient
+//	                     electro-thermal co-simulation, frames streamed
+//	                     from GET /v1/sessions/{id}/frames as SSE or
+//	                     NDJSON, with advance/utilization/checkpoint/
+//	                     restore sub-endpoints. A full cap answers 429
+//	                     with Retry-After.
 //
 // The job queue is bounded: when it is full, /v1/evaluate answers 503
 // with a Retry-After header (backpressure) instead of queueing
@@ -29,6 +38,13 @@
 //	brightd [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	        [-kernel-threads N] [-solver-precond auto|jacobi|mg]
 //	        [-request-timeout 5m] [-drain-timeout 30s] [-debug-addr :6060]
+//	        [-max-sessions N] [-session-idle-timeout 2m] [-session-ring N]
+//
+// -max-sessions caps concurrently open streaming sessions (the 429
+// admission bound), -session-idle-timeout reaps sessions no client has
+// touched, and -session-ring sizes each session's recent-frame buffer
+// (a slow consumer falls behind by at most this many frames before the
+// ring drops the oldest).
 //
 // -debug-addr starts an opt-in debug listener serving net/http/pprof
 // under /debug/pprof/ — kept off the public address so profiling
@@ -64,6 +80,7 @@ import (
 	"bright/internal/num"
 	"bright/internal/obs"
 	"bright/internal/sim"
+	"bright/internal/stream"
 )
 
 // HTTP-surface telemetry, alongside the solver counters in obs.Default
@@ -114,6 +131,12 @@ func main() {
 			"opt-in debug listener serving /debug/pprof/ (empty = disabled)")
 		precond = flag.String("solver-precond", envStr("BRIGHT_SOLVER_PRECOND", "auto"),
 			"preconditioner policy for the iterative solvers: auto, jacobi or mg (env BRIGHT_SOLVER_PRECOND)")
+		maxSessions = flag.Int("max-sessions", 8,
+			"streaming session cap; admissions past it answer 429")
+		sessionIdle = flag.Duration("session-idle-timeout", 2*time.Minute,
+			"reap streaming sessions with no client interaction for this long")
+		sessionRing = flag.Int("session-ring", 256,
+			"frames buffered per streaming session (drop-oldest past this)")
 	)
 	flag.Parse()
 
@@ -144,8 +167,14 @@ func main() {
 		CacheSize:     *cacheSize,
 		KernelThreads: *kernThreads,
 	})
+	sessions := stream.NewManager(stream.Options{
+		MaxSessions: *maxSessions,
+		IdleTimeout: *sessionIdle,
+		RingSize:    *sessionRing,
+	})
 
-	handler := withRequestTimeout(*reqTimeout, withLogging(sim.NewHandler(engine)))
+	handler := withRequestTimeout(*reqTimeout,
+		withLogging(sim.NewHandler(engine, sim.WithStreamManager(sessions))))
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
@@ -180,6 +209,9 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("brightd: http shutdown: %v", err)
 	}
+	if err := sessions.Shutdown(shutdownCtx); err != nil {
+		log.Printf("brightd: session shutdown: %v", err)
+	}
 	if err := engine.Shutdown(shutdownCtx); err != nil {
 		log.Printf("brightd: engine shutdown: %v", err)
 	}
@@ -207,6 +239,15 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so streamed responses (SSE,
+// NDJSON session frames) are not buffered behind the access log
+// wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // withLogging assigns each request its ID (echoed in the X-Request-ID

@@ -112,19 +112,9 @@ func RunWorkload(cfg ScenarioConfig) (*ScenarioResult, error) {
 	for k, ph := range cfg.Trace.Phases {
 		fields[k] = pm.DensityField(f, grid, ph.Util)
 	}
-	phaseAt := func(time float64) int {
-		time = math.Mod(time, period)
-		for k, ph := range cfg.Trace.Phases {
-			if time < ph.Duration {
-				return k
-			}
-			time -= ph.Duration
-		}
-		return len(cfg.Trace.Phases) - 1
-	}
-	p.Power = fields[phaseAt(0)]
+	p.Power = fields[cfg.Trace.PhaseIndexAt(0)]
 	tr, err := thermal.SolveSchedule(p, inletK, cfg.Dt, steps, func(step int, time float64) *mesh.Field2D {
-		return fields[phaseAt(time-cfg.Dt/2)] // power during the step
+		return fields[cfg.Trace.PhaseIndexAt(time-cfg.Dt/2)] // power during the step
 	})
 	if err != nil {
 		return nil, err

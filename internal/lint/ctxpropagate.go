@@ -27,17 +27,22 @@ var CtxPropagate = &Analyzer{
 // stack. Matching by suffix keeps the rule applicable to fixture
 // modules.
 func servingPkg(path string) bool {
-	return strings.HasSuffix(path, "internal/sim") || strings.HasSuffix(path, "cmd/brightd")
+	return strings.HasSuffix(path, "internal/sim") ||
+		strings.HasSuffix(path, "internal/stream") ||
+		strings.HasSuffix(path, "cmd/brightd")
 }
 
 // nonContextSiblings maps (defining package's last path segment,
 // function or method name) to the *Context variant that must be called
 // instead on serving paths.
 var nonContextSiblings = map[[2]string]string{
-	{"cosim", "Run"}:         "cosim.RunContext",
-	{"thermal", "Solve"}:     "thermal.SolveContext",
-	{"flowcell", "Polarize"}: "PolarizeContext",
-	{"core", "Evaluate"}:     "EvaluateContext",
+	{"cosim", "Run"}:              "cosim.RunContext",
+	{"thermal", "Solve"}:          "thermal.SolveContext",
+	{"thermal", "SolveSchedule"}:  "thermal.SolveScheduleContext",
+	{"thermal", "SolveTransient"}: "thermal.SolveTransientContext",
+	{"pdn", "SolveTransient"}:     "pdn.SolveTransientContext",
+	{"flowcell", "Polarize"}:      "PolarizeContext",
+	{"core", "Evaluate"}:          "EvaluateContext",
 }
 
 // calleeFunc resolves the *types.Func a call invokes, when it is a

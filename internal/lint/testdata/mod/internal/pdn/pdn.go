@@ -1,0 +1,15 @@
+package pdn
+
+import "context"
+
+type Problem struct{}
+
+type Waveform struct{}
+
+func SolveTransient(p *Problem) (*Waveform, error) {
+	return SolveTransientContext(context.Background(), p)
+}
+
+func SolveTransientContext(ctx context.Context, p *Problem) (*Waveform, error) {
+	return &Waveform{}, nil
+}

@@ -9,3 +9,17 @@ type Solution struct{}
 func Solve(p *Problem) (*Solution, error) { return SolveContext(context.Background(), p) }
 
 func SolveContext(ctx context.Context, p *Problem) (*Solution, error) { return &Solution{}, nil }
+
+func SolveSchedule(p *Problem) ([]*Solution, error) {
+	return SolveScheduleContext(context.Background(), p)
+}
+
+func SolveScheduleContext(ctx context.Context, p *Problem) ([]*Solution, error) { return nil, nil }
+
+func SolveTransient(p *Problem) (*Solution, error) {
+	return SolveTransientContext(context.Background(), p)
+}
+
+func SolveTransientContext(ctx context.Context, p *Problem) (*Solution, error) {
+	return &Solution{}, nil
+}

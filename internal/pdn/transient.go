@@ -1,6 +1,7 @@
 package pdn
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -71,21 +72,34 @@ type TransientResult struct {
 	DroopMV float64
 }
 
-// SolveTransient integrates the wake-up step with backward Euler.
-func SolveTransient(p *TransientProblem) (*TransientResult, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	base := p.Base
+// gridStamp is the shared stamping of one PDN grid: the mesh
+// conductance matrix (no sites, no capacitance), the full-load current
+// per node, the decap per node and the site nodes/conductances. Both
+// the one-shot wake-up study and the streaming TransientSession build
+// their phase matrices from it.
+type gridStamp struct {
+	n          int
+	gridCSR    *num.CSR
+	loadFull   []float64 // A per node at full load
+	capPerNode []float64 // F per node (0 when decapPerArea is 0)
+	siteNodes  []int
+	siteG      []float64
+}
+
+// stamp assembles the grid conductances, per-node loads and decap for
+// the problem's mesh. The load grid must match the solve grid.
+func stamp(base *Problem, decapPerArea float64) (*gridStamp, error) {
 	g := base.grid()
 	if base.LoadDensity.Grid.NX() != g.NX() || base.LoadDensity.Grid.NY() != g.NY() {
 		return nil, fmt.Errorf("pdn: load grid mismatch")
 	}
 	n := g.NumCells()
-	// Grid conductances shared by every phase.
 	gridCOO := num.NewCOO(n, n)
-	loadFull := make([]float64, n)
-	capPerNode := make([]float64, n)
+	st := &gridStamp{
+		n:          n,
+		loadFull:   make([]float64, n),
+		capPerNode: make([]float64, n),
+	}
 	for j := 0; j < g.NY(); j++ {
 		for i := 0; i < g.NX(); i++ {
 			row := g.Index(i, j)
@@ -106,31 +120,56 @@ func SolveTransient(p *TransientProblem) (*TransientResult, error) {
 				gridCOO.Add(col, row, -cond)
 			}
 			area := g.CellArea(i, j)
-			loadFull[row] = base.LoadDensity.At(i, j) * area
-			capPerNode[row] = p.DecapPerArea * area
+			st.loadFull[row] = base.LoadDensity.At(i, j) * area
+			st.capPerNode[row] = decapPerArea * area
 		}
 	}
-	siteNodes := make([]int, len(base.Sites))
-	siteG := make([]float64, len(base.Sites))
+	st.gridCSR = gridCOO.ToCSR()
+	st.siteNodes = make([]int, len(base.Sites))
+	st.siteG = make([]float64, len(base.Sites))
 	for k, s := range base.Sites {
-		siteNodes[k] = g.Index(g.X.FindCell(s.X), g.Y.FindCell(s.Y))
-		siteG[k] = 1 / s.Resistance
+		st.siteNodes[k] = g.Index(g.X.FindCell(s.X), g.Y.FindCell(s.Y))
+		st.siteG[k] = 1 / s.Resistance
 	}
+	return st, nil
+}
+
+// stampInto copies the grid conductances into a fresh COO for one phase
+// matrix.
+func (st *gridStamp) stampInto(dst *num.COO) {
+	src := st.gridCSR
+	for i := 0; i < src.Rows; i++ {
+		for kk := src.RowPtr[i]; kk < src.RowPtr[i+1]; kk++ {
+			dst.Add(i, src.ColIdx[kk], src.Val[kk])
+		}
+	}
+}
+
+// SolveTransient integrates the wake-up step with backward Euler.
+func SolveTransient(p *TransientProblem) (*TransientResult, error) {
+	return SolveTransientContext(context.Background(), p)
+}
+
+// SolveTransientContext is SolveTransient with cancellation, checked at
+// every backward-Euler step boundary.
+func SolveTransientContext(ctx context.Context, p *TransientProblem) (*TransientResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	base := p.Base
+	g := base.grid()
+	st, err := stamp(base, p.DecapPerArea)
+	if err != nil {
+		return nil, err
+	}
+	n := st.n
 	// DC solve helper with voltage-source sites at the given load scale.
 	dcCOO := num.NewCOO(n, n)
-	stampFrom := func(dst *num.COO, src *num.CSR) {
-		for i := 0; i < src.Rows; i++ {
-			for kk := src.RowPtr[i]; kk < src.RowPtr[i+1]; kk++ {
-				dst.Add(i, src.ColIdx[kk], src.Val[kk])
-			}
-		}
-	}
-	gridCSR := gridCOO.ToCSR()
-	stampFrom(dcCOO, gridCSR)
+	st.stampInto(dcCOO)
 	srcB := make([]float64, n)
-	for k, node := range siteNodes {
-		dcCOO.Add(node, node, siteG[k])
-		srcB[node] += siteG[k] * base.Supply
+	for k, node := range st.siteNodes {
+		dcCOO.Add(node, node, st.siteG[k])
+		srcB[node] += st.siteG[k] * base.Supply
 	}
 	aDC := dcCOO.ToCSR()
 	// One cached solver per matrix for the whole run: the preconditioner
@@ -142,7 +181,7 @@ func SolveTransient(p *TransientProblem) (*TransientResult, error) {
 	solveDC := func(scale float64) ([]float64, error) {
 		b := make([]float64, n)
 		for k := range b {
-			b[k] = srcB[k] - scale*loadFull[k]
+			b[k] = srcB[k] - scale*st.loadFull[k]
 		}
 		x := make([]float64, n)
 		num.Fill(x, base.Supply)
@@ -161,18 +200,18 @@ func SolveTransient(p *TransientProblem) (*TransientResult, error) {
 	}
 	// Frozen VRM currents during the lag window.
 	iFrozen := make([]float64, n)
-	for k, node := range siteNodes {
-		iFrozen[node] += siteG[k] * (base.Supply - x[node])
+	for k, node := range st.siteNodes {
+		iFrozen[node] += st.siteG[k] * (base.Supply - x[node])
 	}
 	// Phase matrices with capacitance.
 	lagCOO := num.NewCOO(n, n)
-	stampFrom(lagCOO, gridCSR)
+	st.stampInto(lagCOO)
 	regCOO := num.NewCOO(n, n)
-	stampFrom(regCOO, gridCSR)
-	for k, node := range siteNodes {
-		regCOO.Add(node, node, siteG[k])
+	st.stampInto(regCOO)
+	for k, node := range st.siteNodes {
+		regCOO.Add(node, node, st.siteG[k])
 	}
-	for row, c := range capPerNode {
+	for row, c := range st.capPerNode {
 		lagCOO.Add(row, row, c/p.Dt)
 		regCOO.Add(row, row, c/p.Dt)
 	}
@@ -182,10 +221,13 @@ func SolveTransient(p *TransientProblem) (*TransientResult, error) {
 	res := &TransientResult{WorstV: math.Inf(1)}
 	rhs := make([]float64, n)
 	for step := 1; step <= p.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t := float64(step) * p.Dt
 		inLag := t <= p.VRMResponseTime
 		for k := range rhs {
-			rhs[k] = -loadFull[k] + capPerNode[k]/p.Dt*x[k]
+			rhs[k] = -st.loadFull[k] + st.capPerNode[k]/p.Dt*x[k]
 			if inLag {
 				rhs[k] += iFrozen[k]
 			} else {
@@ -212,4 +254,159 @@ func SolveTransient(p *TransientProblem) (*TransientResult, error) {
 		res.DroopMV = 0
 	}
 	return res, nil
+}
+
+// TransientSession is the step-at-a-time form of the PDN transient: the
+// regulated backward-Euler matrix (grid + site conductances + C/dt) is
+// assembled and preconditioned once, and each Step advances the node
+// voltage state by one dt under a caller-chosen load scale. Where
+// SolveTransient runs one canned wake-up study, a TransientSession is
+// co-stepped frame by frame with the thermal transient by the streaming
+// digital-twin sessions (internal/stream): a workload-driven load step
+// shows up as a voltage droop that the decap rides out over the next
+// few steps, and the state vector is exposed for checkpoint/restore.
+// A TransientSession is not safe for concurrent use.
+type TransientSession struct {
+	base   *Problem
+	st     *gridStamp
+	dt     float64
+	solver *num.SparseSolver
+	// lagSolver is the frozen-VRM phase matrix (no site conductances):
+	// during a regulation lag only the decap supplies a load change.
+	lagSolver *num.SparseSolver
+	x         []float64
+	rhs       []float64
+	// cacheMask marks nodes inside cache units, the region whose
+	// minimum voltage the paper's power-integrity experiment tracks.
+	cacheMask []bool
+	steps     int
+}
+
+// NewTransientSession assembles the regulated-phase backward-Euler
+// system (the VRMs track the supply; the lag-phase study stays with
+// SolveTransient) at the given decap density and step size. The voltage
+// state is initialized to the flat supply level; step the session a few
+// times at the starting load to settle it before trusting droops.
+func NewTransientSession(base *Problem, decapPerArea, dt float64) (*TransientSession, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if decapPerArea <= 0 {
+		return nil, fmt.Errorf("pdn: nonpositive decap %g", decapPerArea)
+	}
+	if dt <= 0 {
+		return nil, fmt.Errorf("pdn: nonpositive transient step dt=%g", dt)
+	}
+	st, err := stamp(base, decapPerArea)
+	if err != nil {
+		return nil, err
+	}
+	g := base.grid()
+	co := num.NewCOO(st.n, st.n)
+	st.stampInto(co)
+	for k, node := range st.siteNodes {
+		co.Add(node, node, st.siteG[k])
+	}
+	lagCO := num.NewCOO(st.n, st.n)
+	st.stampInto(lagCO)
+	for row, c := range st.capPerNode {
+		co.Add(row, row, c/dt)
+		lagCO.Add(row, row, c/dt)
+	}
+	shape := num.GridShape{NX: g.NX(), NY: g.NY()}
+	ts := &TransientSession{
+		base:      base,
+		st:        st,
+		dt:        dt,
+		solver:    num.NewSparseSolverSymmetric(co.ToCSR(), true, num.IterOptions{Tol: 1e-10, Shape: &shape}),
+		lagSolver: num.NewSparseSolverSymmetric(lagCO.ToCSR(), true, num.IterOptions{Tol: 1e-10, Shape: &shape}),
+		x:         make([]float64, st.n),
+		rhs:       make([]float64, st.n),
+		cacheMask: make([]bool, st.n),
+	}
+	for j := 0; j < g.NY(); j++ {
+		for i := 0; i < g.NX(); i++ {
+			u := base.Floorplan.UnitAt(g.X.Centers[i], g.Y.Centers[j])
+			ts.cacheMask[g.Index(i, j)] = u != nil && u.Kind.IsCache()
+		}
+	}
+	num.Fill(ts.x, base.Supply)
+	return ts, nil
+}
+
+// Dt returns the session's step size (s).
+func (ts *TransientSession) Dt() float64 { return ts.dt }
+
+// Steps returns the number of steps taken so far.
+func (ts *TransientSession) Steps() int { return ts.steps }
+
+// Step advances the grid by one backward-Euler step with the load map
+// scaled by loadScale (1 = the base problem's full-load map), returning
+// the minimum node voltage over the whole die and over the cache
+// region. The supply level is the base problem's.
+func (ts *TransientSession) Step(loadScale float64) (minV, minVCache float64, err error) {
+	return ts.step(loadScale, false)
+}
+
+// StepFrozen advances one step with the VRM injections frozen at the
+// currents they deliver into the present state: the regulation-lag
+// phase, where a load change is carried by the decap alone until the
+// converters react. Streaming sessions take one frozen step at each
+// load change to expose the droop below the regulated trajectory.
+func (ts *TransientSession) StepFrozen(loadScale float64) (minV, minVCache float64, err error) {
+	return ts.step(loadScale, true)
+}
+
+func (ts *TransientSession) step(loadScale float64, frozen bool) (minV, minVCache float64, err error) {
+	if loadScale < 0 {
+		return 0, 0, fmt.Errorf("pdn: negative load scale %g", loadScale)
+	}
+	supply := ts.base.Supply
+	for k := range ts.rhs {
+		ts.rhs[k] = -loadScale*ts.st.loadFull[k] + ts.st.capPerNode[k]/ts.dt*ts.x[k]
+	}
+	solver := ts.solver
+	if frozen {
+		solver = ts.lagSolver
+		for k, node := range ts.st.siteNodes {
+			ts.rhs[node] += ts.st.siteG[k] * (supply - ts.x[node])
+		}
+	} else {
+		for k, node := range ts.st.siteNodes {
+			ts.rhs[node] += ts.st.siteG[k] * supply
+		}
+	}
+	if _, err := solver.Solve(ts.rhs, ts.x); err != nil {
+		return 0, 0, fmt.Errorf("pdn: transient step %d: %w", ts.steps+1, err)
+	}
+	ts.steps++
+	minV = math.Inf(1)
+	minVCache = math.Inf(1)
+	for k, v := range ts.x {
+		if v < minV {
+			minV = v
+		}
+		if ts.cacheMask[k] && v < minVCache {
+			minVCache = v
+		}
+	}
+	return minV, minVCache, nil
+}
+
+// State returns a copy of the node voltage state (V per node) for
+// checkpointing.
+func (ts *TransientSession) State() []float64 {
+	out := make([]float64, len(ts.x))
+	copy(out, ts.x)
+	return out
+}
+
+// Restore replaces the voltage state, resuming a checkpointed
+// trajectory. The state length must match the session's grid.
+func (ts *TransientSession) Restore(state []float64) error {
+	if len(state) != len(ts.x) {
+		return fmt.Errorf("pdn: restore state has %d nodes, session has %d", len(state), len(ts.x))
+	}
+	copy(ts.x, state)
+	return nil
 }

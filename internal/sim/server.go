@@ -10,6 +10,7 @@ import (
 
 	"bright/internal/core"
 	"bright/internal/obs"
+	"bright/internal/stream"
 	"bright/internal/units"
 )
 
@@ -158,6 +159,29 @@ func writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
 	}
 }
 
+// HandlerOption customizes NewHandler's HTTP surface.
+type HandlerOption func(*handlerConfig)
+
+type handlerConfig struct {
+	stream *stream.Manager
+}
+
+// WithStreamManager mounts the streaming digital-twin session API
+// (/v1/sessions...) alongside the evaluation endpoints, folds the
+// manager's aggregate counters into /v1/stats (under "stream") and its
+// bright_stream_* series into /metrics.
+func WithStreamManager(m *stream.Manager) HandlerOption {
+	return func(c *handlerConfig) { c.stream = m }
+}
+
+// statsResponse embeds the engine stats (keeping the legacy flat JSON
+// shape) and appends the streaming-session aggregates when a stream
+// manager is mounted.
+type statsResponse struct {
+	Stats
+	Stream *stream.Stats `json:"stream,omitempty"`
+}
+
 // NewHandler wires the engine's HTTP surface:
 //
 //	POST /v1/evaluate  — solve one configuration (synchronous)
@@ -168,11 +192,18 @@ func writeEngineError(w http.ResponseWriter, r *http.Request, err error) {
 //	                     registry plus obs.Default (solver telemetry
 //	                     from num, cosim and thermal)
 //
+// With WithStreamManager, the streaming session API of internal/stream
+// (/v1/sessions and friends) is mounted on the same mux.
+//
 // Every response carries an X-Request-ID header (minted here unless an
 // outer middleware already assigned one via EnsureRequestID). Sweep
 // jobs are detached from the submitting request's context (they outlive
 // it by design); they stop on engine shutdown or Job.Cancel.
-func NewHandler(e *Engine) http.Handler {
+func NewHandler(e *Engine, opts ...HandlerOption) http.Handler {
+	var hc handlerConfig
+	for _, o := range opts {
+		o(&hc)
+	}
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
@@ -219,10 +250,20 @@ func NewHandler(e *Engine) http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, r, http.StatusOK, e.Stats())
+		resp := statsResponse{Stats: e.Stats()}
+		if hc.stream != nil {
+			st := hc.stream.Stats()
+			resp.Stream = &st
+		}
+		writeJSON(w, r, http.StatusOK, resp)
 	})
 
-	mux.Handle("GET /metrics", obs.Handler(e.Metrics(), obs.Default))
+	registries := []*obs.Registry{e.Metrics(), obs.Default}
+	if hc.stream != nil {
+		hc.stream.RegisterRoutes(mux)
+		registries = append(registries, hc.stream.Metrics())
+	}
+	mux.Handle("GET /metrics", obs.Handler(registries...))
 
 	return withRequestIDs(mux)
 }

@@ -1,0 +1,41 @@
+package stream
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkTransientStepping measures the streaming session's frame
+// rate: one backward-Euler thermal step plus the flow-cell operating
+// point per frame (thermal variant), with the PDN transient co-sim
+// added on top (pdn variant). The frames/s metric feeds the
+// BENCH_PR6.json report via cmd/benchjson.
+func BenchmarkTransientStepping(b *testing.B) {
+	run := func(b *testing.B, pdnOn bool) {
+		on := pdnOn
+		res, err := Spec{
+			NX: 44, NY: 32,
+			DtS:       1e-3,
+			MaxFrames: 100000,
+			PDN:       &on,
+			Workload:  &WorkloadSpec{Name: "burst", PeriodS: 0.04, Duty: 0.5},
+		}.resolve(100000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := newEngine(res, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.stepFrame(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+	}
+	b.Run("thermal", func(b *testing.B) { run(b, false) })
+	b.Run("pdn", func(b *testing.B) { run(b, true) })
+}

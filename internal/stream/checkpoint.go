@@ -1,0 +1,113 @@
+package stream
+
+import (
+	"fmt"
+
+	"bright/internal/workload"
+)
+
+// CheckpointVersion is the current checkpoint format version.
+const CheckpointVersion = 1
+
+// Checkpoint is the complete portable state of a session between two
+// frames: the resolved spec plus every integrator state vector. A
+// checkpoint restored into a fresh session (possibly another brightd
+// process) continues the trajectory exactly — the state vectors are
+// float64 and encoding/json round-trips them losslessly (Go emits the
+// shortest representation that parses back to the same bits).
+type Checkpoint struct {
+	Version int    `json:"version"`
+	ID      string `json:"session_id"`
+	// Spec is the scenario-expanded session spec; restore re-resolves
+	// it, so defaults stay pinned to the values the session ran with.
+	Spec  Spec    `json:"spec"`
+	TimeS float64 `json:"time_s"`
+	Step  int     `json:"step"`
+	// FlowScale is the fault multiplier the thermal matrix was built
+	// at; restore rebuilds at the same scale so the first step after
+	// the checkpoint uses the same operator.
+	FlowScale float64 `json:"flow_scale"`
+	// ArrayHeatW is the electrochemical loss pending injection into the
+	// next thermal step (W).
+	ArrayHeatW float64 `json:"array_heat_w"`
+	// LastLoadScale arms droop detection across the restore (-1 before
+	// the first PDN step).
+	LastLoadScale float64 `json:"last_load_scale"`
+	// ManualUtil is the client-pushed utilization override, if any.
+	ManualUtil *workload.Utilization `json:"manual_util,omitempty"`
+	// ThermalState is the temperature vector (K per node).
+	ThermalState []float64 `json:"thermal_state"`
+	// PDNState is the grid voltage vector (V per node); absent when the
+	// PDN co-simulation is off.
+	PDNState []float64 `json:"pdn_state,omitempty"`
+}
+
+// Validate checks the checkpoint's self-consistency (state lengths are
+// checked against the rebuilt sessions during restore).
+func (cp *Checkpoint) Validate() error {
+	if cp.Version != CheckpointVersion {
+		return fmt.Errorf("stream: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+	}
+	if cp.Step < 0 || cp.TimeS < 0 {
+		return fmt.Errorf("stream: negative checkpoint clock (step=%d time=%g)", cp.Step, cp.TimeS)
+	}
+	if cp.FlowScale <= 0 || cp.FlowScale > 1 {
+		return fmt.Errorf("stream: checkpoint flow scale %g out of (0,1]", cp.FlowScale)
+	}
+	if len(cp.ThermalState) == 0 {
+		return fmt.Errorf("stream: checkpoint has no thermal state")
+	}
+	if cp.ArrayHeatW < 0 {
+		return fmt.Errorf("stream: negative checkpoint array heat %g", cp.ArrayHeatW)
+	}
+	return nil
+}
+
+// buildCheckpoint runs on the session's run goroutine (between frames),
+// so every engine vector is quiescent.
+func (s *Session) buildCheckpoint() (*Checkpoint, error) {
+	e := s.eng
+	cp := &Checkpoint{
+		Version:       CheckpointVersion,
+		ID:            s.ID,
+		Spec:          s.spec,
+		TimeS:         e.time,
+		Step:          e.step,
+		FlowScale:     e.builtScale,
+		ArrayHeatW:    e.heatW,
+		LastLoadScale: e.lastLoadScale,
+		ThermalState:  e.ts.State(),
+	}
+	if e.manualUtil != nil {
+		u := *e.manualUtil
+		cp.ManualUtil = &u
+	}
+	if e.pdnTS != nil {
+		cp.PDNState = e.pdnTS.State()
+	}
+	return cp, nil
+}
+
+// restoreFrom loads a validated checkpoint into a freshly built engine
+// (constructed with the checkpoint's flow scale).
+func (e *engine) restoreFrom(cp *Checkpoint) error {
+	if err := e.ts.Restore(cp.ThermalState, cp.TimeS, cp.Step); err != nil {
+		return err
+	}
+	if e.pdnTS != nil {
+		if len(cp.PDNState) == 0 {
+			return fmt.Errorf("stream: checkpoint lacks PDN state but the restored spec enables the PDN")
+		}
+		if err := e.pdnTS.Restore(cp.PDNState); err != nil {
+			return err
+		}
+	}
+	e.time = cp.TimeS
+	e.step = cp.Step
+	e.heatW = cp.ArrayHeatW
+	e.lastLoadScale = cp.LastLoadScale
+	if cp.ManualUtil != nil {
+		e.setManualUtil(*cp.ManualUtil)
+	}
+	return nil
+}

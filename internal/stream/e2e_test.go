@@ -1,0 +1,466 @@
+package stream_test
+
+// End-to-end tests of the streaming session API over real HTTP: the
+// brightd handler stack (sim.NewHandler + WithStreamManager) behind an
+// httptest server, exercised the way a client would — create, advance,
+// stream SSE/NDJSON frames, hit the admission cap, checkpoint, restore
+// and compare the restored trajectory against the original.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bright/internal/sim"
+	"bright/internal/stream"
+)
+
+// twin is the assembled serving stack under test.
+type twin struct {
+	t   *testing.T
+	srv *httptest.Server
+	mgr *stream.Manager
+}
+
+func newTwin(t *testing.T, opts stream.Options) *twin {
+	t.Helper()
+	engine := sim.New(sim.Options{Workers: 2, QueueDepth: 8, CacheSize: 16})
+	mgr := stream.NewManager(opts)
+	srv := httptest.NewServer(sim.NewHandler(engine, sim.WithStreamManager(mgr)))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := mgr.Shutdown(ctx); err != nil {
+			t.Errorf("manager shutdown: %v", err)
+		}
+		if err := engine.Shutdown(ctx); err != nil {
+			t.Errorf("engine shutdown: %v", err)
+		}
+	})
+	return &twin{t: t, srv: srv, mgr: mgr}
+}
+
+// doJSON issues a request with a JSON body and decodes the JSON reply.
+func (tw *twin) doJSON(method, path string, body, out any) *http.Response {
+	tw.t.Helper()
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			tw.t.Fatal(err)
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequest(method, tw.srv.URL+path, rd)
+	if err != nil {
+		tw.t.Fatal(err)
+	}
+	resp, err := tw.srv.Client().Do(req)
+	if err != nil {
+		tw.t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		tw.t.Fatalf("%s %s: reading body: %v", method, path, err)
+	}
+	if out != nil && len(blob) > 0 {
+		if err := json.Unmarshal(blob, out); err != nil {
+			tw.t.Fatalf("%s %s: decoding %q: %v", method, path, blob, err)
+		}
+	}
+	return resp
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	id    string
+	event string
+	data  string
+}
+
+// readSSE parses a text/event-stream body into events.
+func readSSE(t *testing.T, r io.Reader) []sseEvent {
+	t.Helper()
+	var (
+		events []sseEvent
+		cur    sseEvent
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.event != "" || cur.data != "" {
+				events = append(events, cur)
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case strings.HasPrefix(line, ":"):
+			// keep-alive comment
+		default:
+			t.Fatalf("unexpected SSE line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading SSE stream: %v", err)
+	}
+	if cur.event != "" || cur.data != "" {
+		events = append(events, cur)
+	}
+	return events
+}
+
+// TestHTTPEndToEnd is the acceptance walkthrough: open a Burst-workload
+// session, advance it, stream >= 20 frames over SSE, bounce off the
+// admission cap with a 429, checkpoint, restore, and check the restored
+// session's next frame matches the original's continuation.
+func TestHTTPEndToEnd(t *testing.T) {
+	tw := newTwin(t, stream.Options{MaxSessions: 2, RingSize: 128})
+
+	// Create a manual Burst session (PDN on, coarse thermal grid).
+	var st stream.Status
+	resp := tw.doJSON("POST", "/v1/sessions", map[string]any{
+		"nx": 22, "ny": 16,
+		"dt_s":       2e-3,
+		"max_frames": 40,
+		"auto":       false,
+		"workload":   map[string]any{"name": "burst", "period_s": 0.04, "duty": 0.5},
+	}, &st)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+	if st.ID == "" || st.State != "running" || st.Auto {
+		t.Fatalf("created status: %+v", st)
+	}
+	id := st.ID
+
+	// Advance 25 frames.
+	var adv struct {
+		Stepped int           `json:"stepped"`
+		Frame   *stream.Frame `json:"frame"`
+	}
+	resp = tw.doJSON("POST", "/v1/sessions/"+id+"/advance", map[string]any{"steps": 25}, &adv)
+	if resp.StatusCode != http.StatusOK || adv.Stepped != 25 || adv.Frame == nil || adv.Frame.Seq != 25 {
+		t.Fatalf("advance: %d %+v", resp.StatusCode, adv)
+	}
+	if adv.Frame.MinVCacheV <= 0 || adv.Frame.MinVCacheV >= 1.0 {
+		t.Fatalf("PDN rail voltage not in a frame: %+v", adv.Frame)
+	}
+
+	// Stream the first 20 frames as SSE.
+	req, _ := http.NewRequest("GET", tw.srv.URL+"/v1/sessions/"+id+"/frames?from=1&max=20", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	sresp, err := tw.srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type %q", ct)
+	}
+	events := readSSE(t, sresp.Body)
+	if len(events) != 20 {
+		t.Fatalf("streamed %d events, want 20", len(events))
+	}
+	for i, ev := range events {
+		if ev.event != "frame" {
+			t.Fatalf("event %d: %q", i, ev.event)
+		}
+		var f stream.Frame
+		if err := json.Unmarshal([]byte(ev.data), &f); err != nil {
+			t.Fatalf("event %d data: %v", i, err)
+		}
+		if f.Seq != uint64(i+1) || ev.id != fmt.Sprint(f.Seq) {
+			t.Fatalf("event %d: seq %d id %q", i, f.Seq, ev.id)
+		}
+		if f.PeakTempC <= 27 || f.ChipPowerW < 0 {
+			t.Fatalf("frame %d physics: %+v", i, f)
+		}
+	}
+
+	// A second session fits under the cap; a third bounces with 429.
+	var st2 stream.Status
+	resp = tw.doJSON("POST", "/v1/sessions", map[string]any{
+		"nx": 16, "ny": 12, "pdn": false, "auto": false, "max_frames": 5,
+	}, &st2)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("second create: %d", resp.StatusCode)
+	}
+	var reject struct {
+		Error     string `json:"error"`
+		Retryable bool   `json:"retryable"`
+	}
+	resp = tw.doJSON("POST", "/v1/sessions", map[string]any{"nx": 16, "ny": 12}, &reject)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap create: %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" || !reject.Retryable {
+		t.Fatalf("429 missing retry hints: header=%q body=%+v",
+			resp.Header.Get("Retry-After"), reject)
+	}
+
+	// Listing shows both sessions; deleting the spare frees its slot.
+	var list struct {
+		Sessions []stream.Status `json:"sessions"`
+	}
+	tw.doJSON("GET", "/v1/sessions", nil, &list)
+	if len(list.Sessions) != 2 {
+		t.Fatalf("listed %d sessions", len(list.Sessions))
+	}
+	if resp := tw.doJSON("DELETE", "/v1/sessions/"+st2.ID, nil, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %d", resp.StatusCode)
+	}
+
+	// Checkpoint the original, restore it as a new session.
+	var cp stream.Checkpoint
+	if resp := tw.doJSON("GET", "/v1/sessions/"+id+"/checkpoint", nil, &cp); resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: %d", resp.StatusCode)
+	}
+	if cp.Step != 25 || len(cp.ThermalState) == 0 || len(cp.PDNState) == 0 {
+		t.Fatalf("checkpoint shape: step=%d thermal=%d pdn=%d",
+			cp.Step, len(cp.ThermalState), len(cp.PDNState))
+	}
+	var rst stream.Status
+	if resp := tw.doJSON("POST", "/v1/sessions/restore", cp, &rst); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("restore: %d", resp.StatusCode)
+	}
+	if rst.NextSeq != 26 {
+		t.Fatalf("restored next_seq %d, want 26", rst.NextSeq)
+	}
+
+	// The restored session's next frame must match the original's
+	// continuation within tolerance.
+	var advA, advB struct {
+		Stepped int           `json:"stepped"`
+		Frame   *stream.Frame `json:"frame"`
+	}
+	tw.doJSON("POST", "/v1/sessions/"+id+"/advance", map[string]any{"steps": 1}, &advA)
+	tw.doJSON("POST", "/v1/sessions/"+rst.ID+"/advance", map[string]any{"steps": 1}, &advB)
+	if advA.Frame == nil || advB.Frame == nil || advA.Frame.Seq != 26 || advB.Frame.Seq != 26 {
+		t.Fatalf("continuation frames: %+v vs %+v", advA.Frame, advB.Frame)
+	}
+	rel := func(a, b float64) float64 {
+		if a == b {
+			return 0
+		}
+		return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+	}
+	const tol = 1e-6
+	if rel(advA.Frame.PeakTempC, advB.Frame.PeakTempC) > tol ||
+		rel(advA.Frame.ArrayPowerW, advB.Frame.ArrayPowerW) > tol ||
+		rel(advA.Frame.MinVCacheV, advB.Frame.MinVCacheV) > tol ||
+		rel(advA.Frame.ArrayHeatW, advB.Frame.ArrayHeatW) > tol {
+		t.Fatalf("restored trajectory diverged:\n  orig %+v\n  rest %+v", advA.Frame, advB.Frame)
+	}
+
+	// /v1/stats folds the stream aggregates in; /metrics exposes the
+	// bright_stream_* series.
+	var stats struct {
+		Stream *stream.Stats `json:"stream"`
+	}
+	tw.doJSON("GET", "/v1/stats", nil, &stats)
+	if stats.Stream == nil || stats.Stream.SessionsStarted != 3 || stats.Stream.AdmissionRejected != 1 {
+		t.Fatalf("/v1/stats stream block: %+v", stats.Stream)
+	}
+	mresp, err := tw.srv.Client().Get(tw.srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, series := range []string{
+		"bright_stream_sessions_started_total 3",
+		"bright_stream_admission_rejected_total 1",
+		"bright_stream_sessions_active",
+	} {
+		if !strings.Contains(string(blob), series) {
+			t.Fatalf("/metrics missing %q", series)
+		}
+	}
+}
+
+// waitForState polls a session's status until it reaches want.
+func waitForState(t *testing.T, tw *twin, id, want string) stream.Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st stream.Status
+		resp := tw.doJSON("GET", "/v1/sessions/"+id, nil, &st)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status poll: %d", resp.StatusCode)
+		}
+		if st.State == want {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session stuck in %q (want %q): %+v", st.State, want, st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestHTTPLateJoinerSeesGapAndEnd runs an auto session against a tiny
+// ring to completion with no reader attached, then connects: the NDJSON
+// stream must announce the dropped prefix as an explicit gap record,
+// deliver the buffered tail, and finish with an end record.
+func TestHTTPLateJoinerSeesGapAndEnd(t *testing.T) {
+	tw := newTwin(t, stream.Options{MaxSessions: 1, RingSize: 8})
+
+	var st stream.Status
+	resp := tw.doJSON("POST", "/v1/sessions", map[string]any{
+		"nx": 16, "ny": 12, "pdn": false,
+		"dt_s": 1e-3, "max_frames": 40,
+		"workload": map[string]any{"name": "steady"},
+	}, &st)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+	if !st.Auto {
+		t.Fatalf("workload session should free-run: %+v", st)
+	}
+	waitForState(t, tw, st.ID, "completed")
+
+	sresp, err := tw.srv.Client().Get(tw.srv.URL + "/v1/sessions/" + st.ID + "/frames?from=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("NDJSON content type %q", ct)
+	}
+	var (
+		frames []stream.Frame
+		gaps   int
+		ends   int
+	)
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec struct {
+			Seq uint64 `json:"seq"`
+			Gap *struct {
+				Dropped   uint64 `json:"dropped"`
+				ResumeSeq uint64 `json:"resume_seq"`
+			} `json:"gap"`
+			End *struct {
+				Reason string `json:"reason"`
+			} `json:"end"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("NDJSON line %q: %v", line, err)
+		}
+		switch {
+		case rec.End != nil:
+			ends++
+			if rec.End.Reason != "completed" {
+				t.Fatalf("end reason %q", rec.End.Reason)
+			}
+		case rec.Gap != nil:
+			gaps++
+			if rec.Gap.Dropped != 32 || rec.Gap.ResumeSeq != 33 {
+				t.Fatalf("gap record: %+v", rec.Gap)
+			}
+		default:
+			var f stream.Frame
+			if err := json.Unmarshal(line, &f); err != nil {
+				t.Fatal(err)
+			}
+			frames = append(frames, f)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// 40 frames through an 8-deep ring: the late joiner gets one gap of
+	// 32, the last 8 frames, then the end record.
+	if gaps != 1 || ends != 1 || len(frames) != 8 {
+		t.Fatalf("late joiner saw gaps=%d ends=%d frames=%d", gaps, ends, len(frames))
+	}
+	for i, f := range frames {
+		if f.Seq != uint64(33+i) {
+			t.Fatalf("tail frame %d has seq %d", i, f.Seq)
+		}
+	}
+}
+
+// TestHTTPSlowConsumerNeverBlocksStepping attaches an SSE reader that
+// refuses to read while an auto session runs: the stepping loop must
+// finish its full budget regardless (the ring absorbs the stall), and
+// once the reader drains it sees a monotone sequence closed by an end
+// event.
+func TestHTTPSlowConsumerNeverBlocksStepping(t *testing.T) {
+	tw := newTwin(t, stream.Options{MaxSessions: 1, RingSize: 8})
+
+	var st stream.Status
+	resp := tw.doJSON("POST", "/v1/sessions", map[string]any{
+		"nx": 16, "ny": 12, "pdn": false,
+		"dt_s": 1e-3, "max_frames": 60,
+		"workload": map[string]any{"name": "burst"},
+	}, &st)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+
+	// Open the stream and stall: no reads until the session completes.
+	req, _ := http.NewRequest("GET", tw.srv.URL+"/v1/sessions/"+st.ID+"/frames?from=1", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	sresp, err := tw.srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+
+	// The stalled consumer must not stop the stepper from finishing.
+	fin := waitForState(t, tw, st.ID, "completed")
+	if fin.Frames != 60 {
+		t.Fatalf("session finished %d frames under a stalled reader", fin.Frames)
+	}
+
+	// Drain: every frame in order, an end event last.
+	events := readSSE(t, sresp.Body)
+	if len(events) == 0 {
+		t.Fatal("no events after drain")
+	}
+	var lastSeq uint64
+	for _, ev := range events[:len(events)-1] {
+		switch ev.event {
+		case "frame":
+			var f stream.Frame
+			if err := json.Unmarshal([]byte(ev.data), &f); err != nil {
+				t.Fatal(err)
+			}
+			if f.Seq <= lastSeq {
+				t.Fatalf("sequence not monotone: %d after %d", f.Seq, lastSeq)
+			}
+			lastSeq = f.Seq
+		case "gap":
+			// Acceptable: the stall may overflow the socket buffer and
+			// the ring both.
+		default:
+			t.Fatalf("unexpected mid-stream event %q", ev.event)
+		}
+	}
+	if end := events[len(events)-1]; end.event != "end" || !strings.Contains(end.data, "completed") {
+		t.Fatalf("final event: %+v", end)
+	}
+	if lastSeq != 60 {
+		t.Fatalf("drain ended at seq %d, want 60", lastSeq)
+	}
+}

@@ -1,0 +1,264 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"bright/internal/floorplan"
+	"bright/internal/flowcell"
+	"bright/internal/mesh"
+	"bright/internal/pdn"
+	"bright/internal/thermal"
+	"bright/internal/units"
+	"bright/internal/workload"
+)
+
+// pdnDt is the PDN backward-Euler sub-step (s): comparable to the VRM
+// regulation lag, so a frozen-VRM sub-step exposes the decap droop.
+const pdnDt = 1e-6
+
+// pdnSettleSteps is the number of regulated sub-steps per frame.
+const pdnSettleSteps = 2
+
+// pdnDecapPerArea is the on-die decoupling capacitance (F/m2).
+const pdnDecapPerArea = 2e-2
+
+// rebuildTol is the relative flow drift that triggers a thermal matrix
+// rebuild: the advection/convection stamps are bound to the flow, so a
+// fault-scaled flow past this drift gets a fresh matrix with the
+// temperature state transplanted.
+const rebuildTol = 0.02
+
+func power7Floorplan() *floorplan.Floorplan { return floorplan.Power7() }
+
+// engine owns the numerical state of one session: the warm thermal and
+// PDN transient sessions, the pre-rasterized workload fields, the fault
+// schedule and the electrochemical feedback loop. It is driven from a
+// single goroutine (the session run loop) and is not safe for
+// concurrent use.
+type engine struct {
+	res *resolved
+
+	f          *floorplan.Floorplan
+	pm         workload.PowerModel
+	grid       *mesh.Grid2D
+	fullPowerW float64
+	inletK     float64
+
+	// phaseFields pre-rasterizes one power field per trace phase (the
+	// trace is piecewise constant, so fields are shared across frames).
+	phaseFields []*mesh.Field2D
+	// manualUtil overrides the trace when the client pushes utilization
+	// (nil until the first push on traced sessions; idle for manual
+	// sessions).
+	manualUtil  *workload.Utilization
+	manualField *mesh.Field2D
+	manualPowW  float64
+
+	ts *thermal.TransientSession
+	// builtScale is the flow scale the thermal matrix is assembled at.
+	builtScale float64
+	rebuilds   int
+
+	pdnTS         *pdn.TransientSession
+	vrm           pdn.VRM
+	lastLoadScale float64
+
+	// heatW is the flow cells' electrochemical loss from the previous
+	// frame, injected into the coolant on the next thermal step.
+	heatW float64
+
+	step int
+	time float64
+}
+
+// newEngine assembles the coupled model at the resolved operating
+// point; thermalScale rebuilds the thermal matrix at a fault-scaled
+// flow (1 for fresh sessions, the checkpointed scale on restore).
+func newEngine(res *resolved, thermalScale float64) (*engine, error) {
+	e := &engine{
+		res:           res,
+		f:             power7Floorplan(),
+		pm:            workload.Power7PowerModel(),
+		inletK:        units.CtoK(res.cfg.InletTempC),
+		builtScale:    thermalScale,
+		lastLoadScale: -1,
+		vrm:           pdn.DefaultVRM(),
+	}
+	e.fullPowerW = e.pm.TotalPower(e.f, workload.Utilization{Default: 1})
+	ts, err := e.buildThermal(thermalScale)
+	if err != nil {
+		return nil, err
+	}
+	e.ts = ts
+	e.grid = ts.Grid()
+	if res.trace != nil {
+		e.phaseFields = make([]*mesh.Field2D, len(res.trace.Phases))
+		for k, ph := range res.trace.Phases {
+			e.phaseFields[k] = e.pm.DensityField(e.f, e.grid, ph.Util)
+		}
+	} else {
+		// Manual sessions idle until the client pushes utilization.
+		e.setManualUtil(workload.Utilization{})
+	}
+	if res.pdnOn {
+		base, vrm, err := pdn.Power7Problem()
+		if err != nil {
+			return nil, err
+		}
+		if res.cfg.SupplyVoltage != base.Supply {
+			base.Supply = res.cfg.SupplyVoltage
+			base.LoadDensity = pdn.CacheLoad(base.Floorplan, base.LoadDensity.Grid, base.Supply)
+		}
+		e.vrm = vrm
+		e.pdnTS, err = pdn.NewTransientSession(base, pdnDecapPerArea, pdnDt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// buildThermal assembles a transient thermal session at the given flow
+// scale (fraction of the nominal flow).
+func (e *engine) buildThermal(scale float64) (*thermal.TransientSession, error) {
+	flow := units.MLPerMinToM3PerS(e.res.cfg.FlowMLMin * scale)
+	spec := thermal.Power7ChannelSpec(flow, e.inletK, thermal.VanadiumCoolant())
+	p := &thermal.Problem{
+		DieWidth:  e.f.Width,
+		DieHeight: e.f.Height,
+		Stack:     thermal.Power7Stack(spec),
+		NX:        e.res.nx, NY: e.res.ny,
+	}
+	// The Problem's map is a fallback only; every step passes its own.
+	p.Power = e.pm.DensityField(e.f, p.Grid(), workload.Utilization{Default: 1})
+	return thermal.NewTransientSession(p, e.inletK, e.res.dt)
+}
+
+// setManualUtil installs a client-pushed utilization override,
+// rasterizing its power field once.
+func (e *engine) setManualUtil(u workload.Utilization) {
+	g := e.grid
+	if g == nil {
+		// Called during construction before the grid exists: rasterize
+		// on the problem grid of the freshly built session later.
+		g = mesh.NewUniformGrid2D(e.f.Width, e.f.Height, e.res.nx, e.res.ny)
+	}
+	e.manualUtil = &u
+	e.manualField = e.pm.DensityField(e.f, g, u)
+	e.manualPowW = e.pm.TotalPower(e.f, u)
+}
+
+// powerAt returns the power field and analytic total power for the
+// step covering (t, t+dt): the trace is sampled at the midpoint so a
+// phase boundary landing exactly on a frame edge is unambiguous.
+func (e *engine) powerAt(tMid float64) (*mesh.Field2D, float64) {
+	if e.manualUtil != nil || e.res.trace == nil {
+		return e.manualField, e.manualPowW
+	}
+	k := e.res.trace.PhaseIndexAt(tMid)
+	return e.phaseFields[k], e.pm.TotalPower(e.f, e.res.trace.Phases[k].Util)
+}
+
+// stepFrame advances the coupled model by one dt and returns the frame
+// (sequence number unset; the ring stamps it).
+func (e *engine) stepFrame(ctx context.Context) (Frame, error) {
+	t0 := e.time
+	tEnd := t0 + e.res.dt
+	power, chipPowW := e.powerAt(t0 + e.res.dt/2)
+
+	// Fault schedule → effective flow; rebuild the thermal matrix when
+	// the flow drifts past the tolerance, transplanting the temperature
+	// state (same grid, same node layout).
+	scale := e.res.flowScaleAt(tEnd)
+	if math.Abs(scale-e.builtScale) > rebuildTol*e.builtScale {
+		state, time, step := e.ts.State(), e.ts.Time(), e.ts.Steps()
+		ts, err := e.buildThermal(scale)
+		if err != nil {
+			return Frame{}, fmt.Errorf("stream: thermal rebuild at scale %.3f: %w", scale, err)
+		}
+		if err := ts.Restore(state, time, step); err != nil {
+			return Frame{}, err
+		}
+		e.ts = ts
+		e.builtScale = scale
+		e.rebuilds++
+	}
+	effFlowML := e.res.cfg.FlowMLMin * scale
+
+	// Thermal step under the instantaneous power map, with the previous
+	// frame's electrochemical loss heating the coolant.
+	sol, err := e.ts.StepContext(ctx, power, e.heatW)
+	if err != nil {
+		return Frame{}, err
+	}
+
+	// Quasi-static electrochemistry at the film temperature.
+	film := 0.5 * (sol.MeanFluidT + sol.MeanWallT)
+	array := flowcell.Power7ArrayAt(effFlowML, film)
+	op, err := array.CurrentAtVoltage(e.res.cfg.SupplyVoltage)
+	if err != nil {
+		return Frame{}, fmt.Errorf("stream: array at %.2f K, %.0f ml/min: %w", film, effFlowML, err)
+	}
+	heat, err := array.HeatDissipation(op)
+	if err != nil {
+		return Frame{}, err
+	}
+	e.heatW = heat
+
+	frame := Frame{
+		TimeS:          tEnd,
+		ChipPowerW:     chipPowW,
+		PeakTempC:      units.KtoC(sol.PeakT),
+		MeanFluidTempC: units.KtoC(sol.MeanFluidT),
+		FilmTempC:      units.KtoC(film),
+		ArrayCurrentA:  op.Current,
+		ArrayPowerW:    op.Power,
+		DeliveredW:     op.Power * e.vrm.Efficiency,
+		ArrayHeatW:     heat,
+		FlowMLMin:      effFlowML,
+		FlowScale:      scale,
+	}
+
+	// PDN transient: the cache rail follows the chip activity. A load
+	// change first rides through one frozen-VRM sub-step (decap-only
+	// droop), then the regulated matrix settles it.
+	if e.pdnTS != nil {
+		loadScale := chipPowW / e.fullPowerW
+		droopV := math.Inf(1)
+		if e.lastLoadScale >= 0 && math.Abs(loadScale-e.lastLoadScale) > 1e-9 {
+			_, minVC, err := e.pdnTS.StepFrozen(loadScale)
+			if err != nil {
+				return Frame{}, err
+			}
+			droopV = minVC
+		}
+		var minVC float64
+		for i := 0; i < pdnSettleSteps; i++ {
+			_, minVC, err = e.pdnTS.Step(loadScale)
+			if err != nil {
+				return Frame{}, err
+			}
+		}
+		frame.MinVCacheV = minVC
+		if droopV < minVC {
+			frame.DroopMV = 1000 * (minVC - droopV)
+		}
+		e.lastLoadScale = loadScale
+	}
+
+	// Hydraulics at the effective flow (analytic, no solve).
+	net := array.HydraulicNetwork(e.res.cfg.ManifoldK, e.res.cfg.PumpEfficiency)
+	rep, err := net.Evaluate(units.MLPerMinToM3PerS(effFlowML))
+	if err != nil {
+		return Frame{}, err
+	}
+	frame.PumpPowerW = rep.PumpPower
+	frame.PressureDropBar = units.PaToBar(rep.TotalDrop)
+	frame.NetGainW = frame.DeliveredW - rep.PumpPower
+
+	e.step++
+	e.time = tEnd
+	return frame, nil
+}

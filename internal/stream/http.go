@@ -1,0 +1,322 @@
+package stream
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"bright/internal/workload"
+)
+
+// heartbeatInterval keeps idle SSE connections alive through proxies.
+const heartbeatInterval = 15 * time.Second
+
+type errorBody struct {
+	Error     string `json:"error"`
+	Retryable bool   `json:"retryable"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// A failure after the status line cannot be reported to this client
+	// anymore; the transport error already closed the connection.
+	//lint:ignore errignore encode failure after the status line has no channel back to the client
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// writeManagerError maps manager/session errors onto statuses: the cap
+// is retryable 429 backpressure, shutdown a terminal 503, lookup misses
+// 404, completed-budget advances 409, the rest 400.
+func writeManagerError(w http.ResponseWriter, err error, idle time.Duration) {
+	switch {
+	case errors.Is(err, ErrTooManySessions):
+		// Sessions free up on completion or after the idle timeout;
+		// half the reap horizon is an honest hint.
+		w.Header().Set("Retry-After", strconv.Itoa(int(idle.Seconds()/2)+1))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), Retryable: true})
+	case errors.Is(err, ErrManagerClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrUnknownSession), errors.Is(err, ErrSessionDone):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrCompleted):
+		writeError(w, http.StatusConflict, err)
+	default:
+		writeError(w, http.StatusBadRequest, err)
+	}
+}
+
+// RegisterRoutes mounts the streaming-session API:
+//
+//	POST   /v1/sessions                    — create (429 past the cap)
+//	POST   /v1/sessions/restore            — restore from a checkpoint
+//	GET    /v1/sessions                    — list session statuses
+//	GET    /v1/sessions/{id}               — one session's status
+//	DELETE /v1/sessions/{id}               — cancel and remove
+//	GET    /v1/sessions/{id}/frames        — stream frames (SSE when
+//	        Accept: text/event-stream, chunked NDJSON otherwise);
+//	        query: from=<seq> max=<n> wait=false
+//	POST   /v1/sessions/{id}/advance       — step a manual session
+//	POST   /v1/sessions/{id}/utilization   — push a live utilization
+//	GET    /v1/sessions/{id}/checkpoint    — capture restorable state
+func (m *Manager) RegisterRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var spec Spec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding session spec: %w", err))
+			return
+		}
+		s, err := m.Create(spec)
+		if err != nil {
+			writeManagerError(w, err, m.opts.IdleTimeout)
+			return
+		}
+		writeJSON(w, http.StatusCreated, s.Status())
+	})
+
+	mux.HandleFunc("POST /v1/sessions/restore", func(w http.ResponseWriter, r *http.Request) {
+		var cp Checkpoint
+		if err := json.NewDecoder(r.Body).Decode(&cp); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding checkpoint: %w", err))
+			return
+		}
+		s, err := m.Restore(&cp)
+		if err != nil {
+			writeManagerError(w, err, m.opts.IdleTimeout)
+			return
+		}
+		writeJSON(w, http.StatusCreated, s.Status())
+	})
+
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"sessions": m.List()})
+	})
+
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeManagerError(w, ErrUnknownSession, 0)
+			return
+		}
+		s.touch()
+		writeJSON(w, http.StatusOK, s.Status())
+	})
+
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.Cancel(r.PathValue("id")); err != nil {
+			writeManagerError(w, err, 0)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{id}/advance", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeManagerError(w, ErrUnknownSession, 0)
+			return
+		}
+		var body struct {
+			Steps int `json:"steps"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding advance body: %w", err))
+			return
+		}
+		if body.Steps == 0 {
+			body.Steps = 1
+		}
+		n, last, err := s.Advance(r.Context(), body.Steps)
+		if err != nil && n == 0 {
+			writeManagerError(w, err, 0)
+			return
+		}
+		resp := map[string]any{"stepped": n}
+		if last != nil {
+			resp["frame"] = last
+		}
+		if err != nil {
+			resp["error"] = err.Error()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{id}/utilization", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeManagerError(w, ErrUnknownSession, 0)
+			return
+		}
+		var u workload.Utilization
+		if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding utilization: %w", err))
+			return
+		}
+		if err := s.SetUtilization(r.Context(), u); err != nil {
+			writeManagerError(w, err, 0)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Status())
+	})
+
+	mux.HandleFunc("GET /v1/sessions/{id}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeManagerError(w, ErrUnknownSession, 0)
+			return
+		}
+		cp, err := s.Checkpoint(r.Context())
+		if err != nil {
+			writeManagerError(w, err, 0)
+			return
+		}
+		writeJSON(w, http.StatusOK, cp)
+	})
+
+	mux.HandleFunc("GET /v1/sessions/{id}/frames", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeManagerError(w, ErrUnknownSession, 0)
+			return
+		}
+		m.streamFrames(w, r, s)
+	})
+}
+
+// parseUint reads a nonnegative integer query parameter.
+func parseUint(r *http.Request, name string, def uint64) (uint64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("query %s=%q: %w", name, v, err)
+	}
+	return n, nil
+}
+
+// streamFrames follows a session's ring from the requested sequence
+// number, in SSE framing when the client asks for text/event-stream and
+// chunked NDJSON otherwise. The reader's pace never slows the stepping
+// goroutine: a stalled consumer falls behind the ring and observes a
+// gap record instead.
+func (m *Manager) streamFrames(w http.ResponseWriter, r *http.Request, s *Session) {
+	from, err := parseUint(r, "from", 1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	max, err := parseUint(r, "max", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	wait := r.URL.Query().Get("wait") != "false"
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-store")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flush()
+
+	emit := func(event string, v any) bool {
+		if !sse && event != "frame" {
+			// NDJSON marks non-frame records by their event key so a
+			// line-oriented consumer can tell them from frames.
+			v = map[string]any{event: v}
+		}
+		blob, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if sse {
+			if event == "frame" {
+				if f, ok := v.(Frame); ok {
+					if _, err := fmt.Fprintf(w, "id: %d\n", f.Seq); err != nil {
+						return false
+					}
+				}
+			}
+			_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, blob)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", blob)
+		}
+		if err != nil {
+			return false
+		}
+		flush()
+		return true
+	}
+
+	var sent uint64
+	heartbeat := time.NewTimer(heartbeatInterval)
+	defer heartbeat.Stop()
+	for {
+		s.touch()
+		rd := s.ring.read(from)
+		if rd.ok {
+			if rd.skipped > 0 {
+				m.framesDropped(rd.skipped)
+				if !emit("gap", map[string]any{"dropped": rd.skipped, "resume_seq": rd.frame.Seq}) {
+					return
+				}
+			}
+			if !emit("frame", rd.frame) {
+				return
+			}
+			from = rd.frame.Seq + 1
+			sent++
+			if max > 0 && sent >= max {
+				return
+			}
+			continue
+		}
+		if rd.closed {
+			emit("end", map[string]any{"reason": rd.reason, "error": rd.errMsg})
+			return
+		}
+		if !wait {
+			return
+		}
+		if !heartbeat.Stop() {
+			select {
+			case <-heartbeat.C:
+			default:
+			}
+		}
+		heartbeat.Reset(heartbeatInterval)
+		select {
+		case <-rd.wake:
+		case <-heartbeat.C:
+			if sse {
+				if _, err := fmt.Fprint(w, ": keep-alive\n\n"); err != nil {
+					return
+				}
+				flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

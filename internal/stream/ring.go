@@ -1,0 +1,176 @@
+package stream
+
+import "sync"
+
+// Frame is one time sample of a streaming session: the per-step summary
+// of the coupled electro-thermal state (full field solutions run to
+// megabytes and stay server-side; checkpoints carry them instead).
+type Frame struct {
+	// Seq is the 1-based step number; frames of one session are a
+	// contiguous sequence even across checkpoint/restore.
+	Seq uint64 `json:"seq"`
+	// TimeS is the simulated time at the end of the step (s).
+	TimeS float64 `json:"time_s"`
+	// ChipPowerW is the instantaneous chip power under the active
+	// utilization (W).
+	ChipPowerW float64 `json:"chip_power_w"`
+	// PeakTempC is the active-plane peak temperature (C).
+	PeakTempC float64 `json:"peak_temp_c"`
+	// MeanFluidTempC is the coolant mean temperature (C).
+	MeanFluidTempC float64 `json:"mean_fluid_temp_c"`
+	// FilmTempC is the electrolyte film temperature driving the
+	// electrochemistry (C).
+	FilmTempC float64 `json:"film_temp_c"`
+	// ArrayCurrentA, ArrayPowerW: flow-cell array operating point at the
+	// terminal voltage.
+	ArrayCurrentA float64 `json:"array_current_a"`
+	ArrayPowerW   float64 `json:"array_power_w"`
+	// DeliveredW is the array power after VRM conversion (W).
+	DeliveredW float64 `json:"delivered_w"`
+	// ArrayHeatW is the electrochemical loss fed back into the coolant
+	// on the next step (W).
+	ArrayHeatW float64 `json:"array_heat_w"`
+	// MinVCacheV is the settled minimum cache-rail voltage (V); zero
+	// when the PDN co-simulation is disabled.
+	MinVCacheV float64 `json:"min_v_cache_v,omitempty"`
+	// DroopMV is the transient dip below the settled cache voltage
+	// during this step's load change (mV; 0 when the load held steady).
+	DroopMV float64 `json:"droop_mv,omitempty"`
+	// PumpPowerW, PressureDropBar: hydraulic operating point at the
+	// effective (fault-scaled) flow.
+	PumpPowerW      float64 `json:"pump_power_w"`
+	PressureDropBar float64 `json:"pressure_drop_bar"`
+	// NetGainW = DeliveredW - PumpPowerW.
+	NetGainW float64 `json:"net_gain_w"`
+	// FlowMLMin is the effective electrolyte flow (ml/min) after fault
+	// scaling; FlowScale is the applied fault multiplier.
+	FlowMLMin float64 `json:"flow_ml_min"`
+	FlowScale float64 `json:"flow_scale"`
+}
+
+// ringRead is the result of one frameRing.read call.
+type ringRead struct {
+	frame Frame
+	// skipped counts frames the reader asked for that were already
+	// overwritten (drop-oldest backpressure); the returned frame is the
+	// oldest still buffered.
+	skipped uint64
+	ok      bool
+	// closed reports the ring is terminal and no further frames will
+	// arrive (set only when ok is false).
+	closed bool
+	// reason/errMsg describe the terminal state when closed.
+	reason string
+	errMsg string
+	// wake is closed on the next push or close (valid when ok is false
+	// and closed is false).
+	wake <-chan struct{}
+}
+
+// frameRing buffers the most recent frames of a session with drop-oldest
+// semantics: the stepping goroutine pushes without ever blocking, and a
+// slow reader that falls more than the capacity behind loses the oldest
+// frames (reported as a gap), never stalls the producer. Readers poll
+// with read and park on the returned wake channel.
+type frameRing struct {
+	mu   sync.Mutex
+	buf  []Frame
+	next uint64 // seq the next pushed frame receives
+	// count is the number of live frames (<= len(buf)); the buffered
+	// window is [next-count, next).
+	count       int
+	overwritten uint64
+	closed      bool
+	reason      string
+	errMsg      string
+	wake        chan struct{}
+}
+
+// newFrameRing sizes the buffer and sets the first sequence number
+// (1 for fresh sessions, checkpoint step+1 for restored ones).
+func newFrameRing(capacity int, firstSeq uint64) *frameRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &frameRing{
+		buf:  make([]Frame, capacity),
+		next: firstSeq,
+		wake: make(chan struct{}),
+	}
+}
+
+// push stamps the frame with the next sequence number, stores it
+// (overwriting the oldest when full) and wakes all parked readers. It
+// never blocks.
+func (r *frameRing) push(f Frame) uint64 {
+	r.mu.Lock()
+	f.Seq = r.next
+	r.buf[int(r.next%uint64(len(r.buf)))] = f
+	r.next++
+	if r.count < len(r.buf) {
+		r.count++
+	} else {
+		r.overwritten++
+	}
+	wake := r.wake
+	r.wake = make(chan struct{})
+	r.mu.Unlock()
+	close(wake)
+	return f.Seq
+}
+
+// close marks the ring terminal; buffered frames stay readable. It is
+// idempotent (the first reason wins) and wakes all parked readers.
+func (r *frameRing) close(reason, errMsg string) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.reason = reason
+	r.errMsg = errMsg
+	wake := r.wake
+	r.wake = make(chan struct{})
+	r.mu.Unlock()
+	close(wake)
+}
+
+// read returns the frame with sequence number from, or the oldest
+// buffered frame (with the gap size in skipped) when from has been
+// overwritten. When from has not been produced yet, ok is false and the
+// caller either observes closed or parks on wake.
+func (r *frameRing) read(from uint64) ringRead {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count == 0 {
+		// Nothing buffered yet (fresh or just-restored session): park
+		// even when from predates next — the gap is reported once the
+		// first frame lands.
+		return ringRead{closed: r.closed, reason: r.reason, errMsg: r.errMsg, wake: r.wake}
+	}
+	oldest := r.next - uint64(r.count)
+	if from < oldest {
+		rd := ringRead{skipped: oldest - from, ok: true}
+		from = oldest
+		rd.frame = r.buf[int(from%uint64(len(r.buf)))]
+		return rd
+	}
+	if from < r.next {
+		return ringRead{frame: r.buf[int(from%uint64(len(r.buf)))], ok: true}
+	}
+	return ringRead{closed: r.closed, reason: r.reason, errMsg: r.errMsg, wake: r.wake}
+}
+
+// snapshot reports the ring's progress for status endpoints: the next
+// sequence number, the overwrite count and the most recent frame (nil
+// before the first push).
+func (r *frameRing) snapshot() (next uint64, overwritten uint64, last *Frame) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count > 0 {
+		f := r.buf[int((r.next-1)%uint64(len(r.buf)))]
+		last = &f
+	}
+	return r.next, r.overwritten, last
+}

@@ -1,0 +1,120 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingDropOldest(t *testing.T) {
+	r := newFrameRing(4, 1)
+	for i := 0; i < 10; i++ {
+		seq := r.push(Frame{TimeS: float64(i)})
+		if seq != uint64(i+1) {
+			t.Fatalf("push %d got seq %d", i, seq)
+		}
+	}
+	// Frames 1..6 are gone; 7..10 remain.
+	rd := r.read(1)
+	if !rd.ok || rd.skipped != 6 || rd.frame.Seq != 7 {
+		t.Fatalf("read(1): ok=%v skipped=%d seq=%d, want gap of 6 to seq 7",
+			rd.ok, rd.skipped, rd.frame.Seq)
+	}
+	rd = r.read(10)
+	if !rd.ok || rd.skipped != 0 || rd.frame.Seq != 10 {
+		t.Fatalf("read(10): %+v", rd)
+	}
+	// Next unproduced frame: park.
+	rd = r.read(11)
+	if rd.ok || rd.closed {
+		t.Fatalf("read(11) should park, got %+v", rd)
+	}
+	next, overwritten, last := r.snapshot()
+	if next != 11 || overwritten != 6 || last == nil || last.Seq != 10 {
+		t.Fatalf("snapshot next=%d overwritten=%d last=%v", next, overwritten, last)
+	}
+}
+
+func TestRingCloseWakesAndDrains(t *testing.T) {
+	r := newFrameRing(4, 1)
+	r.push(Frame{})
+	rd := r.read(2)
+	if rd.ok || rd.closed {
+		t.Fatal("expected park")
+	}
+	done := make(chan struct{})
+	go func() {
+		<-rd.wake
+		close(done)
+	}()
+	r.close(StateCompleted, "")
+	<-done
+	// Buffered frames stay readable after close.
+	if rd := r.read(1); !rd.ok || rd.frame.Seq != 1 {
+		t.Fatalf("read(1) after close: %+v", rd)
+	}
+	if rd := r.read(2); rd.ok || !rd.closed || rd.reason != StateCompleted {
+		t.Fatalf("read(2) after close: %+v", rd)
+	}
+	// Idempotent: the first reason wins.
+	r.close(StateError, "boom")
+	if rd := r.read(2); rd.reason != StateCompleted || rd.errMsg != "" {
+		t.Fatalf("second close overwrote: %+v", rd)
+	}
+}
+
+func TestRingRestoredStartsEmpty(t *testing.T) {
+	// A restored session's ring starts at the checkpoint's next
+	// sequence with nothing buffered; a reader asking for history parks
+	// and then sees the gap once frames flow again.
+	r := newFrameRing(4, 21)
+	rd := r.read(1)
+	if rd.ok {
+		t.Fatalf("empty restored ring returned a frame: %+v", rd)
+	}
+	seq := r.push(Frame{})
+	if seq != 21 {
+		t.Fatalf("restored ring first seq %d, want 21", seq)
+	}
+	rd = r.read(1)
+	if !rd.ok || rd.skipped != 20 || rd.frame.Seq != 21 {
+		t.Fatalf("read(1) after restore push: %+v", rd)
+	}
+}
+
+// TestRingConcurrentProducerConsumer exercises the ring under -race: a
+// fast producer must never block on stalled consumers, and consumers
+// must observe a strictly increasing sequence with explicit gaps.
+func TestRingConcurrentProducerConsumer(t *testing.T) {
+	r := newFrameRing(8, 1)
+	const frames = 500
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var at uint64 = 1
+			lastSeq := uint64(0)
+			for {
+				rd := r.read(at)
+				if rd.ok {
+					if rd.frame.Seq <= lastSeq {
+						t.Errorf("sequence went backwards: %d after %d", rd.frame.Seq, lastSeq)
+						return
+					}
+					lastSeq = rd.frame.Seq
+					at = rd.frame.Seq + 1
+					continue
+				}
+				if rd.closed {
+					return
+				}
+				<-rd.wake
+			}
+		}()
+	}
+	for i := 0; i < frames; i++ {
+		r.push(Frame{TimeS: float64(i)})
+	}
+	r.close(StateCompleted, "")
+	wg.Wait()
+}

@@ -1,0 +1,379 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bright/internal/workload"
+)
+
+// Session outcomes / states.
+const (
+	StateRunning     = "running"
+	StateCompleted   = "completed"
+	StateCanceled    = "canceled"
+	StateIdleTimeout = "idle-timeout"
+	StateError       = "error"
+)
+
+// ErrSessionDone reports a command sent to a session whose run loop has
+// exited (canceled or reaped); finished-but-alive sessions still accept
+// checkpoint and status calls.
+var ErrSessionDone = errors.New("stream: session is gone")
+
+// ErrCompleted reports an advance on a session that already reached its
+// frame budget.
+var ErrCompleted = errors.New("stream: session completed its frame budget")
+
+// Status is the JSON view of a session's lifecycle state.
+type Status struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// Frames is the number of frames emitted so far; NextSeq is
+	// Frames+1 except after restore (the count restarts, the sequence
+	// continues).
+	Frames  int    `json:"frames"`
+	NextSeq uint64 `json:"next_seq"`
+	// Overwritten counts ring frames dropped before any reader at all
+	// consumed them (drop-oldest).
+	Overwritten uint64  `json:"frames_overwritten"`
+	TimeS       float64 `json:"time_s"`
+	DtS         float64 `json:"dt_s"`
+	MaxFrames   int     `json:"max_frames"`
+	Auto        bool    `json:"auto"`
+	Scenario    string  `json:"scenario,omitempty"`
+	// ThermalRebuilds counts fault-driven matrix reassemblies.
+	ThermalRebuilds int `json:"thermal_rebuilds"`
+	// IdleS is the time since the last client interaction (s).
+	IdleS float64 `json:"idle_s"`
+	// LastFrame is the most recent frame summary, if any.
+	LastFrame *Frame `json:"last_frame,omitempty"`
+}
+
+// Session is one live streaming co-simulation. All numerical state is
+// owned by the run goroutine; clients interact through the manager's
+// HTTP layer, which serializes commands onto the run loop.
+type Session struct {
+	ID string
+
+	mgr  *Manager
+	spec Spec // scenario-expanded, for checkpoints
+	res  *resolved
+	eng  *engine
+	ring *frameRing
+
+	cmds   chan func()
+	done   chan struct{} // closed when the run loop exits
+	cancel context.CancelFunc
+	// runCtx is the run loop's context, captured so command closures
+	// (executed on the run goroutine) step under the session lifetime
+	// rather than the submitting request's.
+	runCtx context.Context
+
+	mu           sync.Mutex
+	state        string
+	errMsg       string
+	cancelReason string // set before cancel(); StateCanceled default
+	lastTouch    time.Time
+	failed       error
+	// stepCount/rebuilds mirror the engine's counters under mu so
+	// Status (HTTP goroutines) never touches run-loop-owned state.
+	stepCount int
+	rebuilds  int
+}
+
+func newSession(mgr *Manager, id string, spec Spec, res *resolved, eng *engine, firstSeq uint64) *Session {
+	return &Session{
+		ID:        id,
+		mgr:       mgr,
+		spec:      spec,
+		res:       res,
+		eng:       eng,
+		ring:      newFrameRing(mgr.opts.RingSize, firstSeq),
+		cmds:      make(chan func()),
+		done:      make(chan struct{}),
+		state:     StateRunning,
+		lastTouch: time.Now(),
+		stepCount: eng.step, // nonzero on restore
+	}
+}
+
+// touch refreshes the idle clock.
+func (s *Session) touch() {
+	s.mu.Lock()
+	s.lastTouch = time.Now()
+	s.mu.Unlock()
+}
+
+func (s *Session) idleFor(now time.Time) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return now.Sub(s.lastTouch)
+}
+
+// cancelWith records why the session is being torn down and cancels its
+// context; the run loop reports the outcome.
+func (s *Session) cancelWith(reason string) {
+	s.mu.Lock()
+	if s.cancelReason == "" {
+		s.cancelReason = reason
+	}
+	s.mu.Unlock()
+	s.cancel()
+}
+
+// finish transitions a running session to a terminal state (first
+// transition wins) and closes the frame ring so readers drain and end.
+func (s *Session) finish(state, errMsg string) {
+	s.mu.Lock()
+	if s.state != StateRunning {
+		s.mu.Unlock()
+		return
+	}
+	s.state = state
+	s.errMsg = errMsg
+	s.mu.Unlock()
+	s.ring.close(state, errMsg)
+	s.mgr.sessionEnded(state)
+}
+
+// run is the session's stepping goroutine: it owns the engine, steps
+// frames (continuously in auto mode, on advance commands otherwise) and
+// executes client commands between frames. After the frame budget is
+// exhausted the loop stays alive to serve checkpoint/status until the
+// session is canceled or idle-reaped.
+func (s *Session) run(ctx context.Context) {
+	defer close(s.done)
+	s.runCtx = ctx
+	for {
+		// Commands first, so advance/utilization/checkpoint interleave
+		// with auto stepping.
+		select {
+		case fn := <-s.cmds:
+			fn()
+			continue
+		case <-ctx.Done():
+			s.finishCanceled()
+			return
+		default:
+		}
+		if s.autoStepPending() {
+			if _, err := s.stepOnce(ctx); err != nil {
+				if ctx.Err() != nil {
+					s.finishCanceled()
+					return
+				}
+				s.fail(err)
+			}
+			continue
+		}
+		// Budget exhausted (or manual session idle): mark auto sessions
+		// completed, then block until a command or teardown arrives.
+		if s.res.auto {
+			s.finish(StateCompleted, "")
+		}
+		select {
+		case fn := <-s.cmds:
+			fn()
+		case <-ctx.Done():
+			s.finishCanceled()
+			return
+		}
+	}
+}
+
+func (s *Session) finishCanceled() {
+	s.mu.Lock()
+	reason := s.cancelReason
+	s.mu.Unlock()
+	if reason == "" {
+		reason = StateCanceled
+	}
+	s.finish(reason, "")
+}
+
+func (s *Session) autoStepPending() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.res.auto && s.failed == nil && s.state == StateRunning && s.stepCount < s.res.maxFrames
+}
+
+func (s *Session) fail(err error) {
+	s.mu.Lock()
+	if s.failed == nil {
+		s.failed = err
+	}
+	s.mu.Unlock()
+	s.finish(StateError, err.Error())
+}
+
+// stepOnce advances the engine one frame and publishes it. Run-loop
+// only.
+func (s *Session) stepOnce(ctx context.Context) (Frame, error) {
+	rebuildsBefore := s.eng.rebuilds
+	f, err := s.eng.stepFrame(ctx)
+	if err != nil {
+		return Frame{}, err
+	}
+	f.Seq = s.ring.push(f)
+	s.mu.Lock()
+	s.stepCount = s.eng.step
+	s.rebuilds = s.eng.rebuilds
+	s.mu.Unlock()
+	s.mgr.frameEmitted(s.eng.rebuilds - rebuildsBefore)
+	return f, nil
+}
+
+// do schedules fn onto the run loop, failing fast when the loop has
+// exited or the caller gives up.
+func (s *Session) do(ctx context.Context, fn func()) error {
+	select {
+	case s.cmds <- fn:
+		return nil
+	case <-s.done:
+		return ErrSessionDone
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Advance steps a session up to steps frames synchronously, returning
+// the number stepped and the last frame. It is how manual sessions are
+// driven; on auto sessions it simply runs ahead of the free-running
+// loop. Stepping past the frame budget returns ErrCompleted.
+func (s *Session) Advance(ctx context.Context, steps int) (int, *Frame, error) {
+	if steps < 1 {
+		return 0, nil, fmt.Errorf("stream: advance steps %d < 1", steps)
+	}
+	s.touch()
+	type reply struct {
+		n    int
+		last *Frame
+		err  error
+	}
+	ch := make(chan reply, 1)
+	err := s.do(ctx, func() {
+		var rep reply
+		for i := 0; i < steps; i++ {
+			s.mu.Lock()
+			failed, state, exhausted := s.failed, s.state, s.stepCount >= s.res.maxFrames
+			s.mu.Unlock()
+			if failed != nil {
+				rep.err = failed
+				break
+			}
+			if state != StateRunning || exhausted {
+				if rep.n == 0 {
+					rep.err = ErrCompleted
+				}
+				break
+			}
+			// Step under the session context: the step outlives an
+			// abandoned request but dies with the session.
+			f, err := s.stepOnce(s.runCtx)
+			if err != nil {
+				if s.runCtx.Err() == nil {
+					s.fail(err)
+				}
+				rep.err = err
+				break
+			}
+			rep.n++
+			rep.last = &f
+		}
+		if rep.err == nil && s.eng.step >= s.res.maxFrames {
+			// The budget is done; terminal for auto and manual alike.
+			s.finish(StateCompleted, "")
+		}
+		ch <- rep
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	select {
+	case rep := <-ch:
+		return rep.n, rep.last, rep.err
+	case <-ctx.Done():
+		return 0, nil, ctx.Err()
+	}
+}
+
+// SetUtilization installs a client-pushed utilization override: the
+// next frames use it instead of the trace (until the next push).
+func (s *Session) SetUtilization(ctx context.Context, u workload.Utilization) error {
+	if err := u.Validate(); err != nil {
+		return err
+	}
+	s.touch()
+	ch := make(chan struct{})
+	err := s.do(ctx, func() {
+		s.eng.setManualUtil(u)
+		close(ch)
+	})
+	if err != nil {
+		return err
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Checkpoint captures the full integrator state between frames. It
+// works on running and finished sessions alike (as long as the run
+// loop is alive, i.e. the session was not canceled or reaped).
+func (s *Session) Checkpoint(ctx context.Context) (*Checkpoint, error) {
+	s.touch()
+	type reply struct {
+		cp  *Checkpoint
+		err error
+	}
+	ch := make(chan reply, 1)
+	err := s.do(ctx, func() {
+		cp, err := s.buildCheckpoint()
+		ch <- reply{cp, err}
+	})
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case rep := <-ch:
+		return rep.cp, rep.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Status snapshots the session without touching the run loop.
+func (s *Session) Status() Status {
+	next, overwritten, last := s.ring.snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{
+		ID:          s.ID,
+		State:       s.state,
+		Error:       s.errMsg,
+		NextSeq:     next,
+		Overwritten: overwritten,
+		DtS:         s.res.dt,
+		MaxFrames:   s.res.maxFrames,
+		Auto:        s.res.auto,
+		Scenario:    s.res.scenario,
+		IdleS:       time.Since(s.lastTouch).Seconds(),
+		LastFrame:   last,
+	}
+	if last != nil {
+		st.TimeS = last.TimeS
+	}
+	// next-1 counts every step of the trajectory, including frames
+	// emitted before a checkpoint/restore (the sequence continues).
+	st.Frames = int(next - 1)
+	st.ThermalRebuilds = s.rebuilds
+	return st
+}

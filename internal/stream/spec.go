@@ -1,0 +1,380 @@
+// Package stream is the streaming digital-twin service behind brightd:
+// long-lived sessions that step the coupled transient electro-thermal
+// model (thermal backward Euler + PDN transient + quasi-static flow-cell
+// operating point) under a live workload, and stream per-frame
+// temperature/voltage/power summaries to HTTP clients as SSE or chunked
+// NDJSON. Sessions hold warm solver state between frames, keep a
+// bounded ring of recent frames (drop-oldest backpressure for slow
+// consumers), enforce a global admission cap and idle timeouts, and
+// support checkpoint/restore of the full integrator state.
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"bright/internal/core"
+	"bright/internal/thermal"
+	"bright/internal/workload"
+)
+
+// Fault kinds of the injection library.
+const (
+	// FaultPumpDegradation ramps the delivered flow down to FlowScale
+	// between StartS and StartS+RampS (a wearing pump losing head).
+	FaultPumpDegradation = "pump-degradation"
+	// FaultChannelClog removes Channels of the die's microchannels from
+	// service at StartS (debris blocking inlets). The lumped thermal
+	// model carries one total flow, so the clog is modeled as the
+	// equivalent flow reduction 1 - Channels/NChannels.
+	FaultChannelClog = "channel-clog"
+)
+
+// Fault is one entry of a session's fault-injection schedule. Faults
+// multiply into a flow scale applied to the nominal electrolyte flow;
+// the thermal matrix is rebuilt (with state transplant) when the
+// effective flow drifts past a threshold.
+type Fault struct {
+	// Kind selects the fault model (Fault* constants).
+	Kind string `json:"kind"`
+	// StartS is the onset time (s, simulated).
+	StartS float64 `json:"start_s"`
+	// RampS spreads the onset over a ramp (s); 0 is a step.
+	RampS float64 `json:"ramp_s,omitempty"`
+	// FlowScale is the terminal flow multiplier in (0, 1] for
+	// pump-degradation.
+	FlowScale float64 `json:"flow_scale,omitempty"`
+	// Channels is the clogged channel count for channel-clog.
+	Channels int `json:"channels,omitempty"`
+}
+
+func (fl Fault) validate(nChannels int) error {
+	switch fl.Kind {
+	case FaultPumpDegradation:
+		if fl.FlowScale <= 0 || fl.FlowScale > 1 {
+			return fmt.Errorf("stream: %s flow_scale %g out of (0,1]", fl.Kind, fl.FlowScale)
+		}
+	case FaultChannelClog:
+		if fl.Channels <= 0 || fl.Channels >= nChannels {
+			return fmt.Errorf("stream: %s channels %d out of [1,%d)", fl.Kind, fl.Channels, nChannels)
+		}
+	default:
+		return fmt.Errorf("stream: unknown fault kind %q", fl.Kind)
+	}
+	if fl.StartS < 0 || fl.RampS < 0 {
+		return fmt.Errorf("stream: %s negative timing (start=%g ramp=%g)", fl.Kind, fl.StartS, fl.RampS)
+	}
+	return nil
+}
+
+// scaleAt returns the fault's flow multiplier at simulated time t.
+func (fl Fault) scaleAt(t float64, nChannels int) float64 {
+	target := fl.FlowScale
+	if fl.Kind == FaultChannelClog {
+		target = 1 - float64(fl.Channels)/float64(nChannels)
+	}
+	switch {
+	case t < fl.StartS:
+		return 1
+	case fl.RampS <= 0 || t >= fl.StartS+fl.RampS:
+		return target
+	default:
+		frac := (t - fl.StartS) / fl.RampS
+		return 1 + frac*(target-1)
+	}
+}
+
+// WorkloadSpec names or embeds the utilization trace driving a session.
+type WorkloadSpec struct {
+	// Name selects a generator: "steady", "burst" or "migration".
+	// Empty with a nil Trace means a manual session (utilization pushed
+	// by the client).
+	Name string `json:"name,omitempty"`
+	// Util is the steady level (default 1).
+	Util float64 `json:"util,omitempty"`
+	// PeriodS and Duty shape the burst generator (defaults 0.04 s, 0.5).
+	PeriodS float64 `json:"period_s,omitempty"`
+	Duty    float64 `json:"duty,omitempty"`
+	// DwellS and Background shape the migration generator (defaults
+	// 0.02 s per core, 0.2 background).
+	DwellS     float64 `json:"dwell_s,omitempty"`
+	Background float64 `json:"background,omitempty"`
+	// Trace is a custom piecewise-constant schedule; it overrides Name.
+	Trace *workload.Trace `json:"trace,omitempty"`
+}
+
+// Spec is the POST /v1/sessions body. Zero-valued operating-point
+// fields take the paper's nominal values (core.DefaultConfig), zero
+// stepping fields take the session defaults; a Scenario pre-fills
+// whatever the client leaves unset.
+type Spec struct {
+	// Operating point (defaults: 676 ml/min, 27 C, 1.0 V, K=1.5,
+	// eta=0.5).
+	FlowMLMin      float64 `json:"flow_ml_min,omitempty"`
+	InletTempC     float64 `json:"inlet_temp_c,omitempty"`
+	SupplyVoltage  float64 `json:"supply_voltage,omitempty"`
+	ManifoldK      float64 `json:"manifold_k,omitempty"`
+	PumpEfficiency float64 `json:"pump_efficiency,omitempty"`
+
+	// DtS is the transient step and frame interval (s; default 1e-3).
+	DtS float64 `json:"dt_s,omitempty"`
+	// MaxFrames bounds the session length (default 200; capped by the
+	// manager).
+	MaxFrames int `json:"max_frames,omitempty"`
+	// NX, NY override the thermal grid (defaults 44x32).
+	NX int `json:"nx,omitempty"`
+	NY int `json:"ny,omitempty"`
+	// PDN toggles the power-grid transient co-simulation (default on).
+	PDN *bool `json:"pdn,omitempty"`
+	// Auto selects free-running stepping (default: on when a workload
+	// or scenario is given, off for manual sessions). Manual sessions
+	// step only on POST .../advance.
+	Auto *bool `json:"auto,omitempty"`
+
+	// Scenario names a canned configuration (see Scenarios).
+	Scenario string        `json:"scenario,omitempty"`
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+	Faults   []Fault       `json:"faults,omitempty"`
+}
+
+// resolved is a Spec with every default applied, ready to build an
+// engine from.
+type resolved struct {
+	cfg       core.Config // ChipLoad unused; utilization drives power
+	dt        float64
+	maxFrames int
+	nx, ny    int
+	pdnOn     bool
+	auto      bool
+	trace     *workload.Trace // nil = manual utilization only
+	faults    []Fault
+	nChannels int
+	scenario  string
+}
+
+// Scenarios lists the canned session configurations.
+func Scenarios() []string {
+	return []string{"dvfs-step", "hotspot-migration", "pump-degradation", "channel-clog"}
+}
+
+// applyScenario fills the spec's unset fields from the named scenario.
+// Client-set fields win, so a scenario is a starting point, not a
+// straitjacket.
+func applyScenario(s *Spec) error {
+	if s.Scenario == "" {
+		return nil
+	}
+	var base Spec
+	switch s.Scenario {
+	case "dvfs-step":
+		// A DVFS step: the chip runs throttled, then steps to full
+		// frequency; the trace clamps so the step does not replay.
+		base = Spec{
+			DtS:       2e-3,
+			MaxFrames: 150,
+			Workload: &WorkloadSpec{Trace: &workload.Trace{
+				Clamp: true,
+				Phases: []workload.Phase{
+					{Duration: 0.05, Util: workload.Utilization{Default: 0.3}},
+					{Duration: 1.0, Util: workload.Utilization{Default: 1}},
+				},
+			}},
+		}
+	case "hotspot-migration":
+		// Thermal management cycles the hot core around the die.
+		base = Spec{
+			DtS:       1e-3,
+			MaxFrames: 160,
+			Workload:  &WorkloadSpec{Name: "migration", DwellS: 0.02, Background: 0.2},
+		}
+	case "pump-degradation":
+		// The pump loses head over a 0.1 s ramp down to 35% flow while
+		// the chip runs flat out.
+		base = Spec{
+			DtS:       2e-3,
+			MaxFrames: 100,
+			Workload:  &WorkloadSpec{Name: "steady", Util: 1},
+			Faults: []Fault{{
+				Kind: FaultPumpDegradation, StartS: 0.02, RampS: 0.1, FlowScale: 0.35,
+			}},
+		}
+	case "channel-clog":
+		// A third of the microchannels clog at t=50 ms under a bursty
+		// load.
+		base = Spec{
+			DtS:       2e-3,
+			MaxFrames: 100,
+			Workload:  &WorkloadSpec{Name: "burst", PeriodS: 0.04, Duty: 0.5},
+			Faults: []Fault{{
+				Kind: FaultChannelClog, StartS: 0.05, Channels: 30,
+			}},
+		}
+	default:
+		return fmt.Errorf("stream: unknown scenario %q (have %v)", s.Scenario, Scenarios())
+	}
+	if s.DtS == 0 {
+		s.DtS = base.DtS
+	}
+	if s.MaxFrames == 0 {
+		s.MaxFrames = base.MaxFrames
+	}
+	if s.Workload == nil {
+		s.Workload = base.Workload
+	}
+	if s.Faults == nil {
+		s.Faults = base.Faults
+	}
+	return nil
+}
+
+// trace materializes the workload spec into a utilization trace.
+func (w *WorkloadSpec) trace() (*workload.Trace, error) {
+	if w == nil {
+		return nil, nil
+	}
+	if w.Trace != nil {
+		if err := w.Trace.Validate(); err != nil {
+			return nil, err
+		}
+		return w.Trace, nil
+	}
+	switch w.Name {
+	case "":
+		return nil, nil
+	case "steady":
+		util := w.Util
+		if util == 0 {
+			util = 1
+		}
+		if util < 0 || util > 1 {
+			return nil, fmt.Errorf("stream: steady util %g out of [0,1]", util)
+		}
+		// The duration is nominal: a steady trace holds one level
+		// regardless of wrap.
+		return workload.Steady(util, 1), nil
+	case "burst":
+		period := w.PeriodS
+		if period == 0 {
+			period = 0.04
+		}
+		if period <= 0 {
+			return nil, fmt.Errorf("stream: burst period %g s", period)
+		}
+		return workload.Burst(period, w.Duty), nil
+	case "migration":
+		dwell := w.DwellS
+		if dwell == 0 {
+			dwell = 0.02
+		}
+		if dwell <= 0 {
+			return nil, fmt.Errorf("stream: migration dwell %g s", dwell)
+		}
+		bg := w.Background
+		if bg < 0 || bg > 1 {
+			return nil, fmt.Errorf("stream: migration background %g out of [0,1]", bg)
+		}
+		return workload.CoreMigration(power7Floorplan(), dwell, bg), nil
+	default:
+		return nil, fmt.Errorf("stream: unknown workload %q (want steady, burst, migration or a trace)", w.Name)
+	}
+}
+
+// resolve validates the spec and applies every default.
+func (s Spec) resolve(maxFramesCap int) (*resolved, error) {
+	if err := applyScenario(&s); err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	if s.FlowMLMin != 0 {
+		cfg.FlowMLMin = s.FlowMLMin
+	}
+	if s.InletTempC != 0 {
+		cfg.InletTempC = s.InletTempC
+	}
+	if s.SupplyVoltage != 0 {
+		cfg.SupplyVoltage = s.SupplyVoltage
+	}
+	if s.ManifoldK != 0 {
+		cfg.ManifoldK = s.ManifoldK
+	}
+	if s.PumpEfficiency != 0 {
+		cfg.PumpEfficiency = s.PumpEfficiency
+	}
+	if cfg.FlowMLMin <= 0 || cfg.SupplyVoltage <= 0 {
+		return nil, fmt.Errorf("stream: nonpositive flow/voltage")
+	}
+	if cfg.InletTempC < 0 || cfg.InletTempC > 90 {
+		return nil, fmt.Errorf("stream: inlet %g C outside window", cfg.InletTempC)
+	}
+	if cfg.PumpEfficiency <= 0 || cfg.PumpEfficiency > 1 {
+		return nil, fmt.Errorf("stream: pump efficiency %g out of (0,1]", cfg.PumpEfficiency)
+	}
+	r := &resolved{
+		cfg:       cfg,
+		dt:        s.DtS,
+		maxFrames: s.MaxFrames,
+		nx:        s.NX,
+		ny:        s.NY,
+		pdnOn:     s.PDN == nil || *s.PDN,
+		scenario:  s.Scenario,
+		faults:    s.Faults,
+		nChannels: power7NChannels(),
+	}
+	if r.dt == 0 {
+		r.dt = 1e-3
+	}
+	if r.dt <= 0 || math.IsNaN(r.dt) || r.dt > 1 {
+		return nil, fmt.Errorf("stream: step dt=%g s out of (0,1]", r.dt)
+	}
+	if r.maxFrames == 0 {
+		r.maxFrames = 200
+	}
+	if r.maxFrames < 1 || r.maxFrames > maxFramesCap {
+		return nil, fmt.Errorf("stream: max_frames %d out of [1,%d]", r.maxFrames, maxFramesCap)
+	}
+	if r.nx == 0 {
+		r.nx = 44
+	}
+	if r.ny == 0 {
+		r.ny = 32
+	}
+	if r.nx < 4 || r.ny < 4 || r.nx > 512 || r.ny > 512 {
+		return nil, fmt.Errorf("stream: thermal grid %dx%d out of range", r.nx, r.ny)
+	}
+	tr, err := s.Workload.trace()
+	if err != nil {
+		return nil, err
+	}
+	r.trace = tr
+	// Auto default: free-run when a workload drives the session, wait
+	// for advance calls when the client drives it.
+	if s.Auto != nil {
+		r.auto = *s.Auto
+	} else {
+		r.auto = tr != nil
+	}
+	for _, fl := range r.faults {
+		if err := fl.validate(r.nChannels); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// flowScaleAt combines the fault schedule into one flow multiplier at
+// time t, floored at 5% (the models break down at zero flow; a fully
+// dead pump is outside the twin's envelope).
+func (r *resolved) flowScaleAt(t float64) float64 {
+	scale := 1.0
+	for _, fl := range r.faults {
+		scale *= fl.scaleAt(t, r.nChannels)
+	}
+	return math.Max(scale, 0.05)
+}
+
+// power7NChannels reads the Table II channel count off the thermal spec
+// so the clog model shares its source of truth (the flow/temperature
+// arguments are placeholders; only the geometry is read).
+func power7NChannels() int {
+	return thermal.Power7ChannelSpec(1, 300, thermal.VanadiumCoolant()).NChannels
+}

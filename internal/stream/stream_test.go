@@ -1,0 +1,331 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"bright/internal/workload"
+)
+
+// tinySpec is a fast manual session: coarse grid, no PDN.
+func tinySpec() Spec {
+	off := false
+	no := false
+	return Spec{
+		NX: 16, NY: 12,
+		DtS:       2e-3,
+		MaxFrames: 50,
+		PDN:       &off,
+		Auto:      &no,
+		Workload:  &WorkloadSpec{Name: "burst", PeriodS: 0.04, Duty: 0.5},
+	}
+}
+
+func testManager(t *testing.T, opts Options) *Manager {
+	t.Helper()
+	m := NewManager(opts)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := m.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return m
+}
+
+func TestSpecResolveDefaultsAndErrors(t *testing.T) {
+	r, err := Spec{}.resolve(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.cfg.FlowMLMin != 676 || r.dt != 1e-3 || r.maxFrames != 200 ||
+		r.nx != 44 || r.ny != 32 || !r.pdnOn || r.auto || r.trace != nil {
+		t.Fatalf("defaults: %+v", r)
+	}
+	for _, bad := range []Spec{
+		{DtS: -1},
+		{MaxFrames: -2},
+		{MaxFrames: 1 << 30},
+		{InletTempC: 95},
+		{PumpEfficiency: 1.5},
+		{Workload: &WorkloadSpec{Name: "nope"}},
+		{Scenario: "nope"},
+		{Faults: []Fault{{Kind: "nope"}}},
+		{Faults: []Fault{{Kind: FaultPumpDegradation, FlowScale: 0}}},
+		{Faults: []Fault{{Kind: FaultChannelClog, Channels: 1000}}},
+	} {
+		if _, err := bad.resolve(100000); err == nil {
+			t.Errorf("spec %+v accepted", bad)
+		}
+	}
+	// A workload turns auto on by default.
+	r, err = Spec{Workload: &WorkloadSpec{Name: "steady"}}.resolve(100000)
+	if err != nil || !r.auto {
+		t.Fatalf("steady workload should default to auto (err=%v)", err)
+	}
+}
+
+func TestScenarioLibrary(t *testing.T) {
+	for _, name := range Scenarios() {
+		r, err := Spec{Scenario: name}.resolve(100000)
+		if err != nil {
+			t.Fatalf("scenario %s: %v", name, err)
+		}
+		if r.trace == nil {
+			t.Fatalf("scenario %s resolved without a workload", name)
+		}
+	}
+	// Client fields win over the scenario's.
+	s := Spec{Scenario: "pump-degradation", MaxFrames: 7}
+	r, err := s.resolve(100000)
+	if err != nil || r.maxFrames != 7 {
+		t.Fatalf("override lost: %+v err=%v", r, err)
+	}
+}
+
+func TestFaultSchedule(t *testing.T) {
+	fl := Fault{Kind: FaultPumpDegradation, StartS: 1, RampS: 2, FlowScale: 0.5}
+	for _, tc := range []struct{ t, want float64 }{
+		{0, 1}, {1, 1}, {2, 0.75}, {3, 0.5}, {10, 0.5},
+	} {
+		if got := fl.scaleAt(tc.t, 88); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("scaleAt(%g) = %g, want %g", tc.t, got, tc.want)
+		}
+	}
+	clog := Fault{Kind: FaultChannelClog, StartS: 5, Channels: 22}
+	if got := clog.scaleAt(4.999, 88); got != 1 {
+		t.Errorf("clog before onset: %g", got)
+	}
+	if got := clog.scaleAt(5, 88); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("clog scale = %g, want 0.75 (22/88 clogged)", got)
+	}
+}
+
+func TestManualAdvanceAndCompletion(t *testing.T) {
+	m := testManager(t, Options{MaxSessions: 2, RingSize: 64})
+	spec := tinySpec()
+	spec.MaxFrames = 5
+	s, err := m.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	n, last, err := s.Advance(ctx, 3)
+	if err != nil || n != 3 || last == nil || last.Seq != 3 {
+		t.Fatalf("advance: n=%d last=%v err=%v", n, last, err)
+	}
+	if last.ChipPowerW <= 0 || last.PeakTempC <= 27 || last.ArrayPowerW <= 0 {
+		t.Fatalf("frame physics look wrong: %+v", last)
+	}
+	// Advancing past the budget clamps and completes the session.
+	n, _, err = s.Advance(ctx, 10)
+	if err != nil || n != 2 {
+		t.Fatalf("clamped advance: n=%d err=%v", n, err)
+	}
+	if st := s.Status(); st.State != StateCompleted || st.Frames != 5 {
+		t.Fatalf("status after budget: %+v", st)
+	}
+	if _, _, err := s.Advance(ctx, 1); !errors.Is(err, ErrCompleted) {
+		t.Fatalf("advance on completed session: %v", err)
+	}
+	st := m.Stats()
+	if st.EndedCompleted != 1 || st.FramesEmitted != 5 {
+		t.Fatalf("manager stats: %+v", st)
+	}
+}
+
+func TestUtilizationPushChangesPower(t *testing.T) {
+	m := testManager(t, Options{MaxSessions: 1})
+	spec := tinySpec()
+	spec.Workload = nil // manual session idles at zero utilization
+	s, err := m.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	_, idle, err := s.Advance(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetUtilization(ctx, workload.Utilization{Default: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, full, err := s.Advance(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.ChipPowerW <= idle.ChipPowerW {
+		t.Fatalf("full-util frame power %g <= idle %g", full.ChipPowerW, idle.ChipPowerW)
+	}
+	if err := s.SetUtilization(ctx, workload.Utilization{Default: 2}); err == nil {
+		t.Fatal("invalid utilization accepted")
+	}
+}
+
+func TestAdmissionCapAndCancel(t *testing.T) {
+	m := testManager(t, Options{MaxSessions: 1})
+	s, err := m.Create(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(tinySpec()); !errors.Is(err, ErrTooManySessions) {
+		t.Fatalf("over-cap create: %v", err)
+	}
+	if m.Stats().AdmissionRejected != 1 {
+		t.Fatal("rejection not counted")
+	}
+	if err := m.Cancel(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Get(s.ID); ok {
+		t.Fatal("canceled session still listed")
+	}
+	if m.Stats().EndedCanceled != 1 {
+		t.Fatal("cancel not counted")
+	}
+	// The freed slot admits again.
+	if _, err := m.Create(tinySpec()); err != nil {
+		t.Fatalf("create after cancel: %v", err)
+	}
+}
+
+func TestIdleTimeoutReapsSessions(t *testing.T) {
+	m := testManager(t, Options{MaxSessions: 1, IdleTimeout: 60 * time.Millisecond})
+	s, err := m.Create(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := m.Get(s.ID); !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session not reaped; status %+v", s.Status())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := m.Stats(); st.EndedIdleTimeout != 1 {
+		t.Fatalf("idle outcome not counted: %+v", st)
+	}
+}
+
+func TestCheckpointRestoreContinuesExactly(t *testing.T) {
+	m := testManager(t, Options{MaxSessions: 2})
+	s, err := m.Create(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, _, err := s.Advance(ctx, 8); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := s.Checkpoint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Step != 8 || cp.Version != CheckpointVersion || len(cp.ThermalState) == 0 {
+		t.Fatalf("checkpoint: step=%d version=%d", cp.Step, cp.Version)
+	}
+	r, err := m.Restore(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fa, err := s.Advance(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fb, err := r.Advance(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.Seq != 9 || fb.Seq != 9 {
+		t.Fatalf("restored sequence: %d vs %d, want 9", fa.Seq, fb.Seq)
+	}
+	rel := func(a, b float64) float64 {
+		if a == b {
+			return 0
+		}
+		return math.Abs(a-b) / math.Max(math.Abs(a), math.Abs(b))
+	}
+	const tol = 1e-6
+	if rel(fa.PeakTempC, fb.PeakTempC) > tol ||
+		rel(fa.ArrayPowerW, fb.ArrayPowerW) > tol ||
+		rel(fa.MeanFluidTempC, fb.MeanFluidTempC) > tol ||
+		rel(fa.ArrayHeatW, fb.ArrayHeatW) > tol {
+		t.Fatalf("restored frame diverged:\n  orig %+v\n  rest %+v", fa, fb)
+	}
+	// Tampered checkpoints are rejected.
+	bad := *cp
+	bad.ThermalState = bad.ThermalState[:len(bad.ThermalState)-1]
+	if _, err := m.Restore(&bad); err == nil {
+		t.Fatal("short thermal state accepted")
+	}
+	bad = *cp
+	bad.Version = 99
+	if _, err := m.Restore(&bad); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+// TestPumpDegradationFault is the fault-injection acceptance test: a
+// degrading pump must show the peak temperature rising AND the flow
+// cells' electrical output falling across the ramp.
+func TestPumpDegradationFault(t *testing.T) {
+	m := testManager(t, Options{MaxSessions: 1})
+	off := false
+	no := false
+	s, err := m.Create(Spec{
+		Scenario: "pump-degradation",
+		NX:       16, NY: 12,
+		MaxFrames: 70,
+		PDN:       &off,
+		Auto:      &no,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, _, err := s.Advance(ctx, 70); err != nil {
+		t.Fatal(err)
+	}
+	// Collect the trajectory from the ring (default capacity 256 holds
+	// all 70 frames).
+	var frames []Frame
+	for at := uint64(1); ; {
+		rd := s.ring.read(at)
+		if !rd.ok {
+			break
+		}
+		frames = append(frames, rd.frame)
+		at = rd.frame.Seq + 1
+	}
+	if len(frames) != 70 {
+		t.Fatalf("got %d frames", len(frames))
+	}
+	// Scenario: ramp over [0.02, 0.12] s at dt=2e-3 → frames 10..60.
+	pre := frames[5]   // before the fault
+	post := frames[69] // ramp finished, flow at 35%
+	if post.FlowScale >= pre.FlowScale || post.FlowScale > 0.36 {
+		t.Fatalf("flow scale did not degrade: pre %g post %g", pre.FlowScale, post.FlowScale)
+	}
+	if post.PeakTempC <= pre.PeakTempC {
+		t.Fatalf("peak temperature did not rise under degraded flow: %g -> %g",
+			pre.PeakTempC, post.PeakTempC)
+	}
+	if post.ArrayPowerW >= pre.ArrayPowerW {
+		t.Fatalf("flow-cell power did not fall under degraded flow: %g -> %g",
+			pre.ArrayPowerW, post.ArrayPowerW)
+	}
+	if s.Status().ThermalRebuilds == 0 {
+		t.Fatal("flow ramp should have rebuilt the thermal matrix")
+	}
+	if pre.PumpPowerW <= post.PumpPowerW {
+		// Lower flow pumps less power through the same network.
+		t.Fatalf("pump power should fall with flow: %g -> %g", pre.PumpPowerW, post.PumpPowerW)
+	}
+}

@@ -17,11 +17,13 @@ import (
 
 // Utilization describes the activity of the chip at one instant, in
 // [0, 1] per unit. Lookup precedence: by unit name, then by unit kind,
-// then Default.
+// then Default. The JSON form is the wire format of the streaming
+// session API (internal/stream), where clients push utilization
+// updates into a live transient co-simulation.
 type Utilization struct {
-	ByName  map[string]float64
-	ByKind  map[floorplan.UnitKind]float64
-	Default float64
+	ByName  map[string]float64             `json:"by_name,omitempty"`
+	ByKind  map[floorplan.UnitKind]float64 `json:"by_kind,omitempty"`
+	Default float64                        `json:"default"`
 }
 
 // Of returns the utilization of a unit.
@@ -62,15 +64,27 @@ func (u Utilization) Validate() error {
 // Phase is one segment of a trace.
 type Phase struct {
 	// Duration in seconds (> 0).
-	Duration float64
+	Duration float64 `json:"duration_s"`
 	// Util is the chip activity during the phase.
-	Util Utilization
+	Util Utilization `json:"util"`
 }
 
-// Trace is a piecewise-constant utilization schedule. Times beyond the
-// total duration wrap around (periodic).
+// Trace is a piecewise-constant utilization schedule. Each phase
+// occupies the half-open interval [start, start+Duration) — sampling
+// exactly at a boundary returns the phase that begins there. Times
+// outside [0, TotalDuration()) wrap around periodically by default
+// (At(TotalDuration()) is At(0)); with Clamp set they clamp to the
+// first/last phase instead.
 type Trace struct {
-	Phases []Phase
+	Phases []Phase `json:"phases"`
+	// Clamp switches the out-of-range semantics from periodic wrapping
+	// to clamping: times past the end hold the last phase forever and
+	// negative times hold the first. Wrap (the default) is what a
+	// periodic Burst trace driving an arbitrarily long session needs;
+	// clamp is what a one-shot step scenario (DVFS step, wake-up) needs
+	// so the trace does not silently restart when a long-lived session
+	// outruns it.
+	Clamp bool `json:"clamp,omitempty"`
 }
 
 // Validate reports whether the trace is usable.
@@ -98,23 +112,62 @@ func (t *Trace) TotalDuration() float64 {
 	return d
 }
 
-// At returns the utilization at the given time, wrapping periodically.
+// At returns the utilization at the given time, honoring the trace's
+// wrap-vs-clamp semantics (see Trace).
 func (t *Trace) At(time float64) Utilization {
-	period := t.TotalDuration()
-	if period <= 0 {
+	k := t.PhaseIndexAt(time)
+	if k < 0 {
 		return Utilization{}
 	}
-	time = math.Mod(time, period)
-	if time < 0 {
-		time += period
+	return t.Phases[k].Util
+}
+
+// PhaseIndexAt returns the index of the phase active at the given time
+// (-1 for an empty trace). Phase intervals are half-open: phase k spans
+// [edge(k), edge(k+1)) where edge(k) is the cumulative duration of the
+// phases before it, so a time landing exactly on a boundary belongs to
+// the phase that starts there. Comparisons run against the cumulative
+// edges (not repeated subtraction), so a caller that computes sample
+// times by summing the same prefix durations gets exact boundary
+// classification, free of accumulated float drift.
+//
+// Out-of-range times wrap periodically by default — time is reduced
+// modulo TotalDuration(), so exactly one period maps to phase 0, the
+// shape a periodic Burst trace needs when it drives a session for many
+// periods. With Clamp set, times at or past TotalDuration() return the
+// last phase and negative times the first.
+func (t *Trace) PhaseIndexAt(time float64) int {
+	n := len(t.Phases)
+	if n == 0 {
+		return -1
 	}
-	for _, p := range t.Phases {
-		if time < p.Duration {
-			return p.Util
+	period := t.TotalDuration()
+	if period <= 0 {
+		return n - 1
+	}
+	if t.Clamp {
+		if time < 0 {
+			return 0
 		}
-		time -= p.Duration
+		if time >= period {
+			return n - 1
+		}
+	} else {
+		time = math.Mod(time, period)
+		if time < 0 {
+			time += period
+		}
 	}
-	return t.Phases[len(t.Phases)-1].Util
+	edge := 0.0
+	for k, p := range t.Phases {
+		edge += p.Duration
+		if time < edge {
+			return k
+		}
+	}
+	// Float round-off in the Mod can leave time a hair at or above the
+	// final edge; that instant belongs to the last phase.
+	return n - 1
 }
 
 // PowerModel maps utilization to per-kind power density: density =

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 
@@ -76,6 +77,103 @@ func TestTraceAtWrapsPeriodically(t *testing.T) {
 	// Wrapped.
 	if tr.At(2.1).Default != 1 || tr.At(-0.9).Default != 1 {
 		t.Fatal("wrapping")
+	}
+}
+
+// Phase intervals are half-open [start, end): sampling exactly at a
+// boundary returns the phase that begins there, and exactly one period
+// wraps to phase 0.
+func TestTraceAtExactBoundaries(t *testing.T) {
+	tr := &Trace{Phases: []Phase{
+		{Duration: 0.25, Util: Utilization{Default: 1}},
+		{Duration: 0.75, Util: Utilization{Default: 0}},
+	}}
+	if got := tr.PhaseIndexAt(0); got != 0 {
+		t.Fatalf("At(0): phase %d, want 0", got)
+	}
+	// Exactly at the internal boundary: the idle phase starts here.
+	if got := tr.PhaseIndexAt(0.25); got != 1 {
+		t.Fatalf("At(0.25): phase %d, want 1 (half-open intervals)", got)
+	}
+	// Exactly one period: wraps to the start of the next period.
+	if got := tr.PhaseIndexAt(1.0); got != 0 {
+		t.Fatalf("At(period): phase %d, want 0 (periodic wrap)", got)
+	}
+	if got := tr.PhaseIndexAt(1.25); got != 1 {
+		t.Fatalf("At(period+0.25): phase %d, want 1", got)
+	}
+	// Boundary classification must be exact for times built by summing
+	// the same prefix durations the trace holds, even when the
+	// durations are not exactly representable.
+	odd := &Trace{Phases: []Phase{
+		{Duration: 0.1, Util: Utilization{Default: 0.1}},
+		{Duration: 0.1, Util: Utilization{Default: 0.2}},
+		{Duration: 0.1, Util: Utilization{Default: 0.3}},
+	}}
+	edge := odd.Phases[0].Duration + odd.Phases[1].Duration
+	if got := odd.PhaseIndexAt(edge); got != 2 {
+		t.Fatalf("At(sum of first two durations): phase %d, want 2", got)
+	}
+}
+
+func TestTraceClampSemantics(t *testing.T) {
+	tr := &Trace{
+		Clamp: true,
+		Phases: []Phase{
+			{Duration: 0.5, Util: Utilization{Default: 0.3}},
+			{Duration: 0.5, Util: Utilization{Default: 1}},
+		},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.At(0.25).Default; got != 0.3 {
+		t.Fatalf("At(0.25) = %g, want 0.3", got)
+	}
+	// At and past the end: the last phase holds forever (a DVFS step
+	// must not restart when the session outruns the trace).
+	for _, tm := range []float64{1.0, 1.5, 100} {
+		if got := tr.At(tm).Default; got != 1 {
+			t.Fatalf("clamp At(%g) = %g, want 1", tm, got)
+		}
+	}
+	// Negative times clamp to the first phase.
+	if got := tr.At(-3).Default; got != 0.3 {
+		t.Fatalf("clamp At(-3) = %g, want 0.3", got)
+	}
+	// The same trace with wrap restarts instead.
+	wrap := &Trace{Phases: tr.Phases}
+	if got := wrap.At(1.25).Default; got != 0.3 {
+		t.Fatalf("wrap At(1.25) = %g, want 0.3", got)
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := &Trace{
+		Clamp: true,
+		Phases: []Phase{
+			{Duration: 0.5, Util: Utilization{
+				ByName:  map[string]float64{"CORE0": 1},
+				ByKind:  map[floorplan.UnitKind]float64{floorplan.Core: 0.5},
+				Default: 0.1,
+			}},
+		},
+	}
+	blob, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Clamp || len(back.Phases) != 1 {
+		t.Fatalf("round trip lost structure: %+v", back)
+	}
+	ph := back.Phases[0]
+	if ph.Duration != 0.5 || ph.Util.Default != 0.1 ||
+		ph.Util.ByName["CORE0"] != 1 || ph.Util.ByKind[floorplan.Core] != 0.5 {
+		t.Fatalf("round trip lost values: %+v", ph)
 	}
 }
 
