@@ -69,44 +69,58 @@ test-short:
 
 # Full benchmark sweep over the numeric kernels, the thermal solver,
 # the serving engine and the streaming-session stepper, folded into a
-# machine-readable report (BENCH_PR6.json): per-benchmark ns/op, B/op,
+# machine-readable report ($(BENCH_OUT)): per-benchmark ns/op, B/op,
 # allocs/op, the paired speedup rows (serial vs parallel kernels,
-# Jacobi vs multigrid preconditioning) and the streaming frames/s rows,
-# stamped with the Go version and core count of the generating machine.
-# BENCH_PR2.json (pre-multigrid) and BENCH_PR5.json (pre-streaming) are
-# frozen baselines; do not overwrite them.
+# Jacobi vs multigrid preconditioning, float64 vs float32 V-cycles,
+# Jacobi vs Chebyshev smoothing, sequential vs block multi-RHS CG) and
+# the streaming frames/s rows, stamped with the Go version and core
+# count of the generating machine. The num suite runs -count 3 so the
+# committed speedup rows are medians (see cmd/benchjson), not single
+# samples of a drifting box. BENCH_PR2.json (pre-multigrid),
+# BENCH_PR5.json (pre-streaming) and BENCH_PR6.json (pre-mixed-
+# precision) are frozen baselines; do not overwrite them.
+BENCH_OUT ?= BENCH_PR7.json
 bench:
-	$(GO) test -run xxx -bench . -benchmem ./internal/num > /tmp/bench_num.txt
+	$(GO) test -run xxx -bench . -count 3 -benchmem ./internal/num > /tmp/bench_num.txt
 	$(GO) test -run xxx -bench . -benchmem ./internal/thermal > /tmp/bench_thermal.txt
 	$(GO) test -run xxx -bench BenchmarkEngineThroughput -benchmem . > /tmp/bench_engine.txt
 	$(GO) test -run xxx -bench BenchmarkTransientStepping -benchmem ./internal/stream > /tmp/bench_stream.txt
-	$(GO) run ./cmd/benchjson -o BENCH_PR6.json /tmp/bench_num.txt /tmp/bench_thermal.txt /tmp/bench_engine.txt /tmp/bench_stream.txt
-	@echo wrote BENCH_PR6.json
+	$(GO) run ./cmd/benchjson -o $(BENCH_OUT) /tmp/bench_num.txt /tmp/bench_thermal.txt /tmp/bench_engine.txt /tmp/bench_stream.txt
+	@echo wrote $(BENCH_OUT)
 
 # Serving-layer throughput baseline only (see BenchmarkEngineThroughput).
 bench-serving:
 	$(GO) test -run xxx -bench BenchmarkEngineThroughput -benchmem .
 
-# Multigrid regression gate: runs the paired preconditioner benchmarks
+# Solver regression gate: runs the paired preconditioner benchmarks
 # (BenchmarkCGPoisson64x64, BenchmarkCGPoisson128x128, BenchmarkCGStack3D
-# — each a /jacobi vs /mg couple) and fails if MG drops below 1.0x the
-# Jacobi baseline on any reference grid, or if the pairs go missing.
+# — each a /jacobi vs /mg couple) plus the mixed-precision
+# (BenchmarkMGCG512x512F32: /f64 vs /f32 on the 512-class grid),
+# Chebyshev-smoothing (BenchmarkMGCGStack128x4Cheby: /jacobi-smooth vs
+# /cheby on the stacked-die operator) and block multi-RHS
+# (BenchmarkBlockCG128x128: /seq vs /block, gated on the deterministic
+# rows/op metric) couples, and fails if any optimized path drops below
+# 1.0x its baseline, or if any pair goes missing. -count 3 lets
+# benchjson gate on per-benchmark medians, so a CPU-frequency dip on a
+# shared box cannot flake a timing ratio.
 bench-compare:
-	$(GO) test -run xxx -bench 'BenchmarkCGPoisson|BenchmarkCGStack3D' -benchmem ./internal/num > /tmp/bench_mg.txt
-	$(GO) run ./cmd/benchjson -min-mg-speedup 1.0 -o /dev/null /tmp/bench_mg.txt
+	$(GO) test -run xxx -bench 'BenchmarkCGPoisson|BenchmarkCGStack3D|BenchmarkMGCG|BenchmarkBlockCG' -count 3 -benchmem ./internal/num > /tmp/bench_mg.txt
+	$(GO) run ./cmd/benchjson -min-mg-speedup 1.0 -min-speedup 1.0 -o /dev/null /tmp/bench_mg.txt
 
-# Static allocation guard for the parallel kernel hot path: the only
-# heap escapes allowed in internal/num/parallel.go are the one-time
-# pool allocations (the parRun descriptor and its partials buffer built
-# in sync.Pool.New). Anything else — a closure capturing operands, a
+# Static allocation guard for the kernel hot paths. In
+# internal/num/parallel.go the only allowed heap escapes are the
+# one-time pool allocations (the parRun descriptor and its partials
+# buffer built in sync.Pool.New); in internal/num/csr32.go only the
+# setup-time mirror construction in NewCSR32 may allocate — the float32
+# SpMV itself must not. Anything else — a closure capturing operands, a
 # descriptor escaping per call — would put an allocation on every
 # kernel op and break the zero-allocs/op solve loop, so it fails the
 # gate. The dynamic twin of this guard is TestKrylovWorkspaceZeroAlloc.
 escape-check:
 	@out=$$($(GO) build -gcflags=-m ./internal/num 2>&1 \
-		| grep 'parallel\.go' \
+		| grep -E 'parallel\.go|csr32\.go' \
 		| grep -E 'escapes to heap|moved to heap' \
-		| grep -vE 'new\(parRun\)|make\(\[\]float64, 2\*maxKernelChunks\)|make\(\[\]float64, 128\)'); \
+		| grep -vE 'new\(parRun\)|make\(\[\]float64, 2\*maxKernelChunks\)|make\(\[\]float64, 128\)|&CSR32\{\.\.\.\}|make\(\[\]int32, len\(a\.ColIdx\)\)|make\(\[\]float32, len\(a\.Val\)\)'); \
 	if [ -n "$$out" ]; then \
 		echo "escape-check: unexpected heap escapes in the kernel hot path:"; \
 		echo "$$out"; exit 1; \

@@ -4,19 +4,35 @@
 // line, and emits a single JSON document with per-benchmark ns/op,
 // B/op, allocs/op and any custom metrics, plus speedup pairs for
 // benchmarks that expose paired sub-benchmarks: /serial vs /parallel
-// (kernel threading) and /jacobi vs /mg (preconditioner).
+// (kernel threading), /jacobi vs /mg (preconditioner), /f64 vs /f32
+// (mixed-precision V-cycles), /jacobi-smooth vs /cheby (smoother) and
+// /seq vs /block (multi-RHS CG).
 //
 // Usage:
 //
 //	go test -bench . -benchmem ./internal/num > num.txt
-//	benchjson -o BENCH.json [-min-mg-speedup 1.0] num.txt [more.txt ...]
+//	benchjson -o BENCH.json [-min-mg-speedup 1.0] [-min-speedup 1.0] num.txt [more.txt ...]
 //
-// -min-mg-speedup turns the report into a regression gate: after
-// writing the output it exits nonzero if any jacobi-vs-mg pair falls
-// below the threshold, or if no such pair was found at all (a silently
-// skipped benchmark must not pass the gate). `make bench-compare` runs
-// it at 1.0 so multigrid can never quietly regress below the Jacobi
-// baseline on the reference grids.
+// Repeated rows of one benchmark (`go test -count N`) collapse into a
+// single row carrying the per-column median, with the sample count
+// recorded — on shared or frequency-scaled boxes the median of a few
+// repetitions is far more stable than any single run, so gated ratios
+// do not flake on CPU drift.
+//
+// The floors turn the report into a regression gate: after writing the
+// output, -min-mg-speedup exits nonzero if any jacobi-vs-mg pair falls
+// below the threshold, and -min-speedup does the same for the f32,
+// cheby and blockcg pairings — each gated kind must also be present at
+// all (a silently skipped benchmark must not pass the gate). `make
+// bench-compare` runs both at 1.0 so no optimized solver path can
+// quietly regress below its baseline on the reference grids.
+//
+// Most pairs compare wall clock (ns/op). The blockcg couple instead
+// compares the rows/op metric when both sides report it — CSR rows
+// traversed per sweep chain, the deterministic currency of multi-RHS
+// amortization — so that gate measures the algorithmic saving exactly
+// rather than a machine-dependent timing; each speedup row records
+// which unit it was computed on.
 //
 // The report records the machine context (Go version, GOMAXPROCS, CPU
 // line from the benchmark header) so numbers from different boxes are
@@ -50,16 +66,24 @@ type Benchmark struct {
 	// Metrics holds any further "value unit" pairs (e.g. MB/s, custom
 	// b.ReportMetric units).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Samples is the repetition count this row is the median of, when
+	// the input held the benchmark more than once (`go test -count N`);
+	// 0 means a single run.
+	Samples int `json:"samples,omitempty"`
 }
 
 // Speedup pairs a benchmark's baseline and optimized variants. Kind
 // names the pairing: "parallel" for /serial vs /parallel, "mg" for
 // /jacobi vs /mg.
 type Speedup struct {
-	Name       string  `json:"name"`
-	Kind       string  `json:"kind"`
-	BaselineNs float64 `json:"baseline_ns_op"`
-	VariantNs  float64 `json:"variant_ns_op"`
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Unit is the column the pair is compared on: "ns/op" for wall
+	// clock (the default), or a custom metric such as "rows/op" for the
+	// blockcg kind.
+	Unit     string  `json:"unit"`
+	Baseline float64 `json:"baseline"`
+	Variant  float64 `json:"variant"`
 	// Speedup = baseline / variant: > 1 means the optimized path wins.
 	Speedup float64 `json:"speedup"`
 }
@@ -78,7 +102,16 @@ type FrameRate struct {
 var suffixPairs = []struct{ kind, baseline, variant string }{
 	{"parallel", "/serial", "/parallel"},
 	{"mg", "/jacobi", "/mg"},
+	{"f32", "/f64", "/f32"},
+	{"cheby", "/jacobi-smooth", "/cheby"},
+	{"blockcg", "/seq", "/block"},
 }
+
+// gatedKinds are the pairings -min-speedup enforces: each must appear at
+// least once and every pair must meet the floor. They cover the three
+// solver-optimization axes — mixed-precision V-cycles, Chebyshev
+// smoothing and block multi-RHS CG.
+var gatedKinds = []string{"f32", "cheby", "blockcg"}
 
 // Report is the emitted document.
 type Report struct {
@@ -100,6 +133,8 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	minMG := flag.Float64("min-mg-speedup", 0,
 		"exit nonzero if any jacobi-vs-mg pair's speedup falls below this, or none exists (0 disables)")
+	minSpeedup := flag.Float64("min-speedup", 0,
+		"exit nonzero unless every f32, cheby and blockcg pair exists and meets this floor (0 disables)")
 	flag.Parse()
 
 	rep := &Report{
@@ -125,6 +160,7 @@ func main() {
 			fatal(fmt.Errorf("%s: %w", path, err))
 		}
 	}
+	rep.Benchmarks = collapse(rep.Benchmarks)
 	rep.Speedups = speedups(rep.Benchmarks)
 	rep.FrameRates = frameRates(rep.Benchmarks)
 
@@ -143,33 +179,38 @@ func main() {
 	// The gate runs after the report is written, so a regression still
 	// leaves the numbers on disk for inspection.
 	if *minMG > 0 {
-		enforceMG(rep.Speedups, *minMG)
+		enforceKind(rep.Speedups, "mg", *minMG)
+	}
+	if *minSpeedup > 0 {
+		for _, kind := range gatedKinds {
+			enforceKind(rep.Speedups, kind, *minSpeedup)
+		}
 	}
 }
 
-// enforceMG fails the process when the multigrid pairs regress below
+// enforceKind fails the process when a pairing kind's rows regress below
 // the floor — or are missing entirely, which would otherwise let a
 // skipped benchmark pass the gate.
-func enforceMG(sp []Speedup, floor float64) {
+func enforceKind(sp []Speedup, kind string, floor float64) {
 	found, bad := 0, 0
 	for _, s := range sp {
-		if s.Kind != "mg" {
+		if s.Kind != kind {
 			continue
 		}
 		found++
 		if s.Speedup < floor {
-			fmt.Fprintf(os.Stderr, "benchjson: %s mg speedup %.2fx below required %.2fx\n",
-				s.Name, s.Speedup, floor)
+			fmt.Fprintf(os.Stderr, "benchjson: %s %s speedup %.2fx below required %.2fx\n",
+				s.Name, kind, s.Speedup, floor)
 			bad++
 		}
 	}
 	if found == 0 {
-		fatal(fmt.Errorf("-min-mg-speedup %.2f set but no jacobi-vs-mg pairs found", floor))
+		fatal(fmt.Errorf("speedup floor %.2f set for kind %q but no such pairs found", floor, kind))
 	}
 	if bad > 0 {
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: %d mg pair(s) at or above %.2fx\n", found, floor)
+	fmt.Fprintf(os.Stderr, "benchjson: %d %s pair(s) at or above %.2fx\n", found, kind, floor)
 }
 
 func fatal(err error) {
@@ -248,6 +289,72 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, b.NsOp > 0
 }
 
+// median returns the middle value of vs (mean of the middle two for
+// even counts). vs is sorted in place.
+func median(vs []float64) float64 {
+	sort.Float64s(vs)
+	n := len(vs)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+// collapse merges repeated rows of one benchmark — `go test -count N`
+// emits the full result line N times — into a single row holding the
+// per-column median, first-appearance order preserved. Medians are
+// taken column-wise (ns/op, B/op, allocs/op, every custom metric), so
+// one repetition hit by a CPU-frequency dip or a noisy neighbor cannot
+// drag a gated ratio under its floor.
+func collapse(benches []Benchmark) []Benchmark {
+	type key struct{ pkg, name string }
+	var order []key
+	groups := map[key][]Benchmark{}
+	for _, b := range benches {
+		k := key{b.Package, b.Name}
+		if groups[k] == nil {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], b)
+	}
+	pick := func(g []Benchmark, f func(Benchmark) float64) float64 {
+		vs := make([]float64, len(g))
+		for i, b := range g {
+			vs[i] = f(b)
+		}
+		return median(vs)
+	}
+	out := make([]Benchmark, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		m := g[0]
+		if len(g) > 1 {
+			m.Samples = len(g)
+			m.Iterations = int64(pick(g, func(b Benchmark) float64 { return float64(b.Iterations) }))
+			m.NsOp = pick(g, func(b Benchmark) float64 { return b.NsOp })
+			m.BytesOp = pick(g, func(b Benchmark) float64 { return b.BytesOp })
+			m.AllocsOp = pick(g, func(b Benchmark) float64 { return b.AllocsOp })
+			units := map[string]bool{}
+			for _, b := range g {
+				for u := range b.Metrics {
+					units[u] = true
+				}
+			}
+			if len(units) > 0 {
+				m.Metrics = map[string]float64{}
+				for u := range units {
+					m.Metrics[u] = pick(g, func(b Benchmark) float64 { return b.Metrics[u] })
+				}
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
 // frameRates extracts the frames/s rows, in benchmark order.
 func frameRates(benches []Benchmark) []FrameRate {
 	var out []FrameRate
@@ -259,12 +366,27 @@ func frameRates(benches []Benchmark) []FrameRate {
 	return out
 }
 
+// pairMetric picks the column a pairing is compared on. The blockcg
+// couple compares rows/op when both sides report it — the deterministic
+// traversal-amortization count — and everything else (including a
+// blockcg pair without the metric) compares wall clock.
+func pairMetric(kind string, base, variant Benchmark) (unit string, bv, vv float64) {
+	if kind == "blockcg" {
+		br, okB := base.Metrics["rows/op"]
+		vr, okV := variant.Metrics["rows/op"]
+		if okB && okV && br > 0 && vr > 0 {
+			return "rows/op", br, vr
+		}
+	}
+	return "ns/op", base.NsOp, variant.NsOp
+}
+
 // speedups pairs every recognized baseline/variant sub-benchmark couple
 // (Foo/serial with Foo/parallel, Foo/jacobi with Foo/mg).
 func speedups(benches []Benchmark) []Speedup {
-	ns := map[string]float64{}
+	byName := map[string]Benchmark{}
 	for _, b := range benches {
-		ns[b.Name] = b.NsOp
+		byName[b.Name] = b
 	}
 	var out []Speedup
 	seen := map[string]bool{}
@@ -274,12 +396,16 @@ func speedups(benches []Benchmark) []Speedup {
 			if !ok || seen[base+"\x00"+p.kind] {
 				continue
 			}
-			v, ok := ns[base+p.variant]
-			if !ok || v <= 0 {
+			v, ok := byName[base+p.variant]
+			if !ok {
+				continue
+			}
+			unit, bv, vv := pairMetric(p.kind, b, v)
+			if bv <= 0 || vv <= 0 {
 				continue
 			}
 			seen[base+"\x00"+p.kind] = true
-			out = append(out, Speedup{Name: base, Kind: p.kind, BaselineNs: b.NsOp, VariantNs: v, Speedup: b.NsOp / v})
+			out = append(out, Speedup{Name: base, Kind: p.kind, Unit: unit, Baseline: bv, Variant: vv, Speedup: bv / vv})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -37,6 +37,7 @@
 //
 //	brightd [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	        [-kernel-threads N] [-solver-precond auto|jacobi|mg]
+//	        [-mg-precision auto|float64|float32] [-mg-smoother auto|jacobi|cheby]
 //	        [-request-timeout 5m] [-drain-timeout 30s] [-debug-addr :6060]
 //	        [-max-sessions N] [-session-idle-timeout 2m] [-session-ring N]
 //
@@ -61,6 +62,14 @@
 // for large symmetric systems and Jacobi elsewhere; jacobi and mg force
 // one family, for A/B runs and for grids where the heuristic guesses
 // wrong.
+//
+// -mg-precision and -mg-smoother tune the multigrid preconditioner
+// behind the mg/auto policies (defaults from BRIGHT_MG_PRECISION and
+// BRIGHT_MG_SMOOTHER): float32 runs the V-cycle in single precision
+// inside the float64 Krylov loop, falling back to float64 per operator
+// when the reduced precision stalls; cheby swaps the damped-Jacobi
+// smoother for a degree-3 Chebyshev polynomial with eigenvalue bounds
+// estimated once at setup.
 package main
 
 import (
@@ -131,6 +140,10 @@ func main() {
 			"opt-in debug listener serving /debug/pprof/ (empty = disabled)")
 		precond = flag.String("solver-precond", envStr("BRIGHT_SOLVER_PRECOND", "auto"),
 			"preconditioner policy for the iterative solvers: auto, jacobi or mg (env BRIGHT_SOLVER_PRECOND)")
+		mgPrecision = flag.String("mg-precision", envStr("BRIGHT_MG_PRECISION", "auto"),
+			"multigrid V-cycle arithmetic: auto, float64 or float32 (env BRIGHT_MG_PRECISION)")
+		mgSmoother = flag.String("mg-smoother", envStr("BRIGHT_MG_SMOOTHER", "auto"),
+			"multigrid smoother: auto, jacobi or cheby (env BRIGHT_MG_SMOOTHER)")
 		maxSessions = flag.Int("max-sessions", 8,
 			"streaming session cap; admissions past it answer 429")
 		sessionIdle = flag.Duration("session-idle-timeout", 2*time.Minute,
@@ -145,6 +158,16 @@ func main() {
 		log.Fatalf("brightd: -solver-precond: %v", err)
 	}
 	num.SetDefaultPrecond(pc)
+	prec, err := num.ParseMGPrecision(*mgPrecision)
+	if err != nil {
+		log.Fatalf("brightd: -mg-precision: %v", err)
+	}
+	num.SetDefaultMGPrecision(prec)
+	sm, err := num.ParseMGSmoother(*mgSmoother)
+	if err != nil {
+		log.Fatalf("brightd: -mg-smoother: %v", err)
+	}
+	num.SetDefaultMGSmoother(sm)
 
 	if *debugAddr != "" {
 		dm := http.NewServeMux()

@@ -3,8 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"bright/internal/cosim"
+	"bright/internal/floorplan"
+	"bright/internal/mesh"
 	"bright/internal/pdn"
 )
 
@@ -25,10 +28,90 @@ import (
 type Batch struct {
 	runner *cosim.Runner
 	pdnSes *pdn.Session
+
+	// gridCache holds chain-prefetched PDN solutions keyed by pdnKey:
+	// PrefetchChain batch-solves the distinct grid points of a sweep
+	// chain in one block-Krylov run, and EvaluateContext serves each
+	// point's grid stage from here instead of solving it again.
+	gridCache map[string]*pdn.Solution
 }
 
 // NewBatch returns an empty batch; caches fill lazily on first use.
 func NewBatch() *Batch { return &Batch{} }
+
+// pdnKey identifies a configuration up to the fields the PDN solve
+// depends on — SupplyVoltage and ChipLoad — quantized like
+// Config.CanonicalKey so tolerance-equal points share one entry.
+func pdnKey(cfg Config) string {
+	q := func(v float64) float64 {
+		r := math.Round(v/keyTolerance) * keyTolerance
+		if r == 0 {
+			r = 0
+		}
+		return r
+	}
+	return fmt.Sprintf("%.9f|%.9f", q(cfg.SupplyVoltage), q(cfg.ChipLoad))
+}
+
+// PrefetchChain batch-solves the PDN operating points of a sweep chain
+// before its sequential walk begins. The grid inputs depend only on
+// (SupplyVoltage, ChipLoad), so the distinct grid points of the whole
+// chain are known upfront and solve together through the session's
+// block Krylov path — one matrix traversal per iteration serves every
+// point, instead of each point traversing the matrix alone during the
+// walk. Duplicate points dedupe to one solve. A prefetch error leaves
+// the batch fully usable: EvaluateContext simply solves per point.
+func (b *Batch) PrefetchChain(ctx context.Context, cfgs []Config) error {
+	if len(cfgs) < 2 {
+		return nil
+	}
+	p, _, err := pdn.Power7Problem()
+	if err != nil {
+		return err
+	}
+	fp := floorplan.Power7()
+	var keys []string
+	var loads []*mesh.Field2D
+	var supplies []float64
+	seen := make(map[string]bool, len(cfgs))
+	for _, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		k := pdnKey(cfg)
+		if seen[k] || b.gridCache[k] != nil {
+			continue
+		}
+		seen[k] = true
+		keys = append(keys, k)
+		loads = append(loads, pdnLoadFor(p, fp, cfg))
+		supplies = append(supplies, cfg.SupplyVoltage)
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if b.pdnSes == nil {
+		ses, err := pdn.NewSession(p)
+		if err != nil {
+			return fmt.Errorf("core: power grid: %w", err)
+		}
+		b.pdnSes = ses
+	}
+	sols, err := b.pdnSes.SolveBatch(loads, supplies)
+	if err != nil {
+		return fmt.Errorf("core: chain prefetch: %w", err)
+	}
+	if b.gridCache == nil {
+		b.gridCache = make(map[string]*pdn.Solution, len(keys))
+	}
+	for i, k := range keys {
+		b.gridCache[k] = sols[i]
+	}
+	return nil
+}
 
 // EvaluateContext evaluates one configuration, reusing cached state from
 // previous evaluations where still valid.
@@ -45,6 +128,9 @@ func (b *Batch) EvaluateContext(ctx context.Context, cfg Config) (*Report, error
 		b.runner = r
 	}
 	s.pdnSession = b.pdnSes
+	if b.gridCache != nil {
+		s.gridPresolved = func(c Config) *pdn.Solution { return b.gridCache[pdnKey(c)] }
+	}
 	rep, err := s.evaluateWith(ctx, b.runner.RunContext)
 	if s.pdnSession != nil {
 		b.pdnSes = s.pdnSession // keep the lazily-built session for the next point

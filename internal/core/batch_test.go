@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestPrefetchChainServesGridStage: after PrefetchChain, EvaluateContext
+// must serve each point's PDN stage straight from the prefetched cache
+// (the report carries the cached *pdn.Solution itself), and the reports
+// must match an un-prefetched batch over the same points.
+func TestPrefetchChainServesGridStage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full co-simulation batch in -short mode")
+	}
+	cfgs := make([]Config, 3)
+	for k, v := range []float64{0.96, 1.00, 1.04} {
+		cfgs[k] = DefaultConfig()
+		cfgs[k].SupplyVoltage = v
+	}
+
+	pre := NewBatch()
+	if err := pre.PrefetchChain(context.Background(), cfgs); err != nil {
+		t.Fatal(err)
+	}
+	if len(pre.gridCache) != len(cfgs) {
+		t.Fatalf("gridCache holds %d solutions, want %d", len(pre.gridCache), len(cfgs))
+	}
+
+	plain := NewBatch()
+	for _, cfg := range cfgs {
+		got, err := pre.EvaluateContext(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Grid != pre.gridCache[pdnKey(cfg)] {
+			t.Fatalf("supply %.2f: report grid is not the prefetched solution", cfg.SupplyVoltage)
+		}
+		want, err := plain.EvaluateContext(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(got.Grid.MinVCache - want.Grid.MinVCache); d > 1e-8 {
+			t.Fatalf("supply %.2f: prefetched MinVCache off by %g", cfg.SupplyVoltage, d)
+		}
+		if d := math.Abs(got.PeakTempC - want.PeakTempC); d > 1e-6 {
+			t.Fatalf("supply %.2f: prefetched PeakTempC off by %g", cfg.SupplyVoltage, d)
+		}
+	}
+}
+
+// TestPrefetchChainDedupAndGuards pins the cheap edge cases: duplicate
+// operating points dedupe to one solve, short chains are a no-op, and
+// invalid points reject before any solver work.
+func TestPrefetchChainDedupAndGuards(t *testing.T) {
+	b := NewBatch()
+	if err := b.PrefetchChain(context.Background(), []Config{DefaultConfig()}); err != nil {
+		t.Fatalf("single-point chain: %v", err)
+	}
+	if b.gridCache != nil {
+		t.Fatal("single-point chain populated the cache")
+	}
+
+	// Four chain points, two distinct (SupplyVoltage, ChipLoad) pairs.
+	cfgs := make([]Config, 4)
+	for k := range cfgs {
+		cfgs[k] = DefaultConfig()
+		cfgs[k].ChipLoad = 0.5 + 0.5*float64(k%2)
+	}
+	if err := b.PrefetchChain(context.Background(), cfgs); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.gridCache) != 2 {
+		t.Fatalf("gridCache holds %d solutions, want 2 after dedup", len(b.gridCache))
+	}
+
+	bad := DefaultConfig()
+	bad.SupplyVoltage = -1
+	if err := b.PrefetchChain(context.Background(), []Config{DefaultConfig(), bad}); err == nil {
+		t.Fatal("invalid chain point accepted")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fresh := NewBatch()
+	if err := fresh.PrefetchChain(ctx, []Config{cfgs[0], cfgs[1]}); err == nil {
+		t.Fatal("canceled context accepted")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"bright/internal/floorplan"
 	"bright/internal/flowcell"
 	"bright/internal/hydro"
+	"bright/internal/mesh"
 	"bright/internal/pdn"
 	"bright/internal/thermal"
 	"bright/internal/units"
@@ -146,6 +147,12 @@ type System struct {
 	// sim engine builds one System per solve, which keeps its workers
 	// independent.
 	pdnSession *pdn.Session
+
+	// gridPresolved, when non-nil, is consulted before the PDN solve:
+	// a non-nil Solution for this Config (from a chain prefetch that
+	// batch-solved the whole sweep chain's grid points in one block
+	// Krylov run) is used directly and the per-point solve is skipped.
+	gridPresolved func(Config) *pdn.Solution
 }
 
 // NewSystem builds the integrated POWER7+ system at the given config.
@@ -244,34 +251,30 @@ func (s *System) evaluateWith(ctx context.Context,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	p, _, err := pdn.Power7Problem()
-	if err != nil {
-		return nil, err
+	if s.gridPresolved != nil {
+		rep.Grid = s.gridPresolved(cfg)
 	}
-	if s.pdnSession == nil {
-		// The grid matrix depends only on the floorplan geometry, sheet
-		// resistance and via sites — none of which vary with Config — so
-		// one session (and one multigrid setup) serves every evaluation.
-		ses, err := pdn.NewSession(p)
+	if rep.Grid == nil {
+		p, _, err := pdn.Power7Problem()
+		if err != nil {
+			return nil, err
+		}
+		if s.pdnSession == nil {
+			// The grid matrix depends only on the floorplan geometry, sheet
+			// resistance and via sites — none of which vary with Config — so
+			// one session (and one multigrid setup) serves every evaluation.
+			ses, err := pdn.NewSession(p)
+			if err != nil {
+				return nil, fmt.Errorf("core: power grid: %w", err)
+			}
+			s.pdnSession = ses
+		}
+		grid, err := s.pdnSession.Solve(pdnLoadFor(p, s.Floorplan, cfg), cfg.SupplyVoltage)
 		if err != nil {
 			return nil, fmt.Errorf("core: power grid: %w", err)
 		}
-		s.pdnSession = ses
+		rep.Grid = grid
 	}
-	load := p.LoadDensity
-	if cfg.SupplyVoltage != p.Supply {
-		load = pdn.CacheLoad(s.Floorplan, load.Grid, cfg.SupplyVoltage)
-	}
-	if cfg.ChipLoad != 1 {
-		for k := range load.Data {
-			load.Data[k] *= cfg.ChipLoad
-		}
-	}
-	grid, err := s.pdnSession.Solve(load, cfg.SupplyVoltage)
-	if err != nil {
-		return nil, fmt.Errorf("core: power grid: %w", err)
-	}
-	rep.Grid = grid
 
 	net := s.Array.HydraulicNetwork(cfg.ManifoldK, cfg.PumpEfficiency)
 	hyd, err := net.Evaluate(units.MLPerMinToM3PerS(cfg.FlowMLMin))
@@ -281,6 +284,29 @@ func (s *System) evaluateWith(ctx context.Context,
 	rep.Hydraulics = hyd
 	rep.NetElectricalGainW = rep.DeliveredW - hyd.PumpPower
 	return rep, nil
+}
+
+// pdnLoadFor builds the sink current density field the PDN solve uses
+// for cfg. The grid inputs depend only on (SupplyVoltage, ChipLoad) —
+// the co-simulation and hydraulic stages never feed back into them —
+// which is what lets a sweep chain batch-presolve every grid point
+// upfront (Batch.PrefetchChain). The problem's default field is never
+// mutated: scaling copies first, so one shared Problem can serve a
+// whole chain.
+func pdnLoadFor(p *pdn.Problem, f *floorplan.Floorplan, cfg Config) *mesh.Field2D {
+	load := p.LoadDensity
+	if cfg.SupplyVoltage != p.Supply {
+		load = pdn.CacheLoad(f, load.Grid, cfg.SupplyVoltage)
+	}
+	if cfg.ChipLoad != 1 {
+		if load == p.LoadDensity {
+			load = &mesh.Field2D{Grid: load.Grid, Data: append([]float64(nil), load.Data...)}
+		}
+		for k := range load.Data {
+			load.Data[k] *= cfg.ChipLoad
+		}
+	}
+	return load
 }
 
 // Summary renders the headline numbers as a human-readable block.

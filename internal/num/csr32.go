@@ -1,0 +1,129 @@
+package num
+
+import "math"
+
+// CSR32 is a float32 mirror of a CSR matrix for the mixed-precision
+// multigrid cycle: values are demoted to float32 and column indices to
+// int32, halving the memory traffic of the SpMV that dominates V-cycle
+// cost. On the memory-bound grids the solvers run (the matrix no longer
+// fits cache at 128^2), that bandwidth cut is the whole speedup — the
+// flop count is unchanged. A CSR32 is a snapshot: later mutation of the
+// source CSR is not observed.
+type CSR32 struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int32
+	Val        []float32
+}
+
+// NewCSR32 demotes a CSR to its float32 mirror. It returns nil when the
+// matrix cannot be mirrored faithfully enough to iterate on: dimensions
+// beyond int32 indexing, or values whose magnitude overflows float32
+// (demotion would turn them into Inf and poison every cycle). Values
+// that underflow to zero are kept — they only weaken the smoother.
+func NewCSR32(a *CSR) *CSR32 {
+	if a.Cols > math.MaxInt32 || a.Rows > math.MaxInt32 {
+		return nil
+	}
+	m := &CSR32{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		RowPtr: a.RowPtr,
+		ColIdx: make([]int32, len(a.ColIdx)),
+		Val:    make([]float32, len(a.Val)),
+	}
+	for k, j := range a.ColIdx {
+		m.ColIdx[k] = int32(j)
+	}
+	for k, v := range a.Val {
+		f := float32(v)
+		if math.IsInf(float64(f), 0) && !math.IsInf(v, 0) {
+			return nil
+		}
+		m.Val[k] = f
+	}
+	return m
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR32) NNZ() int { return len(m.Val) }
+
+// MulVec computes y = m*x in float32. Large matrices are
+// row-partitioned across the same kernel pool as the float64 SpMV.
+func (m *CSR32) MulVec(x, y []float32) {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		panic(ErrShape)
+	}
+	spmvRowsTraversed.Add(uint64(m.Rows))
+	chunks := kernelChunks(2 * m.NNZ())
+	if chunks == 1 {
+		mulVec32Range(m, x, y, 0, m.Rows)
+		return
+	}
+	r := getRun(opMulVec32)
+	r.a32, r.x32, r.y32 = m, x, y
+	forkJoin(r, m.Rows, chunks)
+	putRun(r)
+}
+
+// demoteScaled writes dst[i] = float32(src[i] * scale). The scale keeps
+// the demoted vector in comfortable float32 range (the caller passes
+// 1/maxabs), so a tiny outer residual never underflows to a zero block.
+func demoteScaled(dst []float32, src []float64, scale float64) {
+	for i, v := range src {
+		dst[i] = float32(v * scale)
+	}
+}
+
+// promoteScaled writes dst[i] = float64(src[i]) * scale, undoing
+// demoteScaled's normalization.
+func promoteScaled(dst []float64, src []float32, scale float64) {
+	for i, v := range src {
+		dst[i] = float64(v) * scale
+	}
+}
+
+// promote widens src into dst unscaled.
+func promote(dst []float64, src []float32) {
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+}
+
+// demote narrows src into dst unscaled.
+func demote(dst []float32, src []float64) {
+	for i, v := range src {
+		dst[i] = float32(v)
+	}
+}
+
+// fill32 sets every element of x to v.
+func fill32(x []float32, v float32) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// maxAbs returns the largest magnitude in x (0 for an empty or all-zero
+// vector).
+func maxAbs(x []float64) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// finite32 reports whether every element of x is finite (float32
+// overflow inside a cycle shows up as Inf/NaN here).
+func finite32(x []float32) bool {
+	for _, v := range x {
+		d := float64(v)
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -19,6 +19,10 @@ var (
 		"Multigrid V-cycles executed (one Apply may run several).")
 	mgLevelsBuilt = obs.Default.Counter("bright_mg_levels_total",
 		"Multigrid levels constructed across all setups (levels per setup = depth of that hierarchy).")
+	mgCoarseHeavySmooths = obs.Default.Counter("bright_mg_coarse_heavy_smooths_total",
+		"Coarsest-level visits that fell back to heavy smoothing because the direct LU was unavailable (singular coarse operator).")
+	mgPrecisionFallbacks = obs.Default.Counter("bright_mg_precision_fallbacks_total",
+		"Mixed-precision multigrid applications that fell back to the float64 hierarchy (non-finite or stalled float32 cycle, or un-mirrorable operator at setup).")
 )
 
 // GridShape describes the structured grid behind a matrix whose unknowns
@@ -63,6 +67,26 @@ type MGOptions struct {
 	Cycles int
 	// Theta is the AMG strength-of-connection threshold (default 0.08).
 	Theta float64
+	// Smoother selects the per-level smoother (damped Jacobi or the
+	// Chebyshev polynomial). SmootherAuto defers to the process default
+	// (SetDefaultMGSmoother), then to Jacobi.
+	Smoother MGSmoother
+	// ChebyDegree is the Chebyshev polynomial degree per smoothing pass
+	// (default 3). One degree costs one SpMV, like one Jacobi sweep.
+	ChebyDegree int
+	// Precision selects the arithmetic of the V-cycle interior.
+	// PrecisionAuto defers to the process default (SetDefaultMGPrecision
+	// / BRIGHT_MG_PRECISION), then to float64. Float32 runs smoothing,
+	// transfers and coarse work on a float32 mirror of the hierarchy,
+	// promoting/demoting at the Apply boundary; it falls back to the
+	// float64 hierarchy (sticky, counted) when the float32 cycle goes
+	// non-finite or stops reducing the residual.
+	Precision MGPrecision
+	// FMGGuess enables the full-multigrid initial guess in
+	// SparseSolver.Solve: when the warm start is cold (all-zero x), one
+	// FMG pass seeds the outer Krylov iteration instead of starting from
+	// zero.
+	FMGGuess bool
 }
 
 func (o MGOptions) withDefaults() MGOptions {
@@ -87,6 +111,9 @@ func (o MGOptions) withDefaults() MGOptions {
 	if o.Theta <= 0 {
 		o.Theta = 0.08
 	}
+	if o.ChebyDegree <= 0 {
+		o.ChebyDegree = 3
+	}
 	return o
 }
 
@@ -100,6 +127,22 @@ type mgLevel struct {
 	p, r    *CSR
 	x, b    []float64
 	res     []float64
+	d       []float64 // Chebyshev direction scratch (nil under Jacobi)
+	hi, lo  float64   // Chebyshev eigenvalue window of D^{-1}A
+}
+
+// mgLevel32 is the float32 mirror of one hierarchy rung for the
+// mixed-precision cycle: demoted operator, transfers and inverse
+// diagonal, plus float32 work buffers. The eigenvalue window is shared
+// with the float64 level (estimated once, in float64, at setup).
+type mgLevel32 struct {
+	a       *CSR32
+	invDiag []float32
+	p, r    *CSR32
+	x, b    []float32
+	res     []float32
+	d       []float32
+	hi, lo  float64
 }
 
 // Multigrid is a V-cycle preconditioner over a fixed operator: geometric
@@ -115,6 +158,19 @@ type Multigrid struct {
 	coarse *LU
 	opt    MGOptions
 	kind   string
+
+	// Resolved policies (options -> process default -> built-in).
+	smoother  MGSmoother
+	precision MGPrecision
+
+	// Float32 mirror hierarchy (nil unless precision resolved to
+	// float32 and the operator mirrored cleanly).
+	lev32    []*mgLevel32
+	coarseB  []float64 // f64 staging for the coarse LU in the f32 cycle
+	coarseX  []float64
+	fellBack bool // sticky: float32 cycle went non-finite or stalled
+	applies  int  // Apply count, used to pace the f32 stall probe
+	stalls   int  // consecutive stalled float32 applies observed
 }
 
 // Kind reports "gmg" or "amg".
@@ -122,6 +178,19 @@ func (m *Multigrid) Kind() string { return m.kind }
 
 // Levels reports the hierarchy depth, including the coarsest level.
 func (m *Multigrid) Levels() int { return len(m.levels) }
+
+// Smoother reports the resolved smoother policy.
+func (m *Multigrid) Smoother() MGSmoother { return m.smoother }
+
+// Precision reports the precision the cycle is currently running at:
+// the resolved policy, demoted to float64 if the float32 path fell
+// back (at setup or stickily during Apply).
+func (m *Multigrid) Precision() MGPrecision {
+	if m.lev32 == nil || m.fellBack {
+		return PrecisionFloat64
+	}
+	return PrecisionFloat32
+}
 
 // NewGMG builds a geometric multigrid hierarchy for a matrix discretized
 // on the given structured grid: cell-centered bilinear (trilinear in 3D)
@@ -154,6 +223,7 @@ func NewGMG(a *CSR, shape GridShape, opt MGOptions) (*Multigrid, error) {
 	if err := m.finish(cur); err != nil {
 		return nil, err
 	}
+	m.setupPolicies()
 	mgSetupsGMG.Inc()
 	mgLevelsBuilt.Add(uint64(len(m.levels)))
 	return m, nil
@@ -184,6 +254,7 @@ func NewAMG(a *CSR, opt MGOptions) (*Multigrid, error) {
 	if err := m.finish(cur); err != nil {
 		return nil, err
 	}
+	m.setupPolicies()
 	mgSetupsAMG.Inc()
 	mgLevelsBuilt.Add(uint64(len(m.levels)))
 	return m, nil
@@ -236,9 +307,97 @@ func invDiagOf(a *CSR) ([]float64, error) {
 	return inv, nil
 }
 
+// setupPolicies resolves the smoother and precision policies (options
+// -> process default -> built-in) and builds whatever the resolved
+// policies need: Chebyshev eigenvalue windows and direction scratch,
+// and the float32 mirror hierarchy. Called once at the end of setup.
+func (m *Multigrid) setupPolicies() {
+	sm := m.opt.Smoother
+	if sm == SmootherAuto {
+		sm = DefaultMGSmoother()
+	}
+	if sm == SmootherAuto {
+		sm = SmootherJacobi
+	}
+	m.smoother = sm
+	if sm == SmootherCheby {
+		for _, lev := range m.levels {
+			rho := estimateSpectralRadius(lev.a, lev.invDiag, chebyPowerIters)
+			if rho <= 0 {
+				// Degenerate level: chebySmooth falls back to Jacobi on
+				// the zeroed window.
+				continue
+			}
+			lev.lo, lev.hi = chebyLoFrac*rho, chebyHiFrac*rho
+			lev.d = make([]float64, lev.a.Rows)
+		}
+		chebySetups.Inc()
+	}
+	pr := m.opt.Precision
+	if pr == PrecisionAuto {
+		pr = DefaultMGPrecision()
+	}
+	if pr == PrecisionAuto {
+		pr = PrecisionFloat64
+	}
+	m.precision = pr
+	if pr == PrecisionFloat32 && !m.build32() {
+		// Operator does not mirror faithfully (float32 overflow / int32
+		// index overflow): permanent setup-time fallback.
+		m.lev32 = nil
+		mgPrecisionFallbacks.Inc()
+	}
+}
+
+// build32 constructs the float32 mirror hierarchy. Returns false when
+// any operator or transfer cannot be demoted faithfully.
+func (m *Multigrid) build32() bool {
+	m.lev32 = make([]*mgLevel32, len(m.levels))
+	for l, lev := range m.levels {
+		l32 := &mgLevel32{
+			a:       NewCSR32(lev.a),
+			invDiag: make([]float32, len(lev.invDiag)),
+			x:       make([]float32, lev.a.Rows),
+			b:       make([]float32, lev.a.Rows),
+			res:     make([]float32, lev.a.Rows),
+			hi:      lev.hi,
+			lo:      lev.lo,
+		}
+		if l32.a == nil {
+			return false
+		}
+		demote(l32.invDiag, lev.invDiag)
+		if !finite32(l32.invDiag) {
+			return false
+		}
+		if lev.p != nil {
+			if l32.p, l32.r = NewCSR32(lev.p), NewCSR32(lev.r); l32.p == nil || l32.r == nil {
+				return false
+			}
+		}
+		if m.smoother == SmootherCheby && lev.d != nil {
+			l32.d = make([]float32, lev.a.Rows)
+		}
+		m.lev32[l] = l32
+	}
+	coarseN := m.levels[len(m.levels)-1].a.Rows
+	m.coarseB = make([]float64, coarseN)
+	m.coarseX = make([]float64, coarseN)
+	return true
+}
+
 // Apply runs the configured number of V-cycles on A z = r from a zero
-// initial guess. It is allocation-free: every buffer was sized at setup.
+// initial guess. It is allocation-free: every buffer was sized at
+// setup. Under the float32 policy the cycles run on the mirror
+// hierarchy with the residual scale-normalized at the boundary (so
+// tiny late-iteration residuals never demote to a zero block); a
+// non-finite or stalled float32 cycle falls back — stickily, and
+// counted — to the float64 hierarchy, which always exists.
 func (m *Multigrid) Apply(r, z []float64) {
+	m.applies++
+	if m.lev32 != nil && !m.fellBack && m.apply32(r, z) {
+		return
+	}
 	f := m.levels[0]
 	copy(f.b, r)
 	Fill(f.x, 0)
@@ -249,6 +408,55 @@ func (m *Multigrid) Apply(r, z []float64) {
 	mgCycles.Add(uint64(m.opt.Cycles))
 }
 
+// apply32 runs the V-cycles on the float32 hierarchy. It reports false
+// (after arranging the fallback) when the cycle result is unusable.
+func (m *Multigrid) apply32(r, z []float64) bool {
+	scale := maxAbs(r)
+	if scale == 0 {
+		Fill(z, 0)
+		return true
+	}
+	f := m.lev32[0]
+	demoteScaled(f.b, r, 1/scale)
+	fill32(f.x, 0)
+	for c := 0; c < m.opt.Cycles; c++ {
+		m.vcycle32(0)
+	}
+	if !finite32(f.x) {
+		m.fellBack = true
+		mgPrecisionFallbacks.Inc()
+		return false
+	}
+	// Stall probe: an extra float32 SpMV comparing ||b - A x|| against
+	// ||b||. A healthy cycle reduces the residual well below 1; no
+	// reduction means float32 has run out of bits for this operator.
+	// Probing the first applies and then every 32nd keeps the
+	// steady-state overhead near zero while still catching a stall
+	// within a bounded number of wasted cycles.
+	if m.applies <= 2 || m.applies%32 == 0 {
+		f.a.MulVec(f.x, f.res)
+		var bn, rn float64
+		for i, bv := range f.b {
+			d := float64(bv) - float64(f.res[i])
+			rn += d * d
+			bn += float64(bv) * float64(bv)
+		}
+		if rn >= 0.95*0.95*bn {
+			m.stalls++
+			if m.stalls >= 2 {
+				m.fellBack = true
+				mgPrecisionFallbacks.Inc()
+				return false
+			}
+		} else {
+			m.stalls = 0
+		}
+	}
+	promoteScaled(z, f.x, scale)
+	mgCycles.Add(uint64(m.opt.Cycles))
+	return true
+}
+
 func (m *Multigrid) vcycle(l int) {
 	lev := m.levels[l]
 	if l == len(m.levels)-1 {
@@ -257,6 +465,7 @@ func (m *Multigrid) vcycle(l int) {
 			//lint:ignore errignore SolveInto only errors on shape mismatch, pinned at setup
 			_ = m.coarse.SolveInto(lev.x, lev.b)
 		} else {
+			mgCoarseHeavySmooths.Inc()
 			m.smooth(lev, 4*(m.opt.PreSmooth+m.opt.PostSmooth))
 		}
 		return
@@ -275,10 +484,63 @@ func (m *Multigrid) vcycle(l int) {
 	m.smooth(lev, m.opt.PostSmooth)
 }
 
-// smooth runs damped-Jacobi sweeps x += omega * D^{-1} (b - A x). The
-// SpMV rides the kernel pool; the pointwise update is cheap enough
-// serial.
+// vcycle32 is vcycle on the float32 mirror. The coarsest level promotes
+// through the float64 LU (the coarse system is tiny — at most CoarsestN
+// unknowns — so the promote/demote staging is noise, and reusing the
+// existing factorization keeps the float32 hierarchy LU-free).
+func (m *Multigrid) vcycle32(l int) {
+	lev := m.lev32[l]
+	if l == len(m.lev32)-1 {
+		if m.coarse != nil {
+			promote(m.coarseB, lev.b)
+			//lint:ignore errignore SolveInto only errors on shape mismatch, pinned at setup
+			_ = m.coarse.SolveInto(m.coarseX, m.coarseB)
+			demote(lev.x, m.coarseX)
+		} else {
+			mgCoarseHeavySmooths.Inc()
+			m.smooth32(lev, 4*(m.opt.PreSmooth+m.opt.PostSmooth))
+		}
+		return
+	}
+	m.smooth32(lev, m.opt.PreSmooth)
+	lev.a.MulVec(lev.x, lev.res)
+	for i := range lev.res {
+		lev.res[i] = lev.b[i] - lev.res[i]
+	}
+	next := m.lev32[l+1]
+	lev.r.MulVec(lev.res, next.b)
+	fill32(next.x, 0)
+	m.vcycle32(l + 1)
+	lev.p.MulVec(next.x, lev.res)
+	for i, v := range lev.res {
+		lev.x[i] += v
+	}
+	m.smooth32(lev, m.opt.PostSmooth)
+}
+
+// smooth dispatches one smoothing pass on a float64 level. Under
+// Chebyshev, sweeps scales the polynomial degree so heavier requests
+// (the coarse escape hatch) still mean more work.
 func (m *Multigrid) smooth(lev *mgLevel, sweeps int) {
+	if m.smoother == SmootherCheby && lev.d != nil {
+		m.chebySmooth(lev, sweeps*m.opt.ChebyDegree)
+		return
+	}
+	m.jacobiSmooth(lev, sweeps)
+}
+
+func (m *Multigrid) smooth32(lev *mgLevel32, sweeps int) {
+	if m.smoother == SmootherCheby && lev.d != nil {
+		m.chebySmooth32(lev, sweeps*m.opt.ChebyDegree)
+		return
+	}
+	m.jacobiSmooth32(lev, sweeps)
+}
+
+// jacobiSmooth runs damped-Jacobi sweeps x += omega * D^{-1} (b - A x).
+// The SpMV rides the kernel pool; the pointwise update is cheap enough
+// serial.
+func (m *Multigrid) jacobiSmooth(lev *mgLevel, sweeps int) {
 	for s := 0; s < sweeps; s++ {
 		lev.a.MulVec(lev.x, lev.res)
 		om := m.opt.Omega
@@ -286,6 +548,47 @@ func (m *Multigrid) smooth(lev *mgLevel, sweeps int) {
 			lev.x[i] += om * d * (lev.b[i] - lev.res[i])
 		}
 	}
+}
+
+func (m *Multigrid) jacobiSmooth32(lev *mgLevel32, sweeps int) {
+	om := float32(m.opt.Omega)
+	for s := 0; s < sweeps; s++ {
+		lev.a.MulVec(lev.x, lev.res)
+		for i, d := range lev.invDiag {
+			lev.x[i] += om * d * (lev.b[i] - lev.res[i])
+		}
+	}
+}
+
+// FMG runs one full-multigrid pass on A x = b: the right-hand side is
+// restricted down the hierarchy, the coarsest system is solved
+// directly, and the solution is interpolated back up with one V-cycle
+// per level. The result lands in x — it is an O(n) initial guess whose
+// error is already smooth on every scale, which typically saves the
+// outer Krylov loop several iterations versus starting from zero.
+// Always runs on the float64 hierarchy (it executes once per solve, so
+// bandwidth is not the bottleneck).
+func (m *Multigrid) FMG(b, x []float64) {
+	last := len(m.levels) - 1
+	copy(m.levels[0].b, b)
+	for l := 0; l < last; l++ {
+		m.levels[l].r.MulVec(m.levels[l].b, m.levels[l+1].b)
+	}
+	lev := m.levels[last]
+	if m.coarse != nil {
+		//lint:ignore errignore SolveInto only errors on shape mismatch, pinned at setup
+		_ = m.coarse.SolveInto(lev.x, lev.b)
+	} else {
+		mgCoarseHeavySmooths.Inc()
+		Fill(lev.x, 0)
+		m.smooth(lev, 4*(m.opt.PreSmooth+m.opt.PostSmooth))
+	}
+	for l := last - 1; l >= 0; l-- {
+		m.levels[l].p.MulVec(m.levels[l+1].x, m.levels[l].x)
+		m.vcycle(l)
+	}
+	copy(x, m.levels[0].x)
+	mgCycles.Add(uint64(last))
 }
 
 // interpolation builds the cell-centered bilinear/trilinear prolongation

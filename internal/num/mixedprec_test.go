@@ -1,0 +1,238 @@
+package num
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMixedPrecisionMGCG is the mixed-precision property test: with the
+// V-cycle interior demoted to float32, MG-CG must still converge to the
+// float64 answer within IterOptions.Tol on both the 2D Poisson and the
+// stack3d-shaped fixtures. The outer Krylov loop stays float64, so the
+// preconditioner's precision may cost iterations but never accuracy.
+func TestMixedPrecisionMGCG(t *testing.T) {
+	cases := []struct {
+		name  string
+		a     *CSR
+		shape GridShape
+	}{
+		{"poisson64", laplacian2D(64), GridShape{NX: 64, NY: 64}},
+		{"stack3d", laplacian3D(24, 20, 8), GridShape{NX: 24, NY: 20, NZ: 8}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(17))
+			b := make([]float64, tc.a.Rows)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			const tol = 1e-9
+			mg64, err := NewGMG(tc.a, tc.shape, MGOptions{Precision: PrecisionFloat64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			x64 := make([]float64, tc.a.Rows)
+			r64, err := CG(tc.a, b, x64, IterOptions{Tol: tol, M: mg64})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			mg32, err := NewGMG(tc.a, tc.shape, MGOptions{Precision: PrecisionFloat32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mg32.Precision() != PrecisionFloat32 {
+				t.Fatalf("float32 hierarchy not active: %v", mg32.Precision())
+			}
+			x32 := make([]float64, tc.a.Rows)
+			r32, err := CG(tc.a, b, x32, IterOptions{Tol: tol, M: mg32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mg32.Precision() != PrecisionFloat32 {
+				t.Fatal("float32 path fell back during a healthy solve")
+			}
+			if rn := residualNorm(tc.a, b, x32); rn/Norm2(b) > tol {
+				t.Fatalf("mixed-precision residual %g exceeds tol", rn/Norm2(b))
+			}
+			// Same answer as float64 within the tolerance the caller asked
+			// for (both are within tol of the true solution; compare
+			// against each other scaled by the solution norm).
+			diff := 0.0
+			for i := range x64 {
+				if d := math.Abs(x64[i] - x32[i]); d > diff {
+					diff = d
+				}
+			}
+			xn := Norm2(x64)
+			if diff/xn > tol*100 {
+				t.Fatalf("mixed-precision answer differs from float64 by %g (rel), want <= %g", diff/xn, tol*100)
+			}
+			t.Logf("%s: f64=%d iters, f32=%d iters, rel-diff=%.2e", tc.name, r64.Iterations, r32.Iterations, diff/xn)
+			if r32.Iterations > 2*r64.Iterations {
+				t.Fatalf("float32 preconditioner cost %d iters vs %d float64 — too weak", r32.Iterations, r64.Iterations)
+			}
+		})
+	}
+}
+
+// TestMixedPrecisionFallback: an operator whose entries overflow float32
+// must refuse the mirror at setup and count the fallback, while Apply
+// keeps working through the float64 hierarchy.
+func TestMixedPrecisionFallback(t *testing.T) {
+	n := 16
+	a2 := laplacian2D(n)
+	big := &CSR{Rows: a2.Rows, Cols: a2.Cols, RowPtr: a2.RowPtr, ColIdx: a2.ColIdx, Val: make([]float64, a2.NNZ())}
+	for k, v := range a2.Val {
+		big.Val[k] = v * 1e200 // far beyond float32 range
+	}
+	f0 := mgPrecisionFallbacks.Value()
+	mg, err := NewGMG(big, GridShape{NX: n, NY: n}, MGOptions{Precision: PrecisionFloat32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.Precision() != PrecisionFloat64 {
+		t.Fatal("un-mirrorable operator did not fall back to float64")
+	}
+	if d := mgPrecisionFallbacks.Value() - f0; d != 1 {
+		t.Fatalf("fallback counter moved by %d, want 1", d)
+	}
+	b := make([]float64, big.Rows)
+	b[0] = 1e200
+	x := make([]float64, big.Rows)
+	if _, err := CG(big, b, x, IterOptions{Tol: 1e-9, M: mg}); err != nil {
+		t.Fatalf("fallback hierarchy failed to solve: %v", err)
+	}
+}
+
+// TestChebySmoother: the Chebyshev polynomial smoother must converge —
+// to the same answer — and the setup counter must move. It should need
+// no more V-cycles than Jacobi at equal SpMV budget per cycle.
+func TestChebySmoother(t *testing.T) {
+	const n = 64
+	a := laplacian2D(n)
+	c0 := chebySetups.Value()
+	mg, err := NewGMG(a, GridShape{NX: n, NY: n}, MGOptions{Smoother: SmootherCheby})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := chebySetups.Value() - c0; d != 1 {
+		t.Fatalf("cheby setup counter moved by %d, want 1", d)
+	}
+	if mg.Smoother() != SmootherCheby {
+		t.Fatalf("smoother resolved to %v", mg.Smoother())
+	}
+	rng := rand.New(rand.NewSource(23))
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, a.Rows)
+	res, err := CG(a, b, x, IterOptions{Tol: 1e-9, M: mg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn := residualNorm(a, b, x); rn/Norm2(b) > 1e-9 {
+		t.Fatalf("residual %g after %d iters", rn, res.Iterations)
+	}
+	Fill(x, 0)
+	jmg, err := NewGMG(a, GridShape{NX: n, NY: n}, MGOptions{Smoother: SmootherJacobi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jres, err := CG(a, b, x, IterOptions{Tol: 1e-9, M: jmg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("64x64: cheby=%d iters, jacobi=%d iters", res.Iterations, jres.Iterations)
+	if res.Iterations > jres.Iterations {
+		t.Fatalf("Chebyshev cost %d iterations vs Jacobi %d, want <=", res.Iterations, jres.Iterations)
+	}
+}
+
+// TestFMGGuess: the full-multigrid initial guess must cut outer CG
+// iterations versus a zero start, and SparseSolver must engage it only
+// on cold starts.
+func TestFMGGuess(t *testing.T) {
+	const n = 64
+	a := laplacian2D(n)
+	shape := GridShape{NX: n, NY: n}
+	rng := rand.New(rand.NewSource(31))
+	b := make([]float64, a.Rows)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	cold := NewSparseSolverSymmetric(a, true, IterOptions{
+		Tol: 1e-9, Precond: PrecondMG, Shape: &shape,
+	})
+	x := make([]float64, a.Rows)
+	base, err := cold.Solve(b, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmg := NewSparseSolverSymmetric(a, true, IterOptions{
+		Tol: 1e-9, Precond: PrecondMG, Shape: &shape, MG: MGOptions{FMGGuess: true},
+	})
+	Fill(x, 0)
+	seeded, err := fmg.Solve(b, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn := residualNorm(a, b, x); rn/Norm2(b) > 1e-9 {
+		t.Fatalf("FMG-seeded solve residual %g", rn/Norm2(b))
+	}
+	t.Logf("64x64: zero-start=%d iters, fmg-start=%d iters", base.Iterations, seeded.Iterations)
+	if seeded.Iterations >= base.Iterations {
+		t.Fatalf("FMG guess did not reduce iterations (%d vs %d)", seeded.Iterations, base.Iterations)
+	}
+}
+
+func TestParseMGPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want MGPrecision
+	}{{"", PrecisionAuto}, {"auto", PrecisionAuto}, {"Float32", PrecisionFloat32}, {"f32", PrecisionFloat32}, {"float64", PrecisionFloat64}, {"F64", PrecisionFloat64}} {
+		got, err := ParseMGPrecision(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseMGPrecision(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseMGPrecision("f16"); err == nil {
+		t.Fatal("ParseMGPrecision accepted f16")
+	}
+	for _, tc := range []struct {
+		in   string
+		want MGSmoother
+	}{{"", SmootherAuto}, {"jacobi", SmootherJacobi}, {"Cheby", SmootherCheby}, {"chebyshev", SmootherCheby}} {
+		got, err := ParseMGSmoother(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseMGSmoother(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseMGSmoother("sor"); err == nil {
+		t.Fatal("ParseMGSmoother accepted sor")
+	}
+	// Process defaults resolve at setup when options stay auto.
+	t.Cleanup(func() {
+		SetDefaultMGPrecision(PrecisionAuto)
+		SetDefaultMGSmoother(SmootherAuto)
+	})
+	SetDefaultMGPrecision(PrecisionFloat32)
+	SetDefaultMGSmoother(SmootherCheby)
+	a := laplacian2D(16)
+	mg, err := NewGMG(a, GridShape{NX: 16, NY: 16}, MGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.Precision() != PrecisionFloat32 || mg.Smoother() != SmootherCheby {
+		t.Fatalf("process defaults ignored: precision=%v smoother=%v", mg.Precision(), mg.Smoother())
+	}
+	mg, err = NewGMG(a, GridShape{NX: 16, NY: 16}, MGOptions{Precision: PrecisionFloat64, Smoother: SmootherJacobi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg.Precision() != PrecisionFloat64 || mg.Smoother() != SmootherJacobi {
+		t.Fatal("per-options policy lost to the process default")
+	}
+}

@@ -85,18 +85,23 @@ const (
 	opDot
 	opNorm2
 	opAxpy
+	opMulVec32
+	opMulVecBlock
 )
 
 // parRun describes one forked kernel call. Instances are pooled; the
 // part slice doubles as the partial-reduction scratch and is retained
 // across uses, so steady-state kernel calls do not allocate.
 type parRun struct {
-	op    kernelOp
-	a     *CSR
-	x, y  []float64
-	alpha float64
-	part  []float64
-	wg    sync.WaitGroup
+	op       kernelOp
+	a        *CSR
+	x, y     []float64
+	a32      *CSR32
+	x32, y32 []float32
+	blockK   int
+	alpha    float64
+	part     []float64
+	wg       sync.WaitGroup
 }
 
 // kernelSpan is one chunk of a run, sent by value over the work channel.
@@ -152,6 +157,10 @@ func (r *parRun) exec(lo, hi, idx int) {
 		r.part[2*idx], r.part[2*idx+1] = m, s
 	case opAxpy:
 		axpyRange(r.alpha, r.x, r.y, lo, hi)
+	case opMulVec32:
+		mulVec32Range(r.a32, r.x32, r.y32, lo, hi)
+	case opMulVecBlock:
+		mulVecBlockRange(r.a, r.x, r.y, r.blockK, lo, hi)
 	}
 }
 
@@ -171,6 +180,7 @@ func getRun(op kernelOp) *parRun {
 // matrices or vectors) and returns the descriptor to the pool.
 func putRun(r *parRun) {
 	r.a, r.x, r.y = nil, nil, nil
+	r.a32, r.x32, r.y32 = nil, nil, nil
 	runPool.Put(r)
 }
 
@@ -232,5 +242,85 @@ func norm2Range(x []float64, lo, hi int) (maxv, sumsq float64) {
 func axpyRange(alpha float64, x, y []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		y[i] += alpha * x[i]
+	}
+}
+
+func mulVec32Range(m *CSR32, x, y []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s := float32(0)
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.ColIdx[k]]
+		}
+		y[i] = s
+	}
+}
+
+// mulVecBlockRange is the multi-RHS SpMV row range: x and y hold k
+// right-hand sides column-major (column j occupies x[j*n : (j+1)*n]).
+// The row's index/value entries are read once into cache and then
+// reused across all k columns, so the matrix stream is amortized while
+// each column keeps the access pattern (and summation order) of the
+// single-vector MulVec.
+// blockRowTile is the row-tile size of the multi-RHS SpMV kernels: the
+// tile's matrix entries (Val/ColIdx for ~tile rows) are replayed from
+// cache for every column instead of re-streaming the whole matrix, while
+// each column's x window inside a tile stays a few tens of KB. Rows are
+// still visited in ascending order per column, so tiling never changes
+// the per-column arithmetic.
+const blockRowTile = 2048
+
+// mulVecBlockDotRange is mulVecBlockRange restricted to active columns,
+// with the per-column <x_j, y_j> reduction folded into the traversal.
+// Each pap[j] accumulates in ascending row order, so for a full serial
+// range the reduction is bitwise identical to Dot(x_j, y_j) run after a
+// separate SpMV. Inactive columns keep y stale and pap zero.
+func mulVecBlockDotRange(m *CSR, x, y []float64, kw int, active []bool, pap []float64, lo, hi int) {
+	n := m.Cols
+	for j := 0; j < kw; j++ {
+		pap[j] = 0
+	}
+	for t := lo; t < hi; t += blockRowTile {
+		tEnd := t + blockRowTile
+		if tEnd > hi {
+			tEnd = hi
+		}
+		for j := 0; j < kw; j++ {
+			if !active[j] {
+				continue
+			}
+			xs := x[j*n : (j+1)*n]
+			ys := y[j*m.Rows : (j+1)*m.Rows]
+			s := pap[j]
+			for i := t; i < tEnd; i++ {
+				v := 0.0
+				for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+					v += m.Val[k] * xs[m.ColIdx[k]]
+				}
+				ys[i] = v
+				s += xs[i] * v
+			}
+			pap[j] = s
+		}
+	}
+}
+
+func mulVecBlockRange(m *CSR, x, y []float64, kw, lo, hi int) {
+	n := m.Cols
+	for t := lo; t < hi; t += blockRowTile {
+		tEnd := t + blockRowTile
+		if tEnd > hi {
+			tEnd = hi
+		}
+		for j := 0; j < kw; j++ {
+			xs := x[j*n : (j+1)*n]
+			ys := y[j*m.Rows : (j+1)*m.Rows]
+			for i := t; i < tEnd; i++ {
+				s := 0.0
+				for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+					s += m.Val[k] * xs[m.ColIdx[k]]
+				}
+				ys[i] = s
+			}
+		}
 	}
 }

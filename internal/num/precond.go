@@ -58,6 +58,106 @@ func SetDefaultPrecond(p Precond) { processPrecond.Store(int32(p)) }
 // DefaultPrecond returns the process-wide policy.
 func DefaultPrecond() Precond { return Precond(processPrecond.Load()) }
 
+// MGSmoother selects the multigrid per-level smoother.
+type MGSmoother int32
+
+const (
+	// SmootherAuto defers to the process default (SetDefaultMGSmoother),
+	// then to damped Jacobi.
+	SmootherAuto MGSmoother = iota
+	// SmootherJacobi is the damped-Jacobi smoother.
+	SmootherJacobi
+	// SmootherCheby is the degree-k Chebyshev polynomial smoother with
+	// eigenvalue bounds estimated by power iteration at setup.
+	SmootherCheby
+)
+
+func (s MGSmoother) String() string {
+	switch s {
+	case SmootherJacobi:
+		return "jacobi"
+	case SmootherCheby:
+		return "cheby"
+	default:
+		return "auto"
+	}
+}
+
+// ParseMGSmoother parses "auto", "jacobi" or "cheby"/"chebyshev"
+// (case-insensitive); it backs the brightd -mg-smoother flag and the
+// BRIGHT_MG_SMOOTHER env var.
+func ParseMGSmoother(s string) (MGSmoother, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return SmootherAuto, nil
+	case "jacobi":
+		return SmootherJacobi, nil
+	case "cheby", "chebyshev":
+		return SmootherCheby, nil
+	}
+	return SmootherAuto, fmt.Errorf("num: unknown mg smoother %q (want auto, jacobi or cheby)", s)
+}
+
+// MGPrecision selects the arithmetic of the multigrid cycle interior.
+type MGPrecision int32
+
+const (
+	// PrecisionAuto defers to the process default (SetDefaultMGPrecision
+	// / BRIGHT_MG_PRECISION), then to float64.
+	PrecisionAuto MGPrecision = iota
+	// PrecisionFloat64 runs the whole cycle in float64.
+	PrecisionFloat64
+	// PrecisionFloat32 runs smoothing, transfers and coarse-grid work on
+	// a float32 mirror of the hierarchy, falling back to float64 when
+	// the float32 cycle goes non-finite or stalls.
+	PrecisionFloat32
+)
+
+func (p MGPrecision) String() string {
+	switch p {
+	case PrecisionFloat64:
+		return "float64"
+	case PrecisionFloat32:
+		return "float32"
+	default:
+		return "auto"
+	}
+}
+
+// ParseMGPrecision parses "auto", "float64"/"f64" or "float32"/"f32"
+// (case-insensitive); it backs the brightd -mg-precision flag and the
+// BRIGHT_MG_PRECISION env var.
+func ParseMGPrecision(s string) (MGPrecision, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return PrecisionAuto, nil
+	case "float64", "f64", "double":
+		return PrecisionFloat64, nil
+	case "float32", "f32", "single":
+		return PrecisionFloat32, nil
+	}
+	return PrecisionAuto, fmt.Errorf("num: unknown mg precision %q (want auto, float64 or float32)", s)
+}
+
+var (
+	processMGSmoother  atomic.Int32
+	processMGPrecision atomic.Int32
+)
+
+// SetDefaultMGSmoother sets the process-wide smoother consulted when
+// MGOptions leaves Smoother at SmootherAuto.
+func SetDefaultMGSmoother(s MGSmoother) { processMGSmoother.Store(int32(s)) }
+
+// DefaultMGSmoother returns the process-wide smoother policy.
+func DefaultMGSmoother() MGSmoother { return MGSmoother(processMGSmoother.Load()) }
+
+// SetDefaultMGPrecision sets the process-wide cycle precision consulted
+// when MGOptions leaves Precision at PrecisionAuto.
+func SetDefaultMGPrecision(p MGPrecision) { processMGPrecision.Store(int32(p)) }
+
+// DefaultMGPrecision returns the process-wide precision policy.
+func DefaultMGPrecision() MGPrecision { return MGPrecision(processMGPrecision.Load()) }
+
 // MGAutoThreshold is the unknown count at and above which PrecondAuto
 // upgrades symmetric systems from Jacobi to multigrid. Below it, Jacobi
 // solves finish before MG setup would pay for itself.

@@ -54,6 +54,7 @@ type SparseSolver struct {
 	pre Preconditioner
 	opt IterOptions
 	ws  Workspace
+	bws BlockWorkspace
 }
 
 // NewSparseSolver builds a solver for a, detecting symmetry once
@@ -140,6 +141,7 @@ func (s *SparseSolver) Solve(b, x []float64) (IterResult, error) {
 	defer s.mu.Unlock()
 	opt := s.opt
 	opt.M = s.pre
+	s.fmgSeed(b, x)
 	if s.sym {
 		res, err := CGWith(s.a, b, x, opt, &s.ws)
 		cgSolves.Inc()
@@ -168,4 +170,74 @@ func (s *SparseSolver) Solve(b, x []float64) (IterResult, error) {
 		solveFailures.Inc()
 	}
 	return res, err
+}
+
+// fmgSeed replaces a cold start (all-zero x) with a full-multigrid
+// initial guess when the cached preconditioner is a Multigrid built
+// with FMGGuess. Warm starts (nonzero x) are left alone — a previous
+// solution is a better guess than FMG.
+func (s *SparseSolver) fmgSeed(b, x []float64) {
+	mg, ok := s.pre.(*Multigrid)
+	if !ok || !mg.opt.FMGGuess {
+		return
+	}
+	for _, v := range x {
+		if v != 0 {
+			return
+		}
+	}
+	mg.FMG(b, x)
+}
+
+// SolveBlock solves the k systems A x_j = b_j together. b and x hold
+// the right-hand sides and initial guesses column-major (column j at
+// [j*n : (j+1)*n]; see MulVecBlock); x is overwritten with the
+// solutions. Symmetric systems run the batched block CG — one matrix
+// traversal per iteration serves every still-unconverged column, which
+// is the sweep-chain amortization. Nonsymmetric systems degrade to
+// sequential per-column BiCGSTAB through the same cached
+// preconditioner, so the call is always valid.
+func (s *SparseSolver) SolveBlock(b, x []float64, k int) (BlockResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.a.Rows
+	if k <= 0 || len(b) != n*k || len(x) != n*k {
+		return BlockResult{}, ErrShape
+	}
+	opt := s.opt
+	opt.M = s.pre
+	if s.sym {
+		out, err := BlockCG(s.a, b, x, k, opt, &s.bws)
+		cgSolves.Inc()
+		cgIterations.Add(uint64(out.Iterations))
+		if err != nil {
+			if errors.Is(err, ErrMaxIter) {
+				maxIterExhausted.Inc()
+			}
+			solveFailures.Inc()
+		}
+		return out, err
+	}
+	s.bws.size(n, k)
+	out := BlockResult{PerRHS: s.bws.perRHS}
+	var firstErr error
+	for j := 0; j < k; j++ {
+		res, err := BiCGSTABWith(s.a, b[j*n:(j+1)*n], x[j*n:(j+1)*n], opt, &s.ws)
+		bicgSolves.Inc()
+		bicgIterations.Add(uint64(res.Iterations))
+		out.PerRHS[j] = res
+		if res.Iterations > out.Iterations {
+			out.Iterations = res.Iterations
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		if errors.Is(firstErr, ErrMaxIter) {
+			maxIterExhausted.Inc()
+		}
+		solveFailures.Inc()
+	}
+	return out, firstErr
 }

@@ -210,6 +210,50 @@ func TestKrylovWorkspaceZeroAlloc(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("MG-preconditioned CGWith allocates %.1f per solve, want 0", allocs)
 	}
+
+	// Mixed-precision hierarchy: the float32 mirror is built at setup;
+	// the promote/demote boundary and the float32 cycles must not
+	// allocate either.
+	mg32, err := NewGMG(a, GridShape{NX: 24, NY: 24}, MGOptions{Precision: PrecisionFloat32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg32.Precision() != PrecisionFloat32 {
+		t.Fatal("float32 hierarchy not active")
+	}
+	z := make([]float64, n)
+	mg32.Apply(b, z) // warm the stall probe's early applies
+	mg32.Apply(b, z)
+	mg32.Apply(b, z)
+	allocs = testing.AllocsPerRun(20, func() { mg32.Apply(b, z) })
+	if allocs != 0 {
+		t.Fatalf("float32 MG Apply allocates %.1f per cycle, want 0", allocs)
+	}
+
+	// Block solver: warm solves through a reused BlockWorkspace must not
+	// allocate (PerRHS is workspace-backed).
+	const k = 4
+	bb := make([]float64, n*k)
+	xx := make([]float64, n*k)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			bb[j*n+i] = b[i] * float64(j+1)
+		}
+	}
+	opt.M = NewJacobi(a)
+	bws := NewBlockWorkspace(n, k)
+	if _, err := BlockCG(a, bb, xx, k, opt, bws); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(20, func() {
+		Fill(xx, 0)
+		if _, err := BlockCG(a, bb, xx, k, opt, bws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("BlockCG allocates %.1f per solve, want 0", allocs)
+	}
 }
 
 // TestSparseSolverTelemetry pins the process-wide Krylov counters: a CG

@@ -90,6 +90,7 @@ func (m *CSR) MulVec(x, y []float64) {
 	if len(x) != m.Cols || len(y) != m.Rows {
 		panic(ErrShape)
 	}
+	spmvRowsTraversed.Add(uint64(m.Rows))
 	// SpMV does ~2 flops per stored entry; gate the fork on nnz.
 	chunks := kernelChunks(2 * m.NNZ())
 	if chunks == 1 {

@@ -1,0 +1,144 @@
+package pdn
+
+import (
+	"math"
+	"testing"
+
+	"bright/internal/mesh"
+	"bright/internal/obs"
+)
+
+// batchFixture builds the Fig. 8 problem plus a chain of (load, supply)
+// points the way a sweep chain produces them: the matrix is shared and
+// only the right-hand side varies point to point.
+func batchFixture(t *testing.T, supplies []float64) (*Problem, *Session, []*mesh.Field2D) {
+	t.Helper()
+	p, _, err := Power7Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]*mesh.Field2D, len(supplies))
+	for i, sv := range supplies {
+		loads[i] = CacheLoad(p.Floorplan, s.g, sv)
+	}
+	return p, s, loads
+}
+
+// TestSolveBatchMatchesSolve: the batched path must reproduce the
+// sequential per-point solutions on the Fig. 8 problem — same matrix,
+// same tolerance, so the voltage fields agree to solver accuracy.
+func TestSolveBatchMatchesSolve(t *testing.T) {
+	supplies := []float64{0.96, 0.98, 1.0, 1.02, 1.05}
+	p, seqSes, loads := batchFixture(t, supplies)
+
+	seq := make([]*Solution, len(supplies))
+	for i := range supplies {
+		sol, err := seqSes.Solve(loads[i], supplies[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq[i] = sol
+	}
+
+	batSes, err := NewSession(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := batSes.SolveBatch(loads, supplies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bat) != len(seq) {
+		t.Fatalf("batch returned %d solutions, want %d", len(bat), len(seq))
+	}
+	for i := range seq {
+		worst := 0.0
+		for c := range seq[i].V.Data {
+			if d := math.Abs(seq[i].V.Data[c] - bat[i].V.Data[c]); d > worst {
+				worst = d
+			}
+		}
+		// Both solves hit Tol=1e-11 relative residual on a ~1 V field;
+		// the solutions agree far tighter than any physical quantity.
+		if worst > 1e-8 {
+			t.Fatalf("point %d: batched field differs from sequential by %g V", i, worst)
+		}
+		approx(t, bat[i].MinVCache, seq[i].MinVCache, 1e-9, "MinVCache")
+		approx(t, bat[i].TotalLoad, seq[i].TotalLoad, 1e-12, "TotalLoad")
+		approx(t, bat[i].TotalSourceCurrent(), seq[i].TotalSourceCurrent(), 1e-6, "KCL")
+	}
+}
+
+// TestSolveBatchTraversalSavings is the sweep-chain acceptance test:
+// batching a chain's PDN solves must traverse fewer SpMV rows than
+// solving the same chain sequentially. Both sides run cold sessions
+// (fresh warm start), so the comparison is one chain against itself.
+func TestSolveBatchTraversalSavings(t *testing.T) {
+	rows := obs.Default.Counter("bright_spmv_rows_total",
+		"CSR rows traversed by SpMV kernels (a k-RHS block traversal counts its rows once).")
+	supplies := []float64{0.95, 0.97, 0.99, 1.01, 1.03, 1.05}
+	p, seqSes, loads := batchFixture(t, supplies)
+
+	r0 := rows.Value()
+	for i := range supplies {
+		if _, err := seqSes.Solve(loads[i], supplies[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqRows := rows.Value() - r0
+
+	batSes, err := NewSession(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 = rows.Value()
+	if _, err := batSes.SolveBatch(loads, supplies); err != nil {
+		t.Fatal(err)
+	}
+	batRows := rows.Value() - r0
+	if batRows >= seqRows {
+		t.Fatalf("batched chain traversed %d rows vs %d sequential, want fewer", batRows, seqRows)
+	}
+	t.Logf("chain of %d: seq=%d rows, batch=%d rows (%.2fx fewer)",
+		len(supplies), seqRows, batRows, float64(seqRows)/float64(batRows))
+}
+
+// TestSolveBatchChunksAndErrors: a batch wider than batchWidth splits
+// into consecutive blocks, a width-1 tail runs the scalar path, and a
+// bad point is rejected with its index.
+func TestSolveBatchChunksAndErrors(t *testing.T) {
+	supplies := make([]float64, batchWidth+1) // 8 + 1 tail
+	for i := range supplies {
+		supplies[i] = 0.95 + 0.01*float64(i)
+	}
+	_, ses, loads := batchFixture(t, supplies)
+	sols, err := ses.SolveBatch(loads, supplies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != len(supplies) {
+		t.Fatalf("got %d solutions, want %d", len(sols), len(supplies))
+	}
+	for i := 1; i < len(sols); i++ {
+		if sols[i].MinVCache <= sols[i-1].MinVCache {
+			t.Fatalf("min cache voltage not increasing with supply: %v vs %v at %d",
+				sols[i].MinVCache, sols[i-1].MinVCache, i)
+		}
+	}
+
+	if _, err := ses.SolveBatch(loads[:2], supplies[:1]); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	bad := append([]float64{}, supplies...)
+	bad[3] = -1
+	if _, err := ses.SolveBatch(loads, bad); err == nil {
+		t.Fatal("negative supply accepted")
+	}
+	if out, err := ses.SolveBatch(nil, nil); err != nil || out != nil {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+}

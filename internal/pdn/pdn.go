@@ -157,6 +157,7 @@ type Session struct {
 	solver    *num.SparseSolver
 	siteNodes []int
 	b, x      []float64
+	bb, xx    []float64 // column-major batch blocks (SolveBatch scratch)
 	warm      num.WarmStart
 }
 
@@ -221,26 +222,79 @@ func (s *Session) Solve(load *mesh.Field2D, supply float64) (*Solution, error) {
 	return s.solveWith(load, supply, &s.warm)
 }
 
-func (s *Session) solveWith(load *mesh.Field2D, supply float64, warm *num.WarmStart) (*Solution, error) {
-	g := s.g
+// checkInputs validates one (load, supply) pair against the session
+// grid.
+func (s *Session) checkInputs(load *mesh.Field2D, supply float64) error {
 	if load == nil {
-		return nil, fmt.Errorf("pdn: nil load density")
+		return fmt.Errorf("pdn: nil load density")
 	}
 	if supply <= 0 {
-		return nil, fmt.Errorf("pdn: nonpositive supply %g", supply)
+		return fmt.Errorf("pdn: nonpositive supply %g", supply)
 	}
-	if load.Grid.NX() != g.NX() || load.Grid.NY() != g.NY() {
-		return nil, fmt.Errorf("pdn: load density grid %dx%d does not match solve grid %dx%d",
-			load.Grid.NX(), load.Grid.NY(), g.NX(), g.NY())
+	if load.Grid.NX() != s.g.NX() || load.Grid.NY() != s.g.NY() {
+		return fmt.Errorf("pdn: load density grid %dx%d does not match solve grid %dx%d",
+			load.Grid.NX(), load.Grid.NY(), s.g.NX(), s.g.NY())
 	}
+	return nil
+}
+
+// fillRHS writes the MNA right-hand side for (load, supply) into dst —
+// the session RHS for a single solve, or one column of a batched block.
+func (s *Session) fillRHS(dst []float64, load *mesh.Field2D, supply float64) {
+	g := s.g
 	for j := 0; j < g.NY(); j++ {
 		for i := 0; i < g.NX(); i++ {
-			s.b[g.Index(i, j)] = -load.At(i, j) * g.CellArea(i, j)
+			dst[g.Index(i, j)] = -load.At(i, j) * g.CellArea(i, j)
 		}
 	}
 	for k, node := range s.siteNodes {
-		s.b[node] += supply / s.p.Sites[k].Resistance
+		dst[node] += supply / s.p.Sites[k].Resistance
 	}
+}
+
+// buildSolution extracts the Solution fields from a solved voltage
+// vector (one column of a batched block, or the session vector). The
+// Solution owns a fresh copy of the field.
+func (s *Session) buildSolution(x []float64, load *mesh.Field2D, supply float64) *Solution {
+	g := s.g
+	v := make([]float64, g.NumCells())
+	copy(v, x)
+	sol := &Solution{
+		Grid:         g,
+		V:            &mesh.Field2D{Grid: g, Data: v},
+		MinV:         math.Inf(1),
+		MaxV:         math.Inf(-1),
+		MinVCache:    math.Inf(1),
+		SiteCurrents: make([]float64, len(s.p.Sites)),
+	}
+	for j := 0; j < g.NY(); j++ {
+		for i := 0; i < g.NX(); i++ {
+			val := sol.V.At(i, j)
+			if val < sol.MinV {
+				sol.MinV = val
+			}
+			if val > sol.MaxV {
+				sol.MaxV = val
+			}
+			u := s.p.Floorplan.UnitAt(g.X.Centers[i], g.Y.Centers[j])
+			if u != nil && u.Kind.IsCache() && val < sol.MinVCache {
+				sol.MinVCache = val
+				sol.WorstX, sol.WorstY = g.X.Centers[i], g.Y.Centers[j]
+			}
+			sol.TotalLoad += load.At(i, j) * g.CellArea(i, j)
+		}
+	}
+	for k, node := range s.siteNodes {
+		sol.SiteCurrents[k] = (supply - v[node]) / s.p.Sites[k].Resistance
+	}
+	return sol
+}
+
+func (s *Session) solveWith(load *mesh.Field2D, supply float64, warm *num.WarmStart) (*Solution, error) {
+	if err := s.checkInputs(load, supply); err != nil {
+		return nil, err
+	}
+	s.fillRHS(s.b, load, supply)
 	if !warm.Seed(s.x) {
 		num.Fill(s.x, supply) // cold start at the supply level
 	}
@@ -249,39 +303,77 @@ func (s *Session) solveWith(load *mesh.Field2D, supply float64, warm *num.WarmSt
 		return nil, fmt.Errorf("pdn: grid solve failed: %w", err)
 	}
 	warm.Save(s.x)
-	// The session's x buffer is reused next solve; the Solution gets its
-	// own copy.
-	x := make([]float64, len(s.x))
-	copy(x, s.x)
-	sol := &Solution{
-		Grid:         g,
-		V:            &mesh.Field2D{Grid: g, Data: x},
-		MinV:         math.Inf(1),
-		MaxV:         math.Inf(-1),
-		MinVCache:    math.Inf(1),
-		SiteCurrents: make([]float64, len(s.p.Sites)),
+	return s.buildSolution(s.x, load, supply), nil
+}
+
+// batchWidth caps how many right-hand sides one block solve carries:
+// beyond it the block's columns stop fitting cache alongside the
+// matrix and the per-iteration reductions start to dominate, so wider
+// batches are split into consecutive blocks.
+const batchWidth = 8
+
+// SolveBatch computes the DC operating points of several (load, supply)
+// pairs in one batched block-CG solve per group of batchWidth: the
+// systems share the session matrix, so one matrix traversal per Krylov
+// iteration serves the whole group instead of each point traversing it
+// alone. This is the sweep-chain path — neighboring sweep points differ
+// only in their right-hand sides. Results match Solve point for point
+// (same matrix, same tolerance); the session warm-start cache carries
+// the last point's field to the next call, matching Solve's chaining.
+func (s *Session) SolveBatch(loads []*mesh.Field2D, supplies []float64) ([]*Solution, error) {
+	if len(loads) != len(supplies) {
+		return nil, fmt.Errorf("pdn: %d loads vs %d supplies", len(loads), len(supplies))
 	}
-	for j := 0; j < g.NY(); j++ {
-		for i := 0; i < g.NX(); i++ {
-			v := sol.V.At(i, j)
-			if v < sol.MinV {
-				sol.MinV = v
-			}
-			if v > sol.MaxV {
-				sol.MaxV = v
-			}
-			u := s.p.Floorplan.UnitAt(g.X.Centers[i], g.Y.Centers[j])
-			if u != nil && u.Kind.IsCache() && v < sol.MinVCache {
-				sol.MinVCache = v
-				sol.WorstX, sol.WorstY = g.X.Centers[i], g.Y.Centers[j]
-			}
-			sol.TotalLoad += load.At(i, j) * g.CellArea(i, j)
+	if len(loads) == 0 {
+		return nil, nil
+	}
+	for i := range loads {
+		if err := s.checkInputs(loads[i], supplies[i]); err != nil {
+			return nil, fmt.Errorf("pdn: batch point %d: %w", i, err)
 		}
 	}
-	for k, node := range s.siteNodes {
-		sol.SiteCurrents[k] = (supply - x[node]) / s.p.Sites[k].Resistance
+	n := s.g.NumCells()
+	out := make([]*Solution, 0, len(loads))
+	for lo := 0; lo < len(loads); lo += batchWidth {
+		hi := lo + batchWidth
+		if hi > len(loads) {
+			hi = len(loads)
+		}
+		k := hi - lo
+		if k == 1 {
+			sol, err := s.solveWith(loads[lo], supplies[lo], &s.warm)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sol)
+			continue
+		}
+		if cap(s.bb) < n*k {
+			s.bb = make([]float64, n*k)
+			s.xx = make([]float64, n*k)
+		}
+		bb, xx := s.bb[:n*k], s.xx[:n*k]
+		seeded := s.warm.Seed(s.x)
+		for j := 0; j < k; j++ {
+			xj := xx[j*n : (j+1)*n]
+			s.fillRHS(bb[j*n:(j+1)*n], loads[lo+j], supplies[lo+j])
+			if seeded {
+				copy(xj, s.x)
+			} else {
+				num.Fill(xj, supplies[lo+j])
+			}
+		}
+		if _, err := s.solver.SolveBlock(bb, xx, k); err != nil {
+			s.warm.Invalidate()
+			return nil, fmt.Errorf("pdn: batched grid solve failed: %w", err)
+		}
+		for j := 0; j < k; j++ {
+			out = append(out, s.buildSolution(xx[j*n:(j+1)*n], loads[lo+j], supplies[lo+j]))
+		}
+		copy(s.x, out[len(out)-1].V.Data)
+		s.warm.Save(s.x)
 	}
-	return sol, nil
+	return out, nil
 }
 
 // Solve computes the DC operating point. One-shot callers pay assembly

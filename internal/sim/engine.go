@@ -35,6 +35,12 @@ var ErrClosed = errors.New("sim: engine closed")
 // and benchmarks inject counting or synthetic solvers.
 type Solver func(ctx context.Context, cfg core.Config) (*core.Report, error)
 
+// ChainPrefetch receives a sweep chain's complete point list before the
+// chain's sequential walk, letting a stateful chain solver presolve
+// whatever the points' known-upfront inputs allow (batched multi-RHS
+// PDN solves in the production path).
+type ChainPrefetch func(ctx context.Context, cfgs []core.Config) error
+
 // DefaultSolver is the production path: core.NewSystem + EvaluateContext.
 func DefaultSolver(ctx context.Context, cfg core.Config) (*core.Report, error) {
 	sys, err := core.NewSystem(cfg)
@@ -73,6 +79,15 @@ type Options struct {
 	// Solver is overridden and BatchSolver is not, chains reuse the
 	// overridden Solver (stateless, no warm carry).
 	BatchSolver func() Solver
+	// BatchChain, when set, supersedes BatchSolver: it additionally
+	// returns a ChainPrefetch that SubmitSweep hands the chain's full
+	// point list before the sequential walk begins, so the solver can
+	// batch work whose inputs are known upfront (the default
+	// core.NewBatch prefetch block-solves the chain's PDN grid points
+	// in one multi-RHS Krylov run). A nil prefetch is valid. Prefetch
+	// errors are counted and otherwise ignored — every point still
+	// solves correctly, just without the batched head start.
+	BatchChain func() (Solver, ChainPrefetch)
 	// Metrics is the registry the engine publishes its serving metrics
 	// into; nil gives the engine a private registry (reachable via
 	// Engine.Metrics). One engine per registry: the gauge callbacks are
@@ -92,16 +107,20 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Solver == nil {
 		o.Solver = DefaultSolver
-		if o.BatchSolver == nil {
-			o.BatchSolver = func() Solver {
+		if o.BatchSolver == nil && o.BatchChain == nil {
+			o.BatchChain = func() (Solver, ChainPrefetch) {
 				b := core.NewBatch()
-				return b.EvaluateContext
+				return b.EvaluateContext, b.PrefetchChain
 			}
 		}
 	}
-	if o.BatchSolver == nil {
-		s := o.Solver
-		o.BatchSolver = func() Solver { return s }
+	if o.BatchChain == nil {
+		if o.BatchSolver == nil {
+			s := o.Solver
+			o.BatchSolver = func() Solver { return s }
+		}
+		bs := o.BatchSolver
+		o.BatchChain = func() (Solver, ChainPrefetch) { return bs(), nil }
 	}
 	return o
 }
@@ -317,32 +336,34 @@ func (e *Engine) Stats() Stats {
 	meanMS, p50MS, p90MS, p99MS, maxMS, lastMS := e.m.latencySnapshot()
 	active, done := e.jobs.counts()
 	return Stats{
-		Workers:            e.opts.Workers,
-		BusyWorkers:        int(e.m.busyWorkers.Load()),
-		QueueDepth:         len(e.queue),
-		QueueCapacity:      cap(e.queue),
-		CacheEnabled:       e.cache.enabled(),
-		CacheHits:          hits,
-		CacheMisses:        misses,
-		CacheEvictions:     evictions,
-		CacheHitRate:       hitRate,
-		CacheSize:          e.cache.Len(),
-		CacheCapacity:      cacheCap,
-		Solves:             e.m.solves.Value(),
-		SolveErrors:        e.m.solveErrors.Value(),
-		QueueRejected:      e.m.queueRejected.Value(),
-		SolveLatencyMeanMS: meanMS,
-		SolveLatencyP50MS:  p50MS,
-		SolveLatencyP90MS:  p90MS,
-		SolveLatencyP99MS:  p99MS,
-		SolveLatencyMaxMS:  maxMS,
-		SolveLatencyLastMS: lastMS,
-		JobsActive:         active,
-		JobsDone:           done,
-		SweepChains:        e.m.sweepChains.Value(),
-		SweepPointsWarm:    e.m.sweepPointsWarm.Value(),
-		SweepPointsCold:    e.m.sweepPointsCold.Value(),
-		KernelThreads:      num.KernelThreads(),
+		Workers:             e.opts.Workers,
+		BusyWorkers:         int(e.m.busyWorkers.Load()),
+		QueueDepth:          len(e.queue),
+		QueueCapacity:       cap(e.queue),
+		CacheEnabled:        e.cache.enabled(),
+		CacheHits:           hits,
+		CacheMisses:         misses,
+		CacheEvictions:      evictions,
+		CacheHitRate:        hitRate,
+		CacheSize:           e.cache.Len(),
+		CacheCapacity:       cacheCap,
+		Solves:              e.m.solves.Value(),
+		SolveErrors:         e.m.solveErrors.Value(),
+		QueueRejected:       e.m.queueRejected.Value(),
+		SolveLatencyMeanMS:  meanMS,
+		SolveLatencyP50MS:   p50MS,
+		SolveLatencyP90MS:   p90MS,
+		SolveLatencyP99MS:   p99MS,
+		SolveLatencyMaxMS:   maxMS,
+		SolveLatencyLastMS:  lastMS,
+		JobsActive:          active,
+		JobsDone:            done,
+		SweepChains:         e.m.sweepChains.Value(),
+		SweepPointsWarm:     e.m.sweepPointsWarm.Value(),
+		SweepPointsCold:     e.m.sweepPointsCold.Value(),
+		SweepPrefetches:     e.m.sweepPrefetches.Value(),
+		SweepPrefetchErrors: e.m.sweepPrefetchErrors.Value(),
+		KernelThreads:       num.KernelThreads(),
 	}
 }
 

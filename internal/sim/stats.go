@@ -58,6 +58,13 @@ type Stats struct {
 	SweepPointsWarm uint64 `json:"sweep_points_warm"`
 	SweepPointsCold uint64 `json:"sweep_points_cold"`
 
+	// Sweep chain prefetches: multi-point chains whose distinct PDN
+	// operating points were batch-presolved up front through the block
+	// Krylov path, by outcome. A failed prefetch costs nothing — the
+	// chain's points still solve in the sequential walk.
+	SweepPrefetches     uint64 `json:"sweep_prefetches"`
+	SweepPrefetchErrors uint64 `json:"sweep_prefetch_errors"`
+
 	// KernelThreads is the resolved process-wide goroutine cap of the
 	// numeric kernels (SpMV, dot, axpy) behind every solve.
 	KernelThreads int `json:"kernel_threads"`
@@ -70,13 +77,15 @@ type Stats struct {
 type metrics struct {
 	busyWorkers atomic.Int64
 
-	solves          *obs.Counter
-	solveErrors     *obs.Counter
-	queueRejected   *obs.Counter
-	solveLatency    *obs.Histogram
-	sweepChains     *obs.Counter
-	sweepPointsWarm *obs.Counter
-	sweepPointsCold *obs.Counter
+	solves              *obs.Counter
+	solveErrors         *obs.Counter
+	queueRejected       *obs.Counter
+	solveLatency        *obs.Histogram
+	sweepChains         *obs.Counter
+	sweepPointsWarm     *obs.Counter
+	sweepPointsCold     *obs.Counter
+	sweepPrefetches     *obs.Counter
+	sweepPrefetchErrors *obs.Counter
 
 	mu          sync.Mutex
 	latencyMax  time.Duration
@@ -99,6 +108,10 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Sweep points solved inside a chain, by warm-start state.", obs.L("warm", "true")),
 		sweepPointsCold: reg.Counter("bright_sweep_points_total",
 			"Sweep points solved inside a chain, by warm-start state.", obs.L("warm", "false")),
+		sweepPrefetches: reg.Counter("bright_sweep_chain_prefetches_total",
+			"Sweep chains whose upfront batch prefetch (multi-RHS PDN presolve) succeeded.", obs.L("ok", "true")),
+		sweepPrefetchErrors: reg.Counter("bright_sweep_chain_prefetches_total",
+			"Sweep chains whose upfront batch prefetch (multi-RHS PDN presolve) succeeded.", obs.L("ok", "false")),
 	}
 }
 

@@ -279,7 +279,21 @@ func (e *Engine) SubmitSweep(ctx context.Context, spec SweepSpec) (*Job, error) 
 				defer wg.Done()
 				defer func() { <-sem }()
 				e.m.sweepChains.Inc()
-				solver := e.opts.BatchSolver()
+				solver, prefetch := e.opts.BatchChain()
+				if prefetch != nil && len(chain) > 1 {
+					cfgs := make([]core.Config, len(chain))
+					for i, pt := range chain {
+						cfgs[i] = pt.cfg
+					}
+					if err := prefetch(jobCtx, cfgs); err != nil {
+						// Nothing is lost: every point still solves in the
+						// sequential walk below, just without the batched
+						// head start.
+						e.m.sweepPrefetchErrors.Inc()
+					} else {
+						e.m.sweepPrefetches.Inc()
+					}
+				}
 				solved := 0
 				for _, pt := range chain {
 					if jobCtx.Err() != nil {

@@ -3,6 +3,8 @@ package sim
 import (
 	"context"
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -309,6 +311,111 @@ func TestSweepWarmStartSavesKrylovIterations(t *testing.T) {
 	// "Measurably fewer": require at least a 20% saving.
 	if 5*chained > 4*independent {
 		t.Fatalf("chained sweep saved only %d of %d iterations (under 20%%)", independent-chained, independent)
+	}
+}
+
+// TestSweepChainPrefetchReceivesChains: SubmitSweep must hand each
+// multi-point chain's complete, in-order config list to the BatchChain
+// prefetch before the sequential walk starts, and count the outcome.
+func TestSweepChainPrefetchReceivesChains(t *testing.T) {
+	s := &countingSolver{}
+	var mu sync.Mutex
+	var got [][]core.Config
+	e := newTestEngine(t, Options{
+		Workers: 2,
+		BatchChain: func() (Solver, ChainPrefetch) {
+			return s.solve, func(_ context.Context, cfgs []core.Config) error {
+				mu.Lock()
+				got = append(got, append([]core.Config(nil), cfgs...))
+				mu.Unlock()
+				return nil
+			}
+		},
+	})
+	job, err := e.SubmitSweep(context.Background(), SweepSpec{
+		FlowsMLMin: []float64{100, 200},
+		ChipLoads:  []float64{0.5, 0.75, 1.0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitJob(t, job, 10*time.Second)
+	if v.State != JobDone || v.Completed != 6 {
+		t.Fatalf("state=%s completed=%d, want done/6", v.State, v.Completed)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("prefetch invoked %d times, want once per chain (2)", len(got))
+	}
+	for _, cfgs := range got {
+		if len(cfgs) != 3 {
+			t.Fatalf("prefetch received %d configs, want the chain's full 3", len(cfgs))
+		}
+		wantLoads := []float64{0.5, 0.75, 1.0}
+		for k, cfg := range cfgs {
+			if cfg.FlowMLMin != cfgs[0].FlowMLMin || cfg.ChipLoad != wantLoads[k] {
+				t.Fatalf("prefetch config %d out of chain order: %+v", k, cfg)
+			}
+		}
+	}
+	if st := e.Stats(); st.SweepPrefetches != 2 || st.SweepPrefetchErrors != 0 {
+		t.Fatalf("prefetch counters ok=%d err=%d, want 2/0", st.SweepPrefetches, st.SweepPrefetchErrors)
+	}
+}
+
+// TestSweepChainPrefetchSkipsSinglePoints: chains of one point have
+// nothing to batch, so the prefetch must not run at all.
+func TestSweepChainPrefetchSkipsSinglePoints(t *testing.T) {
+	s := &countingSolver{}
+	var calls atomic.Int64
+	e := newTestEngine(t, Options{
+		Workers: 2,
+		BatchChain: func() (Solver, ChainPrefetch) {
+			return s.solve, func(_ context.Context, _ []core.Config) error {
+				calls.Add(1)
+				return nil
+			}
+		},
+	})
+	job, err := e.SubmitSweep(context.Background(), SweepSpec{FlowsMLMin: []float64{100, 200, 300}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := waitJob(t, job, 10*time.Second); v.State != JobDone || v.Completed != 3 {
+		t.Fatalf("state=%s completed=%d, want done/3", v.State, v.Completed)
+	}
+	if n := calls.Load(); n != 0 {
+		t.Fatalf("prefetch ran %d times on single-point chains, want 0", n)
+	}
+}
+
+// TestSweepChainPrefetchErrorIsSoft: a failing prefetch must not fail
+// the chain — every point still solves sequentially — and the failure
+// is visible in the stats.
+func TestSweepChainPrefetchErrorIsSoft(t *testing.T) {
+	s := &countingSolver{}
+	e := newTestEngine(t, Options{
+		Workers: 1,
+		BatchChain: func() (Solver, ChainPrefetch) {
+			return s.solve, func(_ context.Context, _ []core.Config) error {
+				return errSolverBoom
+			}
+		},
+	})
+	job, err := e.SubmitSweep(context.Background(), SweepSpec{ChipLoads: []float64{0.5, 1.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := waitJob(t, job, 10*time.Second)
+	if v.State != JobDone || v.Completed != 2 || v.Failed != 0 {
+		t.Fatalf("state=%s completed=%d failed=%d, want done/2/0 despite prefetch error", v.State, v.Completed, v.Failed)
+	}
+	if s.calls.Load() != 2 {
+		t.Fatalf("solver ran %d times, want 2", s.calls.Load())
+	}
+	if st := e.Stats(); st.SweepPrefetchErrors != 1 || st.SweepPrefetches != 0 {
+		t.Fatalf("prefetch counters ok=%d err=%d, want 0/1", st.SweepPrefetches, st.SweepPrefetchErrors)
 	}
 }
 
