@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check fmt-check build vet lint lint-fix-list test race race-serving race-stream test-short bench bench-serving bench-compare escape-check
+.PHONY: check fmt-check build vet lint lint-fix-list test race race-serving race-stream race-cluster test-short bench bench-serving bench-compare escape-check
 
 check: fmt-check vet lint build race escape-check
 
@@ -63,6 +63,13 @@ race-serving:
 # them in tier-1).
 race-stream:
 	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/stream/...
+
+# Race pass over the cluster tier: the coordinator's hedged requests,
+# health/snapshot loops and chain bookkeeping all share state across
+# goroutines, and the package's e2e test exercises real multi-process
+# kill/rejoin cycles (the full `race` also covers it in tier-1).
+race-cluster:
+	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/cluster/...
 
 test-short:
 	$(GO) test -short ./...

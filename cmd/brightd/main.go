@@ -47,6 +47,19 @@
 // (a slow consumer falls behind by at most this many frames before the
 // ring drops the oldest).
 //
+// Coordinator mode (-coordinator -backends host:port,host:port,...)
+// turns the daemon into a stateless cluster front (internal/cluster)
+// instead of a solving node: the same HTTP surface, with /v1/evaluate
+// consistent-hashed across the backend brightds by canonical
+// configuration key, /v1/sweep partitioned into whole warm-start
+// chains, slow shards hedged once after a p99-derived delay, dead
+// shards health-checked out of the ring and handed their last cache
+// snapshot on rejoin, and per-client token-bucket admission control
+// (-quota-rps/-quota-burst; 429 + Retry-After past the burst).
+// -hedge-min floors the hedge delay, -health-interval paces liveness
+// probes, -snapshot-interval paces the cache-snapshot pulls that make
+// warm rejoin possible.
+//
 // -debug-addr starts an opt-in debug listener serving net/http/pprof
 // under /debug/pprof/ — kept off the public address so profiling
 // endpoints are never exposed to clients by accident.
@@ -83,27 +96,14 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"bright/internal/cluster"
 	"bright/internal/num"
-	"bright/internal/obs"
 	"bright/internal/sim"
 	"bright/internal/stream"
-)
-
-// HTTP-surface telemetry, alongside the solver counters in obs.Default
-// so one /metrics scrape carries both. Status classes rather than exact
-// codes keep the cardinality fixed.
-var (
-	httpRequests = map[int]*obs.Counter{
-		2: obs.Default.Counter("bright_http_requests_total", "HTTP responses by status class.", obs.L("class", "2xx")),
-		3: obs.Default.Counter("bright_http_requests_total", "HTTP responses by status class.", obs.L("class", "3xx")),
-		4: obs.Default.Counter("bright_http_requests_total", "HTTP responses by status class.", obs.L("class", "4xx")),
-		5: obs.Default.Counter("bright_http_requests_total", "HTTP responses by status class.", obs.L("class", "5xx")),
-	}
-	httpDuration = obs.Default.Histogram("bright_http_request_duration_seconds",
-		"End-to-end HTTP request latency.", obs.DefLatencyBuckets)
 )
 
 // envInt reads an integer environment variable, returning def when the
@@ -150,8 +150,37 @@ func main() {
 			"reap streaming sessions with no client interaction for this long")
 		sessionRing = flag.Int("session-ring", 256,
 			"frames buffered per streaming session (drop-oldest past this)")
+		coordMode = flag.Bool("coordinator", false,
+			"run as a cluster coordinator fronting -backends instead of a solving node")
+		backends = flag.String("backends", "",
+			"comma-separated backend host:port list (coordinator mode)")
+		hedgeMin = flag.Duration("hedge-min", 250*time.Millisecond,
+			"floor for the hedged-retry delay (coordinator mode)")
+		quotaRPS = flag.Float64("quota-rps", 0,
+			"per-client admission rate for solve submissions, 0 disables (coordinator mode)")
+		quotaBurst = flag.Int("quota-burst", 10,
+			"per-client admission burst (coordinator mode)")
+		healthInterval = flag.Duration("health-interval", 2*time.Second,
+			"backend liveness probe period (coordinator mode)")
+		snapshotInterval = flag.Duration("snapshot-interval", 30*time.Second,
+			"backend cache-snapshot pull period, <0 disables (coordinator mode)")
 	)
 	flag.Parse()
+
+	if *coordMode {
+		runCoordinator(coordinatorConfig{
+			addr:             *addr,
+			backends:         *backends,
+			hedgeMin:         *hedgeMin,
+			quotaRPS:         *quotaRPS,
+			quotaBurst:       *quotaBurst,
+			healthInterval:   *healthInterval,
+			snapshotInterval: *snapshotInterval,
+			reqTimeout:       *reqTimeout,
+			drainTimeout:     *drainTimeout,
+		})
+		return
+	}
 
 	pc, err := num.ParsePrecond(*precond)
 	if err != nil {
@@ -197,7 +226,7 @@ func main() {
 	})
 
 	handler := withRequestTimeout(*reqTimeout,
-		withLogging(sim.NewHandler(engine, sim.WithStreamManager(sessions))))
+		sim.WithAccessLog(sim.NewHandler(engine, sim.WithStreamManager(sessions))))
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
@@ -241,6 +270,79 @@ func main() {
 	log.Printf("brightd: bye")
 }
 
+// coordinatorConfig carries the coordinator-mode flags.
+type coordinatorConfig struct {
+	addr             string
+	backends         string
+	hedgeMin         time.Duration
+	quotaRPS         float64
+	quotaBurst       int
+	healthInterval   time.Duration
+	snapshotInterval time.Duration
+	reqTimeout       time.Duration
+	drainTimeout     time.Duration
+}
+
+// runCoordinator is coordinator-mode main: no engine, no sessions of
+// its own — a cluster.Coordinator behind the same middleware stack the
+// solving daemon uses.
+func runCoordinator(cfg coordinatorConfig) {
+	var addrs []string
+	for _, a := range strings.Split(cfg.backends, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	coord, err := cluster.NewCoordinator(cluster.Options{
+		Backends:         addrs,
+		HedgeMin:         cfg.hedgeMin,
+		QuotaRPS:         cfg.quotaRPS,
+		QuotaBurst:       cfg.quotaBurst,
+		HealthInterval:   cfg.healthInterval,
+		SnapshotInterval: cfg.snapshotInterval,
+	})
+	if err != nil {
+		log.Fatalf("brightd: -coordinator: %v (need -backends host:port,...)", err)
+	}
+
+	handler := withRequestTimeout(cfg.reqTimeout, sim.WithAccessLog(coord.Handler()))
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go coord.Run(ctx)
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("brightd: coordinator listening on %s fronting %d backends %v",
+			cfg.addr, len(addrs), addrs)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("brightd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("brightd: signal received, draining (budget %s)", cfg.drainTimeout)
+	// The root context is canceled by the signal already; the drain
+	// budget needs a fresh context (see the solving-node path).
+	//lint:ignore ctxpropagate shutdown drain runs after the root context is canceled
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("brightd: http shutdown: %v", err)
+	}
+	log.Printf("brightd: coordinator bye")
+}
+
 // withRequestTimeout bounds each request's solve by deriving a deadline
 // context; the engine threads it into the iterative solvers, so an
 // expired deadline aborts the co-simulation at an iteration boundary
@@ -250,45 +352,5 @@ func withRequestTimeout(d time.Duration, next http.Handler) http.Handler {
 		ctx, cancel := context.WithTimeout(r.Context(), d)
 		defer cancel()
 		next.ServeHTTP(w, r.WithContext(ctx))
-	})
-}
-
-// statusRecorder captures the response code for the access log.
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-}
-
-func (r *statusRecorder) WriteHeader(code int) {
-	r.status = code
-	r.ResponseWriter.WriteHeader(code)
-}
-
-// Flush forwards to the underlying writer so streamed responses (SSE,
-// NDJSON session frames) are not buffered behind the access log
-// wrapper.
-func (r *statusRecorder) Flush() {
-	if f, ok := r.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
-}
-
-// withLogging assigns each request its ID (echoed in the X-Request-ID
-// response header and every related server log line), records the HTTP
-// telemetry, and writes the access log.
-func withLogging(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		r, id := sim.EnsureRequestID(r)
-		w.Header().Set("X-Request-ID", id)
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		start := time.Now()
-		next.ServeHTTP(rec, r)
-		elapsed := time.Since(start)
-		httpDuration.Observe(elapsed.Seconds())
-		if c, ok := httpRequests[rec.status/100]; ok {
-			c.Inc()
-		}
-		log.Printf("rid=%s %s %s -> %d (%s)", id, r.Method, r.URL.Path, rec.status,
-			elapsed.Round(time.Millisecond))
 	})
 }

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// maxQuotaClients bounds the per-client bucket map: past this, buckets
+// that have refilled to full burst (i.e. idle clients) are pruned. A
+// hostile population of client IDs therefore costs O(maxQuotaClients)
+// memory, not O(distinct IDs ever seen).
+const maxQuotaClients = 4096
+
+// tokenBuckets is per-client token-bucket admission control: each
+// client refills at rate tokens/second up to burst, and every admitted
+// request spends one token. A zero or negative rate disables the quota
+// entirely (allow always succeeds).
+type tokenBuckets struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBuckets builds the limiter. now is injectable for tests; nil
+// means time.Now.
+func newTokenBuckets(rate float64, burst int, now func() time.Time) *tokenBuckets {
+	if now == nil {
+		now = time.Now
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBuckets{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// enabled reports whether the quota is active at all.
+func (t *tokenBuckets) enabled() bool { return t.rate > 0 }
+
+// allow spends one token from client's bucket. When the bucket is dry
+// it returns false plus the wait until one token will have refilled —
+// the Retry-After hint.
+func (t *tokenBuckets) allow(client string) (ok bool, retryAfter time.Duration) {
+	if !t.enabled() {
+		return true, 0
+	}
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, found := t.buckets[client]
+	if !found {
+		if len(t.buckets) >= maxQuotaClients {
+			t.pruneLocked(now)
+		}
+		b = &bucket{tokens: t.burst, last: now}
+		t.buckets[client] = b
+	} else {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens = math.Min(t.burst, b.tokens+elapsed*t.rate)
+			b.last = now
+		}
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / t.rate
+	return false, time.Duration(math.Ceil(need)) * time.Second
+}
+
+// pruneLocked drops buckets that have refilled to full burst — clients
+// idle long enough that forgetting them is indistinguishable from
+// remembering them.
+func (t *tokenBuckets) pruneLocked(now time.Time) {
+	for client, b := range t.buckets {
+		tokens := math.Min(t.burst, b.tokens+now.Sub(b.last).Seconds()*t.rate)
+		if tokens >= t.burst {
+			delete(t.buckets, client)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketBurstThenRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	q := newTokenBuckets(2, 3, clock) // 2 rps, burst 3
+
+	for i := 0; i < 3; i++ {
+		if ok, _ := q.allow("alice"); !ok {
+			t.Fatalf("request %d within burst rejected", i)
+		}
+	}
+	ok, retryAfter := q.allow("alice")
+	if ok {
+		t.Fatal("4th immediate request admitted past burst 3")
+	}
+	if retryAfter < time.Second {
+		t.Fatalf("Retry-After hint %v, want >= 1s (header granularity)", retryAfter)
+	}
+
+	// Another client has its own bucket.
+	if ok, _ := q.allow("bob"); !ok {
+		t.Fatal("fresh client rejected because another client is throttled")
+	}
+
+	// Half a second refills one token at 2 rps.
+	now = now.Add(500 * time.Millisecond)
+	if ok, _ := q.allow("alice"); !ok {
+		t.Fatal("refilled token not granted")
+	}
+	if ok, _ := q.allow("alice"); ok {
+		t.Fatal("second token granted after refilling only one")
+	}
+}
+
+func TestTokenBucketDisabled(t *testing.T) {
+	q := newTokenBuckets(0, 5, nil)
+	for i := 0; i < 100; i++ {
+		if ok, _ := q.allow("anyone"); !ok {
+			t.Fatal("disabled quota rejected a request")
+		}
+	}
+}
+
+func TestTokenBucketPrunesIdleClients(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	q := newTokenBuckets(10, 5, clock)
+	for i := 0; i < maxQuotaClients; i++ {
+		if ok, _ := q.allow(string(rune('a'+i%26)) + string(rune('0'+i%10)) + "-" + time.Duration(i).String()); !ok {
+			t.Fatalf("client %d rejected on first request", i)
+		}
+	}
+	// Everyone refills to full burst; the next new client must prune
+	// rather than grow without bound.
+	now = now.Add(time.Hour)
+	if ok, _ := q.allow("newcomer"); !ok {
+		t.Fatal("newcomer rejected")
+	}
+	q.mu.Lock()
+	n := len(q.buckets)
+	q.mu.Unlock()
+	if n > maxQuotaClients {
+		t.Fatalf("bucket map grew to %d, cap is %d", n, maxQuotaClients)
+	}
+}

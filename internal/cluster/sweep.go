@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"bright/internal/core"
+	"bright/internal/sim"
+)
+
+// chainAssign is one warm-start chain of a partitioned sweep: a
+// contiguous run of grid points sharing a hydrodynamic condition
+// (core.Config.ChainKey), placed whole on a single shard so the shard's
+// batched chain solver keeps its neighbor warm starts. start/count
+// locate the chain in the client-visible global grid.
+type chainAssign struct {
+	key   string
+	spec  sim.SweepSpec
+	start int
+	count int
+
+	backend string
+	jobID   string
+	view    sim.JobView // last observed, indices still chain-local
+	final   bool
+}
+
+// partitionSweep splits a validated spec into its chains, mirroring the
+// row-major nesting of sim.SweepSpec.Grid (flow outermost, load
+// innermost): each (flow, inlet) pair is one chain carrying the full
+// voltage x load sub-grid.
+func partitionSweep(spec sim.SweepSpec) []*chainAssign {
+	base := core.DefaultConfig()
+	if spec.Base != nil {
+		base = *spec.Base
+	}
+	axis := func(vals []float64, fallback float64) []float64 {
+		if len(vals) == 0 {
+			return []float64{fallback}
+		}
+		return vals
+	}
+	flows := axis(spec.FlowsMLMin, base.FlowMLMin)
+	inlets := axis(spec.InletTempsC, base.InletTempC)
+	chainLen := len(axis(spec.SupplyVoltages, base.SupplyVoltage)) * len(axis(spec.ChipLoads, base.ChipLoad))
+
+	chains := make([]*chainAssign, 0, len(flows)*len(inlets))
+	start := 0
+	for _, f := range flows {
+		for _, t := range inlets {
+			cfg := base
+			cfg.FlowMLMin, cfg.InletTempC = f, t
+			chains = append(chains, &chainAssign{
+				key: cfg.ChainKey(),
+				spec: sim.SweepSpec{
+					Base:           spec.Base,
+					FlowsMLMin:     []float64{f},
+					InletTempsC:    []float64{t},
+					SupplyVoltages: spec.SupplyVoltages,
+					ChipLoads:      spec.ChipLoads,
+				},
+				start: start,
+				count: chainLen,
+			})
+			start += chainLen
+		}
+	}
+	return chains
+}
+
+// clusterJob is one client-visible sweep spanning shards.
+type clusterJob struct {
+	id      string
+	total   int
+	started time.Time
+
+	mu     sync.Mutex
+	chains []*chainAssign
+	done   bool
+}
+
+// clusterJobs is the coordinator's job registry.
+type clusterJobs struct {
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*clusterJob
+}
+
+func newClusterJobs() *clusterJobs {
+	return &clusterJobs{jobs: make(map[string]*clusterJob)}
+}
+
+func (r *clusterJobs) add(j *clusterJob) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	j.id = fmt.Sprintf("cjob-%06d", r.seq)
+	r.jobs[j.id] = j
+}
+
+func (r *clusterJobs) get(id string) (*clusterJob, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j, ok := r.jobs[id]
+	return j, ok
+}
+
+func (r *clusterJobs) active() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, j := range r.jobs {
+		j.mu.Lock()
+		if !j.done {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+// submitChain routes a chain by its chain key and submits it, failing
+// over once to the next alive shard when the owner refuses. It records
+// the placement on the chain.
+func (c *Coordinator) submitChain(ctx context.Context, ch *chainAssign) error {
+	addr, ok := c.ring.lookup(ch.key)
+	if !ok {
+		return fmt.Errorf("cluster: no alive backends")
+	}
+	jobID, _, err := c.clients[addr].submitSweep(ctx, ch.spec)
+	if err != nil {
+		next, haveNext := c.ring.next(ch.key, addr)
+		if !haveNext {
+			return err
+		}
+		c.m.failovers.Inc()
+		if jobID, _, err = c.clients[next].submitSweep(ctx, ch.spec); err != nil {
+			return err
+		}
+		addr = next
+	}
+	c.m.routed[addr].Inc()
+	ch.backend, ch.jobID = addr, jobID
+	ch.view = sim.JobView{State: sim.JobRunning, Total: ch.count}
+	ch.final = false
+	return nil
+}
+
+// handleSweep partitions the sweep into whole chains, one sub-sweep per
+// chain on its owning shard, and answers 202 with a cluster job id that
+// handleJob merges polls for.
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if !c.admit(w, r) {
+		return
+	}
+	var spec sim.SweepSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding sweep spec: %w", err))
+		return
+	}
+	grid, err := spec.Grid()
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	job := &clusterJob{total: len(grid), started: time.Now(), chains: partitionSweep(spec)}
+	for _, ch := range job.chains {
+		if err := c.submitChain(r.Context(), ch); err != nil {
+			// Chains already submitted keep running on their shards;
+			// their points land in those shards' caches, so a retry of
+			// this sweep is cheap.
+			writeError(w, r, http.StatusBadGateway, err)
+			return
+		}
+	}
+	c.jobs.add(job)
+	writeJSON(w, r, http.StatusAccepted, map[string]any{
+		"job_id": job.id,
+		"total":  job.total,
+		"chains": len(job.chains),
+	})
+}
+
+// handleJob polls every live chain's shard and merges the sub-jobs into
+// one client-visible JobView with global indices. A chain whose shard
+// died — or restarted and forgot the sub-job — is resubmitted through
+// the ring (which now routes around the death); the points it had
+// already solved re-resolve as cache hits on the new owner once the
+// snapshot hand-off has warmed it.
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := c.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	for _, ch := range job.chains {
+		if ch.final {
+			continue
+		}
+		view, found, err := c.pollChain(r.Context(), ch)
+		switch {
+		case err != nil && !c.ring.isAlive(ch.backend), err == nil && !found:
+			// Dead shard, or a restarted one that lost its job registry.
+			c.m.chainResubmits.Inc()
+			if rerr := c.submitChain(r.Context(), ch); rerr != nil {
+				writeError(w, r, http.StatusBadGateway,
+					fmt.Errorf("resubmitting chain at %d after losing %s: %w", ch.start, ch.backend, rerr))
+				return
+			}
+		case err != nil:
+			// Transient poll failure against a live shard: keep the last
+			// observed view, the next poll retries.
+		default:
+			ch.view = view
+			if view.State != sim.JobRunning {
+				ch.final = true
+			}
+		}
+	}
+	writeJSON(w, r, http.StatusOK, job.mergedViewLocked())
+}
+
+// pollChain fetches one sub-job's view. found is false when the shard
+// answered but no longer knows the job (it restarted).
+func (c *Coordinator) pollChain(ctx context.Context, ch *chainAssign) (sim.JobView, bool, error) {
+	pr, err := c.clients[ch.backend].roundTrip(ctx, http.MethodGet, "/v1/jobs/"+ch.jobID, nil)
+	if err != nil {
+		return sim.JobView{}, false, err
+	}
+	if pr.status == http.StatusNotFound {
+		return sim.JobView{}, false, nil
+	}
+	if pr.status != http.StatusOK {
+		return sim.JobView{}, false, fmt.Errorf("cluster: polling job %s on %s: status %d: %s",
+			ch.jobID, ch.backend, pr.status, truncate(pr.body))
+	}
+	var view sim.JobView
+	if err := json.Unmarshal(pr.body, &view); err != nil {
+		return sim.JobView{}, false, fmt.Errorf("cluster: decoding job view from %s: %w", ch.backend, err)
+	}
+	return view, true, nil
+}
+
+// mergedViewLocked folds the chain sub-views into the global JobView:
+// indices shifted to grid positions, counters summed, state the
+// conjunction of the chains' states. Caller holds job.mu.
+func (j *clusterJob) mergedViewLocked() sim.JobView {
+	out := sim.JobView{
+		ID:        j.id,
+		State:     sim.JobDone,
+		Total:     j.total,
+		ElapsedMS: float64(time.Since(j.started).Milliseconds()),
+	}
+	allFinal := true
+	anyFailed, anyCanceled := false, false
+	for _, ch := range j.chains {
+		if !ch.final {
+			allFinal = false
+		}
+		switch ch.view.State {
+		case sim.JobFailed:
+			anyFailed = true
+		case sim.JobCanceled:
+			anyCanceled = true
+		}
+		out.Completed += ch.view.Completed
+		out.Failed += ch.view.Failed
+		for _, res := range ch.view.Results {
+			res.Index += ch.start
+			out.Results = append(out.Results, res)
+		}
+	}
+	switch {
+	case !allFinal:
+		out.State = sim.JobRunning
+	case anyFailed:
+		out.State = sim.JobFailed
+	case anyCanceled:
+		out.State = sim.JobCanceled
+	}
+	sort.Slice(out.Results, func(a, b int) bool { return out.Results[a].Index < out.Results[b].Index })
+	if out.State != sim.JobRunning {
+		j.done = true
+	}
+	return out
+}

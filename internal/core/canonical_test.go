@@ -78,3 +78,57 @@ func TestCanonicalKeyCoversEveryField(t *testing.T) {
 		}
 	}
 }
+
+// TestChainKeyTracksHydrodynamicConditionOnly pins ChainKey's contract:
+// it moves with flow and inlet temperature (beyond tolerance), ignores
+// the electrical fields entirely, and shares CanonicalKey's quantization
+// so sub-tolerance jitter never splits a warm-start chain.
+func TestChainKeyTracksHydrodynamicConditionOnly(t *testing.T) {
+	base := DefaultConfig()
+	key := base.ChainKey()
+
+	// Electrical-only changes keep the chain.
+	same := base
+	same.SupplyVoltage = 0.85
+	same.ChipLoad = 0.4
+	same.ManifoldK = 2.0
+	same.PumpEfficiency = 0.7
+	if got := same.ChainKey(); got != key {
+		t.Fatalf("electrical change moved the chain key:\n  %s\n  %s", key, got)
+	}
+
+	// Sub-tolerance hydrodynamic jitter keeps the chain too.
+	jitter := base
+	jitter.FlowMLMin += 1e-12
+	jitter.InletTempC -= 3e-13
+	if got := jitter.ChainKey(); got != key {
+		t.Fatalf("sub-tolerance jitter moved the chain key:\n  %s\n  %s", key, got)
+	}
+
+	// Real hydrodynamic changes must move it.
+	flow := base
+	flow.FlowMLMin = 300
+	if flow.ChainKey() == key {
+		t.Fatal("flow change did not move the chain key")
+	}
+	inlet := base
+	inlet.InletTempC = 37
+	if inlet.ChainKey() == key {
+		t.Fatal("inlet-temperature change did not move the chain key")
+	}
+
+	// -0 normalizes like CanonicalKey's fields do.
+	zp, zn := base, base
+	zp.InletTempC = 0
+	zn.InletTempC = math.Copysign(0, -1)
+	if zp.ChainKey() != zn.ChainKey() {
+		t.Fatal("0 and -0 inlet temperatures must share a chain key")
+	}
+
+	// The chain key is a strict prefix-style projection of the canonical
+	// key's vocabulary: both name fields identically, so the two keys can
+	// be correlated in logs and cache dumps.
+	if !strings.Contains(base.CanonicalKey(), key) {
+		t.Fatalf("chain key %q is not a projection of canonical key %q", key, base.CanonicalKey())
+	}
+}

@@ -101,6 +101,24 @@ func (c Config) CanonicalKey() string {
 	return key
 }
 
+// ChainKey returns a deterministic string key identifying only the
+// hydrodynamic operating condition — flow rate and inlet temperature,
+// quantized exactly like CanonicalKey. Configs sharing a ChainKey share
+// the thermal session's factorized operators and warm-start state, so
+// solving them back-to-back on one node is cheap; sweep chaining and the
+// cluster coordinator both partition work on this key to preserve that
+// locality.
+func (c Config) ChainKey() string {
+	quant := func(v float64) float64 {
+		q := math.Round(v/keyTolerance) * keyTolerance
+		if q == 0 { // normalize -0
+			q = 0
+		}
+		return q
+	}
+	return fmt.Sprintf("FlowMLMin=%.9f|InletTempC=%.9f", quant(c.FlowMLMin), quant(c.InletTempC))
+}
+
 // Validate reports whether the configuration is usable.
 func (c Config) Validate() error {
 	for _, f := range c.floatFields() {

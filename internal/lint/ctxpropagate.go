@@ -1,11 +1,14 @@
 // ctxpropagate: the cancellation discipline. The serving stack
-// (internal/sim, cmd/brightd) threads context.Context from the HTTP
-// request down to the iterative solvers, which check it at iteration
-// boundaries; a call to a non-Context API variant — or a fresh
-// context.Background() — anywhere on that path silently detaches the
-// solve from request cancellation, and a client timeout stops buying
-// the server anything. This rule flags both within the serving
-// packages.
+// (internal/sim, internal/stream, internal/cluster, cmd/brightd)
+// threads context.Context from the HTTP request down to the iterative
+// solvers, which check it at iteration boundaries; a call to a
+// non-Context API variant — or a fresh context.Background() — anywhere
+// on that path silently detaches the solve from request cancellation,
+// and a client timeout stops buying the server anything. In the
+// cluster tier the same discipline keeps proxied backend calls tied to
+// the client request, so a hung shard cannot pin coordinator
+// goroutines past the caller's deadline. This rule flags both within
+// the serving packages.
 
 package lint
 
@@ -29,6 +32,7 @@ var CtxPropagate = &Analyzer{
 func servingPkg(path string) bool {
 	return strings.HasSuffix(path, "internal/sim") ||
 		strings.HasSuffix(path, "internal/stream") ||
+		strings.HasSuffix(path, "internal/cluster") ||
 		strings.HasSuffix(path, "cmd/brightd")
 }
 

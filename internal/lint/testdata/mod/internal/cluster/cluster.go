@@ -1,0 +1,30 @@
+// Serving-path fixture for ctxpropagate: internal/cluster proxies
+// client requests to backend shards, so every outbound call must stay
+// derived from the incoming request context — a fresh root context
+// here lets a hung shard pin coordinator goroutines past the caller's
+// deadline.
+package cluster
+
+import (
+	"context"
+
+	"fixture/internal/thermal"
+)
+
+// bad detaches a backend probe from the request that triggered it.
+func bad() error {
+	ctx := context.Background() // want ctxpropagate "context.Background"
+	_ = ctx
+	if _, err := thermal.Solve(&thermal.Problem{}); err != nil { // want ctxpropagate "thermal.SolveContext"
+		return err
+	}
+	return nil
+}
+
+// good derives per-backend deadlines from the caller's context.
+func good(ctx context.Context) error {
+	probeCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	_, err := thermal.SolveContext(probeCtx, &thermal.Problem{})
+	return err
+}

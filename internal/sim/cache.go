@@ -2,6 +2,9 @@ package sim
 
 import (
 	"container/list"
+	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -21,6 +24,8 @@ type lruCache struct {
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	evictions atomic.Uint64
+	refreshes atomic.Uint64
+	restored  atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -63,19 +68,37 @@ func (c *lruCache) Get(key string) (*core.Report, bool) {
 }
 
 // Add inserts (or refreshes) a solved report, evicting the least
-// recently used entry when the cache is full.
+// recently used entry when the cache is full. The refresh path counts
+// the overwrite (the old report is dropped, which is an event worth
+// seeing in /v1/stats) and still runs the eviction loop: a restore that
+// shrank the effective population, or any future cap change, must not
+// leave the cache over capacity until an unrelated insert happens by.
 func (c *lruCache) Add(key string, rep *core.Report) {
 	if !c.enabled() {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.addLocked(key, rep)
+}
+
+// addLocked is Add's body, shared with RestoreSnapshot (which holds the
+// lock across many inserts so a snapshot lands atomically).
+func (c *lruCache) addLocked(key string, rep *core.Report) {
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).rep = rep
 		c.order.MoveToFront(el)
+		c.refreshes.Add(1)
+		c.evictOverCapLocked()
 		return
 	}
 	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, rep: rep})
+	c.evictOverCapLocked()
+}
+
+// evictOverCapLocked drops least-recently-used entries until the cache
+// is back within capacity, counting every eviction.
+func (c *lruCache) evictOverCapLocked() {
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
@@ -96,6 +119,80 @@ func (c *lruCache) Counters() (hits, misses, evictions uint64) {
 	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
 }
 
+// RefreshCounters returns the lifetime overwrite and snapshot-restore
+// counts.
+func (c *lruCache) RefreshCounters() (refreshes, restored uint64) {
+	return c.refreshes.Load(), c.restored.Load()
+}
+
+// CacheSnapshotVersion is the wire version of CacheSnapshot. Bump it
+// whenever the JSON shape (or the key quantization it depends on)
+// changes incompatibly; RestoreSnapshot rejects versions it does not
+// understand instead of silently misreading them.
+const CacheSnapshotVersion = 1
+
+// CacheSnapshot is a portable dump of the report LRU, oldest entry
+// first so replaying it through Add reproduces the recency order. It is
+// the payload of brightd's GET/PUT /v1/cache/snapshot: a restarting
+// shard rejoins the cluster warm by uploading the snapshot its
+// coordinator saved before the crash.
+type CacheSnapshot struct {
+	Version  int                  `json:"version"`
+	Capacity int                  `json:"capacity"`
+	Entries  []CacheSnapshotEntry `json:"entries"`
+}
+
+// CacheSnapshotEntry is one cached report keyed by its canonical key.
+type CacheSnapshotEntry struct {
+	Key    string       `json:"key"`
+	Report *core.Report `json:"report"`
+}
+
+// Snapshot captures the cache contents, oldest first.
+func (c *lruCache) Snapshot() CacheSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheSnapshot{
+		Version:  CacheSnapshotVersion,
+		Capacity: c.cap,
+		Entries:  make([]CacheSnapshotEntry, 0, c.order.Len()),
+	}
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*cacheEntry)
+		s.Entries = append(s.Entries, CacheSnapshotEntry{Key: e.key, Report: e.rep})
+	}
+	return s
+}
+
+// RestoreSnapshot merges a snapshot into the cache under one lock hold.
+// Entries whose key does not match their report's own canonical key are
+// skipped (a snapshot from a build with different quantization must not
+// plant entries the local keying can never hit), as are entries with no
+// report. The local capacity is authoritative: a snapshot larger than
+// this cache restores only its most recent entries, and the eviction
+// loop keeps Len <= cap throughout. Returns the number of entries
+// restored and the number skipped.
+func (c *lruCache) RestoreSnapshot(s CacheSnapshot) (restored, skipped int, err error) {
+	if s.Version != CacheSnapshotVersion {
+		return 0, 0, fmt.Errorf("sim: cache snapshot version %d, this build speaks %d", s.Version, CacheSnapshotVersion)
+	}
+	if !c.enabled() {
+		return 0, len(s.Entries), nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range s.Entries {
+		if e.Report == nil || e.Report.Config.CanonicalKey() != e.Key {
+			skipped++
+			continue
+		}
+		c.addLocked(e.Key, e.Report)
+		restored++
+	}
+	c.restored.Add(uint64(restored))
+	return restored, skipped, nil
+}
+
 // flightGroup deduplicates concurrent solves of the same key: the first
 // caller for a key becomes the leader and runs the solve; later callers
 // ("followers") wait on the leader's completion instead of solving
@@ -112,6 +209,15 @@ type flightCall struct {
 	done chan struct{} // closed when the leader publishes rep/err
 	rep  *core.Report
 	err  error
+	// leaderCanceled marks completions that are a verdict on the LEADER
+	// (its context died) rather than on the key (solver failure). A
+	// follower whose own context is live must not inherit such an error:
+	// it re-runs the lookup and elects a new leader. The classification
+	// lives here, in one place, so every wait path applies the same rule
+	// — before this, each select carried its own errors.Is pair, and a
+	// wait path that forgot the check poisoned N live followers with one
+	// canceled leader's ctx error.
+	leaderCanceled bool
 }
 
 func newFlightGroup() *flightGroup {
@@ -133,12 +239,16 @@ func (g *flightGroup) join(key string) (*flightCall, bool) {
 }
 
 // complete publishes the leader's result to all followers and removes
-// the call so the next request for the key starts fresh.
+// the call so the next request for the key starts fresh. Completions
+// carrying the leader's own cancellation are marked leaderCanceled so
+// followers re-elect instead of inheriting the error.
 func (g *flightGroup) complete(key string, call *flightCall, rep *core.Report, err error) {
 	g.mu.Lock()
 	delete(g.flight, key)
 	g.mu.Unlock()
 	call.rep, call.err = rep, err
+	call.leaderCanceled = err != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 	close(call.done)
 }
 

@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"bright/internal/core"
 )
@@ -149,6 +152,154 @@ func TestFlightGroupLeaderElection(t *testing.T) {
 	}
 }
 
+// TestLRURefreshCountsOverwrite: re-adding an existing key must count
+// as a refresh — before the fix the overwrite was invisible in every
+// counter, so a workload re-solving hot keys looked identical to one
+// never touching the cache twice.
+func TestLRURefreshCountsOverwrite(t *testing.T) {
+	c := newLRUCache(4)
+	key := cfgWithFlow(1).CanonicalKey()
+	c.Add(key, fakeReport(cfgWithFlow(1)))
+	c.Add(key, fakeReport(cfgWithFlow(1)))
+	c.Add(key, fakeReport(cfgWithFlow(1)))
+	if refreshes, restored := c.RefreshCounters(); refreshes != 2 || restored != 0 {
+		t.Fatalf("refreshes=%d restored=%d, want 2/0", refreshes, restored)
+	}
+	if _, _, evictions := c.Counters(); evictions != 0 {
+		t.Fatalf("refresh within capacity evicted %d entries", evictions)
+	}
+}
+
+// TestCacheSnapshotRoundTrip pins the snapshot contract: oldest-first
+// order, LRU recency reproduced on restore, and the restore counter.
+func TestCacheSnapshotRoundTrip(t *testing.T) {
+	src := newLRUCache(8)
+	for _, flow := range []float64{1, 2, 3} {
+		cfg := cfgWithFlow(flow)
+		src.Add(cfg.CanonicalKey(), fakeReport(cfg))
+	}
+	// Touch flow=1 so the recency order is 2 (oldest), 3, 1 (newest).
+	src.Get(cfgWithFlow(1).CanonicalKey())
+	snap := src.Snapshot()
+	if snap.Version != CacheSnapshotVersion || len(snap.Entries) != 3 {
+		t.Fatalf("snapshot version=%d entries=%d, want %d/3", snap.Version, len(snap.Entries), CacheSnapshotVersion)
+	}
+	wantOrder := []string{
+		cfgWithFlow(2).CanonicalKey(),
+		cfgWithFlow(3).CanonicalKey(),
+		cfgWithFlow(1).CanonicalKey(),
+	}
+	for i, want := range wantOrder {
+		if snap.Entries[i].Key != want {
+			t.Fatalf("entry %d key %q, want %q (oldest first)", i, snap.Entries[i].Key, want)
+		}
+	}
+
+	dst := newLRUCache(8)
+	restored, skipped, err := dst.RestoreSnapshot(snap)
+	if err != nil || restored != 3 || skipped != 0 {
+		t.Fatalf("restore: restored=%d skipped=%d err=%v, want 3/0/nil", restored, skipped, err)
+	}
+	if _, rst := dst.RefreshCounters(); rst != 3 {
+		t.Fatalf("restored counter = %d, want 3", rst)
+	}
+	// Recency carried over: inserting two fresh keys into a cap-3 cache
+	// must evict flow=2 then flow=3, never the freshly-touched flow=1.
+	small := newLRUCache(3)
+	if _, _, err := small.RestoreSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	small.Add(cfgWithFlow(4).CanonicalKey(), fakeReport(cfgWithFlow(4)))
+	if _, ok := small.Get(cfgWithFlow(2).CanonicalKey()); ok {
+		t.Fatal("oldest snapshot entry survived eviction")
+	}
+	if _, ok := small.Get(cfgWithFlow(1).CanonicalKey()); !ok {
+		t.Fatal("most recent snapshot entry evicted")
+	}
+}
+
+// TestCacheSnapshotRestoreStaysBounded: restoring a snapshot larger
+// than the local capacity must evict inline — before the fix a restore
+// could leave order.Len() > cap until the next unrelated Add.
+func TestCacheSnapshotRestoreStaysBounded(t *testing.T) {
+	src := newLRUCache(16)
+	for k := 0; k < 10; k++ {
+		cfg := cfgWithFlow(float64(k + 1))
+		src.Add(cfg.CanonicalKey(), fakeReport(cfg))
+	}
+	dst := newLRUCache(4)
+	restored, skipped, err := dst.RestoreSnapshot(src.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 10 || skipped != 0 {
+		t.Fatalf("restored=%d skipped=%d, want 10/0", restored, skipped)
+	}
+	if dst.Len() != 4 {
+		t.Fatalf("restore left %d entries in a cap-4 cache", dst.Len())
+	}
+	// The four most recent snapshot entries survive.
+	for k := 6; k < 10; k++ {
+		if _, ok := dst.Get(cfgWithFlow(float64(k + 1)).CanonicalKey()); !ok {
+			t.Fatalf("recent snapshot key %d missing after bounded restore", k+1)
+		}
+	}
+	if _, _, evictions := dst.Counters(); evictions != 6 {
+		t.Fatalf("evictions = %d, want 6", evictions)
+	}
+}
+
+// TestCacheSnapshotRejectsBadEntries: version mismatches are errors,
+// key/report mismatches and nil reports are skipped, and a disabled
+// cache restores nothing.
+func TestCacheSnapshotRejectsBadEntries(t *testing.T) {
+	c := newLRUCache(8)
+	if _, _, err := c.RestoreSnapshot(CacheSnapshot{Version: 99}); err == nil {
+		t.Fatal("unknown snapshot version accepted")
+	}
+	snap := CacheSnapshot{
+		Version: CacheSnapshotVersion,
+		Entries: []CacheSnapshotEntry{
+			{Key: "stale-quantization", Report: fakeReport(cfgWithFlow(1))},
+			{Key: cfgWithFlow(2).CanonicalKey(), Report: nil},
+			{Key: cfgWithFlow(3).CanonicalKey(), Report: fakeReport(cfgWithFlow(3))},
+		},
+	}
+	restored, skipped, err := c.RestoreSnapshot(snap)
+	if err != nil || restored != 1 || skipped != 2 {
+		t.Fatalf("restored=%d skipped=%d err=%v, want 1/2/nil", restored, skipped, err)
+	}
+	disabled := newLRUCache(0)
+	restored, skipped, err = disabled.RestoreSnapshot(snap)
+	if err != nil || restored != 0 || skipped != 3 {
+		t.Fatalf("disabled cache: restored=%d skipped=%d err=%v, want 0/3/nil", restored, skipped, err)
+	}
+}
+
+// TestFlightGroupClassifiesLeaderCancellation: completions carrying a
+// context error are marked leaderCanceled (including wrapped forms);
+// solver verdicts are not.
+func TestFlightGroupClassifiesLeaderCancellation(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{context.Canceled, true},
+		{context.DeadlineExceeded, true},
+		{fmt.Errorf("cosim aborted: %w", context.Canceled), true},
+		{fmt.Errorf("solver exploded"), false},
+		{nil, false},
+	}
+	g := newFlightGroup()
+	for _, tc := range cases {
+		call, _ := g.join("k")
+		g.complete("k", call, nil, tc.err)
+		if call.leaderCanceled != tc.want {
+			t.Errorf("complete(%v): leaderCanceled=%v, want %v", tc.err, call.leaderCanceled, tc.want)
+		}
+	}
+}
+
 func TestFlightGroupForget(t *testing.T) {
 	g := newFlightGroup()
 	call, _ := g.join("k")
@@ -160,5 +311,58 @@ func TestFlightGroupForget(t *testing.T) {
 	}
 	if _, leader := g.join("k"); !leader {
 		t.Fatal("forgotten key did not reset")
+	}
+}
+
+// TestFlightGroupForgetJoinRace hammers forget against concurrent joins
+// on the same key (run under -race): every joiner must either lead its
+// own flight or observe a completed one — a late follower must never
+// hang on a key whose leader forgot it. The invariant under test is the
+// delete-then-close ordering in complete/forget: a joiner that found
+// the call in the map is guaranteed the channel close, and a joiner
+// that missed it starts a fresh flight it leads itself.
+func TestFlightGroupForgetJoinRace(t *testing.T) {
+	const rounds, joiners = 200, 8
+	g := newFlightGroup()
+	sentinel := fmt.Errorf("queue full")
+	for r := 0; r < rounds; r++ {
+		key := fmt.Sprintf("k%d", r%4)
+		var wg sync.WaitGroup
+		leaderCall, leader := g.join(key)
+		if !leader {
+			t.Fatalf("round %d: stale flight for %s survived the previous round", r, key)
+		}
+		for j := 0; j < joiners; j++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				call, isLeader := g.join(key)
+				if isLeader {
+					// A joiner that raced past the forget leads a fresh
+					// flight; it must complete it or the next round hangs.
+					g.complete(key, call, nil, sentinel)
+					return
+				}
+				select {
+				case <-call.done:
+				case <-time.After(5 * time.Second):
+					t.Error("follower hung on a forgotten key")
+				}
+			}()
+		}
+		g.forget(key, leaderCall, sentinel)
+		wg.Wait()
+		// The key must be clean for the next round: any flight left in
+		// the map now is a leaked call nobody will ever complete.
+		cleanup, fresh := g.join(key)
+		if !fresh {
+			select {
+			case <-cleanup.done:
+			case <-time.After(5 * time.Second):
+				t.Fatalf("round %d: leaked un-completed flight for %s", r, key)
+			}
+		} else {
+			g.complete(key, cleanup, nil, sentinel)
+		}
 	}
 }

@@ -258,9 +258,10 @@ func (e *Engine) evaluate(ctx context.Context, cfg core.Config, block bool) (*co
 			}
 			// A follower whose own context is still live should not be
 			// penalized for the leader's cancellation: retry the whole
-			// lookup (the cache was not poisoned, so this re-solves).
-			if !leader && ctx.Err() == nil &&
-				(errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded)) {
+			// lookup and elect a new leader (the cache was not poisoned,
+			// so this re-solves). The flight group classified the
+			// completion, so every wait path applies the same rule.
+			if !leader && ctx.Err() == nil && call.leaderCanceled {
 				continue
 			}
 			return nil, call.err
@@ -307,8 +308,7 @@ func (e *Engine) evaluateChained(ctx context.Context, cfg core.Config, solver So
 			}
 			// Same follower-retry rule as evaluate: a live follower is not
 			// penalized for the leader's cancellation.
-			if ctx.Err() == nil &&
-				(errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded)) {
+			if ctx.Err() == nil && call.leaderCanceled {
 				continue
 			}
 			return nil, false, call.err
@@ -322,6 +322,22 @@ func (e *Engine) evaluateChained(ctx context.Context, cfg core.Config, solver So
 // for exposition (the /metrics endpoint renders it).
 func (e *Engine) Metrics() *obs.Registry { return e.reg }
 
+// CacheSnapshot dumps the report LRU for transfer (GET
+// /v1/cache/snapshot). Reports are shared by pointer with the live
+// cache; they are immutable once published, so serializing the snapshot
+// concurrently with serving is safe.
+func (e *Engine) CacheSnapshot() CacheSnapshot {
+	return e.cache.Snapshot()
+}
+
+// RestoreCacheSnapshot merges a snapshot into the report LRU (PUT
+// /v1/cache/snapshot) — the warm-rejoin path for a restarted shard.
+// Entries that fail the key self-check are skipped, the local capacity
+// bounds what sticks, and an unknown snapshot version is an error.
+func (e *Engine) RestoreCacheSnapshot(s CacheSnapshot) (restored, skipped int, err error) {
+	return e.cache.RestoreSnapshot(s)
+}
+
 // Stats snapshots the engine's serving metrics.
 func (e *Engine) Stats() Stats {
 	hits, misses, evictions := e.cache.Counters()
@@ -333,6 +349,7 @@ func (e *Engine) Stats() Stats {
 	if !e.cache.enabled() {
 		cacheCap = 0
 	}
+	refreshes, restored := e.cache.RefreshCounters()
 	meanMS, p50MS, p90MS, p99MS, maxMS, lastMS := e.m.latencySnapshot()
 	active, done := e.jobs.counts()
 	return Stats{
@@ -347,6 +364,8 @@ func (e *Engine) Stats() Stats {
 		CacheHitRate:        hitRate,
 		CacheSize:           e.cache.Len(),
 		CacheCapacity:       cacheCap,
+		CacheRefreshes:      refreshes,
+		CacheRestored:       restored,
 		Solves:              e.m.solves.Value(),
 		SolveErrors:         e.m.solveErrors.Value(),
 		QueueRejected:       e.m.queueRejected.Value(),

@@ -276,6 +276,59 @@ func TestFollowerSurvivesLeaderCancel(t *testing.T) {
 	}
 }
 
+// TestManyFollowersSurviveLeaderCancel is the regression pin for the
+// flight-group poisoning bug: one leader whose context dies mid-solve
+// must not fail the N followers whose contexts are live. Every follower
+// re-runs the lookup, exactly one of them is re-elected leader for the
+// fresh solve, and all N receive the result.
+func TestManyFollowersSurviveLeaderCancel(t *testing.T) {
+	const followers = 8
+	s := &countingSolver{block: make(chan struct{}), blockN: 1}
+	e := newTestEngine(t, Options{Workers: 2, Solver: s.solve})
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := e.Evaluate(leaderCtx, core.DefaultConfig())
+		leaderDone <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader solve never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	followerDone := make(chan error, followers)
+	for i := 0; i < followers; i++ {
+		go func() {
+			_, err := e.Evaluate(context.Background(), core.DefaultConfig())
+			followerDone <- err
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // let the followers join the flight
+	cancelLeader()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader got %v, want context.Canceled", err)
+	}
+	for i := 0; i < followers; i++ {
+		select {
+		case err := <-followerDone:
+			if err != nil {
+				t.Fatalf("follower %d inherited the leader's cancellation: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("follower %d never completed", i)
+		}
+	}
+	// The canceled solve plus exactly one re-elected leader's solve: the
+	// retry must coalesce the followers, not fan out N fresh solves.
+	if got := s.calls.Load(); got != 2 {
+		t.Fatalf("solver ran %d times, want 2 (canceled leader + one re-elected)", got)
+	}
+}
+
 func TestSolverErrorPropagatesAndIsNotCached(t *testing.T) {
 	s := &countingSolver{err: fmt.Errorf("solver exploded")}
 	e := newTestEngine(t, Options{Workers: 1, Solver: s.solve})

@@ -1,12 +1,16 @@
 package sim
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
+	"time"
 
 	"bright/internal/core"
 	"bright/internal/obs"
@@ -258,6 +262,35 @@ func NewHandler(e *Engine, opts ...HandlerOption) http.Handler {
 		writeJSON(w, r, http.StatusOK, resp)
 	})
 
+	// Liveness probe: answers as long as the process accepts requests.
+	// Deliberately free of engine locks so a wedged solve cannot make a
+	// healthy-but-busy shard look dead to the cluster coordinator.
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, r, http.StatusOK, map[string]string{"status": "ok"})
+	})
+
+	// Cache snapshot transfer, the cluster warm-rejoin path: GET dumps
+	// the report LRU (oldest first), PUT merges a previously captured
+	// dump back in. The payload is versioned JSON; a PUT carrying a
+	// version this build does not speak is a 400, and entries whose key
+	// fails the canonical-key self-check are skipped, not trusted.
+	mux.HandleFunc("GET /v1/cache/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, r, http.StatusOK, e.CacheSnapshot())
+	})
+	mux.HandleFunc("PUT /v1/cache/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		var snap CacheSnapshot
+		if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding cache snapshot: %w", err))
+			return
+		}
+		restored, skipped, err := e.RestoreCacheSnapshot(snap)
+		if err != nil {
+			writeError(w, r, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, r, http.StatusOK, map[string]int{"restored": restored, "skipped": skipped})
+	})
+
 	registries := []*obs.Registry{e.Metrics(), obs.Default}
 	if hc.stream != nil {
 		hc.stream.RegisterRoutes(mux)
@@ -266,4 +299,92 @@ func NewHandler(e *Engine, opts ...HandlerOption) http.Handler {
 	mux.Handle("GET /metrics", obs.Handler(registries...))
 
 	return withRequestIDs(mux)
+}
+
+// HTTP-surface telemetry for WithAccessLog, alongside the solver
+// counters in obs.Default so one /metrics scrape carries both. Status
+// classes rather than exact codes keep the cardinality fixed.
+var (
+	httpRequests = map[int]*obs.Counter{
+		2: obs.Default.Counter("bright_http_requests_total", "HTTP responses by status class.", obs.L("class", "2xx")),
+		3: obs.Default.Counter("bright_http_requests_total", "HTTP responses by status class.", obs.L("class", "3xx")),
+		4: obs.Default.Counter("bright_http_requests_total", "HTTP responses by status class.", obs.L("class", "4xx")),
+		5: obs.Default.Counter("bright_http_requests_total", "HTTP responses by status class.", obs.L("class", "5xx")),
+	}
+	httpDuration = obs.Default.Histogram("bright_http_request_duration_seconds",
+		"End-to-end HTTP request latency.", obs.DefLatencyBuckets)
+)
+
+// statusRecorder captures the response code for the access log while
+// forwarding the optional http.ResponseWriter upgrade interfaces. The
+// forwarding matters: a wrapper that only embeds the interface hides
+// Flusher/Hijacker/ReaderFrom from type assertions, so SSE frames
+// buffer behind the wrapper, connection takeover silently degrades to
+// a 500 and sendfile-style copies fall back to userspace buffers.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so streamed responses (SSE,
+// NDJSON session frames) are not buffered behind the access-log
+// wrapper. http.ResponseWriter implementations without Flusher make it
+// a no-op, matching net/http's own behavior.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Hijack forwards connection takeover to the underlying writer. Unlike
+// Flush there is no safe no-op: a handler that asked to hijack owns the
+// connection afterwards, so an underlying writer without the capability
+// is a hard error the handler must see.
+func (r *statusRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	hj, ok := r.ResponseWriter.(http.Hijacker)
+	if !ok {
+		return nil, nil, fmt.Errorf("sim: underlying ResponseWriter (%T) does not support hijacking", r.ResponseWriter)
+	}
+	return hj.Hijack()
+}
+
+// ReadFrom forwards to the underlying writer's io.ReaderFrom fast path
+// (net/http uses it for sendfile on file-backed responses) and falls
+// back to a plain copy when the underlying writer lacks one.
+func (r *statusRecorder) ReadFrom(src io.Reader) (int64, error) {
+	if rf, ok := r.ResponseWriter.(io.ReaderFrom); ok {
+		return rf.ReadFrom(src)
+	}
+	return io.Copy(onlyWriter{r.ResponseWriter}, src)
+}
+
+// onlyWriter strips every non-Write method so the io.Copy fallback in
+// ReadFrom cannot recurse into ReadFrom itself.
+type onlyWriter struct{ io.Writer }
+
+// WithAccessLog assigns each request its ID (echoed in the X-Request-ID
+// response header and every related server log line), records the HTTP
+// telemetry, and writes the access log line. It is the outermost
+// middleware of brightd — both the single-node daemon and the cluster
+// coordinator wrap their handlers with it.
+func WithAccessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r, id := EnsureRequestID(r)
+		w.Header().Set("X-Request-ID", id)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		httpDuration.Observe(elapsed.Seconds())
+		if c, ok := httpRequests[rec.status/100]; ok {
+			c.Inc()
+		}
+		log.Printf("rid=%s %s %s -> %d (%s)", id, r.Method, r.URL.Path, rec.status,
+			elapsed.Round(time.Millisecond))
+	})
 }

@@ -1,11 +1,14 @@
 package sim
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -469,6 +472,293 @@ func TestHTTPMetricsEndToEnd(t *testing.T) {
 		if m2[name] < m1[name] {
 			t.Fatalf("counter %s went backwards: %g -> %g", name, m1[name], m2[name])
 		}
+	}
+}
+
+// The wrapper must satisfy the optional upgrade interfaces statically —
+// otherwise net/http's type assertions on the wrapped writer fail and
+// SSE flushing, hijacking and the sendfile fast path silently degrade.
+var (
+	_ http.Flusher  = (*statusRecorder)(nil)
+	_ http.Hijacker = (*statusRecorder)(nil)
+	_ io.ReaderFrom = (*statusRecorder)(nil)
+)
+
+// plainWriter is the minimal http.ResponseWriter: no Flusher, no
+// Hijacker, no ReaderFrom. Its writes land in buf so fallback paths can
+// be checked for data integrity.
+type plainWriter struct {
+	h      http.Header
+	buf    bytes.Buffer
+	status int
+}
+
+func (w *plainWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = make(http.Header)
+	}
+	return w.h
+}
+func (w *plainWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
+func (w *plainWriter) WriteHeader(code int)        { w.status = code }
+
+type flushingWriter struct {
+	plainWriter
+	flushed bool
+}
+
+func (w *flushingWriter) Flush() { w.flushed = true }
+
+type hijackableWriter struct {
+	plainWriter
+	hijacked bool
+}
+
+func (w *hijackableWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	w.hijacked = true
+	return nil, nil, nil
+}
+
+type readerFromWriter struct {
+	plainWriter
+	delegated bool
+}
+
+func (w *readerFromWriter) ReadFrom(src io.Reader) (int64, error) {
+	w.delegated = true
+	return io.Copy(&w.buf, src)
+}
+
+// TestStatusRecorderInterfacePassthrough pins the passthrough contract
+// with an interface-assertion table: each optional capability of the
+// underlying writer must surface through the wrapper (delegation), and
+// each missing capability must degrade the way net/http expects —
+// Flush a no-op, Hijack a hard error, ReadFrom a plain copy.
+func TestStatusRecorderInterfacePassthrough(t *testing.T) {
+	tests := []struct {
+		name          string
+		underlying    http.ResponseWriter
+		wantFlushed   func(http.ResponseWriter) bool
+		wantHijackErr bool
+		wantHijacked  func(http.ResponseWriter) bool
+		wantDelegated func(http.ResponseWriter) bool
+	}{
+		{
+			name:          "plain writer: no-op flush, hijack errors, copy fallback",
+			underlying:    &plainWriter{},
+			wantHijackErr: true,
+		},
+		{
+			name:          "flusher delegates",
+			underlying:    &flushingWriter{},
+			wantFlushed:   func(w http.ResponseWriter) bool { return w.(*flushingWriter).flushed },
+			wantHijackErr: true,
+		},
+		{
+			name:         "hijacker delegates",
+			underlying:   &hijackableWriter{},
+			wantHijacked: func(w http.ResponseWriter) bool { return w.(*hijackableWriter).hijacked },
+		},
+		{
+			name:          "readerFrom delegates",
+			underlying:    &readerFromWriter{},
+			wantDelegated: func(w http.ResponseWriter) bool { return w.(*readerFromWriter).delegated },
+			wantHijackErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rec := &statusRecorder{ResponseWriter: tt.underlying, status: http.StatusOK}
+
+			rec.Flush() // must never panic, whatever the underlying writer
+			if tt.wantFlushed != nil && !tt.wantFlushed(tt.underlying) {
+				t.Error("Flush not forwarded to the underlying http.Flusher")
+			}
+
+			_, _, err := rec.Hijack()
+			if tt.wantHijackErr && err == nil {
+				t.Error("Hijack on a non-Hijacker underlying writer returned nil error")
+			}
+			if !tt.wantHijackErr && err != nil {
+				t.Errorf("Hijack: %v", err)
+			}
+			if tt.wantHijacked != nil && !tt.wantHijacked(tt.underlying) {
+				t.Error("Hijack not forwarded to the underlying http.Hijacker")
+			}
+
+			const payload = "sendfile-sized body"
+			n, err := rec.ReadFrom(strings.NewReader(payload))
+			if err != nil || n != int64(len(payload)) {
+				t.Fatalf("ReadFrom = (%d, %v), want (%d, nil)", n, err, len(payload))
+			}
+			if tt.wantDelegated != nil && !tt.wantDelegated(tt.underlying) {
+				t.Error("ReadFrom not forwarded to the underlying io.ReaderFrom")
+			}
+			// Whichever path ran, the bytes must have landed.
+			var got string
+			switch u := tt.underlying.(type) {
+			case *plainWriter:
+				got = u.buf.String()
+			case *flushingWriter:
+				got = u.buf.String()
+			case *hijackableWriter:
+				got = u.buf.String()
+			case *readerFromWriter:
+				got = u.buf.String()
+			}
+			if got != payload {
+				t.Errorf("ReadFrom wrote %q, want %q", got, payload)
+			}
+		})
+	}
+}
+
+// TestAccessLogStreamingPassthrough drives the wrapper through a real
+// net/http server: the handler's Flusher assertion must succeed behind
+// WithAccessLog, which it would not if statusRecorder merely embedded
+// the interface.
+func TestAccessLogStreamingPassthrough(t *testing.T) {
+	srv := httptest.NewServer(WithAccessLog(http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			f, ok := w.(http.Flusher)
+			if !ok {
+				http.Error(w, "no flusher behind the access-log wrapper", http.StatusInternalServerError)
+				return
+			}
+			fmt.Fprint(w, "frame-1\n")
+			f.Flush()
+			fmt.Fprint(w, "frame-2\n")
+		})))
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if string(body) != "frame-1\nframe-2\n" {
+		t.Fatalf("streamed body %q", body)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Fatal("access-log wrapper did not assign X-Request-ID")
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 1, Solver: (&countingSolver{}).solve})
+	var body map[string]string
+	resp := getJSON(t, srv.URL+"/healthz", &body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz returned %d", resp.StatusCode)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("healthz body %v", body)
+	}
+}
+
+// TestHTTPCacheSnapshotRoundTrip moves a warm cache between two engines
+// over the HTTP surface — the cluster warm-rejoin path end to end: solve
+// on A, GET A's snapshot, PUT it into B, and B answers the same configs
+// from cache without solving.
+func TestHTTPCacheSnapshotRoundTrip(t *testing.T) {
+	sa := &countingSolver{}
+	_, srvA := newTestServer(t, Options{Workers: 2, Solver: sa.solve})
+	sb := &countingSolver{}
+	_, srvB := newTestServer(t, Options{Workers: 2, Solver: sb.solve})
+
+	for _, body := range []string{`{"flow_ml_min": 300}`, `{"flow_ml_min": 500}`} {
+		resp, b := postJSON(t, srvA.URL+"/v1/evaluate", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warming A: %d: %s", resp.StatusCode, b)
+		}
+	}
+
+	resp, err := http.Get(srvA.URL + "/v1/cache/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapBody, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET snapshot: %d: %s", resp.StatusCode, snapBody)
+	}
+	var snap CacheSnapshot
+	if err := json.Unmarshal(snapBody, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != CacheSnapshotVersion || len(snap.Entries) != 2 {
+		t.Fatalf("snapshot version %d with %d entries, want v%d with 2",
+			snap.Version, len(snap.Entries), CacheSnapshotVersion)
+	}
+
+	req, _ := http.NewRequest(http.MethodPut, srvB.URL+"/v1/cache/snapshot", bytes.NewReader(snapBody))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var put struct {
+		Restored int `json:"restored"`
+		Skipped  int `json:"skipped"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&put); err != nil {
+		t.Fatal(err)
+	}
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if resp.StatusCode != http.StatusOK || put.Restored != 2 || put.Skipped != 0 {
+		t.Fatalf("PUT snapshot: status %d, restored %d, skipped %d", resp.StatusCode, put.Restored, put.Skipped)
+	}
+
+	// B must now answer the warmed configs from cache: zero solves.
+	for _, body := range []string{`{"flow_ml_min": 300}`, `{"flow_ml_min": 500}`} {
+		resp, b := postJSON(t, srvB.URL+"/v1/evaluate", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("replaying on B: %d: %s", resp.StatusCode, b)
+		}
+	}
+	if n := sb.calls.Load(); n != 0 {
+		t.Fatalf("B solved %d times after restore, want 0 (cache hits)", n)
+	}
+	var st Stats
+	getJSON(t, srvB.URL+"/v1/stats", &st)
+	if st.CacheHits != 2 || st.CacheRestored != 2 {
+		t.Fatalf("B stats hits=%d restored=%d, want 2/2", st.CacheHits, st.CacheRestored)
+	}
+}
+
+func TestHTTPCacheSnapshotVersionMismatch(t *testing.T) {
+	_, srv := newTestServer(t, Options{Workers: 1, Solver: (&countingSolver{}).solve})
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/cache/snapshot",
+		strings.NewReader(`{"version": 99, "capacity": 4, "entries": []}`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("version-99 snapshot returned %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "version") {
+		t.Fatalf("version-mismatch error does not name the problem: %s", body)
 	}
 }
 

@@ -29,6 +29,11 @@ type Stats struct {
 	CacheHitRate   float64 `json:"cache_hit_rate"`
 	CacheSize      int     `json:"cache_size"`
 	CacheCapacity  int     `json:"cache_capacity"`
+	// CacheRefreshes counts Add calls that overwrote an existing entry
+	// (same canonical key solved again); CacheRestored counts entries
+	// merged in through PUT /v1/cache/snapshot (cluster warm rejoin).
+	CacheRefreshes uint64 `json:"cache_refreshes"`
+	CacheRestored  uint64 `json:"cache_restored"`
 
 	// Solves.
 	Solves        uint64 `json:"solves"`
@@ -172,6 +177,10 @@ func (e *Engine) registerGauges() {
 		"Memoization cache misses.", func() uint64 { _, m, _ := e.cache.Counters(); return m })
 	reg.CounterFunc("bright_cache_evictions_total",
 		"Reports evicted from the memoization cache.", func() uint64 { _, _, ev := e.cache.Counters(); return ev })
+	reg.CounterFunc("bright_cache_refreshes_total",
+		"Cache inserts that overwrote an existing entry.", func() uint64 { r, _ := e.cache.RefreshCounters(); return r })
+	reg.CounterFunc("bright_cache_restored_total",
+		"Cache entries merged in from an uploaded snapshot (warm rejoin).", func() uint64 { _, r := e.cache.RefreshCounters(); return r })
 	reg.GaugeFunc("bright_jobs_active",
 		"Sweep jobs currently running.", func() float64 { a, _ := e.jobs.counts(); return float64(a) })
 	reg.GaugeFunc("bright_jobs_done",

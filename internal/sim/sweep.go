@@ -216,17 +216,22 @@ type gridPoint struct {
 }
 
 // chainGrid splits a row-major sweep grid into chains: maximal runs of
-// consecutive points sharing (FlowMLMin, InletTempC). Because Grid()
+// consecutive points sharing a hydrodynamic condition (ChainKey, i.e.
+// FlowMLMin and InletTempC up to solver tolerance). Because Grid()
 // nests flow outermost and load innermost, points sharing the
 // hydrodynamic condition — and therefore the thermal system matrix —
 // are always contiguous, so each chain can run sequentially on one
-// cached solver stack with neighbor warm starts.
+// cached solver stack with neighbor warm starts. The cluster coordinator
+// partitions on the same key so a chain never splits across shards.
 func chainGrid(grid []core.Config) [][]gridPoint {
 	var chains [][]gridPoint
+	prevKey := ""
 	for i, cfg := range grid {
-		if i == 0 || cfg.FlowMLMin != grid[i-1].FlowMLMin || cfg.InletTempC != grid[i-1].InletTempC {
+		key := cfg.ChainKey()
+		if i == 0 || key != prevKey {
 			chains = append(chains, nil)
 		}
+		prevKey = key
 		chains[len(chains)-1] = append(chains[len(chains)-1], gridPoint{idx: i, cfg: cfg})
 	}
 	return chains
