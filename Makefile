@@ -2,15 +2,20 @@
 # gofmt (any file gofmt would rewrite fails), go vet, brightlint (the
 # domain-aware analyzers in internal/lint: SI-unit literals, *Context
 # propagation on serving paths, obs registration placement, discarded
-# errors), the build, the test suite under the race detector (the sim
-# engine and the num kernel pool are heavily concurrent — races there
-# are correctness bugs, not style), and the kernel escape guard.
+# errors, goroutine lifecycle, lock hygiene, HTTP response lifecycle),
+# the build, the serving tier under the race detector with the
+# leakcheck goroutine-neutrality harness active (`race-all` — the sim
+# engine, streaming sessions and cluster coordinator are heavily
+# concurrent; races and leaked goroutines there are correctness bugs,
+# not style), and the kernel escape guard. `make race` remains the
+# full-tree race pass and `make fuzz` the fuzz smoke, both outside the
+# default gate for time.
 
 GO ?= go
 
-.PHONY: check fmt-check build vet lint lint-fix-list test race race-serving race-stream race-cluster test-short bench bench-serving bench-compare escape-check
+.PHONY: check fmt-check build vet lint lint-fix-list test race race-all test-short fuzz bench bench-serving bench-compare escape-check
 
-check: fmt-check vet lint build race escape-check
+check: fmt-check vet lint build race-all escape-check
 
 # Formatting gate: any file gofmt would rewrite fails the build.
 fmt-check:
@@ -50,29 +55,32 @@ RACE_TIMEOUT ?= 30m
 race:
 	$(GO) test -race -timeout $(RACE_TIMEOUT) $(PKG)
 
-# Fast race pass over just the concurrent serving layers — the metrics
-# registry and the sim engine — for tight iteration on those packages
-# (the full `race` already covers them in tier-1).
-race-serving:
-	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/obs/... ./internal/sim/...
-
-# Race pass over the streaming digital-twin service: the session run
-# loops, the frame ring's producer/consumer paths and the SSE/NDJSON
-# framing under slow consumers are all concurrency-critical, so they get
-# their own fast gate for tight iteration (the full `race` also covers
-# them in tier-1).
-race-stream:
-	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/stream/...
-
-# Race pass over the cluster tier: the coordinator's hedged requests,
-# health/snapshot loops and chain bookkeeping all share state across
-# goroutines, and the package's e2e test exercises real multi-process
-# kill/rejoin cycles (the full `race` also covers it in tier-1).
-race-cluster:
-	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/cluster/...
+# Race pass over the whole concurrent serving tier in one invocation
+# (it replaced the old race-serving/race-stream/race-cluster trio): the
+# metrics registry, the sim engine's workers and flight groups, the
+# streaming session run loops and frame ring, the cluster coordinator's
+# hedged requests and health/snapshot loops, and the brightd
+# integration tests at the repo root. internal/sim, internal/stream and
+# internal/cluster run under the leakcheck TestMain harness
+# (internal/testutil/leakcheck), so this target also proves every
+# goroutine those packages start dies with its owner — the runtime twin
+# of the goroutinelife analyzer.
+race-all:
+	$(GO) test -race -timeout $(RACE_TIMEOUT) . ./internal/obs/... ./internal/sim/... ./internal/stream/... ./internal/cluster/... ./internal/testutil/...
 
 test-short:
 	$(GO) test -short ./...
+
+# Fuzz smoke: a short bounded run of each fuzz target (Go's fuzzer
+# accepts one -fuzz per invocation). FuzzCanonicalKey/FuzzChainKey pin
+# the cache-key quantization contract; FuzzCacheSnapshotRestore throws
+# arbitrary JSON at the snapshot-restore path brightd exposes over PUT
+# /v1/cache/snapshot. Longer runs: bump FUZZTIME.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzCanonicalKey -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run xxx -fuzz FuzzChainKey -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run xxx -fuzz FuzzCacheSnapshotRestore -fuzztime $(FUZZTIME) ./internal/sim
 
 # Full benchmark sweep over the numeric kernels, the thermal solver,
 # the serving engine and the streaming-session stepper, folded into a

@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	brightlint [-only unitconv,ctxpropagate,obsreg,errignore]
+//	brightlint [-only unitconv,ctxpropagate,obsreg,errignore,
+//	                  goroutinelife,locksafe,httplife]
 //	           [-group] [-v] [packages...]
 //
 // With no packages, ./... is analyzed. -group prints findings grouped

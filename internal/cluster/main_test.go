@@ -1,0 +1,15 @@
+package cluster
+
+import (
+	"testing"
+
+	"bright/internal/testutil/leakcheck"
+)
+
+// TestMain enforces goroutine-neutrality for the cluster tier: the
+// coordinator's health/snapshot loops, hedged attempts, and proxied
+// exchanges must all be gone once their coordinator shuts down. This
+// is the runtime twin of the goroutinelife analyzer.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -158,6 +158,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !c.admit(w, r) {
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxProxyBody)
 	var spec sim.SweepSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 		writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding sweep spec: %w", err))

@@ -1,0 +1,300 @@
+// goroutinelife: goroutine and ticker lifetime discipline on the
+// serving paths. The daemon's long-lived layers (internal/sim workers,
+// internal/stream session run loops, the internal/cluster coordinator)
+// spawn goroutines that must die with their owner: a `go` statement
+// whose body loops forever with no ctx.Done()/return/break exit keeps
+// the goroutine alive past Shutdown, and a time.Ticker or time.Timer
+// that is never stopped pins its runtime timer (and, for time.Tick,
+// the whole ticker) for the life of the process. Both leak slowly
+// enough to pass every functional test and still take the daemon down
+// under sustained traffic, so they get a static rule; the runtime twin
+// is internal/testutil/leakcheck.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLife flags unterminated goroutines and unstopped
+// tickers/timers in serving-path packages.
+var GoroutineLife = &Analyzer{
+	Name: "goroutinelife",
+	Doc:  "require termination paths for goroutines and Stop for tickers/timers on serving paths",
+	Run:  runGoroutineLife,
+}
+
+func runGoroutineLife(p *Package) []Diagnostic {
+	if !servingPkg(p.ImportPath) || p.Info == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	report := func(n ast.Node, msg string) {
+		diags = append(diags, Diagnostic{Pos: p.Fset.Position(n.Pos()), Analyzer: "goroutinelife", Message: msg})
+	}
+
+	// Bodies of named package functions and of function literals bound
+	// to local variables, so `go attempt(i)` and `go m.janitor()`
+	// resolve to something inspectable.
+	declBodies := map[*types.Func]*ast.BlockStmt{}
+	litBodies := map[types.Object]*ast.BlockStmt{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if fn, ok := p.Info.Defs[n.Name].(*types.Func); ok && n.Body != nil {
+					declBodies[fn] = n.Body
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok || i >= len(n.Lhs) {
+						continue
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if obj := p.Info.Defs[id]; obj != nil {
+							litBodies[obj] = lit.Body
+						} else if obj := p.Info.Uses[id]; obj != nil {
+							litBodies[obj] = lit.Body
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	goBody := func(call *ast.CallExpr) *ast.BlockStmt {
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.FuncLit:
+			return fun.Body
+		case *ast.Ident:
+			if obj := p.Info.Uses[fun]; obj != nil {
+				if b, ok := litBodies[obj]; ok {
+					return b
+				}
+			}
+		}
+		if fn := calleeFunc(p.Info, call); fn != nil {
+			return declBodies[fn]
+		}
+		return nil
+	}
+
+	for _, f := range p.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				body := goBody(n.Call)
+				if body == nil {
+					return // body in another package or not statically resolvable
+				}
+				if loop := unterminatedLoop(body); loop != nil {
+					report(n, "goroutine loops forever with no termination path (no return, break, or <-Done() receive): it outlives its owner's Shutdown")
+				}
+			case *ast.CallExpr:
+				checkTimerCall(p, n, stack, report)
+			}
+		})
+	}
+	return diags
+}
+
+// unterminatedLoop returns the first `for { ... }` loop in body (not
+// inside a nested function literal) that has no exit: no return, no
+// break out of the loop, and no receive from a Done()-style channel.
+// Bounded loops (a condition, or range over a collection or closable
+// channel) are presumed to terminate.
+func unterminatedLoop(body *ast.BlockStmt) *ast.ForStmt {
+	var found *ast.ForStmt
+	walkStack(body, func(n ast.Node, stack []ast.Node) {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil || found != nil {
+			return
+		}
+		for _, a := range stack {
+			if _, inLit := a.(*ast.FuncLit); inLit {
+				return // a loop in a nested closure is that closure's problem
+			}
+		}
+		if !loopExits(loop) {
+			found = loop
+		}
+	})
+	return found
+}
+
+// loopExits reports whether control can leave the loop from inside its
+// body: a return, a break that targets this loop (labeled breaks always
+// leave it), or a receive from some Done() channel — the idiomatic
+// shutdown signal.
+func loopExits(loop *ast.ForStmt) bool {
+	exits := false
+	walkStack(loop.Body, func(n ast.Node, stack []ast.Node) {
+		if exits {
+			return
+		}
+		for _, a := range stack {
+			if _, inLit := a.(*ast.FuncLit); inLit {
+				return
+			}
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			exits = true
+		case *ast.BranchStmt:
+			if n.Tok != token.BREAK {
+				return
+			}
+			if n.Label != nil {
+				exits = true // labeled break leaves this loop or an outer one
+				return
+			}
+			// An unlabeled break targets the innermost for/select/switch;
+			// it only exits our loop when none of those sit in between.
+			for _, a := range stack {
+				switch a.(type) {
+				case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+					return
+				}
+			}
+			exits = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isDoneCall(n.X) {
+				exits = true
+			}
+		}
+	})
+	return exits
+}
+
+// isDoneCall matches `x.Done()` — the context.Context / closable-signal
+// convention for "this channel closes on shutdown".
+func isDoneCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Done"
+}
+
+// checkTimerCall flags time.Tick (its ticker can never be stopped) and
+// time.NewTicker/time.NewTimer values with no Stop call in the
+// function that created them. A value that escapes — returned, stored
+// in a field, or handed to another function — is someone else's to
+// stop, and is skipped.
+func checkTimerCall(p *Package, call *ast.CallExpr, stack []ast.Node, report func(ast.Node, string)) {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return
+	}
+	switch fn.Name() {
+	case "Tick":
+		report(call, "time.Tick leaks its Ticker (no handle to Stop): use time.NewTicker with defer t.Stop()")
+		return
+	case "NewTicker", "NewTimer":
+	default:
+		return
+	}
+	kind := "time." + fn.Name()
+	if len(stack) == 0 {
+		return
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.AssignStmt:
+		// t := time.NewTicker(d): require t.Stop() in the enclosing
+		// function unless t escapes it.
+		idx := -1
+		for i, rhs := range parent.Rhs {
+			if rhs == call {
+				idx = i
+			}
+		}
+		if idx < 0 || idx >= len(parent.Lhs) {
+			return
+		}
+		id, ok := parent.Lhs[idx].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			report(call, kind+" result is discarded: the ticker/timer can never be stopped")
+			return
+		}
+		var obj types.Object
+		if obj = p.Info.Defs[id]; obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		encl := enclosingFuncBody(stack)
+		if encl == nil {
+			return
+		}
+		stopped, escaped := timerDisposition(p, encl, obj)
+		if !stopped && !escaped {
+			report(call, kind+" assigned to "+id.Name+" is never stopped in this function: add defer "+id.Name+".Stop() or stop it on every exit path")
+		}
+	case *ast.ExprStmt:
+		report(call, kind+" result is discarded: the ticker/timer can never be stopped")
+	case *ast.SelectorExpr:
+		// <-time.NewTimer(d).C and friends: the value is unnameable, so
+		// nothing can ever stop it.
+		report(call, kind+" used inline leaves no handle to Stop: bind it to a variable and defer Stop")
+	}
+}
+
+// enclosingFuncBody returns the body of the innermost function in the
+// ancestor stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch n := stack[i].(type) {
+		case *ast.FuncLit:
+			return n.Body
+		case *ast.FuncDecl:
+			return n.Body
+		}
+	}
+	return nil
+}
+
+// timerDisposition scans a function body for what becomes of a
+// ticker/timer variable: a .Stop() call (possibly deferred, possibly
+// in a deferred closure) marks it stopped; being returned, reassigned,
+// passed as an argument, aliased, or address-taken marks it escaped.
+func timerDisposition(p *Package, body *ast.BlockStmt, obj types.Object) (stopped, escaped bool) {
+	walkStack(body, func(n ast.Node, stack []ast.Node) {
+		id, ok := n.(*ast.Ident)
+		if !ok || p.Info.Uses[id] != obj {
+			return
+		}
+		if len(stack) == 0 {
+			return
+		}
+		switch parent := stack[len(stack)-1].(type) {
+		case *ast.SelectorExpr:
+			if parent.X == id && parent.Sel.Name == "Stop" {
+				stopped = true
+			}
+			// t.C, t.Reset(...) are ordinary uses, not escapes.
+		case *ast.CallExpr:
+			for _, arg := range parent.Args {
+				if arg == id {
+					escaped = true
+				}
+			}
+		case *ast.ReturnStmt, *ast.KeyValueExpr, *ast.CompositeLit:
+			escaped = true
+		case *ast.UnaryExpr:
+			if parent.Op == token.AND {
+				escaped = true
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range parent.Rhs {
+				if rhs == id {
+					escaped = true // aliased into another variable or field
+				}
+			}
+		}
+	})
+	return stopped, escaped
+}

@@ -1,0 +1,452 @@
+// httplife: HTTP request/response lifecycle discipline. The serving
+// tier's contracts live outside the type system: WriteHeader commits
+// the status exactly once (a second call is a logged no-op that masks
+// the real status); after Hijack the ResponseWriter is dead; an
+// *http.Response body left unclosed pins its keep-alive connection and
+// its readLoop goroutine (the coordinator fans out to every shard, so
+// one leak per request scales with the ring); a 429 without
+// Retry-After breaks the admission contract the cluster and stream
+// tiers promise their clients; and a handler that decodes r.Body
+// without http.MaxBytesReader lets one hostile POST stream unbounded
+// data into the daemon. Each is a lexical, per-function rule here.
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// HTTPLife flags double WriteHeader, writes after Hijack, unclosed
+// response bodies, 429 without Retry-After, and unbounded request-body
+// reads in handlers.
+var HTTPLife = &Analyzer{
+	Name: "httplife",
+	Doc:  "enforce HTTP lifecycle contracts: single WriteHeader, closed bodies, Retry-After on 429, bounded request reads",
+	Run:  runHTTPLife,
+}
+
+func runHTTPLife(p *Package) []Diagnostic {
+	if p.Info == nil {
+		return nil
+	}
+	rw := responseWriterIface(p)
+	var diags []Diagnostic
+	report := func(n ast.Node, msg string) {
+		diags = append(diags, Diagnostic{Pos: p.Fset.Position(n.Pos()), Analyzer: "httplife", Message: msg})
+	}
+	for _, f := range p.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return
+				}
+				checkWriterLifecycle(p, rw, n.Body, report)
+				checkResponseBodies(p, n.Body, report)
+				checkRetryAfter(p, n.Body, report)
+				if handlerShaped(p.Info, n) {
+					checkRequestBodyBound(p, n.Type, n.Body, report)
+				}
+			case *ast.FuncLit:
+				checkWriterLifecycle(p, rw, n.Body, report)
+				checkResponseBodies(p, n.Body, report)
+				if handlerShaped(p.Info, n) {
+					checkRequestBodyBound(p, n.Type, n.Body, report)
+				}
+			}
+		})
+	}
+	return diags
+}
+
+// responseWriterIface digs net/http.ResponseWriter out of the
+// package's imports; nil when the package never imports net/http (no
+// HTTP code, nothing to check).
+func responseWriterIface(p *Package) *types.Interface {
+	if p.Types == nil {
+		return nil
+	}
+	for _, imp := range p.Types.Imports() {
+		if imp.Path() != "net/http" {
+			continue
+		}
+		if obj, ok := imp.Scope().Lookup("ResponseWriter").(*types.TypeName); ok {
+			if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+				return iface
+			}
+		}
+	}
+	return nil
+}
+
+// writerEvent is one status/body operation on a ResponseWriter within
+// one function scope.
+type writerEvent struct {
+	node   ast.Node
+	recv   string
+	method string
+	path   []ast.Node // ancestors within the scope, outermost first, ending at the call
+	inLoop bool
+}
+
+// checkWriterLifecycle runs the WriteHeader-once and no-writes-after-
+// Hijack rules on one function scope (nested literals are their own
+// scopes).
+func checkWriterLifecycle(p *Package, rw *types.Interface, body *ast.BlockStmt, report func(ast.Node, string)) {
+	if rw == nil {
+		return
+	}
+	var writes []writerEvent
+	var hijacks []token.Pos
+	walkStack(body, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		for _, a := range stack {
+			if _, inLit := a.(*ast.FuncLit); inLit {
+				return
+			}
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		name := sel.Sel.Name
+		if name == "Hijack" && len(call.Args) == 0 {
+			hijacks = append(hijacks, call.Pos())
+			return
+		}
+		if (name != "WriteHeader" && name != "Write" && name != "Flush") ||
+			(name == "WriteHeader" && len(call.Args) != 1) {
+			return
+		}
+		tv, ok := p.Info.Types[sel.X]
+		if !ok || tv.Type == nil || !types.Implements(tv.Type, rw) {
+			return
+		}
+		inLoop := false
+		for _, a := range stack {
+			switch a.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				inLoop = true
+			}
+		}
+		path := append(append([]ast.Node{}, stack...), call)
+		writes = append(writes, writerEvent{node: call, recv: types.ExprString(sel.X), method: name, path: path, inLoop: inLoop})
+	})
+
+	flagged := map[ast.Node]bool{}
+	for i, a := range writes {
+		if a.method != "WriteHeader" {
+			continue
+		}
+		if a.inLoop && !flagged[a.node] {
+			flagged[a.node] = true
+			report(a.node, a.recv+".WriteHeader inside a loop can commit the status more than once")
+			continue
+		}
+		for j := i + 1; j < len(writes); j++ {
+			b := writes[j]
+			if b.method != "WriteHeader" || b.recv != a.recv || flagged[b.node] {
+				continue
+			}
+			if writeCanFollow(a.path, b.path) {
+				flagged[b.node] = true
+				first := p.Fset.Position(a.node.Pos())
+				report(b.node, a.recv+".WriteHeader may already have been called on this path (first call at line "+strconv.Itoa(first.Line)+"): the second call is ignored and masks the real status")
+			}
+		}
+	}
+	for _, h := range hijacks {
+		for _, w := range writes {
+			if w.node.Pos() > h && !flagged[w.node] {
+				flagged[w.node] = true
+				report(w.node, w.recv+"."+w.method+" after Hijack: the connection belongs to the hijacker and the ResponseWriter is dead")
+			}
+		}
+	}
+}
+
+// stmtList returns the statement list a node carries, if any.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+// writeCanFollow approximates reachability from call A to call B
+// (pathA/pathB are their ancestor paths within a shared scope): the
+// calls must diverge inside a statement list (divergence inside an
+// if/switch/select node means mutually exclusive branches), A's branch
+// must not exit (no return/break/continue after it on the way up to
+// the common list), and no statement between the two in that list may
+// exit either.
+func writeCanFollow(pathA, pathB []ast.Node) bool {
+	n := len(pathA)
+	if len(pathB) < n {
+		n = len(pathB)
+	}
+	div := -1
+	for i := 0; i < n; i++ {
+		if pathA[i] != pathB[i] {
+			div = i
+			break
+		}
+	}
+	if div <= 0 {
+		return false
+	}
+	list := stmtList(pathA[div-1])
+	if list == nil {
+		return false // diverged inside an if/switch/select: exclusive branches
+	}
+	idxA, idxB := indexOfSubtree(list, pathA[div]), indexOfSubtree(list, pathB[div])
+	if idxA < 0 || idxB < 0 || idxA >= idxB {
+		return false
+	}
+	// A's own branch must fall through to the end of its statement.
+	for j := div; j < len(pathA)-1; j++ {
+		l := stmtList(pathA[j])
+		if l == nil {
+			continue
+		}
+		idx := indexOfSubtree(l, pathA[j+1])
+		if idx < 0 {
+			continue
+		}
+		for _, s := range l[idx+1:] {
+			switch s.(type) {
+			case *ast.ReturnStmt, *ast.BranchStmt:
+				return false
+			}
+		}
+	}
+	// Nothing between the two statements may exit.
+	for _, s := range list[idxA+1 : idxB] {
+		switch s.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			return false
+		}
+	}
+	return true
+}
+
+func indexOfSubtree(list []ast.Stmt, n ast.Node) int {
+	for i, s := range list {
+		if s == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// checkResponseBodies flags *http.Response values whose Body is not
+// closed on any path: no resp.Body.Close(), not handed to another
+// function, not returned or stored. Close calls inside deferred
+// closures count — the scan spans nested literals.
+func checkResponseBodies(p *Package, body *ast.BlockStmt, report func(ast.Node, string)) {
+	walkStack(body, func(n ast.Node, stack []ast.Node) {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return
+		}
+		for _, a := range stack {
+			if _, inLit := a.(*ast.FuncLit); inLit {
+				return // the literal gets its own scope pass
+			}
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tv, ok := p.Info.Types[call]
+		if !ok || tv.Type == nil {
+			return
+		}
+		idx := -1
+		switch t := tv.Type.(type) {
+		case *types.Tuple:
+			for i := 0; i < t.Len(); i++ {
+				if types.TypeString(t.At(i).Type(), nil) == "*net/http.Response" {
+					idx = i
+				}
+			}
+		default:
+			if types.TypeString(t, nil) == "*net/http.Response" {
+				idx = 0
+			}
+		}
+		if idx < 0 || idx >= len(assign.Lhs) {
+			return
+		}
+		id, ok := assign.Lhs[idx].(*ast.Ident)
+		if !ok {
+			return // stored into a field: escapes, owner closes it
+		}
+		if id.Name == "_" {
+			report(assign, "the *http.Response is discarded: on success its Body must be closed or the connection leaks")
+			return
+		}
+		var obj types.Object
+		if obj = p.Info.Defs[id]; obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if !responseHandled(p, body, obj) {
+			report(assign, id.Name+".Body is never closed on this path: defer "+id.Name+".Body.Close() (or hand the response off) so the keep-alive connection is reusable")
+		}
+	})
+}
+
+// responseHandled reports whether a response variable is closed,
+// delegated, or escapes within the scope (nested literals included:
+// `defer func() { closeBody(resp) }()` counts).
+func responseHandled(p *Package, body *ast.BlockStmt, obj types.Object) bool {
+	handled := false
+	walkStack(body, func(n ast.Node, stack []ast.Node) {
+		if handled {
+			return
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || (p.Info.Uses[id] != obj) {
+			return
+		}
+		if len(stack) == 0 {
+			return
+		}
+		switch parent := stack[len(stack)-1].(type) {
+		case *ast.SelectorExpr:
+			// resp.Body.Close(): selector chain Body then Close as a call.
+			if parent.Sel.Name != "Body" || len(stack) < 2 {
+				return
+			}
+			if outer, ok := stack[len(stack)-2].(*ast.SelectorExpr); ok && outer.Sel.Name == "Close" {
+				if len(stack) >= 3 {
+					if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == outer {
+						handled = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range parent.Args {
+				if arg == id {
+					handled = true // delegated, e.g. defer closeBody(resp)
+				}
+			}
+		case *ast.ReturnStmt, *ast.KeyValueExpr, *ast.CompositeLit:
+			handled = true
+		case *ast.UnaryExpr:
+			if parent.Op == token.AND {
+				handled = true
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range parent.Rhs {
+				if rhs == id {
+					handled = true // aliased: tracking stops here
+				}
+			}
+		}
+	})
+	return handled
+}
+
+// checkRetryAfter enforces the admission contract: any function that
+// sends a 429 must also set a Retry-After header (the scan covers the
+// whole declaration, nested literals included).
+func checkRetryAfter(p *Package, body *ast.BlockStmt, report func(ast.Node, string)) {
+	var uses []ast.Expr
+	hasRetryAfter := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			tv, ok := p.Info.Types[arg]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			switch tv.Value.Kind() {
+			case constant.Int:
+				if v, ok := constant.Int64Val(tv.Value); ok && v == 429 {
+					uses = append(uses, arg)
+				}
+			case constant.String:
+				if constant.StringVal(tv.Value) == "Retry-After" {
+					hasRetryAfter = true
+				}
+			}
+		}
+		return true
+	})
+	if hasRetryAfter {
+		return
+	}
+	for _, u := range uses {
+		report(u, "429 without a Retry-After header breaks the admission contract: tell the client when to come back")
+	}
+}
+
+// checkRequestBodyBound requires http.MaxBytesReader (or an
+// io.LimitReader) before a handler reads r.Body — POST/PUT bodies are
+// attacker-sized.
+func checkRequestBodyBound(p *Package, ft *ast.FuncType, body *ast.BlockStmt, report func(ast.Node, string)) {
+	if ft.Params == nil || len(ft.Params.List) < 2 || len(ft.Params.List[1].Names) == 0 {
+		return
+	}
+	reqIdent := ft.Params.List[1].Names[0]
+	reqObj := p.Info.Defs[reqIdent]
+	if reqObj == nil || reqIdent.Name == "_" {
+		return
+	}
+	bounded := false
+	var firstRead ast.Node
+	walkStack(body, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(p.Info, n); fn != nil && fn.Pkg() != nil {
+				if (fn.Pkg().Path() == "net/http" && fn.Name() == "MaxBytesReader") ||
+					(fn.Pkg().Path() == "io" && fn.Name() == "LimitReader") {
+					bounded = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name != "Body" {
+				return
+			}
+			id, ok := n.X.(*ast.Ident)
+			if !ok || p.Info.Uses[id] != reqObj || len(stack) == 0 {
+				return
+			}
+			switch parent := stack[len(stack)-1].(type) {
+			case *ast.CallExpr:
+				// r.Body handed to a reader: json.NewDecoder(r.Body),
+				// io.ReadAll(r.Body), ...
+				for _, arg := range parent.Args {
+					if arg == n && firstRead == nil {
+						firstRead = n
+					}
+				}
+			case *ast.SelectorExpr:
+				// r.Body.Close() and friends are lifecycle, not reads.
+			case *ast.AssignStmt:
+				// r.Body = http.MaxBytesReader(...) is the fix pattern.
+			}
+		}
+	})
+	if !bounded && firstRead != nil {
+		report(firstRead, "request body is read with no http.MaxBytesReader bound: one hostile POST can stream unbounded data; wrap r.Body first")
+	}
+}

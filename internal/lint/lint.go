@@ -47,7 +47,7 @@ type Analyzer struct {
 
 // All returns the full suite in canonical order.
 func All() []*Analyzer {
-	return []*Analyzer{UnitConv, CtxPropagate, ObsReg, ErrIgnore}
+	return []*Analyzer{UnitConv, CtxPropagate, ObsReg, ErrIgnore, GoroutineLife, LockSafe, HTTPLife}
 }
 
 // ByName resolves a comma-separated analyzer selection against All.

@@ -224,3 +224,53 @@ func TestRepoIsClean(t *testing.T) {
 		t.Errorf("%s", d)
 	}
 }
+
+// TestFixtureModulesTypeCheckWithSourceImporter pins the loader's
+// source-importer path: the fixture mini-module leans on heavyweight
+// std imports (sync for locksafe, net/http for httplife and obsreg,
+// time for goroutinelife) and must type-check cleanly, or the v2
+// analyzers silently lose the type information their rules depend on.
+func TestFixtureModulesTypeCheckWithSourceImporter(t *testing.T) {
+	pkgs := loadFixture(t, filepath.Join("testdata", "mod"))
+	importedBy := map[string]string{"sync": "", "net/http": "", "time": ""}
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Errorf("%s: type errors under the source importer: %v", p.ImportPath, p.TypeErrors)
+		}
+		if p.Types == nil {
+			continue
+		}
+		for _, imp := range p.Types.Imports() {
+			if _, tracked := importedBy[imp.Path()]; tracked {
+				importedBy[imp.Path()] = p.ImportPath
+			}
+		}
+	}
+	for path, by := range importedBy {
+		if by == "" {
+			t.Errorf("no fixture package imports %q: the source-importer regression coverage is gone", path)
+		}
+	}
+}
+
+// TestSoftTypeErrorsProduceNoFindings is the exit-code regression for
+// cmd/brightlint: a package whose type check fails softly (an
+// undefined identifier — the build gate's problem, not the linter's)
+// yields zero diagnostics, so brightlint exits 0. Only findings may
+// exit 1, and only a go list-level failure may exit 2.
+func TestSoftTypeErrorsProduceNoFindings(t *testing.T) {
+	pkgs := loadFixture(t, filepath.Join("testdata", "typeerr"))
+	soft := 0
+	for _, p := range pkgs {
+		soft += len(p.TypeErrors)
+		if p.LoadError != nil {
+			t.Fatalf("%s: unexpected go list-level error (would exit 2): %v", p.ImportPath, p.LoadError)
+		}
+	}
+	if soft == 0 {
+		t.Fatalf("typeerr fixture should produce soft type-check errors")
+	}
+	if diags := Run(pkgs, All()); len(diags) != 0 {
+		t.Fatalf("soft type errors must not surface as findings, got: %v", diags)
+	}
+}

@@ -1,0 +1,322 @@
+// locksafe: mutex discipline. The serving tier guards every shared
+// structure (engine close state, session registries, the coordinator's
+// ring and chain tables, cache internals) with sync.Mutex/RWMutex, and
+// the three classic ways to get that wrong are all invisible to the
+// unit tests: copying a mutex by value forks the lock so two "holders"
+// proceed at once, a return path that skips Unlock deadlocks the next
+// caller, and pairing RLock with Unlock (or Lock with RUnlock)
+// corrupts the RWMutex reader count. go vet's copylocks covers part of
+// the first; this rule covers all three, lexically, per function.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockSafe flags by-value mutex copies, Lock calls with an
+// unlock-free return path, and RLock/Unlock kind mismatches.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "flag mutex copies, missing unlocks on return paths, and RLock/Unlock mismatches",
+	Run:  runLockSafe,
+}
+
+func runLockSafe(p *Package) []Diagnostic {
+	if p.Info == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	report := func(n ast.Node, msg string) {
+		diags = append(diags, Diagnostic{Pos: p.Fset.Position(n.Pos()), Analyzer: "locksafe", Message: msg})
+	}
+	for _, f := range p.Files {
+		walkStack(f, func(n ast.Node, stack []ast.Node) {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					checkLockCopyFields(p, n.Recv, "receiver", report)
+				}
+				checkLockCopyFields(p, n.Type.Params, "parameter", report)
+				if n.Body != nil {
+					checkLockBalance(p, n.Body, report)
+				}
+			case *ast.FuncLit:
+				checkLockCopyFields(p, n.Type.Params, "parameter", report)
+				checkLockBalance(p, n.Body, report)
+			case *ast.RangeStmt:
+				if id, ok := n.Value.(*ast.Ident); ok && id.Name != "_" {
+					if k := identLockKind(p, id); k != "" {
+						report(id, "range value "+id.Name+" copies a "+k+" each iteration: iterate by index or over pointers")
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					v := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if isLockValueRead(v) {
+						if k := exprLockKind(p, v); k != "" {
+							report(v, "composite literal copies a "+k+" from "+types.ExprString(v)+": share the lock through a pointer")
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					if isLockValueRead(rhs) {
+						if k := exprLockKind(p, rhs); k != "" {
+							report(rhs, "assignment copies a "+k+" from "+types.ExprString(rhs)+": both copies can be 'held' at once")
+						}
+					}
+				}
+			}
+		})
+	}
+	return diags
+}
+
+// isLockValueRead reports whether an expression reads an existing
+// value (as opposed to constructing a fresh zero value, which is the
+// legitimate way to initialize a lock-bearing struct).
+func isLockValueRead(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+// exprLockKind returns the lock type an expression's value contains
+// ("sync.Mutex"/"sync.RWMutex"), or "" when it carries no lock.
+func exprLockKind(p *Package, e ast.Expr) string {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	return containsLock(tv.Type, 0)
+}
+
+// identLockKind is exprLockKind for identifiers that are definitions
+// (range variables), whose types live in Defs rather than Types.
+func identLockKind(p *Package, id *ast.Ident) string {
+	obj := p.Info.Defs[id]
+	if obj == nil {
+		obj = p.Info.Uses[id]
+	}
+	if obj == nil {
+		return ""
+	}
+	return containsLock(obj.Type(), 0)
+}
+
+// checkLockCopyFields flags value parameters and receivers whose type
+// carries a mutex.
+func checkLockCopyFields(p *Package, fields *ast.FieldList, role string, report func(ast.Node, string)) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		tv, ok := p.Info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		k := containsLock(tv.Type, 0)
+		if k == "" {
+			continue
+		}
+		name := ""
+		if len(field.Names) > 0 {
+			name = " " + field.Names[0].Name
+		}
+		report(field.Type, role+name+" passes a "+k+" by value: the callee locks a private copy; use a pointer")
+	}
+}
+
+// containsLock walks a type for a sync.Mutex/RWMutex carried by value:
+// the lock itself, a struct holding one, or an array of either.
+// Pointers stop the walk — a shared lock behind a pointer is the fix,
+// not the bug.
+func containsLock(t types.Type, depth int) string {
+	if t == nil || depth > 4 {
+		return ""
+	}
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return "sync." + obj.Name()
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if k := containsLock(u.Field(i).Type(), depth+1); k != "" {
+				return k
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), depth+1)
+	}
+	return ""
+}
+
+// lockEvent is one mutex method call inside a function scope.
+type lockEvent struct {
+	recv     string // rendered receiver expression, e.g. "s.mu"
+	kind     string // Lock, RLock, Unlock, RUnlock
+	pos      token.Pos
+	node     ast.Node
+	deferred bool
+}
+
+// mutexMethod resolves a call to a sync mutex method and renders its
+// receiver, or returns "", "" when the call is something else.
+func mutexMethod(p *Package, call *ast.CallExpr) (recv, kind string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return types.ExprString(sel.X), fn.Name()
+	}
+	return "", ""
+}
+
+// checkLockBalance runs the per-function lock/unlock pairing rules on
+// one function body. Nested function literals are their own scopes
+// (the walk in runLockSafe visits them separately), with one
+// exception: `defer func() { mu.Unlock() }()` releases the outer
+// function's lock on every path, so unlocks inside immediately
+// deferred closures count as deferred unlocks here.
+func checkLockBalance(p *Package, body *ast.BlockStmt, report func(ast.Node, string)) {
+	var events []lockEvent
+	var returns []*ast.ReturnStmt
+
+	walkStack(body, func(n ast.Node, stack []ast.Node) {
+		for _, a := range stack {
+			if _, inLit := a.(*ast.FuncLit); inLit {
+				return // nested scope; deferred closures handled below
+			}
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			returns = append(returns, n)
+		case *ast.DeferStmt:
+			if recv, kind := mutexMethod(p, n.Call); kind != "" {
+				events = append(events, lockEvent{recv: recv, kind: kind, pos: n.Pos(), node: n, deferred: true})
+				return
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if recv, kind := mutexMethod(p, call); kind == "Unlock" || kind == "RUnlock" {
+							events = append(events, lockEvent{recv: recv, kind: kind, pos: n.Pos(), node: n, deferred: true})
+						}
+					}
+					return true
+				})
+			}
+		case *ast.CallExpr:
+			if len(stack) > 0 {
+				if _, isDefer := stack[len(stack)-1].(*ast.DeferStmt); isDefer {
+					return // recorded by the DeferStmt case
+				}
+			}
+			if recv, kind := mutexMethod(p, n); kind != "" {
+				events = append(events, lockEvent{recv: recv, kind: kind, pos: n.Pos(), node: n})
+			}
+		}
+	})
+
+	byRecv := map[string][]lockEvent{}
+	for _, e := range events {
+		byRecv[e.recv] = append(byRecv[e.recv], e)
+	}
+	for recv, evs := range byRecv {
+		checkReceiverEvents(recv, evs, returns, report)
+	}
+}
+
+// checkReceiverEvents applies the pairing rules to one receiver's
+// events within one function scope.
+func checkReceiverEvents(recv string, evs []lockEvent, returns []*ast.ReturnStmt, report func(ast.Node, string)) {
+	var locks, unlocks []lockEvent
+	kinds := map[string]bool{}
+	deferredUnlock := false
+	for _, e := range evs {
+		kinds[e.kind] = true
+		switch e.kind {
+		case "Lock", "RLock":
+			if !e.deferred {
+				locks = append(locks, e)
+			}
+		case "Unlock", "RUnlock":
+			if e.deferred {
+				deferredUnlock = true
+			} else {
+				unlocks = append(unlocks, e)
+			}
+		}
+	}
+
+	// Kind mismatch: only decidable when exactly one lock flavor is
+	// used in this function.
+	if kinds["RLock"] && !kinds["Lock"] && kinds["Unlock"] && !kinds["RUnlock"] {
+		for _, e := range evs {
+			if e.kind == "Unlock" {
+				report(e.node, recv+".RLock() is released with Unlock(): use "+recv+".RUnlock() to keep the reader count sane")
+				break
+			}
+		}
+	}
+	if kinds["Lock"] && !kinds["RLock"] && kinds["RUnlock"] && !kinds["Unlock"] {
+		for _, e := range evs {
+			if e.kind == "RUnlock" {
+				report(e.node, recv+".Lock() is released with RUnlock(): use "+recv+".Unlock()")
+				break
+			}
+		}
+	}
+
+	if len(locks) == 0 || deferredUnlock {
+		return // nothing held, or a deferred unlock covers every path
+	}
+
+	flaggedReturns := map[token.Pos]bool{}
+	for _, l := range locks {
+		unlockedAfter := false
+		for _, u := range unlocks {
+			if u.pos > l.pos {
+				unlockedAfter = true
+				break
+			}
+		}
+		returnAfter := false
+		for _, r := range returns {
+			if r.Pos() <= l.pos {
+				continue
+			}
+			returnAfter = true
+			covered := false
+			for _, u := range unlocks {
+				if u.pos > l.pos && u.pos < r.Pos() {
+					covered = true
+					break
+				}
+			}
+			if !covered && !flaggedReturns[r.Pos()] {
+				flaggedReturns[r.Pos()] = true
+				report(r, "return path after "+recv+"."+l.kind+"() has no "+recv+".Unlock(): the next caller deadlocks; unlock before returning or defer the unlock")
+			}
+		}
+		if !unlockedAfter && !returnAfter {
+			report(l.node, recv+"."+l.kind+"() is never released in this function: defer the unlock or release it on every path")
+		}
+	}
+}

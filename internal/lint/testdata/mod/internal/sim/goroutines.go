@@ -1,0 +1,121 @@
+// Serving-path fixture for goroutinelife: goroutine termination and
+// ticker/timer Stop discipline. The import path ends in internal/sim,
+// so the rule applies.
+package sim
+
+import (
+	"context"
+	"time"
+)
+
+// spin loops forever with no exit of any kind (positive).
+func spin(ch chan int) {
+	go func() { // want goroutinelife "no termination path"
+		for {
+			<-ch
+		}
+	}()
+}
+
+// pump resolves the named function's body through the declaration: a
+// select with no return, break, or Done receive never ends (positive).
+func pump(ch chan int) {
+	go pumpLoop(ch) // want goroutinelife "no termination path"
+}
+
+func pumpLoop(ch chan int) {
+	for {
+		select {
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+// retry binds a literal to a local variable first; still resolved
+// (positive).
+func retry() {
+	attempt := func() {
+		for {
+		}
+	}
+	go attempt() // want goroutinelife "no termination path"
+}
+
+// drain ranges over a closable channel: terminates on close (negative).
+func drain(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// janitor selects on a context derived inside the spawner and stops
+// its ticker: the idiomatic long-lived worker (negative).
+func janitor(parent context.Context, d time.Duration) context.CancelFunc {
+	ctx, cancel := context.WithCancel(parent)
+	go func() {
+		t := time.NewTicker(d)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return cancel
+}
+
+// bounded loops have an end by construction (negative).
+func bounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+		}
+	}()
+}
+
+// feeder runs for the process lifetime by explicit contract
+// (suppressed).
+func feeder(ch chan int) {
+	//lint:ignore goroutinelife metrics feeder runs for the process lifetime by design
+	go func() {
+		for {
+			<-ch
+		}
+	}()
+}
+
+// tickNoStop never stops its ticker (positive).
+func tickNoStop(d time.Duration, ch chan struct{}) {
+	t := time.NewTicker(d) // want goroutinelife "never stopped"
+	for range ch {
+		<-t.C
+	}
+}
+
+// inlineTimer leaves no handle to stop (positive).
+func inlineTimer(d time.Duration) {
+	<-time.NewTimer(d).C // want goroutinelife "no handle"
+}
+
+// tickLeak has no ticker handle at all (positive).
+func tickLeak(d time.Duration) <-chan time.Time {
+	return time.Tick(d) // want goroutinelife "time.Tick"
+}
+
+// newHeartbeat hands the ticker to the caller, which owns the Stop
+// (negative).
+func newHeartbeat(d time.Duration) *time.Ticker {
+	t := time.NewTicker(d)
+	return t
+}
+
+// stopped timers are fine even without defer (negative).
+func pulse(d time.Duration) {
+	t := time.NewTimer(d)
+	<-t.C
+	t.Stop()
+}

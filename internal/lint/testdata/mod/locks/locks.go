@@ -1,0 +1,135 @@
+// Fixture for locksafe: by-value mutex copies, unlock-free return
+// paths, and RLock/Unlock kind mismatches. locksafe applies to every
+// package, so this one needs no serving-path import suffix.
+package locks
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// byValueParam receives a private copy of the lock (positive).
+func byValueParam(c counter) int { // want locksafe "by value"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// valueReceiver locks a copy of the receiver (positive).
+func (c counter) get() int { // want locksafe "by value"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// sum copies each element's lock into the range variable (positive).
+func sum(cs []counter) int {
+	total := 0
+	for _, c := range cs { // want locksafe "range value"
+		total += c.n
+	}
+	return total
+}
+
+// clone forks an in-use lock through a composite literal (positive).
+func clone(c *counter) *counter {
+	return &counter{mu: c.mu} // want locksafe "composite literal"
+}
+
+// snapshot copies the whole lock-bearing struct (positive).
+func snapshot(c *counter) int {
+	cp := *c // want locksafe "assignment copies"
+	return cp.n
+}
+
+// fresh zero values are the legitimate initialization (negative).
+func fresh() *counter {
+	return &counter{mu: sync.Mutex{}, n: 0}
+}
+
+// sumByIndex shares the locks through pointers (negative).
+func sumByIndex(cs []*counter) int {
+	total := 0
+	for _, c := range cs {
+		total += c.n
+	}
+	return total
+}
+
+// getBroken returns with the lock held on the miss path (positive).
+func (t *table) getBroken(k string) (int, bool) {
+	t.mu.Lock()
+	v, ok := t.m[k]
+	if !ok {
+		return 0, false // want locksafe "return path"
+	}
+	t.mu.Unlock()
+	return v, true
+}
+
+// getDeferred is the sanctioned shape (negative).
+func (t *table) getDeferred(k string) (int, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v, ok := t.m[k]
+	return v, ok
+}
+
+// getManual releases on every path by hand (negative).
+func (t *table) getManual(k string) (int, bool) {
+	t.mu.RLock()
+	v, ok := t.m[k]
+	if !ok {
+		t.mu.RUnlock()
+		return 0, false
+	}
+	t.mu.RUnlock()
+	return v, ok
+}
+
+// closureDefer releases through a deferred closure: still covers every
+// return path (negative).
+func (t *table) closureDefer(k string) int {
+	t.mu.Lock()
+	defer func() {
+		t.mu.Unlock()
+	}()
+	if v, ok := t.m[k]; ok {
+		return v
+	}
+	return 0
+}
+
+// mismatch releases a read lock with the writer Unlock (positive).
+func (t *table) mismatch() int {
+	t.mu.RLock()
+	n := len(t.m)
+	t.mu.Unlock() // want locksafe "RUnlock"
+	return n
+}
+
+// wedge takes the lock and forgets it (positive).
+func (t *table) wedge() {
+	t.mu.Lock() // want locksafe "never released"
+	t.m = map[string]int{}
+}
+
+// handoff transfers lock ownership to the caller by documented
+// contract (suppressed).
+func (t *table) handoff() {
+	//lint:ignore locksafe ownership transfers to the caller, which must release
+	t.mu.Lock()
+}
+
+// release is handoff's other half: an unlock with no matching lock in
+// scope is not flagged (negative).
+func (t *table) release() {
+	t.mu.Unlock()
+}

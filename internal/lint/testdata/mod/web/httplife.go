@@ -1,0 +1,164 @@
+// Fixture for httplife: WriteHeader-once, no writes after Hijack,
+// response bodies closed on every path, Retry-After on 429, and
+// bounded request-body reads in handlers.
+package web
+
+import (
+	"encoding/json"
+	"log"
+	"net/http"
+)
+
+// doubleHeader can commit the status twice on one path (positive).
+func doubleHeader(w http.ResponseWriter, failed bool) {
+	w.WriteHeader(http.StatusOK)
+	if failed {
+		w.WriteHeader(http.StatusInternalServerError) // want httplife "already have been called"
+	}
+}
+
+// exclusiveHeader commits exactly once per branch (negative).
+func exclusiveHeader(w http.ResponseWriter, ok bool) {
+	if ok {
+		w.WriteHeader(http.StatusOK)
+	} else {
+		w.WriteHeader(http.StatusBadRequest)
+	}
+}
+
+// earlyReturn's first commit leaves the function (negative).
+func earlyReturn(w http.ResponseWriter, bad bool) {
+	if bad {
+		w.WriteHeader(http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// loopHeader may commit once per iteration (positive).
+func loopHeader(w http.ResponseWriter, codes []int) {
+	for _, c := range codes {
+		w.WriteHeader(c) // want httplife "inside a loop"
+	}
+}
+
+// writeAfterHijack touches the ResponseWriter after the connection has
+// left (positive).
+func writeAfterHijack(w http.ResponseWriter, r *http.Request) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	defer closeConn(conn)
+	w.WriteHeader(http.StatusOK) // want httplife "after Hijack"
+}
+
+// hijackHandoff stops touching the writer once hijacked (negative).
+func hijackHandoff(w http.ResponseWriter, r *http.Request) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "hijack unsupported", http.StatusInternalServerError)
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	closeConn(conn)
+}
+
+// closeConn logs (not drops) the close error.
+func closeConn(c interface{ Close() error }) {
+	if err := c.Close(); err != nil {
+		log.Printf("closing hijacked conn: %v", err)
+	}
+}
+
+// fetchLeaky never closes the response body (positive).
+func fetchLeaky(c *http.Client, url string) (int, error) {
+	resp, err := c.Get(url) // want httplife "never closed"
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+// fireAndForget drops the response entirely, body included (positive).
+func fireAndForget(c *http.Client, url string) error {
+	_, err := c.Get(url) // want httplife "discarded"
+	return err
+}
+
+// discard closes a response body, logging the error.
+func discard(resp *http.Response) {
+	if err := resp.Body.Close(); err != nil {
+		log.Printf("closing response body: %v", err)
+	}
+}
+
+// fetchClosed hands the response to a closer via defer (negative).
+func fetchClosed(c *http.Client, url string) (int, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer discard(resp)
+	return resp.StatusCode, nil
+}
+
+// fetchExplicit closes inline and propagates the error (negative).
+func fetchExplicit(c *http.Client, url string) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// throttleBare rejects without telling the client when to come back
+// (positive).
+func throttleBare(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "slow down", http.StatusTooManyRequests) // want httplife "Retry-After"
+}
+
+// throttleHinted honors the admission contract (negative).
+func throttleHinted(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Retry-After", "3")
+	http.Error(w, "slow down", http.StatusTooManyRequests)
+}
+
+// ingestUnbounded decodes an attacker-sized body (positive).
+func ingestUnbounded(w http.ResponseWriter, r *http.Request) {
+	var v map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&v); err != nil { // want httplife "MaxBytesReader"
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ingestBounded wraps the body before reading (negative).
+func ingestBounded(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var v map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// ingestTrusted reads a peer-bounded internal body (suppressed).
+func ingestTrusted(w http.ResponseWriter, r *http.Request) {
+	var v map[string]any
+	//lint:ignore httplife internal mesh endpoint; peers bound the body upstream
+	if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

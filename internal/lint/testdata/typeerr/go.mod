@@ -1,0 +1,3 @@
+module typeerr
+
+go 1.22

@@ -1,0 +1,16 @@
+// Package soft type-checks with errors (an undefined identifier) but
+// contains nothing any analyzer flags. brightlint must treat the type
+// errors as soft — partial analysis, zero findings, exit 0 — because
+// the build gate, not the linter, owns compile errors.
+package soft
+
+// Broken returns an identifier that does not exist; the type checker
+// reports it and moves on.
+func Broken() int {
+	return missingSymbol
+}
+
+// Fine is ordinary clean code sharing the package with the error.
+func Fine() int {
+	return 42
+}

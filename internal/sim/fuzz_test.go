@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"bright/internal/core"
+)
+
+// FuzzCacheSnapshotRestore throws arbitrary bytes at the snapshot
+// restore path that brightd exposes as PUT /v1/cache/snapshot: whatever
+// a peer (or an attacker) uploads, the decode+restore pipeline must not
+// panic, must keep the cache within its capacity, must account for
+// every entry as either restored or skipped, and must reject foreign
+// wire versions outright.
+func FuzzCacheSnapshotRestore(f *testing.F) {
+	valid := core.DefaultConfig()
+	validSnap := CacheSnapshot{
+		Version:  CacheSnapshotVersion,
+		Capacity: 4,
+		Entries: []CacheSnapshotEntry{
+			{Key: valid.CanonicalKey(), Report: &core.Report{Config: valid}},
+		},
+	}
+	seed, err := json.Marshal(validSnap)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"version":2,"capacity":1,"entries":[]}`))
+	f.Add([]byte(`{"version":1,"entries":[{"key":"bogus","report":{}}]}`))
+	f.Add([]byte(`{"version":1,"entries":[{"key":"","report":null}]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`[]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var s CacheSnapshot
+		if err := json.Unmarshal(data, &s); err != nil {
+			return // not a snapshot; the HTTP handler rejects it before restore
+		}
+
+		const capacity = 2
+		c := newLRUCache(capacity)
+		restored, skipped, err := c.RestoreSnapshot(s)
+
+		if s.Version != CacheSnapshotVersion {
+			if err == nil {
+				t.Fatalf("RestoreSnapshot accepted wire version %d (this build speaks %d)", s.Version, CacheSnapshotVersion)
+			}
+			if restored != 0 || skipped != 0 {
+				t.Fatalf("rejected snapshot still reported work: restored=%d skipped=%d", restored, skipped)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("RestoreSnapshot failed on a version-%d snapshot: %v", CacheSnapshotVersion, err)
+		}
+		if restored+skipped != len(s.Entries) {
+			t.Fatalf("accounting leak: %d entries but restored=%d skipped=%d", len(s.Entries), restored, skipped)
+		}
+		if c.Len() > capacity {
+			t.Fatalf("cache over capacity after restore: Len=%d cap=%d", c.Len(), capacity)
+		}
+
+		// Every restored entry must be reachable under the key it was
+		// stored at; key-mismatched and report-less entries must have
+		// been skipped, never planted.
+		for _, e := range s.Entries {
+			if e.Report == nil || e.Report.Config.CanonicalKey() != e.Key {
+				continue
+			}
+			// Entries beyond capacity may have been evicted; a hit, when
+			// present, must carry a self-consistent report.
+			if rep, ok := c.Get(e.Key); ok && rep.Config.CanonicalKey() != e.Key {
+				t.Fatalf("cache returned a report whose config does not match its key %q", e.Key)
+			}
+		}
+	})
+}

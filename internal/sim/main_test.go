@@ -1,0 +1,14 @@
+package sim
+
+import (
+	"testing"
+
+	"bright/internal/testutil/leakcheck"
+)
+
+// TestMain enforces goroutine-neutrality for the engine package: after
+// the tests pass, every worker, sweep goroutine, and flight leader must
+// be gone. This is the runtime twin of the goroutinelife analyzer.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

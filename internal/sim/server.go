@@ -18,6 +18,17 @@ import (
 	"bright/internal/units"
 )
 
+// Request-body ceilings. Ordinary API payloads (configs, sweep specs)
+// are a few KB, so 1 MiB is already generous; cache-snapshot PUTs carry
+// a whole LRU dump on the cluster warm-rejoin path and get the same
+// 64 MiB ceiling the coordinator's proxy allows. Anything larger is a
+// hostile or broken client, and MaxBytesReader cuts it off instead of
+// letting it stream unbounded data into the decoder.
+const (
+	maxRequestBody  = 1 << 20
+	maxSnapshotBody = 64 << 20
+)
+
 // ReportView is the JSON-facing condensation of a core.Report: the
 // headline quantities of every pipeline stage without the full field
 // solutions (which run to megabytes of mesh data).
@@ -211,6 +222,7 @@ func NewHandler(e *Engine, opts ...HandlerOption) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /v1/evaluate", func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 		var req EvaluateRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -225,6 +237,7 @@ func NewHandler(e *Engine, opts ...HandlerOption) http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 		var spec SweepSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 			writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding sweep spec: %w", err))
@@ -278,6 +291,7 @@ func NewHandler(e *Engine, opts ...HandlerOption) http.Handler {
 		writeJSON(w, r, http.StatusOK, e.CacheSnapshot())
 	})
 	mux.HandleFunc("PUT /v1/cache/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxSnapshotBody)
 		var snap CacheSnapshot
 		if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
 			writeError(w, r, http.StatusBadRequest, fmt.Errorf("decoding cache snapshot: %w", err))

@@ -15,6 +15,17 @@ import (
 // heartbeatInterval keeps idle SSE connections alive through proxies.
 const heartbeatInterval = 15 * time.Second
 
+// Request-body ceilings. Advance/utilization pushes are a few hundred
+// bytes and session specs top out with a custom trace, so 1 MiB covers
+// them; checkpoint restores carry the full integrator state (mesh-sized
+// temperature and PDN vectors) and get a 64 MiB ceiling. MaxBytesReader
+// turns anything larger into a decode error instead of an unbounded
+// read.
+const (
+	maxRequestBody    = 1 << 20
+	maxCheckpointBody = 64 << 20
+)
+
 type errorBody struct {
 	Error     string `json:"error"`
 	Retryable bool   `json:"retryable"`
@@ -71,6 +82,7 @@ func writeManagerError(w http.ResponseWriter, err error, idle time.Duration) {
 //	GET    /v1/sessions/{id}/checkpoint    — capture restorable state
 func (m *Manager) RegisterRoutes(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 		var spec Spec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding session spec: %w", err))
@@ -85,6 +97,7 @@ func (m *Manager) RegisterRoutes(mux *http.ServeMux) {
 	})
 
 	mux.HandleFunc("POST /v1/sessions/restore", func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxCheckpointBody)
 		var cp Checkpoint
 		if err := json.NewDecoder(r.Body).Decode(&cp); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding checkpoint: %w", err))
@@ -126,6 +139,7 @@ func (m *Manager) RegisterRoutes(mux *http.ServeMux) {
 			writeManagerError(w, ErrUnknownSession, 0)
 			return
 		}
+		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 		var body struct {
 			Steps int `json:"steps"`
 		}
@@ -157,6 +171,7 @@ func (m *Manager) RegisterRoutes(mux *http.ServeMux) {
 			writeManagerError(w, ErrUnknownSession, 0)
 			return
 		}
+		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 		var u workload.Utilization
 		if err := json.NewDecoder(r.Body).Decode(&u); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding utilization: %w", err))

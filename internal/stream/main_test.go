@@ -1,0 +1,14 @@
+package stream
+
+import (
+	"testing"
+
+	"bright/internal/testutil/leakcheck"
+)
+
+// TestMain enforces goroutine-neutrality for the streaming service:
+// session run loops and the manager's janitor must die with their
+// manager. This is the runtime twin of the goroutinelife analyzer.
+func TestMain(m *testing.M) {
+	leakcheck.Main(m)
+}

@@ -1,0 +1,54 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCheckDetectsLeak parks a goroutine on a channel, expects Check
+// to name it, then releases it and expects the retry window to see it
+// drain.
+func TestCheckDetectsLeak(t *testing.T) {
+	release := make(chan struct{})
+	go func() {
+		<-release
+	}()
+
+	err := Check(100 * time.Millisecond)
+	if err == nil {
+		t.Fatal("Check found no leak while a goroutine was parked")
+	}
+	if !strings.Contains(err.Error(), "leakcheck_test") {
+		t.Errorf("leak report does not name the leaking frame:\n%s", err)
+	}
+
+	close(release)
+	if err := Check(2 * time.Second); err != nil {
+		t.Errorf("goroutine released but still reported: %v", err)
+	}
+}
+
+// TestExtraAllowlist proves a deliberate process-lifetime goroutine can
+// be tolerated by substring, the same way the built-in allowlist works.
+func TestExtraAllowlist(t *testing.T) {
+	release := make(chan struct{})
+	go parkedHelper(release)
+	defer close(release)
+
+	if err := Check(100*time.Millisecond, "leakcheck.parkedHelper"); err != nil {
+		t.Errorf("allowlisted goroutine still reported: %v", err)
+	}
+	if err := Check(50 * time.Millisecond); err == nil {
+		t.Error("without the allowlist entry the parked goroutine should be a leak")
+	}
+}
+
+func parkedHelper(release chan struct{}) {
+	<-release
+}
+
+// TestMain dogfoods the harness on its own package.
+func TestMain(m *testing.M) {
+	Main(m)
+}
