@@ -81,20 +81,23 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzCanonicalKey -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz FuzzChainKey -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run xxx -fuzz FuzzCacheSnapshotRestore -fuzztime $(FUZZTIME) ./internal/sim
+	$(GO) test -run xxx -fuzz FuzzSELLRoundTrip -fuzztime $(FUZZTIME) ./internal/num
 
 # Full benchmark sweep over the numeric kernels, the thermal solver,
 # the serving engine and the streaming-session stepper, folded into a
 # machine-readable report ($(BENCH_OUT)): per-benchmark ns/op, B/op,
 # allocs/op, the paired speedup rows (serial vs parallel kernels,
 # Jacobi vs multigrid preconditioning, float64 vs float32 V-cycles,
-# Jacobi vs Chebyshev smoothing, sequential vs block multi-RHS CG) and
+# Jacobi vs Chebyshev smoothing, sequential vs block multi-RHS CG,
+# CSR vs SELL-C-σ SpMV) and
 # the streaming frames/s rows, stamped with the Go version and core
 # count of the generating machine. The num suite runs -count 3 so the
 # committed speedup rows are medians (see cmd/benchjson), not single
 # samples of a drifting box. BENCH_PR2.json (pre-multigrid),
-# BENCH_PR5.json (pre-streaming) and BENCH_PR6.json (pre-mixed-
-# precision) are frozen baselines; do not overwrite them.
-BENCH_OUT ?= BENCH_PR7.json
+# BENCH_PR5.json (pre-streaming), BENCH_PR6.json (pre-mixed-precision)
+# and BENCH_PR7.json (pre-SELL) are frozen baselines; do not overwrite
+# them.
+BENCH_OUT ?= BENCH_PR10.json
 bench:
 	$(GO) test -run xxx -bench . -count 3 -benchmem ./internal/num > /tmp/bench_num.txt
 	$(GO) test -run xxx -bench . -benchmem ./internal/thermal > /tmp/bench_thermal.txt
@@ -114,12 +117,14 @@ bench-serving:
 # Chebyshev-smoothing (BenchmarkMGCGStack128x4Cheby: /jacobi-smooth vs
 # /cheby on the stacked-die operator) and block multi-RHS
 # (BenchmarkBlockCG128x128: /seq vs /block, gated on the deterministic
-# rows/op metric) couples, and fails if any optimized path drops below
-# 1.0x its baseline, or if any pair goes missing. -count 3 lets
-# benchjson gate on per-benchmark medians, so a CPU-frequency dip on a
-# shared box cannot flake a timing ratio.
+# rows/op metric) couples, plus the SELL-C-σ layout couples
+# (BenchmarkSpMV*: /csr vs /sell on the 256²/512²/stacked-die
+# operators), and fails if any optimized path drops below 1.0x its
+# baseline, or if any pair goes missing. -count 3 lets benchjson gate
+# on per-benchmark medians, so a CPU-frequency dip on a shared box
+# cannot flake a timing ratio.
 bench-compare:
-	$(GO) test -run xxx -bench 'BenchmarkCGPoisson|BenchmarkCGStack3D|BenchmarkMGCG|BenchmarkBlockCG' -count 3 -benchmem ./internal/num > /tmp/bench_mg.txt
+	$(GO) test -run xxx -bench 'BenchmarkCGPoisson|BenchmarkCGStack3D|BenchmarkMGCG|BenchmarkBlockCG|BenchmarkSpMV' -count 3 -benchmem ./internal/num > /tmp/bench_mg.txt
 	$(GO) run ./cmd/benchjson -min-mg-speedup 1.0 -min-speedup 1.0 -o /dev/null /tmp/bench_mg.txt
 
 # Static allocation guard for the kernel hot paths. In
@@ -127,15 +132,18 @@ bench-compare:
 # one-time pool allocations (the parRun descriptor and its partials
 # buffer built in sync.Pool.New); in internal/num/csr32.go only the
 # setup-time mirror construction in NewCSR32 may allocate — the float32
-# SpMV itself must not. Anything else — a closure capturing operands, a
-# descriptor escaping per call — would put an allocation on every
-# kernel op and break the zero-allocs/op solve loop, so it fails the
-# gate. The dynamic twin of this guard is TestKrylovWorkspaceZeroAlloc.
+# SpMV itself must not; in internal/num/sellcs.go only the SELL-C-σ
+# constructors (NewSELLCS/newSELLCS32, run once at solver setup) may
+# allocate — the sliced kernels' accumulators must stay on the stack.
+# Anything else — a closure capturing operands, a descriptor escaping
+# per call — would put an allocation on every kernel op and break the
+# zero-allocs/op solve loop, so it fails the gate. The dynamic twin of
+# this guard is TestKrylovWorkspaceZeroAlloc.
 escape-check:
 	@out=$$($(GO) build -gcflags=-m ./internal/num 2>&1 \
-		| grep -E 'parallel\.go|csr32\.go' \
+		| grep -E 'parallel\.go|csr32\.go|sellcs\.go' \
 		| grep -E 'escapes to heap|moved to heap' \
-		| grep -vE 'new\(parRun\)|make\(\[\]float64, 2\*maxKernelChunks\)|make\(\[\]float64, 128\)|&CSR32\{\.\.\.\}|make\(\[\]int32, len\(a\.ColIdx\)\)|make\(\[\]float32, len\(a\.Val\)\)'); \
+		| grep -vE 'new\(parRun\)|make\(\[\]float64, 2\*maxKernelChunks\)|make\(\[\]float64, 128\)|&CSR32\{\.\.\.\}|make\(\[\]int32, len\(a\.ColIdx\)\)|make\(\[\]float32, len\(a\.Val\)\)|make\(\[\]int32, rows\)|make\(\[\]int, nSlices \+ 1\)|make\(\[\]int32, padded\)|make\(\[\]float64, padded\)|make\(\[\]float32, len\(s\.Val\)\)|&SELLCS\{\.\.\.\}|&SELLCS32\{\.\.\.\}'); \
 	if [ -n "$$out" ]; then \
 		echo "escape-check: unexpected heap escapes in the kernel hot path:"; \
 		echo "$$out"; exit 1; \

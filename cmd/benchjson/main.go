@@ -5,8 +5,9 @@
 // B/op, allocs/op and any custom metrics, plus speedup pairs for
 // benchmarks that expose paired sub-benchmarks: /serial vs /parallel
 // (kernel threading), /jacobi vs /mg (preconditioner), /f64 vs /f32
-// (mixed-precision V-cycles), /jacobi-smooth vs /cheby (smoother) and
-// /seq vs /block (multi-RHS CG).
+// (mixed-precision V-cycles), /jacobi-smooth vs /cheby (smoother),
+// /seq vs /block (multi-RHS CG) and /csr vs /sell plus /csr32 vs
+// /sell32 (SELL-C-σ SpMV layout).
 //
 // Usage:
 //
@@ -22,9 +23,9 @@
 // The floors turn the report into a regression gate: after writing the
 // output, -min-mg-speedup exits nonzero if any jacobi-vs-mg pair falls
 // below the threshold, and -min-speedup does the same for the f32,
-// cheby and blockcg pairings — each gated kind must also be present at
-// all (a silently skipped benchmark must not pass the gate). `make
-// bench-compare` runs both at 1.0 so no optimized solver path can
+// cheby, blockcg and sell pairings — each gated kind must also be
+// present at all (a silently skipped benchmark must not pass the gate).
+// `make bench-compare` runs both at 1.0 so no optimized solver path can
 // quietly regress below its baseline on the reference grids.
 //
 // Most pairs compare wall clock (ns/op). The blockcg couple instead
@@ -105,13 +106,17 @@ var suffixPairs = []struct{ kind, baseline, variant string }{
 	{"f32", "/f64", "/f32"},
 	{"cheby", "/jacobi-smooth", "/cheby"},
 	{"blockcg", "/seq", "/block"},
+	{"sell", "/csr", "/sell"},
+	{"sell32", "/csr32", "/sell32"},
 }
 
 // gatedKinds are the pairings -min-speedup enforces: each must appear at
-// least once and every pair must meet the floor. They cover the three
+// least once and every pair must meet the floor. They cover the four
 // solver-optimization axes — mixed-precision V-cycles, Chebyshev
-// smoothing and block multi-RHS CG.
-var gatedKinds = []string{"f32", "cheby", "blockcg"}
+// smoothing, block multi-RHS CG and the SELL-C-σ SpMV layout. The
+// float32 sell32 pairing stays ungated: both sides already run the
+// narrow path, so the layout delta there is informational.
+var gatedKinds = []string{"f32", "cheby", "blockcg", "sell"}
 
 // Report is the emitted document.
 type Report struct {

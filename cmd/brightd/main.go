@@ -38,6 +38,7 @@
 //	brightd [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	        [-kernel-threads N] [-solver-precond auto|jacobi|mg]
 //	        [-mg-precision auto|float64|float32] [-mg-smoother auto|jacobi|cheby]
+//	        [-sparse-format auto|csr|sell] [-sweep-segment N]
 //	        [-request-timeout 5m] [-drain-timeout 30s] [-debug-addr :6060]
 //	        [-max-sessions N] [-session-idle-timeout 2m] [-session-ring N]
 //
@@ -58,7 +59,10 @@
 // (-quota-rps/-quota-burst; 429 + Retry-After past the burst).
 // -hedge-min floors the hedge delay, -health-interval paces liveness
 // probes, -snapshot-interval paces the cache-snapshot pulls that make
-// warm rejoin possible.
+// warm rejoin possible, and -rebalance-depth enables mid-sweep chain
+// re-balancing: a shard still holding more than this many unfinished
+// chains of one sweep while another shard sits idle has its queued
+// chains moved over (0, the default, disables).
 //
 // -debug-addr starts an opt-in debug listener serving net/http/pprof
 // under /debug/pprof/ — kept off the public address so profiling
@@ -83,6 +87,18 @@
 // when the reduced precision stalls; cheby swaps the damped-Jacobi
 // smoother for a degree-3 Chebyshev polynomial with eigenvalue bounds
 // estimated once at setup.
+//
+// -sparse-format picks the SpMV storage layout for every iterative
+// solve (default from BRIGHT_SPARSE_FORMAT): auto converts large
+// operators to the SELL-C-σ sliced-ELLPACK layout (falling back to CSR
+// when the padding overhead is too high); csr and sell force one layout
+// for A/B runs.
+//
+// -sweep-segment bounds how many grid points one stealable sweep
+// segment carries (0 = default, negative disables chain splitting and
+// restores the whole-chain walk). Smaller segments spread a skewed
+// sweep across more workers at the cost of more cold warm-start
+// restarts; the default suits the paper's sweep shapes.
 package main
 
 import (
@@ -144,6 +160,10 @@ func main() {
 			"multigrid V-cycle arithmetic: auto, float64 or float32 (env BRIGHT_MG_PRECISION)")
 		mgSmoother = flag.String("mg-smoother", envStr("BRIGHT_MG_SMOOTHER", "auto"),
 			"multigrid smoother: auto, jacobi or cheby (env BRIGHT_MG_SMOOTHER)")
+		sparseFormat = flag.String("sparse-format", envStr("BRIGHT_SPARSE_FORMAT", "auto"),
+			"SpMV storage layout: auto, csr or sell (env BRIGHT_SPARSE_FORMAT)")
+		sweepSegment = flag.Int("sweep-segment", 0,
+			"max grid points per stealable sweep segment (0 = default, negative disables chain splitting)")
 		maxSessions = flag.Int("max-sessions", 8,
 			"streaming session cap; admissions past it answer 429")
 		sessionIdle = flag.Duration("session-idle-timeout", 2*time.Minute,
@@ -164,6 +184,8 @@ func main() {
 			"backend liveness probe period (coordinator mode)")
 		snapshotInterval = flag.Duration("snapshot-interval", 30*time.Second,
 			"backend cache-snapshot pull period, <0 disables (coordinator mode)")
+		rebalanceDepth = flag.Int("rebalance-depth", 0,
+			"per-shard unfinished-chain depth past which queued sweep chains move to idle shards, 0 disables (coordinator mode)")
 	)
 	flag.Parse()
 
@@ -176,6 +198,7 @@ func main() {
 			quotaBurst:       *quotaBurst,
 			healthInterval:   *healthInterval,
 			snapshotInterval: *snapshotInterval,
+			rebalanceDepth:   *rebalanceDepth,
 			reqTimeout:       *reqTimeout,
 			drainTimeout:     *drainTimeout,
 		})
@@ -197,6 +220,11 @@ func main() {
 		log.Fatalf("brightd: -mg-smoother: %v", err)
 	}
 	num.SetDefaultMGSmoother(sm)
+	sf, err := num.ParseSparseFormat(*sparseFormat)
+	if err != nil {
+		log.Fatalf("brightd: -sparse-format: %v", err)
+	}
+	num.SetDefaultSparseFormat(sf)
 
 	if *debugAddr != "" {
 		dm := http.NewServeMux()
@@ -218,6 +246,7 @@ func main() {
 		QueueDepth:    *queueDepth,
 		CacheSize:     *cacheSize,
 		KernelThreads: *kernThreads,
+		SweepSegment:  *sweepSegment,
 	})
 	sessions := stream.NewManager(stream.Options{
 		MaxSessions: *maxSessions,
@@ -279,6 +308,7 @@ type coordinatorConfig struct {
 	quotaBurst       int
 	healthInterval   time.Duration
 	snapshotInterval time.Duration
+	rebalanceDepth   int
 	reqTimeout       time.Duration
 	drainTimeout     time.Duration
 }
@@ -300,6 +330,7 @@ func runCoordinator(cfg coordinatorConfig) {
 		QuotaBurst:       cfg.quotaBurst,
 		HealthInterval:   cfg.healthInterval,
 		SnapshotInterval: cfg.snapshotInterval,
+		RebalanceDepth:   cfg.rebalanceDepth,
 	})
 	if err != nil {
 		log.Fatalf("brightd: -coordinator: %v (need -backends host:port,...)", err)

@@ -47,6 +47,13 @@ type Options struct {
 	// rejoin; 0 disables snapshotting (default 30s when unset via
 	// NewCoordinator's defaulting, explicit negative disables).
 	SnapshotInterval time.Duration
+	// RebalanceDepth gates mid-sweep chain re-balancing: when a shard
+	// holds more than this many unfinished chains of one sweep while
+	// another alive shard holds none, job polls move not-yet-started
+	// chains from the loaded shard to the idle one through the
+	// chain-resubmit path. 0 (the default) disables re-balancing —
+	// chains stay where the ring placed them.
+	RebalanceDepth int
 	// Client is the HTTP client for backend traffic; nil uses a
 	// dedicated client with no overall timeout (per-request contexts
 	// bound each call).
@@ -89,6 +96,7 @@ type clusterMetrics struct {
 	snapshotPulls    *obs.Counter
 	snapshotRestores *obs.Counter
 	chainResubmits   *obs.Counter
+	chainRebalances  *obs.Counter
 	proxyDur         *obs.Histogram
 }
 
@@ -163,6 +171,8 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 			"Cache snapshots pushed into rejoining shards."),
 		chainResubmits: reg.Counter("bright_cluster_chain_resubmits_total",
 			"Sweep chains resubmitted after losing their shard."),
+		chainRebalances: reg.Counter("bright_cluster_chain_rebalances_total",
+			"Queued sweep chains moved from a loaded shard to an idle one mid-sweep."),
 		proxyDur: reg.Histogram("bright_cluster_proxy_duration_seconds",
 			"Latency of proxied backend exchanges.", obs.DefLatencyBuckets),
 	}
@@ -430,6 +440,7 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		SnapshotPulls    uint64 `json:"snapshot_pulls"`
 		SnapshotRestores uint64 `json:"snapshot_restores"`
 		ChainResubmits   uint64 `json:"chain_resubmits"`
+		ChainRebalances  uint64 `json:"chain_rebalances"`
 	}{
 		Backends:         len(addrs),
 		Alive:            c.ring.aliveCount(),
@@ -441,6 +452,7 @@ func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
 		SnapshotPulls:    c.m.snapshotPulls.Value(),
 		SnapshotRestores: c.m.snapshotRestores.Value(),
 		ChainResubmits:   c.m.chainResubmits.Value(),
+		ChainRebalances:  c.m.chainRebalances.Value(),
 	}
 	for _, s := range statuses {
 		if s.Stats != nil {

@@ -526,6 +526,98 @@ func TestCoordinatorSweepResubmitsLostChains(t *testing.T) {
 	}
 }
 
+// TestCoordinatorSweepRebalancesQueuedChains piles a sweep onto a fleet
+// where one shard is slow: once the fast shard drains its own chains it
+// goes idle while the slow one still holds a queue of untouched chains,
+// and with RebalanceDepth set the job polls must move queued chains over
+// to the idle shard instead of letting it sit.
+func TestCoordinatorSweepRebalancesQueuedChains(t *testing.T) {
+	tc := newTestCluster(t, 2, func(o *Options) { o.RebalanceDepth = 1 })
+
+	// 12 flows x 2 loads = 24 points in 12 chains of 2. Find the shard
+	// the ring loads most heavily and make it the slow one, so its
+	// chains are still untouched when the other shard goes idle.
+	flows := make([]float64, 12)
+	perShard := map[string]int{}
+	for i := range flows {
+		flows[i] = 100 + 20*float64(i)
+		cfg := core.DefaultConfig()
+		cfg.FlowMLMin = flows[i]
+		addr, ok := tc.coord.ring.lookup(cfg.ChainKey())
+		if !ok {
+			t.Fatal("ring lookup failed with two alive backends")
+		}
+		perShard[addr]++
+	}
+	var slow *testBackend
+	for _, b := range tc.backends {
+		if slow == nil || perShard[b.addr] > perShard[slow.addr] {
+			slow = b
+		}
+	}
+	if perShard[slow.addr] < 2 {
+		t.Fatalf("ring spread 12 chains as %v; need >=2 on one shard", perShard)
+	}
+	// Long enough that every poll inside the window sees the slow
+	// shard's chains at zero completed points (still movable).
+	slow.solver.delay = 500 * time.Millisecond
+
+	flowsJSON, err := json.Marshal(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, tc.srv.URL+"/v1/sweep",
+		fmt.Sprintf(`{"flows_ml_min": %s, "chip_loads": [0.4, 0.8]}`, flowsJSON))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep: %d: %s", resp.StatusCode, body)
+	}
+	var accepted struct {
+		JobID  string `json:"job_id"`
+		Chains int    `json:"chains"`
+	}
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	if accepted.Chains != 12 {
+		t.Fatalf("sweep accepted %d chains, want 12", accepted.Chains)
+	}
+
+	var view sim.JobView
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		getJSON(t, tc.srv.URL+"/v1/jobs/"+accepted.JobID, &view)
+		if view.State != sim.JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("skewed sweep never finished: %+v", view)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if view.State != sim.JobDone || view.Completed != 24 {
+		t.Fatalf("job finished %s with %d/24", view.State, view.Completed)
+	}
+	for i, res := range view.Results {
+		if res.Index != i || res.Report == nil || res.Error != "" {
+			t.Fatalf("result %d malformed after re-balancing: %+v", i, res)
+		}
+	}
+	if got := tc.coord.m.chainRebalances.Value(); got == 0 {
+		t.Fatal("chain_rebalances_total stayed 0 with an idle shard beside a queue")
+	}
+
+	// The merged stats surface reports the moves.
+	var stats struct {
+		Cluster struct {
+			ChainRebalances uint64 `json:"chain_rebalances"`
+		} `json:"cluster"`
+	}
+	getJSON(t, tc.srv.URL+"/v1/stats", &stats)
+	if stats.Cluster.ChainRebalances == 0 {
+		t.Fatal("merged stats hide chain_rebalances")
+	}
+}
+
 // TestCoordinatorWarmRejoin exercises the full death-and-rejoin cycle
 // in-process: warm a shard, snapshot it, kill it, watch the health loop
 // evict it, bring a cold replacement up on the same address, and verify

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"bright/internal/core"
 	"bright/internal/sim"
 )
 
@@ -259,6 +260,146 @@ func TestClusterEndToEnd(t *testing.T) {
 	if merged.Cluster.Backends != 3 || merged.Cluster.Alive != 3 {
 		t.Fatalf("merged stats report %d/%d alive, want 3/3",
 			merged.Cluster.Alive, merged.Cluster.Backends)
+	}
+}
+
+// TestClusterRebalanceUnevenShards boots two real brightd processes and
+// a coordinator with -rebalance-depth 1, then submits a sweep whose
+// chains all hash onto ONE shard — the worst placement the static ring
+// can produce. The other shard starts idle, so the coordinator's job
+// polls must move queued chains over to it mid-sweep and the job must
+// finish with every point accounted for.
+func TestClusterRebalanceUnevenShards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e test skipped in -short mode")
+	}
+
+	bin := buildBrightd(t)
+	logDir := t.TempDir()
+	backendAddrs := []string{freeAddr(t), freeAddr(t)}
+	coordAddr := freeAddr(t)
+
+	procs := map[string]*exec.Cmd{}
+	t.Cleanup(func() {
+		for name, cmd := range procs {
+			if cmd.Process != nil {
+				if err := cmd.Process.Kill(); err != nil {
+					t.Logf("kill %s: %v", name, err)
+				}
+				_ = cmd.Wait()
+			}
+		}
+		if t.Failed() {
+			dumpLogs(t, logDir)
+		}
+	})
+	startProc := func(name string, args ...string) {
+		logf, err := os.OpenFile(filepath.Join(logDir, name+".log"),
+			os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = logf
+		cmd.Stderr = logf
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", name, err)
+		}
+		if err := logf.Close(); err != nil {
+			t.Logf("closing %s log: %v", name, err)
+		}
+		procs[name] = cmd
+	}
+	for i, addr := range backendAddrs {
+		startProc(fmt.Sprintf("backend-%d", i),
+			"-addr", addr, "-workers", "1", "-cache", "64", "-kernel-threads", "1")
+	}
+	for _, addr := range backendAddrs {
+		waitHealthy(t, "http://"+addr+"/healthz", 60*time.Second)
+	}
+	startProc("coordinator",
+		"-coordinator", "-backends", strings.Join(backendAddrs, ","),
+		"-addr", coordAddr,
+		"-health-interval", "200ms",
+		"-snapshot-interval", "-1s",
+		"-hedge-min", "30s",
+		"-rebalance-depth", "1",
+		"-request-timeout", "2m")
+	coordURL := "http://" + coordAddr
+	waitHealthy(t, coordURL+"/healthz", 60*time.Second)
+
+	// Build the same ring the coordinator uses and pick three flows whose
+	// chains all hash to one shard: a guaranteed-skewed placement.
+	ring, err := newRing(backendAddrs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perShard := map[string][]float64{}
+	var loadedAddr string
+	for flow := 100.0; flow < 2000; flow += 10 {
+		cfg := core.DefaultConfig()
+		cfg.FlowMLMin = flow
+		addr, ok := ring.lookup(cfg.ChainKey())
+		if !ok {
+			t.Fatal("ring lookup failed with two alive backends")
+		}
+		perShard[addr] = append(perShard[addr], flow)
+		if len(perShard[addr]) == 3 {
+			loadedAddr = addr
+			break
+		}
+	}
+	if loadedAddr == "" {
+		t.Fatal("no shard accumulated 3 chains from 190 candidate flows")
+	}
+	flows := perShard[loadedAddr]
+
+	// 3 chains x 2 loads = 6 points, all owned by one shard. Real solves
+	// take ~1s each, so the first polls see the loaded shard's chains at
+	// zero completed points — movable — while the other shard is idle.
+	flowsJSON, err := json.Marshal(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := doJSON(t, http.MethodPost, coordURL+"/v1/sweep", "",
+		fmt.Sprintf(`{"flows_ml_min": %s, "chip_loads": [0.4, 0.8]}`, flowsJSON))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep: %d: %s", resp.StatusCode, body)
+	}
+	var accepted struct {
+		JobID  string `json:"job_id"`
+		Total  int    `json:"total"`
+		Chains int    `json:"chains"`
+	}
+	if err := json.Unmarshal(body, &accepted); err != nil {
+		t.Fatal(err)
+	}
+	if accepted.Total != 6 || accepted.Chains != 3 {
+		t.Fatalf("sweep accepted %d points in %d chains, want 6 in 3", accepted.Total, accepted.Chains)
+	}
+
+	view := pollJob(t, coordURL, accepted.JobID, 3*time.Minute)
+	if view.State != sim.JobDone || view.Completed != 6 {
+		t.Fatalf("sweep finished %s with %d/6 points", view.State, view.Completed)
+	}
+	for i, res := range view.Results {
+		if res.Index != i || res.Report == nil || res.Error != "" {
+			t.Fatalf("sweep result %d malformed: %+v", i, res)
+		}
+	}
+	if got := metricValue(t, coordURL, "bright_cluster_chain_rebalances_total"); got < 1 {
+		t.Fatalf("chain_rebalances_total = %v after an all-on-one-shard sweep with an idle peer", got)
+	}
+
+	// The idle shard must actually have solved some of the moved work.
+	var idleSolves uint64
+	for _, addr := range backendAddrs {
+		if addr != loadedAddr {
+			idleSolves += backendStats(t, "http://"+addr).Solves
+		}
+	}
+	if idleSolves == 0 {
+		t.Fatal("idle shard solved nothing despite re-balancing")
 	}
 }
 

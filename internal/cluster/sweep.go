@@ -125,24 +125,31 @@ func (r *clusterJobs) active() int {
 }
 
 // submitChain routes a chain by its chain key and submits it, failing
-// over once to the next alive shard when the owner refuses. It records
-// the placement on the chain.
+// over once to the next alive shard when the owner refuses.
 func (c *Coordinator) submitChain(ctx context.Context, ch *chainAssign) error {
 	addr, ok := c.ring.lookup(ch.key)
 	if !ok {
 		return fmt.Errorf("cluster: no alive backends")
 	}
-	jobID, _, err := c.clients[addr].submitSweep(ctx, ch.spec)
-	if err != nil {
+	if err := c.submitChainTo(ctx, addr, ch); err != nil {
 		next, haveNext := c.ring.next(ch.key, addr)
 		if !haveNext {
 			return err
 		}
 		c.m.failovers.Inc()
-		if jobID, _, err = c.clients[next].submitSweep(ctx, ch.spec); err != nil {
-			return err
-		}
-		addr = next
+		return c.submitChainTo(ctx, next, ch)
+	}
+	return nil
+}
+
+// submitChainTo submits a chain's sub-sweep on a specific shard and
+// records the placement on the chain. The chain's previous placement
+// (if any) is overwritten — retiring the superseded sub-job is the
+// caller's business.
+func (c *Coordinator) submitChainTo(ctx context.Context, addr string, ch *chainAssign) error {
+	jobID, _, err := c.clients[addr].submitSweep(ctx, ch.spec)
+	if err != nil {
+		return err
 	}
 	c.m.routed[addr].Inc()
 	ch.backend, ch.jobID = addr, jobID
@@ -225,7 +232,73 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	c.rebalanceLocked(r.Context(), job)
 	writeJSON(w, r, http.StatusOK, job.mergedViewLocked())
+}
+
+// rebalanceLocked moves queued chains from overloaded shards to idle
+// ones mid-sweep. The ring's static partitioning can pile several
+// chains of one sweep onto a single shard while others sit empty; with
+// Options.RebalanceDepth > 0, each job poll checks for a shard holding
+// more than RebalanceDepth unfinished chains of this job alongside an
+// alive shard holding none, and moves a not-yet-started chain (zero
+// completed points) to the idle shard through the chain-resubmit path.
+// Only untouched chains move — a chain with progress stays put, its
+// solved points and warm solver state are worth more than placement
+// symmetry — and the superseded sub-job is canceled best-effort (its
+// solved-nothing state makes the cancel a cheap no-op in the common
+// case). Caller holds job.mu.
+func (c *Coordinator) rebalanceLocked(ctx context.Context, job *clusterJob) {
+	depth := c.opts.RebalanceDepth
+	if depth <= 0 {
+		return
+	}
+	pending := make(map[string]int)
+	queued := make(map[string][]*chainAssign)
+	for _, ch := range job.chains {
+		if ch.final {
+			continue
+		}
+		pending[ch.backend]++
+		if ch.view.Completed == 0 {
+			queued[ch.backend] = append(queued[ch.backend], ch)
+		}
+	}
+	var idle []string
+	for _, addr := range c.ring.backends() {
+		if c.ring.isAlive(addr) && pending[addr] == 0 {
+			idle = append(idle, addr)
+		}
+	}
+	for len(idle) > 0 {
+		// Most-loaded shard above the depth gate that still has a chain
+		// worth moving; ties resolve in backend-list order.
+		src := ""
+		for _, addr := range c.ring.backends() {
+			if pending[addr] > depth && len(queued[addr]) > 0 && (src == "" || pending[addr] > pending[src]) {
+				src = addr
+			}
+		}
+		if src == "" {
+			return
+		}
+		q := queued[src]
+		ch := q[len(q)-1] // deepest-queued: the least likely to start soon
+		queued[src] = q[:len(q)-1]
+		oldAddr, oldJob := ch.backend, ch.jobID
+		dst := idle[0]
+		idle = idle[1:]
+		if err := c.submitChainTo(ctx, dst, ch); err != nil {
+			// The idle shard refused; the chain keeps its old placement
+			// (submitChainTo leaves it untouched on error) and the next
+			// poll retries with whatever shards are idle then.
+			continue
+		}
+		c.m.chainRebalances.Inc()
+		pending[src]--
+		pending[dst]++
+		c.clients[oldAddr].cancelJob(ctx, oldJob)
+	}
 }
 
 // pollChain fetches one sub-job's view. found is false when the shard

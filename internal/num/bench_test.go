@@ -450,3 +450,56 @@ func BenchmarkCGWarmWorkspace(b *testing.B) {
 		}
 	}
 }
+
+// benchSpMV runs the sparse-layout couples on one operator: /csr vs
+// /sell (float64 CSR gather vs SELL-C-σ sliced kernel) and /csr32 vs
+// /sell32 (the float32 mirrors). Each sub reports rows/op — the
+// deterministic traversal metric benchjson uses to sanity-match the
+// pair — and the /csr-vs-/sell wall-clock ratio is the gated SELL
+// speedup row in make bench-compare. The formats are built directly
+// (no EnsureFormat) so each sub times exactly one kernel.
+func benchSpMV(b *testing.B, a *CSR) {
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	y := make([]float64, a.Rows)
+	s := NewSELLCS(a)
+	if s == nil {
+		b.Fatal("NewSELLCS returned nil")
+	}
+	a32 := NewCSR32(a)
+	if a32 == nil {
+		b.Fatal("NewCSR32 returned nil")
+	}
+	s32 := newSELLCS32(s)
+	if s32 == nil {
+		b.Fatal("newSELLCS32 returned nil")
+	}
+	x32 := make([]float32, a.Cols)
+	demote(x32, x)
+	y32 := make([]float32, a.Rows)
+	run := func(b *testing.B, f func()) {
+		rows0 := spmvRowsTraversed.Value()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f()
+		}
+		b.ReportMetric(float64(spmvRowsTraversed.Value()-rows0)/float64(b.N), "rows/op")
+	}
+	b.Run("csr", func(b *testing.B) { run(b, func() { a.MulVec(x, y) }) })
+	b.Run("sell", func(b *testing.B) { run(b, func() { s.MulVec(x, y) }) })
+	b.Run("csr32", func(b *testing.B) { run(b, func() { a32.MulVec(x32, y32) }) })
+	b.Run("sell32", func(b *testing.B) { run(b, func() { s32.MulVec(x32, y32) }) })
+}
+
+// BenchmarkSpMV256x256 / 512x512: the PDN/thermal Poisson operators at
+// the array scales the sweep service actually solves.
+func BenchmarkSpMV256x256(b *testing.B) { benchSpMV(b, laplacian2D(256)) }
+
+func BenchmarkSpMV512x512(b *testing.B) { benchSpMV(b, laplacian2D(512)) }
+
+// BenchmarkSpMVStack128x4 is the stacked-die operator (4 tiers with
+// inter-tier microchannel coupling), the anisotropic 7-point stencil
+// from the through-chip-microchannel scenario.
+func BenchmarkSpMVStack128x4(b *testing.B) { benchSpMV(b, stack3D(128, 128, 4, 6)) }

@@ -1,6 +1,9 @@
 package num
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // CSR32 is a float32 mirror of a CSR matrix for the mixed-precision
 // multigrid cycle: values are demoted to float32 and column indices to
@@ -14,6 +17,11 @@ type CSR32 struct {
 	RowPtr     []int
 	ColIdx     []int32
 	Val        []float32
+
+	// sell is the float32 SELL-C-σ mirror, inherited in NewCSR32 when
+	// the source CSR already carries one: the precision policy and the
+	// format policy compose without a separate knob.
+	sell atomic.Pointer[SELLCS32]
 }
 
 // NewCSR32 demotes a CSR to its float32 mirror. It returns nil when the
@@ -42,6 +50,16 @@ func NewCSR32(a *CSR) *CSR32 {
 		}
 		m.Val[k] = f
 	}
+	if s := a.sell.Load(); s != nil {
+		if s32 := newSELLCS32(s); s32 != nil {
+			sell32Conversions.Inc()
+			m.sell.Store(s32)
+		}
+		// A nil s32 means a value overflowed float32 — but then the CSR
+		// demotion above already returned nil, so this branch is
+		// unreachable in practice; the guard just keeps the two paths
+		// independent.
+	}
 	return m
 }
 
@@ -51,6 +69,10 @@ func (m *CSR32) NNZ() int { return len(m.Val) }
 // MulVec computes y = m*x in float32. Large matrices are
 // row-partitioned across the same kernel pool as the float64 SpMV.
 func (m *CSR32) MulVec(x, y []float32) {
+	if s := m.sell.Load(); s != nil {
+		s.MulVec(x, y) // counts its own traversed rows
+		return
+	}
 	if len(x) != m.Cols || len(y) != m.Rows {
 		panic(ErrShape)
 	}

@@ -80,6 +80,11 @@ type IterOptions struct {
 	Shape *GridShape
 	// MG tunes the multigrid hierarchy when one is built.
 	MG MGOptions
+	// Format selects the SpMV storage layout SparseSolver attaches to
+	// the operator at build time (FormatAuto defers to the process
+	// default, then to the size heuristic). Ignored by bare
+	// CG/BiCGSTAB, which multiply whatever format the matrix carries.
+	Format SparseFormat
 }
 
 // defaultMaxIterCap bounds the derived 10*n iteration budget.

@@ -82,6 +82,12 @@ type MGOptions struct {
 	// float64 hierarchy (sticky, counted) when the float32 cycle goes
 	// non-finite or stops reducing the residual.
 	Precision MGPrecision
+	// Format selects the SpMV storage layout attached to each level's
+	// operator (transfers stay CSR — they are applied once per cycle
+	// and their rectangular shapes pad badly). FormatAuto defers to the
+	// process default, then to the per-level size heuristic, which
+	// naturally leaves small coarse levels in CSR.
+	Format SparseFormat
 	// FMGGuess enables the full-multigrid initial guess in
 	// SparseSolver.Solve: when the warm start is cold (all-zero x), one
 	// FMG pass seeds the outer Krylov iteration instead of starting from
@@ -266,6 +272,7 @@ func (m *Multigrid) pushLevel(a *CSR, p *CSR) error {
 	if err != nil {
 		return err
 	}
+	a.EnsureFormat(m.opt.Format)
 	m.levels = append(m.levels, &mgLevel{
 		a: a, invDiag: inv, p: p, r: p.Transpose(),
 		x: make([]float64, a.Rows), b: make([]float64, a.Rows), res: make([]float64, a.Rows),
@@ -279,6 +286,7 @@ func (m *Multigrid) finish(a *CSR) error {
 	if err != nil {
 		return err
 	}
+	a.EnsureFormat(m.opt.Format)
 	m.levels = append(m.levels, &mgLevel{
 		a: a, invDiag: inv,
 		x: make([]float64, a.Rows), b: make([]float64, a.Rows), res: make([]float64, a.Rows),

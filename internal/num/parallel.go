@@ -87,6 +87,8 @@ const (
 	opAxpy
 	opMulVec32
 	opMulVecBlock
+	opMulVecSell
+	opMulVecSell32
 )
 
 // parRun describes one forked kernel call. Instances are pooled; the
@@ -98,6 +100,8 @@ type parRun struct {
 	x, y     []float64
 	a32      *CSR32
 	x32, y32 []float32
+	sell     *SELLCS
+	sell32   *SELLCS32
 	blockK   int
 	alpha    float64
 	part     []float64
@@ -161,6 +165,11 @@ func (r *parRun) exec(lo, hi, idx int) {
 		mulVec32Range(r.a32, r.x32, r.y32, lo, hi)
 	case opMulVecBlock:
 		mulVecBlockRange(r.a, r.x, r.y, r.blockK, lo, hi)
+	case opMulVecSell:
+		// SELL forks over slice indices, not rows.
+		sellMulVecRange(r.sell, r.x, r.y, lo, hi)
+	case opMulVecSell32:
+		sellMulVec32Range(r.sell32, r.x32, r.y32, lo, hi)
 	}
 }
 
@@ -181,6 +190,7 @@ func getRun(op kernelOp) *parRun {
 func putRun(r *parRun) {
 	r.a, r.x, r.y = nil, nil, nil
 	r.a32, r.x32, r.y32 = nil, nil, nil
+	r.sell, r.sell32 = nil, nil
 	runPool.Put(r)
 }
 

@@ -192,10 +192,126 @@ func buildPrecond(a *CSR, symmetric bool, opt IterOptions) Preconditioner {
 }
 
 // newMGFor builds geometric multigrid when the options carry a matching
-// grid shape, aggregation AMG otherwise.
+// grid shape, aggregation AMG otherwise. The solver-level sparse format
+// choice flows into the hierarchy so every level's operator goes through
+// the same format policy.
 func newMGFor(a *CSR, opt IterOptions) (*Multigrid, error) {
-	if opt.Shape != nil && opt.Shape.NX > 0 && opt.Shape.NY > 0 && opt.Shape.Cells() == a.Rows {
-		return NewGMG(a, *opt.Shape, opt.MG)
+	mgo := opt.MG
+	if mgo.Format == FormatAuto {
+		mgo.Format = opt.Format
 	}
-	return NewAMG(a, opt.MG)
+	if opt.Shape != nil && opt.Shape.NX > 0 && opt.Shape.NY > 0 && opt.Shape.Cells() == a.Rows {
+		return NewGMG(a, *opt.Shape, mgo)
+	}
+	return NewAMG(a, mgo)
+}
+
+// SparseFormat selects the SpMV storage layout a solver setup attaches
+// to its operators.
+type SparseFormat int32
+
+const (
+	// FormatAuto defers to the process-wide default
+	// (SetDefaultSparseFormat / BRIGHT_SPARSE_FORMAT), then to the
+	// heuristic: SELL-C-σ for operators large enough that SpMV is
+	// memory-bound, plain CSR otherwise.
+	FormatAuto SparseFormat = iota
+	// FormatCSR forces the row-gather CSR kernels.
+	FormatCSR
+	// FormatSELL requests the SELL-C-σ sliced layout; conversion still
+	// falls back to CSR when the padding overhead exceeds
+	// sellMaxPadding (counted in bright_sparse_sell_fallbacks_total).
+	FormatSELL
+)
+
+func (f SparseFormat) String() string {
+	switch f {
+	case FormatCSR:
+		return "csr"
+	case FormatSELL:
+		return "sell"
+	default:
+		return "auto"
+	}
+}
+
+// ParseSparseFormat parses "auto", "csr" or "sell"/"sellcs"
+// (case-insensitive); it backs the brightd -sparse-format flag and the
+// BRIGHT_SPARSE_FORMAT env var.
+func ParseSparseFormat(s string) (SparseFormat, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "auto":
+		return FormatAuto, nil
+	case "csr":
+		return FormatCSR, nil
+	case "sell", "sellcs", "sell-c-sigma":
+		return FormatSELL, nil
+	}
+	return FormatAuto, fmt.Errorf("num: unknown sparse format %q (want auto, csr or sell)", s)
+}
+
+var processSparseFormat atomic.Int32
+
+// SetDefaultSparseFormat sets the process-wide layout consulted when an
+// IterOptions leaves Format at FormatAuto.
+func SetDefaultSparseFormat(f SparseFormat) { processSparseFormat.Store(int32(f)) }
+
+// DefaultSparseFormat returns the process-wide layout policy.
+func DefaultSparseFormat() SparseFormat { return SparseFormat(processSparseFormat.Load()) }
+
+// Format-heuristic thresholds. Variables so tests can exercise both
+// sides without building huge operators.
+var (
+	// sellMinRows is the row count at and above which FormatAuto picks
+	// SELL-C-σ: below it the operator fits cache and the CSR gather is
+	// already fast, while the conversion would still cost a pass over
+	// the matrix at every solver setup.
+	sellMinRows = 4096
+	// sellMaxPadding is the PaddingRatio above which a SELL conversion
+	// is discarded and the operator stays CSR: past it the padded
+	// column-major stream reads more memory than the CSR gather saves.
+	sellMaxPadding = 1.25
+)
+
+var (
+	sellConversions = obs.Default.Counter("bright_sparse_conversions_total",
+		"Operators converted to the SELL-C-σ layout at solver setup.",
+		obs.L("format", "sell"))
+	sell32Conversions = obs.Default.Counter("bright_sparse_conversions_total",
+		"Operators converted to the SELL-C-σ layout at solver setup.",
+		obs.L("format", "sell32"))
+	sellFallbacks = obs.Default.Counter("bright_sparse_sell_fallbacks_total",
+		"SELL-C-σ conversions discarded for excess padding (operator stayed CSR).")
+)
+
+// EnsureFormat resolves the format policy chain (explicit option ->
+// process default -> size heuristic) and, when it lands on SELL-C-σ,
+// attaches the sliced mirror to the matrix. It is idempotent, cheap
+// when the resolution is CSR, and safe to call concurrently with
+// MulVec. Conversion happens here — at solver/hierarchy setup — never
+// on the multiply path, so the zero-alloc steady-state contract holds.
+func (m *CSR) EnsureFormat(f SparseFormat) {
+	if m.sell.Load() != nil {
+		return
+	}
+	if f == FormatAuto {
+		f = DefaultSparseFormat()
+	}
+	if f == FormatAuto {
+		if m.Rows >= sellMinRows {
+			f = FormatSELL
+		} else {
+			f = FormatCSR
+		}
+	}
+	if f != FormatSELL {
+		return
+	}
+	s := NewSELLCS(m)
+	if s == nil || s.PaddingRatio() > sellMaxPadding {
+		sellFallbacks.Inc()
+		return
+	}
+	sellConversions.Inc()
+	m.sell.Store(s)
 }

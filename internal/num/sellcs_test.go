@@ -1,0 +1,309 @@
+package num
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// skewedCSR builds a deterministic random sparse matrix with skewed row
+// lengths: most rows short, occasional long rows, some empty — the
+// shape that stresses the σ-window sort and the prefix kernel.
+func skewedCSR(rng *rand.Rand, rows, cols int) *CSR {
+	c := NewCOO(rows, cols)
+	for i := 0; i < rows; i++ {
+		nnz := rng.Intn(6)
+		if rng.Intn(10) == 0 {
+			nnz = rng.Intn(cols) // occasional near-dense row
+		}
+		for k := 0; k < nnz; k++ {
+			// Duplicates are fine: COO merges them.
+			c.Add(i, rng.Intn(cols), rng.NormFloat64())
+		}
+	}
+	return c.ToCSR()
+}
+
+// TestSELLMatchesCSRBitwise pins the format's core contract: for any
+// matrix, SELL-C-σ MulVec produces bit-for-bit the serial CSR result —
+// same per-row summation order, padding never touched.
+func TestSELLMatchesCSRBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := [][2]int{
+		{1, 1}, {7, 5}, {31, 31}, {32, 32}, {33, 17}, // partial / exact / spill slices
+		{256, 256}, {1000, 300},
+	}
+	for _, sh := range shapes {
+		rows, cols := sh[0], sh[1]
+		a := skewedCSR(rng, rows, cols)
+		s := NewSELLCS(a)
+		if s == nil {
+			t.Fatalf("%dx%d: NewSELLCS returned nil", rows, cols)
+		}
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, rows)
+		mulVecRange(a, x, want, 0, rows)
+		got := make([]float64, rows)
+		for i := range got {
+			got[i] = math.NaN() // every slot must be written, even empty rows
+		}
+		s.MulVec(x, got)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("%dx%d row %d: SELL %v != CSR %v", rows, cols, i, got[i], want[i])
+			}
+		}
+		if s.NNZ() != a.NNZ() {
+			t.Fatalf("%dx%d: NNZ %d != %d", rows, cols, s.NNZ(), a.NNZ())
+		}
+		if pr := s.PaddingRatio(); pr < 1 && a.NNZ() > 0 {
+			t.Fatalf("%dx%d: padding ratio %v < 1", rows, cols, pr)
+		}
+	}
+}
+
+// TestSELLStructure checks the layout invariants the kernel relies on:
+// Perm is a permutation local to each σ window, and RowLen is
+// non-increasing within every slice.
+func TestSELLStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := skewedCSR(rng, 700, 80)
+	s := NewSELLCS(a)
+	seen := make([]bool, a.Rows)
+	for pos, row := range s.Perm {
+		if seen[row] {
+			t.Fatalf("row %d appears twice in Perm", row)
+		}
+		seen[row] = true
+		if w := pos / sellSigma; int(row)/sellSigma != w {
+			t.Fatalf("Perm[%d]=%d escaped its σ window %d", pos, row, w)
+		}
+	}
+	for pos := 1; pos < a.Rows; pos++ {
+		if pos%SellC == 0 {
+			continue // slice boundary: no ordering constraint across it
+		}
+		if s.RowLen[pos] > s.RowLen[pos-1] {
+			t.Fatalf("RowLen not non-increasing inside slice at pos %d: %d > %d",
+				pos, s.RowLen[pos], s.RowLen[pos-1])
+		}
+	}
+}
+
+// TestSELL32MatchesCSR32 pins the float32 mirror against the serial
+// CSR32 kernel the same way.
+func TestSELL32MatchesCSR32(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := skewedCSR(rng, 500, 200)
+	a32 := NewCSR32(a)
+	if a32 == nil {
+		t.Fatal("NewCSR32 returned nil")
+	}
+	s32 := newSELLCS32(NewSELLCS(a))
+	if s32 == nil {
+		t.Fatal("newSELLCS32 returned nil")
+	}
+	x := make([]float32, a.Cols)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+	}
+	want := make([]float32, a.Rows)
+	mulVec32Range(a32, x, want, 0, a.Rows)
+	got := make([]float32, a.Rows)
+	s32.MulVec(x, got)
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("row %d: SELL32 %v != CSR32 %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSELLParallelMatchesSerial forces the kernel-pool fork on a small
+// matrix (shrunk thresholds) and checks the result is still bitwise the
+// serial one — slices are independent, so the split cannot change bits.
+func TestSELLParallelMatchesSerial(t *testing.T) {
+	minWork, chunkWork := parallelMinWork, parallelChunkWork
+	parallelMinWork, parallelChunkWork = 1, 1
+	SetKernelThreads(4)
+	t.Cleanup(func() {
+		parallelMinWork, parallelChunkWork = minWork, chunkWork
+		SetKernelThreads(0)
+	})
+	rng := rand.New(rand.NewSource(11))
+	a := skewedCSR(rng, 513, 513)
+	s := NewSELLCS(a)
+	x := make([]float64, a.Cols)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, a.Rows)
+	sellMulVecRange(s, x, want, 0, s.numSlices())
+	got := make([]float64, a.Rows)
+	s.MulVec(x, got)
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("row %d: parallel %v != serial %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestEnsureFormatPolicy walks the policy chain: explicit option beats
+// the process default beats the size heuristic, and a pathologically
+// padded matrix falls back to CSR with the fallback counter bumped.
+func TestEnsureFormatPolicy(t *testing.T) {
+	t.Cleanup(func() { SetDefaultSparseFormat(FormatAuto) })
+
+	small := laplacian2D(8) // 64 rows, far below sellMinRows
+	small.EnsureFormat(FormatAuto)
+	if small.sell.Load() != nil {
+		t.Fatal("heuristic attached SELL below sellMinRows")
+	}
+	small.EnsureFormat(FormatSELL)
+	if small.sell.Load() == nil {
+		t.Fatal("explicit FormatSELL did not attach a mirror")
+	}
+
+	SetDefaultSparseFormat(FormatSELL)
+	viaDefault := laplacian2D(8)
+	viaDefault.EnsureFormat(FormatAuto)
+	if viaDefault.sell.Load() == nil {
+		t.Fatal("process default FormatSELL did not attach a mirror")
+	}
+	forcedCSR := laplacian2D(8)
+	forcedCSR.EnsureFormat(FormatCSR)
+	if forcedCSR.sell.Load() != nil {
+		t.Fatal("explicit FormatCSR did not override the process default")
+	}
+	SetDefaultSparseFormat(FormatAuto)
+
+	big := laplacian2D(70) // 4900 rows, above sellMinRows
+	big.EnsureFormat(FormatAuto)
+	if big.sell.Load() == nil {
+		t.Fatal("heuristic did not attach SELL above sellMinRows")
+	}
+
+	// One dense row among empties: padding ratio far beyond the
+	// threshold, so the conversion must be discarded and counted.
+	skew := NewCOO(SellC, 256)
+	for j := 0; j < 256; j++ {
+		skew.Add(0, j, 1)
+	}
+	padded := skew.ToCSR()
+	fb0 := sellFallbacks.Value()
+	padded.EnsureFormat(FormatSELL)
+	if padded.sell.Load() != nil {
+		t.Fatalf("padding ratio %v should have fallen back to CSR",
+			NewSELLCS(padded).PaddingRatio())
+	}
+	if sellFallbacks.Value() != fb0+1 {
+		t.Fatal("fallback not counted")
+	}
+}
+
+// TestParseSparseFormat pins the flag/env surface.
+func TestParseSparseFormat(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want SparseFormat
+	}{
+		{"", FormatAuto}, {"auto", FormatAuto}, {"csr", FormatCSR},
+		{"sell", FormatSELL}, {"SELLCS", FormatSELL}, {" Sell ", FormatSELL},
+	} {
+		got, err := ParseSparseFormat(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseSparseFormat(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParseSparseFormat("ellpack"); err == nil {
+		t.Fatal("ParseSparseFormat accepted garbage")
+	}
+	for _, f := range []SparseFormat{FormatAuto, FormatCSR, FormatSELL} {
+		back, err := ParseSparseFormat(f.String())
+		if err != nil || back != f {
+			t.Fatalf("round trip %v -> %q -> %v, %v", f, f.String(), back, err)
+		}
+	}
+}
+
+// TestCSR32InheritsSELL: demoting a CSR that carries a SELL mirror must
+// produce a CSR32 carrying the float32 mirror, and the two must agree.
+func TestCSR32InheritsSELL(t *testing.T) {
+	a := laplacian2D(20)
+	a.EnsureFormat(FormatSELL)
+	a32 := NewCSR32(a)
+	if a32 == nil {
+		t.Fatal("NewCSR32 returned nil")
+	}
+	s32 := a32.sell.Load()
+	if s32 == nil {
+		t.Fatal("CSR32 did not inherit the SELL mirror")
+	}
+	x := make([]float32, a.Cols)
+	for i := range x {
+		x[i] = float32(i%5) - 2
+	}
+	want := make([]float32, a.Rows)
+	mulVec32Range(&CSR32{Rows: a32.Rows, Cols: a32.Cols, RowPtr: a32.RowPtr, ColIdx: a32.ColIdx, Val: a32.Val},
+		x, want, 0, a.Rows)
+	got := make([]float32, a.Rows)
+	a32.MulVec(x, got)
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("row %d: inherited SELL32 %v != CSR32 %v", i, got[i], want[i])
+		}
+	}
+}
+
+// FuzzSELLRoundTrip throws arbitrary sparse structures (empty rows,
+// dense rows, duplicates, single-slice shapes) at the CSR -> SELL-C-σ
+// conversion and checks MulVec agrees with the serial CSR kernel within
+// 1e-15 relative — in fact bit-for-bit, which is the stronger contract
+// the solvers' warm-start determinism rides on.
+func FuzzSELLRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint8(1), []byte{})                            // minimal, all-empty
+	f.Add(uint8(40), uint8(3), []byte{0, 0, 1, 5, 2, 200})         // empty + short rows, two slices
+	f.Add(uint8(5), uint8(5), []byte{0, 0, 1, 0, 1, 2, 0, 2, 3})   // single slice
+	f.Add(uint8(200), uint8(200), []byte{9, 9, 9, 9, 8, 7, 1, 2})  // spill shape
+	f.Add(uint8(33), uint8(2), []byte{1, 0, 1, 1, 1, 0, 32, 1, 9}) // dense row + duplicate
+	f.Fuzz(func(t *testing.T, rows, cols uint8, data []byte) {
+		r := int(rows)%300 + 1
+		c := int(cols)%300 + 1
+		coo := NewCOO(r, c)
+		for k := 0; k+2 < len(data); k += 3 {
+			i := int(data[k]) % r
+			j := int(data[k+1]) % c
+			v := float64(int8(data[k+2]))
+			if v == 0 {
+				v = 1
+			}
+			coo.Add(i, j, v/3)
+		}
+		a := coo.ToCSR()
+		s := NewSELLCS(a)
+		if s == nil {
+			t.Fatal("NewSELLCS returned nil for a small matrix")
+		}
+		if s.NNZ() != a.NNZ() {
+			t.Fatalf("NNZ %d != %d", s.NNZ(), a.NNZ())
+		}
+		x := make([]float64, c)
+		for i := range x {
+			x[i] = float64((i*7)%13) - 6.5
+		}
+		want := make([]float64, r)
+		mulVecRange(a, x, want, 0, r)
+		got := make([]float64, r)
+		for i := range got {
+			got[i] = math.NaN()
+		}
+		s.MulVec(x, got)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("row %d: SELL %v != CSR %v", i, got[i], want[i])
+			}
+		}
+	})
+}

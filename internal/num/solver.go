@@ -72,6 +72,7 @@ func NewSparseSolver(a *CSR, opt IterOptions) *SparseSolver {
 // a CG breakdown falls back to BiCGSTAB on the same cached
 // preconditioner.
 func NewSparseSolverSymmetric(a *CSR, symmetric bool, opt IterOptions) *SparseSolver {
+	a.EnsureFormat(opt.Format)
 	s := &SparseSolver{a: a, sym: symmetric, opt: opt}
 	if opt.M != nil {
 		s.pre = opt.M

@@ -3,6 +3,7 @@ package num
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // COO is a coordinate-format sparse matrix builder. Duplicate entries are
@@ -78,6 +79,13 @@ type CSR struct {
 	RowPtr     []int
 	ColIdx     []int
 	Val        []float64
+
+	// sell is the optional SELL-C-σ mirror attached by EnsureFormat at
+	// solver/hierarchy setup. When present, MulVec runs the sliced
+	// kernel instead of the row gather; results are bitwise identical
+	// either way. The pointer is atomic so a mirror can be attached
+	// while other goroutines multiply.
+	sell atomic.Pointer[SELLCS]
 }
 
 // NNZ returns the number of stored entries.
@@ -87,6 +95,10 @@ func (m *CSR) NNZ() int { return len(m.Val) }
 // the kernel pool (see SetKernelThreads); the per-row sums are
 // identical to the serial loop either way.
 func (m *CSR) MulVec(x, y []float64) {
+	if s := m.sell.Load(); s != nil {
+		s.MulVec(x, y) // counts its own traversed rows
+		return
+	}
 	if len(x) != m.Cols || len(y) != m.Rows {
 		panic(ErrShape)
 	}

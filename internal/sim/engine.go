@@ -61,6 +61,14 @@ type Options struct {
 	// CacheSize bounds the memoization LRU in entries (default 256;
 	// negative disables caching).
 	CacheSize int
+	// SweepSegment bounds the points one stealable sweep segment may
+	// carry: chains longer than the bound split (preferentially at
+	// supply-voltage boundaries) so a skewed grid cannot serialize a
+	// sweep behind one goroutine. 0 means the default (16); negative
+	// disables splitting, restoring whole-chain scheduling. The bound
+	// trades steal granularity against warm-start carry — each segment's
+	// first point re-warms its solver stack cold.
+	SweepSegment int
 	// KernelThreads caps the goroutines the numeric kernels (SpMV, dot,
 	// axpy) fork per operation; 0 keeps the current process-wide setting
 	// (which defaults to GOMAXPROCS). The setting is process-wide — the
@@ -104,6 +112,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CacheSize == 0 {
 		o.CacheSize = 256
+	}
+	if o.SweepSegment == 0 {
+		o.SweepSegment = 16
 	}
 	if o.Solver == nil {
 		o.Solver = DefaultSolver
@@ -378,6 +389,8 @@ func (e *Engine) Stats() Stats {
 		JobsActive:          active,
 		JobsDone:            done,
 		SweepChains:         e.m.sweepChains.Value(),
+		SweepSegments:       e.m.sweepSegments.Value(),
+		SweepSteals:         e.m.sweepSteals.Value(),
 		SweepPointsWarm:     e.m.sweepPointsWarm.Value(),
 		SweepPointsCold:     e.m.sweepPointsCold.Value(),
 		SweepPrefetches:     e.m.sweepPrefetches.Value(),

@@ -199,13 +199,14 @@ type statsResponse struct {
 
 // NewHandler wires the engine's HTTP surface:
 //
-//	POST /v1/evaluate  — solve one configuration (synchronous)
-//	POST /v1/sweep     — submit a batched sweep, returns a job id
-//	GET  /v1/jobs/{id} — poll a sweep job (state + streamed results)
-//	GET  /v1/stats     — serving metrics (cache, queue, latency)
-//	GET  /metrics      — Prometheus text exposition: the engine's
-//	                     registry plus obs.Default (solver telemetry
-//	                     from num, cosim and thermal)
+//	POST   /v1/evaluate  — solve one configuration (synchronous)
+//	POST   /v1/sweep     — submit a batched sweep, returns a job id
+//	GET    /v1/jobs/{id} — poll a sweep job (state + streamed results)
+//	DELETE /v1/jobs/{id} — cancel a sweep job's remaining points
+//	GET    /v1/stats     — serving metrics (cache, queue, latency)
+//	GET    /metrics      — Prometheus text exposition: the engine's
+//	                       registry plus obs.Default (solver telemetry
+//	                       from num, cosim and thermal)
 //
 // With WithStreamManager, the streaming session API of internal/stream
 // (/v1/sessions and friends) is mounted on the same mux.
@@ -263,6 +264,20 @@ func NewHandler(e *Engine, opts ...HandlerOption) http.Handler {
 			writeError(w, r, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 			return
 		}
+		writeJSON(w, r, http.StatusOK, job.Snapshot())
+	})
+
+	// Cancel a sweep job's remaining points; already-solved points stay
+	// in the snapshot. Idempotent — canceling a finished job is a no-op.
+	// The cluster coordinator uses this to retire a superseded sub-job
+	// after re-balancing its chain onto an idle shard.
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := e.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, r, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		job.Cancel()
 		writeJSON(w, r, http.StatusOK, job.Snapshot())
 	})
 

@@ -63,6 +63,15 @@ type Stats struct {
 	SweepPointsWarm uint64 `json:"sweep_points_warm"`
 	SweepPointsCold uint64 `json:"sweep_points_cold"`
 
+	// Skew-aware segment scheduling: chains longer than
+	// Options.SweepSegment split into bounded segments dealt across the
+	// sweep workers; an idle worker steals queued segments from the
+	// most-loaded peer. Segments counts every segment executed (a chain
+	// at or under the bound is one segment); Steals counts the subset a
+	// worker took from another worker's queue.
+	SweepSegments uint64 `json:"sweep_segments"`
+	SweepSteals   uint64 `json:"sweep_steals"`
+
 	// Sweep chain prefetches: multi-point chains whose distinct PDN
 	// operating points were batch-presolved up front through the block
 	// Krylov path, by outcome. A failed prefetch costs nothing — the
@@ -87,6 +96,8 @@ type metrics struct {
 	queueRejected       *obs.Counter
 	solveLatency        *obs.Histogram
 	sweepChains         *obs.Counter
+	sweepSegments       *obs.Counter
+	sweepSteals         *obs.Counter
 	sweepPointsWarm     *obs.Counter
 	sweepPointsCold     *obs.Counter
 	sweepPrefetches     *obs.Counter
@@ -109,6 +120,10 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"Wall-clock latency of one solver invocation.", obs.DefLatencyBuckets),
 		sweepChains: reg.Counter("bright_sweep_chains_total",
 			"Sweep warm-start chains executed (runs of points sharing a hydrodynamic condition)."),
+		sweepSegments: reg.Counter("bright_sweep_segments_total",
+			"Sweep segments executed (bounded slices of a chain; the unit of work stealing)."),
+		sweepSteals: reg.Counter("bright_sweep_steals_total",
+			"Sweep segments an idle worker stole from another worker's queue."),
 		sweepPointsWarm: reg.Counter("bright_sweep_points_total",
 			"Sweep points solved inside a chain, by warm-start state.", obs.L("warm", "true")),
 		sweepPointsCold: reg.Counter("bright_sweep_points_total",

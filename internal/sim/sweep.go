@@ -238,16 +238,23 @@ func chainGrid(grid []core.Config) [][]gridPoint {
 }
 
 // SubmitSweep expands the spec into warm-start chains (runs of
-// grid-adjacent points sharing the hydrodynamic condition) and executes
-// the chains concurrently, each chain sequentially on its own stateful
-// solver from Options.BatchSolver, returning immediately with a pollable
-// Job. Within a chain every point after the first warm-starts from its
-// neighbor's converged thermal and PDN state, so batched sweeps amortize
-// assembly, preconditioner setup and most Krylov iterations. Points
-// still flow through the cache/single-flight path, so a sweep revisiting
-// known configurations is mostly cache hits. Concurrency is bounded to
-// the worker-pool size (chain solves run inline, not on the queue); the
-// job runs until done or until ctx (or Job.Cancel) cancels it.
+// grid-adjacent points sharing the hydrodynamic condition), splits long
+// chains into bounded segments (Options.SweepSegment), and executes the
+// segment plan on a work-stealing pool of up to Options.Workers
+// goroutines, returning immediately with a pollable Job. Each segment
+// runs sequentially on its own stateful solver from Options.BatchChain:
+// every point after the segment's first warm-starts from its neighbor's
+// converged thermal and PDN state, so batched sweeps amortize assembly,
+// preconditioner setup and most Krylov iterations, while a skewed grid
+// (one long chain among short ones) no longer serializes behind a
+// single goroutine — idle workers steal queued segments from loaded
+// ones. The segment plan depends only on the grid and the bound, never
+// on worker count or timing, so per-point outputs are bitwise identical
+// across worker counts and steal schedules; only completion order
+// varies. Points still flow through the cache/single-flight path, so a
+// sweep revisiting known configurations is mostly cache hits. Segment
+// solves run inline on the sweep workers, not on the queue; the job
+// runs until done or until ctx (or Job.Cancel) cancels it.
 func (e *Engine) SubmitSweep(ctx context.Context, spec SweepSpec) (*Job, error) {
 	e.closeMu.RLock()
 	closed := e.closed
@@ -268,78 +275,101 @@ func (e *Engine) SubmitSweep(ctx context.Context, spec SweepSpec) (*Job, error) 
 	}
 	e.jobs.add(j)
 
+	chains := chainGrid(grid)
+	// Chains are counted at plan time; a job canceled mid-flight still
+	// reports the chains it planned, matching Total's planned points.
+	e.m.sweepChains.Add(uint64(len(chains)))
+	segs := planSegments(chains, e.opts.SweepSegment)
+	workers := e.opts.Workers
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+	sched := newSegmentScheduler(segs, workers)
+
 	e.sweepWG.Add(1)
 	go func() {
 		defer e.sweepWG.Done()
 		defer cancel()
-		sem := make(chan struct{}, e.opts.Workers)
 		var wg sync.WaitGroup
-		for _, chain := range chainGrid(grid) {
-			if jobCtx.Err() != nil {
-				break
-			}
-			sem <- struct{}{}
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(chain []gridPoint) {
+			go func(w int) {
 				defer wg.Done()
-				defer func() { <-sem }()
-				e.m.sweepChains.Inc()
-				solver, prefetch := e.opts.BatchChain()
-				if prefetch != nil && len(chain) > 1 {
-					cfgs := make([]core.Config, len(chain))
-					for i, pt := range chain {
-						cfgs[i] = pt.cfg
-					}
-					if err := prefetch(jobCtx, cfgs); err != nil {
-						// Nothing is lost: every point still solves in the
-						// sequential walk below, just without the batched
-						// head start.
-						e.m.sweepPrefetchErrors.Inc()
-					} else {
-						e.m.sweepPrefetches.Inc()
-					}
-				}
-				solved := 0
-				for _, pt := range chain {
-					if jobCtx.Err() != nil {
+				for jobCtx.Err() == nil {
+					seg, stolen := sched.next(w)
+					if seg == nil {
 						return
 					}
-					e.closeMu.RLock()
-					engineClosed := e.closed
-					e.closeMu.RUnlock()
-					if engineClosed {
-						j.record(PointResult{Index: pt.idx, Config: pt.cfg, Error: ErrClosed.Error()})
-						continue
+					if stolen {
+						e.m.sweepSteals.Inc()
 					}
-					start := time.Now()
-					rep, didSolve, err := e.evaluateChained(jobCtx, pt.cfg, solver)
-					if didSolve {
-						if solved > 0 {
-							e.m.sweepPointsWarm.Inc()
-						} else {
-							e.m.sweepPointsCold.Inc()
-						}
-						solved++
-					}
-					pr := PointResult{
-						Index:      pt.idx,
-						Config:     pt.cfg,
-						DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
-					}
-					if err != nil {
-						pr.Error = err.Error()
-					} else {
-						v := NewReportView(rep)
-						pr.Report = &v
-					}
-					j.record(pr)
+					e.m.sweepSegments.Inc()
+					e.runSegment(jobCtx, j, seg.pts)
 				}
-			}(chain)
+			}(w)
 		}
 		wg.Wait()
 		j.finish(jobCtx.Err())
 	}()
 	return j, nil
+}
+
+// runSegment walks one segment sequentially on a fresh chain solver:
+// prefetch the segment's points, then solve them in grid order with
+// neighbor warm starts. A segment's first solved point is cold (it pays
+// the solver-stack setup, exactly like a chain head before
+// segmentation), the rest are warm.
+func (e *Engine) runSegment(jobCtx context.Context, j *Job, pts []gridPoint) {
+	solver, prefetch := e.opts.BatchChain()
+	if prefetch != nil && len(pts) > 1 {
+		cfgs := make([]core.Config, len(pts))
+		for i, pt := range pts {
+			cfgs[i] = pt.cfg
+		}
+		if err := prefetch(jobCtx, cfgs); err != nil {
+			// Nothing is lost: every point still solves in the
+			// sequential walk below, just without the batched
+			// head start.
+			e.m.sweepPrefetchErrors.Inc()
+		} else {
+			e.m.sweepPrefetches.Inc()
+		}
+	}
+	solved := 0
+	for _, pt := range pts {
+		if jobCtx.Err() != nil {
+			return
+		}
+		e.closeMu.RLock()
+		engineClosed := e.closed
+		e.closeMu.RUnlock()
+		if engineClosed {
+			j.record(PointResult{Index: pt.idx, Config: pt.cfg, Error: ErrClosed.Error()})
+			continue
+		}
+		start := time.Now()
+		rep, didSolve, err := e.evaluateChained(jobCtx, pt.cfg, solver)
+		if didSolve {
+			if solved > 0 {
+				e.m.sweepPointsWarm.Inc()
+			} else {
+				e.m.sweepPointsCold.Inc()
+			}
+			solved++
+		}
+		pr := PointResult{
+			Index:      pt.idx,
+			Config:     pt.cfg,
+			DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+		}
+		if err != nil {
+			pr.Error = err.Error()
+		} else {
+			v := NewReportView(rep)
+			pr.Report = &v
+		}
+		j.record(pr)
+	}
 }
 
 // Job returns the job with the given ID.
